@@ -1,0 +1,21 @@
+"""Shared constants and helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+#: The three studied libraries, in Table II column order.
+LIBRARIES = ("arrayfire", "boost.compute", "thrust")
+#: The studied libraries plus the expert baseline.
+ALL_GPU = ("arrayfire", "boost.compute", "thrust", "handwritten")
+
+#: Scale factors for the TPC-H sweeps (simulator-sized; the paper used
+#: SF 1-10 on physical hardware — shapes, not absolutes, transfer).
+SCALE_FACTORS = (0.002, 0.005, 0.01, 0.02)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value.
+
+    The interesting measurements are simulated; repeating the sweep would
+    only re-measure the simulator's wall time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Plug in your own library — the framework's extensibility story.
+
+The paper: *"we develop a framework […] that allows a user to plug-in new
+libraries and custom-written code."*  This example registers a fictional
+"CuPy-like" library backend that only accelerates selections (falling
+back to the inherited STL compositions elsewhere), then runs it alongside
+the built-ins.
+
+Run:  python examples/custom_backend_plugin.py
+"""
+
+import numpy as np
+
+from repro import Device, default_framework
+from repro.core import col_gt
+from repro.core.backend import Handle, Operator, OperatorSupport, SupportLevel
+from repro.core.predicate import Predicate
+from repro.core.thrust_backend import ThrustBackend
+from repro.gpu.kernel import EfficiencyProfile
+
+
+class CupyLikeBackend(ThrustBackend):
+    """A hypothetical library with one tuned primitive: fused selection.
+
+    Everything else inherits the Thrust realizations — exactly how a
+    practitioner would prototype with a new library that covers only part
+    of Table II.
+    """
+
+    name = "cupy-like"
+
+    #: The fictional library ships a well-tuned fused selection kernel.
+    _FUSED_PROFILE = EfficiencyProfile(
+        name="cupy-like", compute_efficiency=0.88,
+        memory_efficiency=0.90, launch_multiplier=1.2,
+    )
+
+    def selection(self, columns: dict, predicate: Predicate) -> Handle:
+        host = {name: handle.peek() for name, handle in columns.items()}
+        ids = np.flatnonzero(predicate.evaluate(host)).astype(np.int64)
+        read = float(sum(columns[c].itemsize for c in predicate.columns()))
+        n = len(next(iter(columns.values())))
+        # One fused kernel: predicate + compaction.
+        from repro.gpu.kernel import KernelCost
+
+        self.device.launch(
+            KernelCost(
+                name="cupy-like::fused_select",
+                elements=n,
+                flops_per_element=3.0,
+                bytes_read_per_element=read,
+                bytes_written_per_element=8.0 * len(ids) / max(n, 1),
+                passes=2,
+            ),
+            self._FUSED_PROFILE,
+        )
+        self.device.transfer_to_host(8, "selection_count")
+        return self.runtime._materialize(ids, "cupy::select_ids")
+
+    def support(self):
+        table = super().support()
+        table[Operator.SELECTION] = OperatorSupport(
+            SupportLevel.FULL, "fused_select()"
+        )
+        return table
+
+
+def main() -> None:
+    framework = default_framework()
+    framework.register("cupy-like", CupyLikeBackend)
+    print(f"registered backends: {', '.join(framework.backend_names)}\n")
+
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 1 << 20, 1 << 21).astype(np.int32)
+    predicate = col_gt("x", 1 << 19)
+
+    print(f"{'backend':>16}  {'warm selection ms':>18}  {'matches':>10}")
+    for name in ("arrayfire", "thrust", "boost.compute", "cupy-like"):
+        backend = framework.create(name, Device())
+        handle = backend.upload(data)
+        backend.selection({"x": handle}, predicate)  # warm
+        t0 = backend.device.clock.now
+        ids = backend.selection({"x": handle}, predicate)
+        elapsed_ms = (backend.device.clock.now - t0) * 1e3
+        print(f"{name:>16}  {elapsed_ms:18.4f}  {len(ids):10d}")
+
+    print(
+        "\nThe new backend slots into every harness in this repository —"
+        "\nsweeps, TPC-H queries, the support matrix — with no other code"
+        "\nchanges."
+    )
+
+
+if __name__ == "__main__":
+    main()

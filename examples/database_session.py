@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A GPU database session: resident columns + plan optimization.
+
+Shows two production behaviours on top of the framework:
+
+* a :class:`~repro.query.GpuSession` keeps hot columns resident on the
+  device, so repeated queries stop paying PCIe uploads;
+* :func:`~repro.query.optimize` merges stacked filters and pushes them
+  through projections before execution, cutting kernel launches.
+
+Run:  python examples/database_session.py
+"""
+
+from repro import Device, default_framework
+from repro.core import col_gt, col_lt
+from repro.core.expr import col, lit
+from repro.query import GpuSession, explain, optimize, scan
+from repro.tpch import TpchGenerator
+
+
+def main() -> None:
+    print("Generating TPC-H data (scale factor 0.02)...")
+    catalog = TpchGenerator(scale_factor=0.02, seed=8).generate()
+    backend = default_framework().create("thrust", Device())
+    session = GpuSession(backend, catalog)
+
+    # A deliberately naive plan: stacked filters behind a projection.
+    naive = (
+        scan("lineitem")
+        .project([
+            "l_quantity", "l_shipdate",
+            ("disc_price",
+             col("l_extendedprice") * (lit(1.0) - col("l_discount"))),
+        ])
+        .filter(col_lt("l_quantity", 25))
+        .filter(col_gt("l_shipdate", 1000))
+        .aggregate([("revenue", "sum", "disc_price")])
+        .build()
+    )
+    optimized = optimize(naive)
+    print("\nnaive plan:")
+    print(explain(naive))
+    print("\noptimized plan (filters merged, pushed below the projection):")
+    print(explain(optimized))
+
+    print("\nrunning each three times in one session:")
+    print(f"{'run':>4}  {'plan':>10}  {'total ms':>10}  {'transfer ms':>12}  "
+          f"{'kernels':>8}")
+    for label, plan in (("naive", naive), ("optimized", optimized)):
+        for run in range(1, 4):
+            report = session.execute(plan).report
+            print(
+                f"{run:>4}  {label:>10}  {report.simulated_ms:10.4f}  "
+                f"{report.breakdown()['transfer'] * 1e3:12.4f}  "
+                f"{report.summary.kernel_count:8d}"
+            )
+    print(f"\nsession state: {session!r}")
+    print(
+        "run 1 pays the uploads; later runs reuse resident columns, and the"
+        "\noptimized plan reaches the same answer faster: filtering before"
+        "\nthe projection means every downstream kernel touches fewer rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The hashing gap — the paper's headline negative result, end to end.
+
+TPC-H Q3 (two equi-joins) on every library with the only join each can
+express, against the handwritten hash-join plan.  Also prints the Table II
+join rows, so the support gap and the performance gap appear side by
+side.
+
+Run:  python examples/join_gap.py
+"""
+
+from repro import Device, QueryExecutor, default_framework
+from repro.core import render_table_ii
+from repro.errors import UnsupportedOperatorError
+from repro.tpch import TpchGenerator, q3
+
+
+def main() -> None:
+    framework = default_framework()
+
+    print("Table II, join rows:")
+    backends = [
+        framework.create(name)
+        for name in ("arrayfire", "boost.compute", "thrust")
+    ]
+    table = render_table_ii(backends)
+    for line in table.splitlines():
+        if "Join" in line or "operator" in line or "---" in line:
+            print("  " + line)
+
+    print("\nGenerating TPC-H data (scale factor 0.1)...")
+    catalog = TpchGenerator(scale_factor=0.1, seed=3).generate()
+
+    configurations = (
+        ("arrayfire", "nested_loop"),
+        ("boost.compute", "nested_loop"),
+        ("thrust", "nested_loop"),
+        ("thrust", "merge"),
+        ("thrust", "hash"),
+        ("handwritten", "hash"),
+    )
+    print(f"\n{'backend':>16}  {'join algorithm':>16}  {'Q3 warm ms':>12}")
+    timings = {}
+    for name, algorithm in configurations:
+        backend = framework.create(name, Device())
+        executor = QueryExecutor(backend, catalog)
+        plan = q3.plan(catalog, join_algorithm=algorithm)
+        try:
+            executor.execute(plan)
+            warm = executor.execute(plan).report.simulated_ms
+            timings[(name, algorithm)] = warm
+            print(f"{name:>16}  {algorithm:>16}  {warm:12.4f}")
+        except UnsupportedOperatorError as error:
+            print(f"{name:>16}  {algorithm:>16}  unsupported: {error}")
+
+    nlj = timings[("thrust", "nested_loop")]
+    hash_join = timings[("handwritten", "hash")]
+    print(
+        f"\nhandwritten hash-join plan vs thrust NLJ plan: "
+        f"{nlj / hash_join:.1f}x faster at whole-query level (uploads and"
+        "\nfilters dilute the gap; at operator level the factor exceeds"
+        " 100x — see benchmarks/bench_fig_join.py).  Hashing is 'one of the"
+        "\nfundamental database primitives … currently not supported,"
+        " leaving important tuning potential unused' (paper, abstract)."
+    )
+
+
+if __name__ == "__main__":
+    main()

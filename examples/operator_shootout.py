@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Operator shootout: regenerate the paper's per-operator comparison.
+
+Sweeps selection, grouped aggregation, sort, and reduction over input
+sizes across all four backends, printing the simulated-time series —
+Section IV's microbenchmarks in one script.
+
+Run:  python examples/operator_shootout.py
+"""
+
+from repro.bench import (
+    grouped_keys,
+    render_all,
+    run_simple_sweep,
+    selection_workload,
+    uniform_floats,
+    uniform_ints,
+)
+from repro.core import col_lt
+
+BACKENDS = ("arrayfire", "boost.compute", "thrust", "handwritten")
+SIZES = (1 << 16, 1 << 19, 1 << 22)
+
+
+def selection_sweep():
+    def setup(backend, n):
+        workload = selection_workload(n, 0.1)
+        return backend.upload(workload.data), workload.threshold
+
+    def run(backend, state):
+        backend.selection({"x": state[0]}, col_lt("x", state[1]))
+
+    return run_simple_sweep(
+        "Selection (10% selectivity)", BACKENDS, SIZES, setup, run
+    )
+
+
+def groupby_sweep():
+    def setup(backend, n):
+        keys, values = grouped_keys(n, groups=1024)
+        return backend.upload(keys), backend.upload(values)
+
+    def run(backend, state):
+        backend.grouped_aggregation(state[0], state[1], "sum")
+
+    return run_simple_sweep(
+        "Grouped aggregation (1024 groups)", BACKENDS, SIZES, setup, run
+    )
+
+
+def sort_sweep():
+    def setup(backend, n):
+        return backend.upload(uniform_ints(n))
+
+    def run(backend, handle):
+        backend.sort(handle)
+
+    return run_simple_sweep("Sort (int32)", BACKENDS, SIZES, setup, run)
+
+
+def reduction_sweep():
+    def setup(backend, n):
+        return backend.upload(uniform_floats(n))
+
+    def run(backend, handle):
+        backend.reduction(handle, "sum")
+
+    return run_simple_sweep("Reduction (sum)", BACKENDS, SIZES, setup, run)
+
+
+def main() -> None:
+    for sweep in (selection_sweep, groupby_sweep, sort_sweep, reduction_sweep):
+        result = sweep()
+        print(render_all(result, baseline="handwritten"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: run one query on every GPU library and compare.
+
+Builds a small TPC-H database, runs Q6 (the selection+reduction query) on
+each backend through the framework, and prints result + simulated cost —
+the 60-second tour of what the paper measures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Device, QueryExecutor, default_framework
+from repro.tpch import TpchGenerator, q6
+
+
+def main() -> None:
+    print("Generating TPC-H data (scale factor 0.01)...")
+    catalog = TpchGenerator(scale_factor=0.01, seed=1).generate()
+    lineitem_rows = catalog["lineitem"].num_rows
+    print(f"  lineitem: {lineitem_rows:,} rows\n")
+
+    framework = default_framework()
+    plan = q6.plan()
+    expected = q6.reference(catalog)["revenue"][0]
+    print(f"TPC-H Q6 reference revenue: {expected:,.2f}\n")
+
+    header = (
+        f"{'backend':>16}  {'revenue':>16}  {'cold ms':>10}  {'warm ms':>10}"
+        f"  {'kernels':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in ("arrayfire", "boost.compute", "thrust", "handwritten"):
+        backend = framework.create(name, Device())
+        executor = QueryExecutor(backend, catalog)
+        cold = executor.execute(plan)
+        warm = executor.execute(plan)
+        revenue = float(warm.table.column("revenue").data[0])
+        print(
+            f"{name:>16}  {revenue:16,.2f}  {cold.report.simulated_ms:10.3f}"
+            f"  {warm.report.simulated_ms:10.3f}"
+            f"  {warm.report.summary.kernel_count:8d}"
+        )
+
+    print(
+        "\nEvery library returns the same answer; the costs differ because"
+        "\nthe operator *realizations* differ (Table II): ArrayFire fuses"
+        "\nthe predicate into one JIT kernel, the STL libraries chain"
+        "\ntransform/scan/scatter calls, and Boost.Compute compiles its"
+        "\nOpenCL kernels on first use (the cold-run penalty above)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""TPC-H analytics session: the paper's full query suite on one library.
+
+Runs Q1, Q3, Q4, and Q6 on a chosen backend (default: thrust), printing
+each result table and its cost breakdown — the workload a GPU-accelerated
+DBMS prototyped on a library would serve.
+
+Run:  python examples/tpch_analytics.py [backend]
+      e.g. python examples/tpch_analytics.py arrayfire
+"""
+
+import sys
+
+from repro import Device, QueryExecutor, default_framework
+from repro.query import explain
+from repro.tpch import TpchGenerator, q1, q3, q4, q6
+
+
+def run_query(executor: QueryExecutor, name: str, plan) -> None:
+    print(f"\n=== TPC-H {name} ===")
+    print(explain(plan))
+    result = executor.execute(plan)
+    print()
+    print(result.table.head(10))
+    report = result.report
+    breakdown = report.breakdown()
+    print(
+        f"simulated: {report.simulated_ms:.3f} ms "
+        f"(kernel {breakdown['kernel'] * 1e3:.3f}, "
+        f"transfer {breakdown['transfer'] * 1e3:.3f}, "
+        f"compile {breakdown['compile'] * 1e3:.3f}) | "
+        f"{report.summary.kernel_count} kernels | "
+        f"peak device mem {report.peak_device_bytes / 1e6:.1f} MB"
+    )
+
+
+def main() -> None:
+    backend_name = sys.argv[1] if len(sys.argv) > 1 else "thrust"
+    print(f"Backend: {backend_name}")
+    print("Generating TPC-H data (scale factor 0.01)...")
+    catalog = TpchGenerator(scale_factor=0.01, seed=2021).generate()
+
+    backend = default_framework().create(backend_name, Device())
+    executor = QueryExecutor(backend, catalog)
+
+    run_query(executor, "Q1 (pricing summary)", q1.plan())
+    run_query(executor, "Q6 (forecast revenue change)", q6.plan())
+    run_query(executor, "Q4 (order priority checking)", q4.plan())
+    run_query(executor, "Q3 (shipping priority)", q3.plan(catalog))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Sweep runner: measures simulated time per backend per parameter point.
+
+The quantity under measurement is *simulated device time* (what the
+paper's figures plot as wall-clock on a physical GPU).  A measurement
+brackets only the operator under test: uploads happen in the setup phase,
+exactly like the paper's methodology of benchmarking operators on
+device-resident data.
+
+Warm vs. cold: ``warmup=True`` (default) runs the operator once before
+measuring, so one-time costs (OpenCL program builds, ArrayFire JIT
+compilations) are amortised as in the paper's steady-state numbers; the
+compile-cache ablation flips this off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.backend import OperatorBackend
+from repro.core.framework import GpuOperatorFramework, default_framework
+from repro.errors import BenchmarkError, UnsupportedOperatorError
+from repro.gpu.device import Device, DeviceSpec, GTX_1080TI
+
+#: setup(backend, point) -> state ; run(backend, state) -> result
+SetupFn = Callable[[OperatorBackend, Any], Any]
+RunFn = Callable[[OperatorBackend, Any], Any]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (backend, point) measurement."""
+
+    backend: str
+    point: Any
+    simulated_ms: float
+    kernel_count: int
+    kernel_ms: float
+    transfer_ms: float
+    compile_ms: float
+    peak_device_mb: float
+
+    @property
+    def label(self) -> str:
+        """Point label for table rows."""
+        return str(self.point)
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep, grouped by backend."""
+
+    title: str
+    points: List[Any]
+    series: Dict[str, List[Optional[Measurement]]] = field(default_factory=dict)
+
+    def ms(self, backend: str) -> List[Optional[float]]:
+        """Simulated milliseconds per point for one backend."""
+        return [
+            m.simulated_ms if m is not None else None
+            for m in self.series[backend]
+        ]
+
+    def speedup(self, baseline: str, against: str) -> List[Optional[float]]:
+        """Per-point ratio time(against) / time(baseline)."""
+        base = self.ms(baseline)
+        other = self.ms(against)
+        out: List[Optional[float]] = []
+        for b, o in zip(base, other):
+            if b is None or o is None or b == 0.0:
+                out.append(None)
+            else:
+                out.append(o / b)
+        return out
+
+
+class SweepRunner:
+    """Runs an operator sweep across backends."""
+
+    def __init__(
+        self,
+        backend_names: Sequence[str],
+        framework: Optional[GpuOperatorFramework] = None,
+        device_spec: DeviceSpec = GTX_1080TI,
+        warmup: bool = True,
+        fresh_backend_per_point: bool = False,
+    ) -> None:
+        if not backend_names:
+            raise BenchmarkError("sweep needs at least one backend")
+        self.backend_names = list(backend_names)
+        self.framework = framework if framework is not None else default_framework()
+        self.device_spec = device_spec
+        self.warmup = warmup
+        self.fresh_backend_per_point = fresh_backend_per_point
+
+    def run(
+        self,
+        title: str,
+        points: Sequence[Any],
+        setup: SetupFn,
+        run: RunFn,
+    ) -> SweepResult:
+        """Measure ``run`` at every (backend, point).
+
+        Backends that raise :class:`UnsupportedOperatorError` record a
+        ``None`` measurement for that point (rendered as "n/a", matching
+        the paper's unsupported-operator cells).
+        """
+        result = SweepResult(title=title, points=list(points))
+        for name in self.backend_names:
+            backend = self._make_backend(name)
+            series: List[Optional[Measurement]] = []
+            for point in points:
+                if self.fresh_backend_per_point:
+                    backend = self._make_backend(name)
+                series.append(self._measure(backend, name, point, setup, run))
+            result.series[name] = series
+        return result
+
+    def _make_backend(self, name: str) -> OperatorBackend:
+        return self.framework.create(name, Device(self.device_spec))
+
+    def _measure(
+        self,
+        backend: OperatorBackend,
+        name: str,
+        point: Any,
+        setup: SetupFn,
+        run: RunFn,
+    ) -> Optional[Measurement]:
+        try:
+            state = setup(backend, point)
+        except UnsupportedOperatorError:
+            return None
+        device = backend.device
+        try:
+            if self.warmup:
+                run(backend, state)
+            device.memory.reset_peak()
+            cursor = device.profiler.mark()
+            t0 = device.clock.now
+            run(backend, state)
+            elapsed = device.clock.elapsed_since(t0)
+            summary = device.profiler.summary(since=cursor)
+        except UnsupportedOperatorError:
+            return None
+        return Measurement(
+            backend=name,
+            point=point,
+            simulated_ms=elapsed * 1e3,
+            kernel_count=summary.kernel_count,
+            kernel_ms=summary.kernel_time * 1e3,
+            transfer_ms=summary.transfer_time * 1e3,
+            compile_ms=summary.compile_time * 1e3,
+            peak_device_mb=device.memory.peak_bytes / 1e6,
+        )
+
+
+def run_simple_sweep(
+    title: str,
+    backend_names: Sequence[str],
+    points: Sequence[Any],
+    setup: SetupFn,
+    run: RunFn,
+    warmup: bool = True,
+    fresh_backend_per_point: bool = False,
+) -> SweepResult:
+    """One-call convenience wrapper over :class:`SweepRunner`."""
+    runner = SweepRunner(
+        backend_names,
+        warmup=warmup,
+        fresh_backend_per_point=fresh_backend_per_point,
+    )
+    return runner.run(title, points, setup, run)

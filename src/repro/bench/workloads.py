@@ -1,0 +1,92 @@
+"""Workload generators for the operator microbenchmarks.
+
+All generators are seeded and parameterised the way the paper's
+experiments sweep them: input size, selectivity, group count, and join
+key multiplicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+DEFAULT_SEED = 0x5EED
+
+
+def uniform_ints(
+    n: int, low: int = 0, high: int = 1_000_000, seed: int = DEFAULT_SEED
+) -> np.ndarray:
+    """Uniform int32 column."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high, n).astype(np.int32)
+
+
+def uniform_floats(n: int, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """Uniform float64 column in [0, 1)."""
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def selective_column(
+    n: int, selectivity: float, seed: int = DEFAULT_SEED
+) -> Tuple[np.ndarray, float]:
+    """Column where ``value < threshold`` selects ~``selectivity`` rows.
+
+    Returns (int32 data in [0, 2^20), threshold).
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in [0, 1]: {selectivity}")
+    domain = 1 << 20
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, domain, n).astype(np.int32)
+    return data, float(selectivity * domain)
+
+
+def grouped_keys(
+    n: int, groups: int, seed: int = DEFAULT_SEED
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(int32 keys over ``groups`` distinct values, float64 values)."""
+    if groups <= 0:
+        raise ValueError(f"group count must be positive: {groups}")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, groups, n).astype(np.int32)
+    values = rng.random(n)
+    return keys, values
+
+
+def fk_join_keys(
+    n_left: int, n_right: int, seed: int = DEFAULT_SEED
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Foreign-key join inputs: right side has unique keys 0..n_right-1,
+    left side references them uniformly (every left row matches exactly
+    once) — the TPC-H lineitem→orders shape."""
+    rng = np.random.default_rng(seed)
+    right = rng.permutation(n_right).astype(np.int32)
+    left = rng.integers(0, n_right, n_left).astype(np.int32)
+    return left, right
+
+
+def scatter_permutation(n: int, seed: int = DEFAULT_SEED) -> np.ndarray:
+    """A random permutation of 0..n-1 (int32) for scatter/gather maps."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int32)
+
+
+@dataclass(frozen=True)
+class SelectionWorkload:
+    """Materialised inputs for a selection benchmark point."""
+
+    data: np.ndarray
+    threshold: float
+    selectivity: float
+
+
+def selection_workload(
+    n: int, selectivity: float = 0.1, seed: int = DEFAULT_SEED
+) -> SelectionWorkload:
+    """Selection input with a calibrated match rate."""
+    data, threshold = selective_column(n, selectivity, seed)
+    return SelectionWorkload(data=data, threshold=threshold,
+                             selectivity=selectivity)

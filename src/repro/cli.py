@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables`` — print Table I (survey) and Table II (support matrix);
+* ``operators`` — run one operator sweep across backends;
+* ``calibration`` — print the cost-model calibration report;
+* ``tpch`` — run one TPC-H query on every backend and compare.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.bench import render_all, render_calibration_report, run_simple_sweep
+from repro.core import STUDIED_LIBRARIES, default_framework, render_table_ii
+from repro.gpu import Device
+from repro.query import QueryExecutor
+from repro.survey import render_category_histogram, render_table_i
+from repro.tpch import ALL_QUERIES, TpchGenerator
+
+DEFAULT_BACKENDS = ("arrayfire", "boost.compute", "thrust", "handwritten")
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    print(render_table_i())
+    print()
+    print(render_category_histogram())
+    print()
+    framework = default_framework()
+    backends = [framework.create(name) for name in STUDIED_LIBRARIES]
+    print(render_table_ii(backends))
+    return 0
+
+
+def _operator_sweep(op: str, sizes: List[int]):
+    from repro.bench import (
+        grouped_keys,
+        selection_workload,
+        uniform_floats,
+        uniform_ints,
+    )
+    from repro.core import col_lt
+
+    if op == "selection":
+        def setup(backend, n):
+            workload = selection_workload(n, 0.1)
+            return backend.upload(workload.data), workload.threshold
+
+        def run(backend, state):
+            backend.selection({"x": state[0]}, col_lt("x", state[1]))
+    elif op == "groupby":
+        def setup(backend, n):
+            keys, values = grouped_keys(n, groups=1024)
+            return backend.upload(keys), backend.upload(values)
+
+        def run(backend, state):
+            backend.grouped_aggregation(state[0], state[1], "sum")
+    elif op == "sort":
+        def setup(backend, n):
+            return backend.upload(uniform_ints(n))
+
+        def run(backend, handle):
+            backend.sort(handle)
+    elif op == "reduction":
+        def setup(backend, n):
+            return backend.upload(uniform_floats(n))
+
+        def run(backend, handle):
+            backend.reduction(handle, "sum")
+    else:
+        raise SystemExit(f"unknown operator {op!r}")
+    return run_simple_sweep(
+        f"{op} sweep", DEFAULT_BACKENDS, sizes, setup, run
+    )
+
+
+def _cmd_operators(args: argparse.Namespace) -> int:
+    sizes = [1 << e for e in args.log2_sizes]
+    result = _operator_sweep(args.op, sizes)
+    print(render_all(result, baseline="handwritten"))
+    return 0
+
+
+def _cmd_calibration(_args: argparse.Namespace) -> int:
+    from repro.gpu import PRESETS
+
+    print("\n\n".join(
+        render_calibration_report(spec) for spec in PRESETS.values()
+    ))
+    return 0
+
+
+def _cmd_tpch(args: argparse.Namespace) -> int:
+    query_name = args.query.upper()
+    try:
+        module = ALL_QUERIES[query_name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_QUERIES))
+        raise SystemExit(f"unknown query {args.query!r}; known: {known}")
+    print(f"Generating TPC-H data (scale factor {args.scale_factor})...")
+    catalog = TpchGenerator(scale_factor=args.scale_factor).generate()
+    # Q3/Q5/Q10 plans need the catalog (for dictionary codes).
+    import inspect
+
+    if "catalog" in inspect.signature(module.plan).parameters:
+        plan = module.plan(catalog)
+    else:
+        plan = module.plan()
+    framework = default_framework()
+    print(
+        f"\n{'backend':>16}  {'cold ms':>10}  {'warm ms':>10}  "
+        f"{'kernels':>8}  {'rows':>6}"
+    )
+    for name in DEFAULT_BACKENDS:
+        executor = QueryExecutor(framework.create(name, Device()), catalog)
+        cold = executor.execute(plan)
+        warm = executor.execute(plan)
+        print(
+            f"{name:>16}  {cold.report.simulated_ms:10.3f}  "
+            f"{warm.report.simulated_ms:10.3f}  "
+            f"{warm.report.summary.kernel_count:8d}  "
+            f"{warm.table.num_rows:6d}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Analysis of GPU-Libraries for Rapid "
+            "Prototyping Database Operations' (ICDE 2021) on a simulated GPU"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    tables = commands.add_parser(
+        "tables", help="print Table I and Table II"
+    )
+    tables.set_defaults(handler=_cmd_tables)
+
+    operators = commands.add_parser(
+        "operators", help="run one operator sweep across backends"
+    )
+    operators.add_argument(
+        "--op",
+        choices=("selection", "groupby", "sort", "reduction"),
+        default="selection",
+    )
+    operators.add_argument(
+        "--log2-sizes",
+        type=int,
+        nargs="+",
+        default=[16, 19, 22],
+        help="input sizes as powers of two",
+    )
+    operators.set_defaults(handler=_cmd_operators)
+
+    calibration = commands.add_parser(
+        "calibration", help="print the cost-model calibration report"
+    )
+    calibration.set_defaults(handler=_cmd_calibration)
+
+    tpch = commands.add_parser(
+        "tpch", help="run one TPC-H query on every backend"
+    )
+    tpch.add_argument("--query", default="Q6",
+                      help="one of " + ", ".join(sorted(ALL_QUERIES)))
+    tpch.add_argument("--scale-factor", type=float, default=0.01)
+    tpch.set_defaults(handler=_cmd_tpch)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)

@@ -1,0 +1,84 @@
+"""cuDF-class extension backend — **beyond the paper**.
+
+The paper's survey predates broad RAPIDS adoption, but its introduction
+already names cuDF as the library behind BlazingDB, and its conclusion is
+a challenge: the studied libraries lack hashing.  libcudf answers it — it
+ships hash joins and hash-based group-bys as first-class operators.  This
+backend models a cuDF-class library: the handwritten backend's algorithm
+inventory (including hash join and hash aggregation) at *library* rather
+than hand-tuned efficiency, with a DataFrame runtime's heavier dispatch.
+
+The extension benchmark (``bench_ext_cudf.py``) uses it to quantify how
+much of the paper's "unused tuning potential" a newer library recovers
+out of the box.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.backend import Operator, OperatorSupport, SupportLevel
+from repro.core.handwritten_backend import HandwrittenBackend, HandwrittenRuntime
+from repro.gpu.device import Device
+from repro.gpu.kernel import EfficiencyProfile
+
+#: libcudf kernels are professionally tuned CUDA but remain generic
+#: (type-dispatched, null-mask aware): a notch under workload-specialised
+#: handwritten kernels, a notch over Thrust templates on these operators;
+#: the DataFrame layer (column refcounting, dispatch) taxes every launch.
+CUDF_PROFILE = EfficiencyProfile(
+    name="cudf",
+    compute_efficiency=0.84,
+    memory_efficiency=0.87,
+    launch_multiplier=1.4,
+)
+
+#: cuDF spellings for the Table II rows (for the extended support matrix).
+_CUDF_FUNCTIONS = {
+    Operator.SELECTION: "apply_boolean_mask()",
+    Operator.CONJUNCTION: "binary_operation(AND)",
+    Operator.DISJUNCTION: "binary_operation(OR)",
+    Operator.NESTED_LOOP_JOIN: "cross_join() + filter",
+    Operator.MERGE_JOIN: "sort_merge_join()",
+    Operator.HASH_JOIN: "inner_join()  <- the gap-closer",
+    Operator.GROUPED_AGGREGATION: "groupby().agg()",
+    Operator.REDUCTION: "reduce()",
+    Operator.SORT: "sort_values()",
+    Operator.SORT_BY_KEY: "sort_values(by=key)",
+    Operator.PREFIX_SUM: "cumsum()",
+    Operator.SCATTER: "scatter()",
+    Operator.GATHER: "gather()",
+    Operator.PRODUCT: "binary_operation(MUL)",
+}
+
+
+class CudfLikeRuntime(HandwrittenRuntime):
+    """Runtime pricing work at cuDF-library efficiency."""
+
+    library_name = "cudf"
+
+    def __init__(self, device: Device) -> None:
+        super().__init__(device)
+        self.profile = CUDF_PROFILE
+
+
+class CudfLikeBackend(HandwrittenBackend):
+    """All Table II operators, including hashing, at library efficiency.
+
+    Inherits the handwritten backend's algorithm structures (single-pass
+    fused selections, hash join build/probe, hash aggregation) — which is
+    faithful: libcudf implements exactly these algorithm classes — and
+    reprices them through :data:`CUDF_PROFILE`.
+    """
+
+    name = "cudf"
+
+    def __init__(self, device: Device) -> None:
+        super().__init__(device)
+        self.runtime = CudfLikeRuntime(device)
+
+    def support(self) -> Dict[Operator, OperatorSupport]:
+        return {
+            operator: OperatorSupport(SupportLevel.FULL, spelling)
+            for operator, spelling in _CUDF_FUNCTIONS.items()
+        }

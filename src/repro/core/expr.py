@@ -1,0 +1,175 @@
+"""Scalar (per-row) arithmetic expressions for projections and aggregates.
+
+TPC-H aggregates are built from column arithmetic —
+``sum(l_extendedprice * (1 - l_discount))`` — so the executor needs
+device-side expression evaluation.  How a backend evaluates an expression
+tree is itself a library-differentiating behaviour: eager STL libraries
+launch one ``transform`` per operator node (materialising every
+intermediate), ArrayFire fuses the whole tree into one JIT kernel, and the
+handwritten backend compiles one fused kernel by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ExpressionError
+
+#: op -> (numpy ufunc, per-element flops)
+ARITH_OPS = {
+    "add": (np.add, 1.0),
+    "sub": (np.subtract, 1.0),
+    "mul": (np.multiply, 1.0),
+    "div": (np.divide, 4.0),
+}
+
+
+class Expr:
+    """Base class of scalar expressions."""
+
+    def columns(self) -> FrozenSet[str]:
+        """All column names the expression reads."""
+        raise NotImplementedError
+
+    def evaluate(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        """Reference (NumPy) evaluation."""
+        raise NotImplementedError
+
+    @property
+    def node_count(self) -> int:
+        """Number of operator nodes (for fused-kernel costing)."""
+        return 0
+
+    @property
+    def flops(self) -> float:
+        """Per-element arithmetic cost of the whole tree."""
+        return 0.0
+
+    # Operator sugar (Python precedence matches arithmetic precedence).
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("add", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("add", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("sub", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("sub", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("mul", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("mul", as_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("div", self, as_expr(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("div", as_expr(other), self)
+
+
+@dataclass(frozen=True)
+class ColRef(Expr):
+    """A column reference."""
+
+    name: str
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        try:
+            return columns[self.name]
+        except KeyError:
+            raise ExpressionError(
+                f"expression references missing column {self.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A scalar literal."""
+
+    value: float
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        return np.asarray(self.value)
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic node."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            known = ", ".join(sorted(ARITH_OPS))
+            raise ExpressionError(f"unknown arithmetic op {self.op!r}; known: {known}")
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def evaluate(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        ufunc, _flops = ARITH_OPS[self.op]
+        return ufunc(self.left.evaluate(columns), self.right.evaluate(columns))
+
+    @property
+    def node_count(self) -> int:
+        return 1 + self.left.node_count + self.right.node_count
+
+    @property
+    def flops(self) -> float:
+        return ARITH_OPS[self.op][1] + self.left.flops + self.right.flops
+
+    def __repr__(self) -> str:
+        symbol = {"add": "+", "sub": "-", "mul": "*", "div": "/"}[self.op]
+        return f"({self.left!r} {symbol} {self.right!r})"
+
+
+ExprLike = Union[Expr, int, float, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a column name, number, or Expr into an Expr."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, str):
+        return ColRef(value)
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return Lit(float(value))
+    raise ExpressionError(f"cannot treat {value!r} as a scalar expression")
+
+
+def col(name: str) -> ColRef:
+    """Shorthand column reference constructor."""
+    return ColRef(name)
+
+
+def lit(value: float) -> Lit:
+    """Shorthand literal constructor."""
+    return Lit(float(value))
+
+
+def flatten(expr: Expr) -> Tuple[Expr, ...]:
+    """Post-order traversal of the tree's nodes (used by eager backends)."""
+    if isinstance(expr, BinOp):
+        return flatten(expr.left) + flatten(expr.right) + (expr,)
+    return (expr,)

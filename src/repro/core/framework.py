@@ -1,0 +1,105 @@
+"""The plug-in framework facade.
+
+The paper: *"we develop a framework [...] that allows a user to plug-in
+new libraries and custom-written code."*  :class:`GpuOperatorFramework`
+is that entry point: a registry of backend factories keyed by name.  The
+three studied libraries, the handwritten kernels, and the CPU oracle are
+pre-registered; users add their own with :meth:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.core.arrayfire_backend import ArrayFireBackend
+from repro.core.backend import OperatorBackend
+from repro.core.boost_backend import BoostComputeBackend
+from repro.core.cpu_backend import CpuReferenceBackend
+from repro.core.cudf_backend import CudfLikeBackend
+from repro.core.handwritten_backend import HandwrittenBackend
+from repro.core.thrust_backend import ThrustBackend
+from repro.errors import ReproError
+from repro.gpu.device import Device
+
+BackendFactory = Callable[[Device], OperatorBackend]
+
+
+class GpuOperatorFramework:
+    """Registry and factory for operator backends."""
+
+    def __init__(self, register_defaults: bool = True) -> None:
+        self._factories: Dict[str, BackendFactory] = {}
+        if register_defaults:
+            self.register("thrust", ThrustBackend)
+            self.register("boost.compute", BoostComputeBackend)
+            self.register("arrayfire", ArrayFireBackend)
+            self.register("handwritten", HandwrittenBackend)
+            self.register("cpu-reference", CpuReferenceBackend)
+            # Extension beyond the paper: a cuDF-class library with hashing.
+            self.register("cudf", CudfLikeBackend)
+
+    def register(self, name: str, factory: BackendFactory) -> None:
+        """Plug in a backend factory under ``name``.
+
+        Re-registering an existing name raises; use :meth:`unregister`
+        first if replacement is intended.
+        """
+        if name in self._factories:
+            raise ReproError(f"backend {name!r} is already registered")
+        self._factories[name] = factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a backend registration."""
+        if name not in self._factories:
+            raise ReproError(f"backend {name!r} is not registered")
+        del self._factories[name]
+
+    def create(self, name: str, device: Optional[Device] = None) -> OperatorBackend:
+        """Instantiate a registered backend bound to ``device`` (a fresh
+        default device if omitted)."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise ReproError(f"unknown backend {name!r}; registered: {known}")
+        return factory(device if device is not None else Device())
+
+    def create_all(
+        self,
+        names: Optional[List[str]] = None,
+        device_factory: Callable[[], Device] = Device,
+    ) -> List[OperatorBackend]:
+        """Instantiate several backends, each on its *own* fresh device
+        (so their simulated clocks are independent — how the paper's
+        benchmarks isolate libraries)."""
+        targets = names if names is not None else sorted(self._factories)
+        return [self.create(name, device_factory()) for name in targets]
+
+    @property
+    def backend_names(self) -> List[str]:
+        """Registered backend names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+#: The library names the paper selects for its in-depth study.
+STUDIED_LIBRARIES = ("arrayfire", "boost.compute", "thrust")
+
+#: All GPU-costed backends (studied libraries + the tuned baseline).
+GPU_BACKENDS = STUDIED_LIBRARIES + ("handwritten",)
+
+#: Backends beyond the paper's scope (see repro/core/cudf_backend.py).
+EXTENSION_BACKENDS = ("cudf",)
+
+
+def default_framework() -> GpuOperatorFramework:
+    """A framework with all built-in backends registered."""
+    return GpuOperatorFramework(register_defaults=True)

@@ -1,0 +1,184 @@
+"""Table II: mapping of library functions to database operators.
+
+``render_table_ii`` regenerates the paper's support matrix from the live
+backends' ``support()`` declarations; ``PAPER_TABLE_II`` records the
+matrix exactly as printed in the paper, so tests can assert our backends
+reproduce it cell for cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.backend import Operator, OperatorBackend, SupportLevel
+
+#: Row layout of the printed table: the paper merges conjunction with
+#: disjunction and scatter with gather into single rows.
+TABLE_II_ROWS: Tuple[Tuple[str, Tuple[Operator, ...]], ...] = (
+    ("Selection", (Operator.SELECTION,)),
+    ("Nested-Loops Join", (Operator.NESTED_LOOP_JOIN,)),
+    ("Merge Join", (Operator.MERGE_JOIN,)),
+    ("Hash Join", (Operator.HASH_JOIN,)),
+    ("Grouped Aggregation", (Operator.GROUPED_AGGREGATION,)),
+    (
+        "Conjunction & Disjunction",
+        (Operator.CONJUNCTION, Operator.DISJUNCTION),
+    ),
+    ("Reduction", (Operator.REDUCTION,)),
+    ("Sort by Key", (Operator.SORT_BY_KEY,)),
+    ("Sort", (Operator.SORT,)),
+    ("Prefix Sum", (Operator.PREFIX_SUM,)),
+    ("Scatter & Gather", (Operator.SCATTER, Operator.GATHER)),
+    ("Product", (Operator.PRODUCT,)),
+)
+
+#: Library column order as printed in the paper.
+TABLE_II_LIBRARIES = ("arrayfire", "boost.compute", "thrust")
+
+#: The paper's Table II, cell by cell: row -> library -> (level, functions).
+PAPER_TABLE_II: Dict[str, Dict[str, Tuple[str, str]]] = {
+    "Selection": {
+        "arrayfire": ("+", "where(operator())"),
+        "boost.compute": ("~", "transform() & exclusive_scan() & gather()"),
+        "thrust": ("~", "transform() & exclusive_scan() & gather()"),
+    },
+    "Nested-Loops Join": {
+        "arrayfire": ("~", ""),
+        "boost.compute": ("+", "for_each_n()"),
+        "thrust": ("+", "for_each_n()"),
+    },
+    "Merge Join": {
+        "arrayfire": ("-", ""),
+        "boost.compute": ("-", ""),
+        "thrust": ("-", ""),
+    },
+    "Hash Join": {
+        "arrayfire": ("-", ""),
+        "boost.compute": ("-", ""),
+        "thrust": ("-", ""),
+    },
+    "Grouped Aggregation": {
+        "arrayfire": ("+", "sumByKey(), countByKey()"),
+        "boost.compute": ("+", "reduce_by_key()"),
+        "thrust": ("+", "reduce_by_key()"),
+    },
+    "Conjunction & Disjunction": {
+        "arrayfire": ("+", "setIntersect(), setUnion()"),
+        "boost.compute": ("+", "bit_and<T>(), bit_or<T>()"),
+        "thrust": ("+", "bit_and<T>(), bit_or<T>()"),
+    },
+    "Reduction": {
+        "arrayfire": ("+", "sum<T>()"),
+        "boost.compute": ("+", "reduce()"),
+        "thrust": ("+", "reduce()"),
+    },
+    "Sort by Key": {
+        "arrayfire": ("+", "sort()"),
+        "boost.compute": ("+", "sort_by_key()"),
+        "thrust": ("+", "sort_by_key()"),
+    },
+    "Sort": {
+        "arrayfire": ("+", "sort()"),
+        "boost.compute": ("+", "sort()"),
+        "thrust": ("+", "sort()"),
+    },
+    "Prefix Sum": {
+        "arrayfire": ("+", "scan()"),
+        "boost.compute": ("+", "exclusive_scan()"),
+        "thrust": ("+", "exclusive_scan()"),
+    },
+    "Scatter & Gather": {
+        "arrayfire": ("+", "lookup(), operator()(af::index)"),
+        "boost.compute": ("+", "scatter(), gather()"),
+        "thrust": ("+", "scatter(), gather()"),
+    },
+    "Product": {
+        "arrayfire": ("+", "operator*()"),
+        "boost.compute": ("+", "transform() & multiplies<T>()"),
+        "thrust": ("+", "transform() & multiplies<T>()"),
+    },
+}
+
+
+def _merge_levels(levels: Sequence[SupportLevel]) -> SupportLevel:
+    """Merged rows print the *weakest* of their operators' levels."""
+    ranking = {SupportLevel.NONE: 0, SupportLevel.PARTIAL: 1, SupportLevel.FULL: 2}
+    return min(levels, key=lambda level: ranking[level])
+
+
+def build_support_matrix(
+    backends: Sequence[OperatorBackend],
+) -> Dict[str, Dict[str, Tuple[SupportLevel, str]]]:
+    """Probe backends and assemble the printed-table cells.
+
+    Returns row title -> backend name -> (level, functions string).
+    """
+    matrix: Dict[str, Dict[str, Tuple[SupportLevel, str]]] = {}
+    declarations = {backend.name: backend.support() for backend in backends}
+    for title, operators in TABLE_II_ROWS:
+        row: Dict[str, Tuple[SupportLevel, str]] = {}
+        for backend in backends:
+            support = declarations[backend.name]
+            levels = [support[op].level for op in operators]
+            functions: List[str] = []
+            for op in operators:
+                cell = support[op].functions
+                if cell and cell not in functions:
+                    functions.append(cell)
+            row[backend.name] = (_merge_levels(levels), ", ".join(functions))
+        matrix[title] = row
+    return matrix
+
+
+def render_table_ii(backends: Sequence[OperatorBackend]) -> str:
+    """Human-readable reproduction of Table II for the given backends."""
+    matrix = build_support_matrix(backends)
+    names = [backend.name for backend in backends]
+    header = ["Database operator"] + [
+        f"{name} (support / function)" for name in names
+    ]
+    rows: List[List[str]] = []
+    for title, _operators in TABLE_II_ROWS:
+        row = [title]
+        for name in names:
+            level, functions = matrix[title][name]
+            cell = level.value if not functions else f"{level.value}  {functions}"
+            row.append(cell)
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+    )
+    lines.append("legend: + full support, ~ partial support, - no support")
+    return "\n".join(lines)
+
+
+def compare_with_paper(
+    backends: Sequence[OperatorBackend],
+) -> List[str]:
+    """Differences between our live matrix and the paper's printed levels.
+
+    Returns human-readable mismatch strings (empty list = exact
+    reproduction of every support level).
+    """
+    matrix = build_support_matrix(backends)
+    mismatches: List[str] = []
+    for title, expected_row in PAPER_TABLE_II.items():
+        for library, (expected_level, _functions) in expected_row.items():
+            actual = matrix.get(title, {}).get(library)
+            if actual is None:
+                mismatches.append(f"{title}/{library}: missing from live matrix")
+                continue
+            if actual[0].value != expected_level:
+                mismatches.append(
+                    f"{title}/{library}: paper prints {expected_level!r}, "
+                    f"live backend reports {actual[0].value!r}"
+                )
+    return mismatches

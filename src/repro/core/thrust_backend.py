@@ -1,0 +1,32 @@
+"""Thrust plug-in backend (Table II's Thrust column)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backend import Handle
+from repro.core.stl_backend import StlStyleBackend
+from repro.gpu.device import Device
+from repro.libs import thrust
+
+
+class ThrustBackend(StlStyleBackend):
+    """Database operators realized over the Thrust emulation."""
+
+    name = "thrust"
+
+    def __init__(self, device: Device) -> None:
+        runtime = thrust.ThrustRuntime(device)
+        super().__init__(device, runtime, thrust)
+        self._runtime = runtime
+
+    def _vector(self, array: np.ndarray, label: str) -> Handle:
+        return self._runtime.device_vector(array, label=label)
+
+    def _empty(self, n: int, dtype: np.dtype) -> Handle:
+        return self._runtime.empty(n, dtype)
+
+    def _iota_vector(self, n: int) -> Handle:
+        rowids = self._runtime.empty(n, np.int64)
+        thrust.sequence(rowids)
+        return rowids

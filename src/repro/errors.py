@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-device failures."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Raised when a device allocation exceeds the remaining device memory."""
+
+    def __init__(self, requested: int, available: int) -> None:
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"device out of memory: requested {requested} bytes, "
+            f"only {available} bytes available"
+        )
+
+
+class InvalidBufferError(DeviceError):
+    """Raised when a freed or foreign buffer is used with a device."""
+
+
+class LibraryError(ReproError):
+    """Base class for errors raised by the emulated GPU libraries."""
+
+
+class ArraySizeMismatchError(LibraryError):
+    """Raised when two library arrays that must agree in length do not."""
+
+    def __init__(self, left: int, right: int, context: str = "") -> None:
+        self.left = left
+        self.right = right
+        suffix = f" in {context}" if context else ""
+        super().__init__(f"array length mismatch: {left} vs {right}{suffix}")
+
+
+class UnsupportedOperatorError(ReproError):
+    """Raised when a backend does not support a requested database operator.
+
+    This mirrors the paper's Table II: e.g. *hash join* is unsupported by all
+    three studied libraries and raising (rather than silently substituting a
+    slower algorithm) keeps the support matrix honest.
+    """
+
+    def __init__(self, backend: str, operator: str, reason: str = "") -> None:
+        self.backend = backend
+        self.operator = operator
+        message = f"backend {backend!r} does not support operator {operator!r}"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+
+
+class PlanError(ReproError):
+    """Raised for malformed logical or physical query plans."""
+
+
+class SchemaError(ReproError):
+    """Raised for schema violations in the relational layer."""
+
+
+class ExpressionError(ReproError):
+    """Raised for malformed or ill-typed scalar expressions."""
+
+
+class BenchmarkError(ReproError):
+    """Raised for misconfigured benchmark sweeps."""

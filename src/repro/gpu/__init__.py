@@ -1,0 +1,76 @@
+"""Simulated GPU hardware substrate.
+
+This package replaces the physical GPU the paper ran on.  Library
+emulations execute their semantics on the host (NumPy) and describe their
+work to a :class:`Device`, which prices kernel launches, transfers, runtime
+compilations, and allocations on a simulated clock.  See DESIGN.md
+("Hardware substitution") for why this preserves the paper's comparative
+results.
+"""
+
+from repro.gpu.clock import SimulatedClock, Stopwatch
+from repro.gpu.device import (
+    GTX_1080TI,
+    INTEGRATED_GPU,
+    PRESETS,
+    TESLA_V100,
+    Device,
+    DeviceSpec,
+    get_spec,
+)
+from repro.gpu.kernel import (
+    TUNED_PROFILE,
+    EfficiencyProfile,
+    KernelCost,
+    kernel_duration,
+)
+from repro.gpu.memory import (
+    ALLOCATION_ALIGNMENT,
+    DeviceBuffer,
+    MemoryManager,
+    ScopedAllocation,
+    align_size,
+)
+from repro.gpu.profiler import (
+    Event,
+    Profiler,
+    ProfileSummary,
+    merge_summaries,
+    to_chrome_trace,
+)
+from repro.gpu.transfer import (
+    PCIE3_X16,
+    PCIE4_X16,
+    SHARED_MEMORY_LINK,
+    LinkSpec,
+)
+
+__all__ = [
+    "SimulatedClock",
+    "Stopwatch",
+    "Device",
+    "DeviceSpec",
+    "get_spec",
+    "PRESETS",
+    "GTX_1080TI",
+    "TESLA_V100",
+    "INTEGRATED_GPU",
+    "EfficiencyProfile",
+    "KernelCost",
+    "kernel_duration",
+    "TUNED_PROFILE",
+    "DeviceBuffer",
+    "MemoryManager",
+    "ScopedAllocation",
+    "align_size",
+    "ALLOCATION_ALIGNMENT",
+    "Event",
+    "Profiler",
+    "ProfileSummary",
+    "merge_summaries",
+    "to_chrome_trace",
+    "LinkSpec",
+    "PCIE3_X16",
+    "PCIE4_X16",
+    "SHARED_MEMORY_LINK",
+]

@@ -1,0 +1,87 @@
+"""Simulated time source for the GPU device model.
+
+All costs in the simulator are expressed in seconds and accumulated on a
+:class:`SimulatedClock`.  The clock is strictly monotonic: time can only be
+advanced, never rewound.  Benchmarks read the clock before and after a
+workload to obtain the *simulated* elapsed time, which is the quantity the
+paper's figures report (wall-clock time on a physical GPU).
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotonic, manually advanced clock measured in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now * 1e3
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now * 1e6
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Raises ``ValueError`` for negative durations; zero is permitted so
+        that free events (e.g. cache hits) can still be recorded at a
+        well-defined timestamp.
+        """
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def elapsed_since(self, t0: float) -> float:
+        """Seconds elapsed between ``t0`` and now."""
+        return self._now - t0
+
+    def reset(self) -> None:
+        """Reset the clock to zero (used between benchmark repetitions)."""
+        self._now = 0.0
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.9f}s)"
+
+
+class Stopwatch:
+    """Convenience context manager measuring simulated elapsed time.
+
+    Example::
+
+        with Stopwatch(device.clock) as sw:
+            run_query(...)
+        print(sw.elapsed)
+    """
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock.now
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = self._clock.elapsed_since(self._start)
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed simulated time in milliseconds."""
+        return self.elapsed * 1e3

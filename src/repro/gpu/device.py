@@ -1,0 +1,221 @@
+"""Simulated GPU device: spec presets and the :class:`Device` facade.
+
+The device ties together the simulated clock, memory manager, profiler, and
+the kernel/transfer cost models.  Library emulations never advance the clock
+directly — they describe work (a :class:`~repro.gpu.kernel.KernelCost`, a
+transfer size, a compile request) and the device prices it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.gpu import profiler as prof
+from repro.gpu.clock import SimulatedClock
+from repro.gpu.kernel import EfficiencyProfile, KernelCost, kernel_duration
+from repro.gpu.memory import DeviceBuffer, MemoryManager
+from repro.gpu.transfer import PCIE3_X16, PCIE4_X16, SHARED_MEMORY_LINK, LinkSpec
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    ``peak_flops`` is derived as ``sm_count * cores_per_sm * clock * 2``
+    (fused multiply-add counts as two operations), matching how vendors
+    quote single-precision peaks.
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    core_clock_hz: float
+    dram_bandwidth: float  # bytes/second
+    memory_bytes: int
+    kernel_launch_latency: float  # seconds per launch (driver + dispatch)
+    pass_tail_latency: float  # seconds to drain/refill SMs between passes
+    link: LinkSpec = field(default=PCIE3_X16)
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("SM and core counts must be positive")
+        if self.core_clock_hz <= 0 or self.dram_bandwidth <= 0:
+            raise ValueError("clock and bandwidth must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("device memory must be positive")
+
+    @property
+    def peak_flops(self) -> float:
+        """Single-precision peak in FLOP/s (FMA counted as 2 ops)."""
+        return self.sm_count * self.cores_per_sm * self.core_clock_hz * 2.0
+
+
+# ---------------------------------------------------------------------------
+# Device presets.
+#
+# GTX_1080TI matches the 2019/2020-era discrete GPU class the paper's group
+# used for their GPU DBMS work (CoGaDB papers report GTX-class devices).
+# The launch latency of ~5 us is the widely reported CUDA null-kernel cost.
+# ---------------------------------------------------------------------------
+
+GTX_1080TI = DeviceSpec(
+    name="gtx-1080ti",
+    sm_count=28,
+    cores_per_sm=128,
+    core_clock_hz=1.58e9,
+    dram_bandwidth=484.0e9,
+    memory_bytes=11 * 1024**3,
+    kernel_launch_latency=5.0e-6,
+    pass_tail_latency=2.0e-6,
+    link=PCIE3_X16,
+)
+
+TESLA_V100 = DeviceSpec(
+    name="tesla-v100",
+    sm_count=80,
+    cores_per_sm=64,
+    core_clock_hz=1.53e9,
+    dram_bandwidth=900.0e9,
+    memory_bytes=16 * 1024**3,
+    kernel_launch_latency=4.0e-6,
+    pass_tail_latency=1.5e-6,
+    link=PCIE4_X16,
+)
+
+#: A small integrated GPU: useful for testing OOM paths with realistic sizes.
+INTEGRATED_GPU = DeviceSpec(
+    name="integrated",
+    sm_count=6,
+    cores_per_sm=64,
+    core_clock_hz=1.1e9,
+    dram_bandwidth=34.0e9,
+    memory_bytes=2 * 1024**3,
+    kernel_launch_latency=8.0e-6,
+    pass_tail_latency=3.0e-6,
+    link=SHARED_MEMORY_LINK,
+)
+
+PRESETS: Dict[str, DeviceSpec] = {
+    spec.name: spec for spec in (GTX_1080TI, TESLA_V100, INTEGRATED_GPU)
+}
+
+
+def get_spec(name: str) -> DeviceSpec:
+    """Look up a device preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown device preset {name!r}; known presets: {known}")
+
+
+class Device:
+    """A simulated GPU instance.
+
+    All pricing goes through the four ``launch`` / ``transfer_*`` /
+    ``compile`` methods so that every simulated nanosecond is matched by a
+    profiler event.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec = GTX_1080TI,
+        *,
+        profile_events: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.clock = SimulatedClock()
+        self.memory = MemoryManager(spec.memory_bytes)
+        self.profiler = prof.Profiler(enabled=profile_events)
+
+    # -- kernels ----------------------------------------------------------
+
+    def launch(self, cost: KernelCost, profile: EfficiencyProfile) -> float:
+        """Price and execute one kernel launch; returns its duration."""
+        duration = kernel_duration(cost, self.spec, profile)
+        start = self.clock.now
+        self.clock.advance(duration)
+        self.profiler.record(
+            prof.KERNEL,
+            cost.name,
+            start,
+            duration,
+            elements=cost.elements,
+            flops=cost.total_flops,
+            bytes=cost.total_bytes,
+            library=profile.name,
+        )
+        return duration
+
+    # -- transfers --------------------------------------------------------
+
+    def transfer_to_device(self, nbytes: int, label: str = "h2d") -> float:
+        """Host → device copy of ``nbytes``."""
+        duration = self.spec.link.transfer_time(nbytes)
+        start = self.clock.now
+        self.clock.advance(duration)
+        self.profiler.record(
+            prof.TRANSFER_H2D, label, start, duration, nbytes=nbytes
+        )
+        return duration
+
+    def transfer_to_host(self, nbytes: int, label: str = "d2h") -> float:
+        """Device → host copy of ``nbytes``."""
+        duration = self.spec.link.transfer_time(nbytes)
+        start = self.clock.now
+        self.clock.advance(duration)
+        self.profiler.record(
+            prof.TRANSFER_D2H, label, start, duration, nbytes=nbytes
+        )
+        return duration
+
+    # -- runtime compilation (OpenCL program build / ArrayFire JIT) -------
+
+    def compile_program(self, name: str, cost_seconds: float) -> float:
+        """Charge a runtime compilation (OpenCL build, JIT codegen)."""
+        if cost_seconds < 0.0:
+            raise ValueError(f"compile cost cannot be negative: {cost_seconds}")
+        start = self.clock.now
+        self.clock.advance(cost_seconds)
+        self.profiler.record(prof.COMPILE, name, start, cost_seconds)
+        return cost_seconds
+
+    # -- memory -----------------------------------------------------------
+
+    def allocate(self, nbytes: int, label: str = "buffer") -> DeviceBuffer:
+        """Allocate device memory and record the event (allocation itself is
+        priced at zero time: CUDA allocations are host-side and the paper's
+        benchmarks pre-allocate)."""
+        buffer = self.memory.allocate(nbytes, label)
+        self.profiler.record(
+            prof.ALLOC, label, self.clock.now, 0.0, nbytes=nbytes
+        )
+        return buffer
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        """Free device memory and record the event."""
+        self.memory.free(buffer)
+        self.profiler.record(
+            prof.FREE, buffer.label, self.clock.now, 0.0, nbytes=buffer.nbytes
+        )
+
+    def alloc_for_array(self, array: np.ndarray, label: str) -> DeviceBuffer:
+        """Allocate a buffer sized for ``array``."""
+        return self.allocate(int(array.nbytes), label)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset clock, trace, and peak counters (buffers stay allocated)."""
+        self.clock.reset()
+        self.profiler.clear()
+        self.memory.reset_peak()
+
+    def __repr__(self) -> str:
+        return (
+            f"Device(spec={self.spec.name!r}, t={self.clock.now_ms:.3f}ms, "
+            f"mem={self.memory.used_bytes}/{self.spec.memory_bytes})"
+        )

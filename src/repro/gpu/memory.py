@@ -1,0 +1,168 @@
+"""Device memory manager for the simulated GPU.
+
+Real GPU libraries differ substantially in how many intermediate buffers
+their operator compositions allocate (the paper: chained library calls lead
+to "unwanted intermediate data movements").  Tracking allocations lets the
+benchmark harness report peak device memory per operator realization, and a
+strict free/ownership discipline catches leaks in the library emulations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import DeviceMemoryError, InvalidBufferError
+
+#: Allocation granularity in bytes.  CUDA's allocator rounds small requests
+#: up; 256 B matches the documented texture/alignment granularity and keeps
+#: accounting realistic for many tiny buffers.
+ALLOCATION_ALIGNMENT = 256
+
+
+def align_size(nbytes: int, alignment: int = ALLOCATION_ALIGNMENT) -> int:
+    """Round ``nbytes`` up to the allocator granularity (minimum one unit)."""
+    if nbytes < 0:
+        raise ValueError(f"allocation size cannot be negative: {nbytes}")
+    if nbytes == 0:
+        return alignment
+    return ((nbytes + alignment - 1) // alignment) * alignment
+
+
+@dataclass
+class DeviceBuffer:
+    """Handle to a live device allocation."""
+
+    buffer_id: int
+    nbytes: int
+    aligned_nbytes: int
+    label: str
+    freed: bool = field(default=False)
+
+    def __repr__(self) -> str:
+        state = "freed" if self.freed else "live"
+        return (
+            f"DeviceBuffer(id={self.buffer_id}, nbytes={self.nbytes}, "
+            f"label={self.label!r}, {state})"
+        )
+
+
+class MemoryManager:
+    """Tracks device allocations against a fixed capacity.
+
+    The manager models capacity and accounting, not placement: the simulator
+    has no address space, only byte budgets.  ``peak_bytes`` gives the
+    high-water mark used by the benchmark reports.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"device capacity must be positive: {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self._used = 0
+        self._peak = 0
+        self._live: Dict[int, DeviceBuffer] = {}
+        self._ids = itertools.count(1)
+        self._alloc_count = 0
+        self._free_count = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Currently allocated bytes (after alignment)."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes available for new allocations."""
+        return self.capacity_bytes - self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of allocated bytes."""
+        return self._peak
+
+    @property
+    def live_buffer_count(self) -> int:
+        """Number of currently live buffers."""
+        return len(self._live)
+
+    @property
+    def stats(self) -> Tuple[int, int]:
+        """(total allocations, total frees) over the manager's lifetime."""
+        return (self._alloc_count, self._free_count)
+
+    def allocate(self, nbytes: int, label: str = "buffer") -> DeviceBuffer:
+        """Allocate ``nbytes`` (rounded up to alignment) or raise OOM."""
+        aligned = align_size(nbytes)
+        if aligned > self.free_bytes:
+            raise DeviceMemoryError(requested=aligned, available=self.free_bytes)
+        buffer = DeviceBuffer(
+            buffer_id=next(self._ids),
+            nbytes=nbytes,
+            aligned_nbytes=aligned,
+            label=label,
+        )
+        self._live[buffer.buffer_id] = buffer
+        self._used += aligned
+        self._peak = max(self._peak, self._used)
+        self._alloc_count += 1
+        return buffer
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        """Release a live buffer; freeing twice or freeing a foreign buffer
+        raises :class:`InvalidBufferError`."""
+        if buffer.freed:
+            raise InvalidBufferError(f"double free of {buffer!r}")
+        stored = self._live.pop(buffer.buffer_id, None)
+        if stored is not buffer:
+            raise InvalidBufferError(f"buffer {buffer!r} not owned by this device")
+        buffer.freed = True
+        self._used -= buffer.aligned_nbytes
+        self._free_count += 1
+
+    def check_buffer(self, buffer: DeviceBuffer) -> None:
+        """Validate that ``buffer`` is live on this device."""
+        if buffer.freed:
+            raise InvalidBufferError(f"use after free of {buffer!r}")
+        if self._live.get(buffer.buffer_id) is not buffer:
+            raise InvalidBufferError(f"buffer {buffer!r} not owned by this device")
+
+    def leaked_buffers(self) -> Tuple[DeviceBuffer, ...]:
+        """Buffers that are still live (for end-of-run leak checks)."""
+        return tuple(self._live.values())
+
+    def reset_peak(self) -> None:
+        """Reset the high-water mark to the current usage."""
+        self._peak = self._used
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryManager(used={self._used}/{self.capacity_bytes} bytes, "
+            f"live={len(self._live)})"
+        )
+
+
+class ScopedAllocation:
+    """Context manager that frees a buffer on exit.
+
+    Library emulations use this for the temporary scratch buffers their
+    multi-kernel algorithms need (e.g. radix-sort histograms)::
+
+        with ScopedAllocation(device.memory, nbytes, "radix_histogram"):
+            ...
+    """
+
+    def __init__(self, manager: MemoryManager, nbytes: int, label: str) -> None:
+        self._manager = manager
+        self._nbytes = nbytes
+        self._label = label
+        self.buffer: Optional[DeviceBuffer] = None
+
+    def __enter__(self) -> DeviceBuffer:
+        self.buffer = self._manager.allocate(self._nbytes, self._label)
+        return self.buffer
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.buffer is not None and not self.buffer.freed:
+            self._manager.free(self.buffer)

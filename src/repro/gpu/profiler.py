@@ -1,0 +1,234 @@
+"""Event trace for the simulated GPU device.
+
+The profiler records every costed event — kernel launches, host/device
+transfers, program compilations, allocations — with its simulated start time
+and duration.  The benchmark harness uses it to produce the per-query time
+breakdowns (transfer vs. compile vs. kernel) that the paper discusses when
+explaining why chained library calls cause "unwanted intermediate data
+movements".
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+# Event kinds used throughout the simulator.
+KERNEL = "kernel"
+TRANSFER_H2D = "transfer_h2d"
+TRANSFER_D2H = "transfer_d2h"
+COMPILE = "compile"
+ALLOC = "alloc"
+FREE = "free"
+
+_ALL_KINDS = (KERNEL, TRANSFER_H2D, TRANSFER_D2H, COMPILE, ALLOC, FREE)
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single costed event on the simulated device."""
+
+    kind: str
+    name: str
+    start: float
+    duration: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """Simulated time at which the event completed."""
+        return self.start + self.duration
+
+
+@dataclass
+class ProfileSummary:
+    """Aggregated view over a slice of the event trace."""
+
+    total_time: float
+    time_by_kind: Dict[str, float]
+    count_by_kind: Dict[str, int]
+    kernel_count: int
+    kernel_time: float
+    transfer_time: float
+    compile_time: float
+    bytes_h2d: int
+    bytes_d2h: int
+
+    def fraction(self, kind: str) -> float:
+        """Fraction of total event time spent in ``kind`` (0 if no time)."""
+        if self.total_time <= 0.0:
+            return 0.0
+        return self.time_by_kind.get(kind, 0.0) / self.total_time
+
+
+class Profiler:
+    """Append-only event trace with mark/slice support.
+
+    ``mark()`` returns a cursor; ``events_since(cursor)`` and
+    ``summary(since=cursor)`` then restrict analysis to everything recorded
+    after the mark, which is how per-operator and per-query breakdowns are
+    extracted from a long-lived device.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[Event] = []
+
+    def record(
+        self,
+        kind: str,
+        name: str,
+        start: float,
+        duration: float,
+        **payload: Any,
+    ) -> None:
+        """Record one event.  No-op when the profiler is disabled."""
+        if not self.enabled:
+            return
+        if kind not in _ALL_KINDS:
+            raise ValueError(f"unknown event kind: {kind!r}")
+        self._events.append(Event(kind, name, start, duration, payload))
+
+    def mark(self) -> int:
+        """Return a cursor to the current end of the trace."""
+        return len(self._events)
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        """The full event trace as an immutable tuple."""
+        return tuple(self._events)
+
+    def events_since(self, cursor: int) -> Tuple[Event, ...]:
+        """Events recorded after the given ``mark()`` cursor."""
+        return tuple(self._events[cursor:])
+
+    def iter_kind(self, kind: str) -> Iterator[Event]:
+        """Iterate events of a single kind."""
+        return (e for e in self._events if e.kind == kind)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def summary(self, since: int = 0) -> ProfileSummary:
+        """Aggregate the trace (or its tail) into a :class:`ProfileSummary`."""
+        events = self._events[since:]
+        time_by_kind: Dict[str, float] = defaultdict(float)
+        count_by_kind: Counter = Counter()
+        bytes_h2d = 0
+        bytes_d2h = 0
+        for event in events:
+            time_by_kind[event.kind] += event.duration
+            count_by_kind[event.kind] += 1
+            if event.kind == TRANSFER_H2D:
+                bytes_h2d += int(event.payload.get("nbytes", 0))
+            elif event.kind == TRANSFER_D2H:
+                bytes_d2h += int(event.payload.get("nbytes", 0))
+        total = sum(time_by_kind.values())
+        return ProfileSummary(
+            total_time=total,
+            time_by_kind=dict(time_by_kind),
+            count_by_kind=dict(count_by_kind),
+            kernel_count=count_by_kind.get(KERNEL, 0),
+            kernel_time=time_by_kind.get(KERNEL, 0.0),
+            transfer_time=(
+                time_by_kind.get(TRANSFER_H2D, 0.0)
+                + time_by_kind.get(TRANSFER_D2H, 0.0)
+            ),
+            compile_time=time_by_kind.get(COMPILE, 0.0),
+            bytes_h2d=bytes_h2d,
+            bytes_d2h=bytes_d2h,
+        )
+
+    def kernel_histogram(self, since: int = 0) -> Dict[str, int]:
+        """Launch count per kernel name (for fusion/ablation analysis)."""
+        counts: Counter = Counter()
+        for event in self._events[since:]:
+            if event.kind == KERNEL:
+                counts[event.name] += 1
+        return dict(counts)
+
+    def top_kernels(
+        self, limit: int = 10, since: int = 0
+    ) -> List[Tuple[str, float, int]]:
+        """The ``limit`` most expensive kernels as (name, time, launches)."""
+        time_by_name: Dict[str, float] = defaultdict(float)
+        count_by_name: Counter = Counter()
+        for event in self._events[since:]:
+            if event.kind == KERNEL:
+                time_by_name[event.name] += event.duration
+                count_by_name[event.name] += 1
+        ranked = sorted(time_by_name.items(), key=lambda kv: kv[1], reverse=True)
+        return [
+            (name, duration, count_by_name[name])
+            for name, duration in ranked[:limit]
+        ]
+
+
+#: Chrome-trace process/track ids per event kind, so kernels, transfers,
+#: and compiles render as separate rows in the viewer.
+_TRACE_TRACKS = {
+    KERNEL: 1,
+    TRANSFER_H2D: 2,
+    TRANSFER_D2H: 2,
+    COMPILE: 3,
+}
+
+
+def to_chrome_trace(events: Sequence[Event]) -> List[Dict[str, Any]]:
+    """Convert events into Chrome tracing format (``chrome://tracing`` /
+    Perfetto): a list of "X" (complete) events in microseconds.
+
+    Zero-duration bookkeeping events (alloc/free) are skipped.  Dump with
+    ``json.dump({"traceEvents": to_chrome_trace(device.profiler.events)}, f)``
+    and load the file in any trace viewer to see the simulated timeline.
+    """
+    trace: List[Dict[str, Any]] = []
+    for event in events:
+        if event.kind not in _TRACE_TRACKS:
+            continue
+        trace.append({
+            "name": event.name,
+            "cat": event.kind,
+            "ph": "X",
+            "ts": event.start * 1e6,
+            "dur": event.duration * 1e6,
+            "pid": 0,
+            "tid": _TRACE_TRACKS[event.kind],
+            "args": dict(event.payload),
+        })
+    return trace
+
+
+def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]:
+    """Combine summaries from repeated runs (used by the bench harness)."""
+    if not summaries:
+        return None
+    time_by_kind: Dict[str, float] = defaultdict(float)
+    count_by_kind: Counter = Counter()
+    bytes_h2d = 0
+    bytes_d2h = 0
+    for s in summaries:
+        for kind, duration in s.time_by_kind.items():
+            time_by_kind[kind] += duration
+        count_by_kind.update(s.count_by_kind)
+        bytes_h2d += s.bytes_h2d
+        bytes_d2h += s.bytes_d2h
+    total = sum(time_by_kind.values())
+    return ProfileSummary(
+        total_time=total,
+        time_by_kind=dict(time_by_kind),
+        count_by_kind=dict(count_by_kind),
+        kernel_count=count_by_kind.get(KERNEL, 0),
+        kernel_time=time_by_kind.get(KERNEL, 0.0),
+        transfer_time=(
+            time_by_kind.get(TRANSFER_H2D, 0.0) + time_by_kind.get(TRANSFER_D2H, 0.0)
+        ),
+        compile_time=time_by_kind.get(COMPILE, 0.0),
+        bytes_h2d=bytes_h2d,
+        bytes_d2h=bytes_d2h,
+    )

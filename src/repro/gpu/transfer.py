@@ -1,0 +1,43 @@
+"""Host/device transfer cost model (PCIe link).
+
+Transfers follow a latency + bandwidth model.  Small transfers are dominated
+by the fixed DMA setup latency; large ones approach the effective link
+bandwidth.  The paper's workloads upload whole columns once and download
+small results, so the H2D leg dominates transfer time — the profiler's
+byte accounting makes that visible in the breakdown benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """PCIe (or NVLink) interconnect description."""
+
+    name: str
+    bandwidth: float  # effective bytes/second (post-protocol-overhead)
+    latency: float  # fixed seconds per transfer (driver + DMA setup)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0.0:
+            raise ValueError(f"link bandwidth must be positive: {self.bandwidth}")
+        if self.latency < 0.0:
+            raise ValueError(f"link latency cannot be negative: {self.latency}")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Simulated seconds to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise ValueError(f"transfer size cannot be negative: {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+#: PCIe 3.0 x16: 15.75 GB/s raw, ~12 GB/s achievable with pinned memory.
+PCIE3_X16 = LinkSpec(name="pcie3-x16", bandwidth=12.0e9, latency=10.0e-6)
+
+#: PCIe 4.0 x16: ~24 GB/s achievable.
+PCIE4_X16 = LinkSpec(name="pcie4-x16", bandwidth=24.0e9, latency=8.0e-6)
+
+#: Integrated GPU sharing host DRAM: no PCIe hop, only a mapping cost.
+SHARED_MEMORY_LINK = LinkSpec(name="shared-memory", bandwidth=60.0e9, latency=2.0e-6)

@@ -1,0 +1,15 @@
+"""Emulations of the three GPU libraries the paper studies.
+
+* :mod:`repro.libs.thrust` — NVIDIA Thrust: eager CUDA template library.
+* :mod:`repro.libs.boost_compute` — Boost.Compute: OpenCL with runtime
+  kernel compilation and a program cache.
+* :mod:`repro.libs.arrayfire` — ArrayFire: lazy arrays with JIT kernel
+  fusion.
+
+All three execute semantics on the host via NumPy while charging costs to a
+simulated :class:`~repro.gpu.device.Device`; see DESIGN.md.
+"""
+
+from repro.libs.base import DeviceArray, LibraryRuntime
+
+__all__ = ["DeviceArray", "LibraryRuntime"]

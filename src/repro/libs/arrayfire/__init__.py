@@ -1,0 +1,65 @@
+"""ArrayFire emulation (lazy evaluation + JIT kernel fusion).
+
+Mirrors the subset of ArrayFire the paper's operator realizations use
+(Table II): ``where`` for selection, ``sumByKey``/``countByKey`` for
+grouped aggregation, ``setIntersect``/``setUnion`` for conjunction and
+disjunction, ``sum<T>`` for reduction, ``sort``/``sortByKey``, ``scan``,
+``scatter``/``gather`` equivalents, and ``operator*()`` for products —
+plus the lazy ``Array`` algebra that makes fused predicates one kernel.
+"""
+
+from repro.libs.arrayfire import jit
+from repro.libs.arrayfire.algorithms import (
+    accum,
+    assign_indexed,
+    count,
+    count_by_key,
+    histogram,
+    join,
+    lookup,
+    max,
+    max_by_key,
+    mean,
+    min,
+    min_by_key,
+    product,
+    scan,
+    set_intersect,
+    set_union,
+    set_unique,
+    sort,
+    sort_by_key,
+    sum,
+    sum_by_key,
+    where,
+)
+from repro.libs.arrayfire.array import ARRAYFIRE_PROFILE, Array, ArrayFireRuntime
+
+__all__ = [
+    "ArrayFireRuntime",
+    "Array",
+    "ARRAYFIRE_PROFILE",
+    "jit",
+    "where",
+    "count",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "sum_by_key",
+    "count_by_key",
+    "max_by_key",
+    "min_by_key",
+    "sort",
+    "sort_by_key",
+    "accum",
+    "mean",
+    "histogram",
+    "scan",
+    "set_intersect",
+    "set_union",
+    "set_unique",
+    "lookup",
+    "assign_indexed",
+    "join",
+]

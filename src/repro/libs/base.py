@@ -1,0 +1,193 @@
+"""Shared machinery for the three GPU library emulations.
+
+Each library emulation owns a :class:`LibraryRuntime` bound to a simulated
+:class:`~repro.gpu.device.Device`.  Data lives in :class:`DeviceArray`
+objects: a host-side NumPy mirror of the device contents plus the
+:class:`~repro.gpu.memory.DeviceBuffer` accounting for its device memory.
+The NumPy array carries the *semantics*; the buffer and the runtime's
+efficiency profile carry the *costs*.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ArraySizeMismatchError, InvalidBufferError
+from repro.gpu.device import Device
+from repro.gpu.kernel import EfficiencyProfile, KernelCost
+from repro.gpu.memory import DeviceBuffer
+
+ArrayLike = Union[np.ndarray, Sequence[int], Sequence[float]]
+
+
+class DeviceArray:
+    """A typed, fixed-length array resident on the simulated device."""
+
+    def __init__(
+        self,
+        runtime: "LibraryRuntime",
+        data: np.ndarray,
+        buffer: DeviceBuffer,
+    ) -> None:
+        self.runtime = runtime
+        self.data = data
+        self.buffer = buffer
+        # Auto-release device memory when the host handle is collected, the
+        # way RAII vectors (thrust::device_vector) behave.
+        self._finalizer = weakref.finalize(
+            self, _release_buffer, runtime.device, buffer
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type of the array."""
+        return self.data.dtype
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return int(self.data.dtype.itemsize)
+
+    @property
+    def nbytes(self) -> int:
+        """Total device bytes occupied by the payload."""
+        return int(self.data.nbytes)
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={len(self)}, dtype={self.dtype}, "
+            f"device={self.runtime.device.spec.name!r})"
+        )
+
+    # -- lifetime ----------------------------------------------------------
+
+    def free(self) -> None:
+        """Explicitly release the device allocation (idempotent)."""
+        if self._finalizer.alive:
+            self._finalizer()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the device allocation is still live."""
+        return self._finalizer.alive
+
+    def _require_alive(self) -> None:
+        if not self._finalizer.alive:
+            raise InvalidBufferError(f"use after free of {self!r}")
+
+    # -- host access -------------------------------------------------------
+
+    def to_host(self, label: str = "d2h") -> np.ndarray:
+        """Copy the array back to the host (charges a D2H transfer)."""
+        self._require_alive()
+        self.runtime.device.transfer_to_host(self.nbytes, label)
+        return self.data.copy()
+
+    def peek(self) -> np.ndarray:
+        """Read the host mirror *without* charging a transfer.
+
+        Test helpers use this to assert semantics without perturbing the
+        cost accounting under measurement.
+        """
+        return self.data
+
+
+def _release_buffer(device: Device, buffer: DeviceBuffer) -> None:
+    """Finalizer target: free a buffer if the device still owns it."""
+    if not buffer.freed:
+        device.free(buffer)
+
+
+class LibraryRuntime:
+    """Base class for a library emulation bound to one device.
+
+    Subclasses define ``profile`` (how efficient the library's generated
+    kernels are) and use :meth:`_charge` / :meth:`_upload` to price work.
+    """
+
+    #: Human-readable library name (matches the paper's terminology).
+    library_name: str = "base"
+
+    def __init__(self, device: Device, profile: EfficiencyProfile) -> None:
+        self.device = device
+        self.profile = profile
+
+    # -- pricing helpers ----------------------------------------------------
+
+    def _charge(
+        self,
+        name: str,
+        elements: int,
+        *,
+        flops: float = 1.0,
+        read: float = 0.0,
+        written: float = 0.0,
+        fixed_flops: float = 0.0,
+        fixed_bytes: float = 0.0,
+        passes: int = 1,
+    ) -> float:
+        """Launch one kernel with per-element work description."""
+        cost = KernelCost(
+            name=f"{self.library_name}::{name}",
+            elements=elements,
+            flops_per_element=flops,
+            bytes_read_per_element=read,
+            bytes_written_per_element=written,
+            fixed_flops=fixed_flops,
+            fixed_bytes=fixed_bytes,
+            passes=passes,
+        )
+        return self.device.launch(cost, self.profile)
+
+    #: Concrete DeviceArray subclass this runtime hands out (library
+    #: emulations override this with their native array type).
+    array_type = DeviceArray
+
+    def _upload(self, data: np.ndarray, label: str) -> DeviceArray:
+        """Allocate device storage for ``data`` and charge the H2D copy."""
+        contiguous = np.ascontiguousarray(data)
+        buffer = self.device.alloc_for_array(contiguous, label)
+        self.device.transfer_to_device(contiguous.nbytes, label)
+        return self.array_type(self, contiguous.copy(), buffer)
+
+    def _materialize(self, data: np.ndarray, label: str) -> DeviceArray:
+        """Wrap a device-produced result (no H2D transfer is charged)."""
+        contiguous = np.ascontiguousarray(data)
+        buffer = self.device.alloc_for_array(contiguous, label)
+        return self.array_type(self, contiguous, buffer)
+
+    # -- scalar readback -----------------------------------------------------
+
+    def _read_scalar(self, value: np.generic, label: str) -> np.generic:
+        """Charge the D2H copy of a scalar result (reduce & friends)."""
+        nbytes = int(np.dtype(value.dtype).itemsize) if hasattr(value, "dtype") else 8
+        self.device.transfer_to_host(nbytes, label)
+        return value
+
+
+def check_same_length(
+    a: Union[DeviceArray, np.ndarray],
+    b: Union[DeviceArray, np.ndarray],
+    context: str,
+) -> int:
+    """Validate that two arrays agree in length; returns that length."""
+    la, lb = len(a), len(b)
+    if la != lb:
+        raise ArraySizeMismatchError(la, lb, context)
+    return la
+
+
+def as_numpy(values: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
+    """Coerce host input to a 1-D contiguous NumPy array."""
+    array = np.asarray(values, dtype=dtype)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {array.shape}")
+    return np.ascontiguousarray(array)

@@ -1,0 +1,70 @@
+"""Boost.Compute emulation (OpenCL-tier, runtime kernel compilation).
+
+Mirrors the subset of Boost.Compute the paper's operator realizations use
+(Table II): ``transform``, ``exclusive_scan``, ``gather``/``scatter``,
+``for_each``, ``reduce``/``reduce_by_key``, ``sort``/``sort_by_key``,
+``bit_and``/``bit_or`` functors (shared with the Thrust functional module),
+plus the lambda placeholder DSL (``_1``, ``_2``).
+"""
+
+from repro.libs.boost_compute.algorithms import (
+    accumulate,
+    copy,
+    copy_if,
+    count_if,
+    exclusive_scan,
+    fill,
+    for_each,
+    gather,
+    inclusive_scan,
+    iota,
+    lower_bound,
+    reduce,
+    reduce_by_key,
+    scatter,
+    scatter_if,
+    sort,
+    sort_by_key,
+    transform,
+    unique,
+    upper_bound,
+)
+from repro.libs.boost_compute.context import (
+    BOOST_COMPUTE_PROFILE,
+    BoostComputeRuntime,
+    ProgramCache,
+    ProgramCacheStats,
+    vector,
+)
+from repro.libs.boost_compute.lambda_ import _1, _2, LambdaExpr
+
+__all__ = [
+    "BoostComputeRuntime",
+    "vector",
+    "BOOST_COMPUTE_PROFILE",
+    "ProgramCache",
+    "ProgramCacheStats",
+    "LambdaExpr",
+    "_1",
+    "_2",
+    "transform",
+    "for_each",
+    "reduce",
+    "accumulate",
+    "count_if",
+    "exclusive_scan",
+    "inclusive_scan",
+    "sort",
+    "sort_by_key",
+    "reduce_by_key",
+    "copy_if",
+    "gather",
+    "scatter",
+    "scatter_if",
+    "iota",
+    "fill",
+    "copy",
+    "unique",
+    "lower_bound",
+    "upper_bound",
+]

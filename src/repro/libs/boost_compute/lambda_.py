@@ -1,0 +1,188 @@
+"""``boost::compute::lambda`` placeholder expressions.
+
+Boost.Compute lets users write kernels inline as placeholder expressions —
+``transform(v.begin(), v.end(), out.begin(), _1 * 2 + 1, queue)`` — which
+the library turns into OpenCL C source.  This module reproduces that API:
+``_1`` and ``_2`` are placeholders; operator overloading builds an
+expression tree that compiles down to a :class:`~repro.libs.thrust.functional.Functor`
+(shared functor representation) with a source *signature* used as the
+program-cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.errors import ExpressionError
+from repro.libs.thrust.functional import Functor
+
+Operand = Union["LambdaExpr", int, float, bool]
+
+#: (numpy ufunc, per-element flops, C-ish operator spelling)
+_BINARY_OPS = {
+    "add": (np.add, 1.0, "+"),
+    "sub": (np.subtract, 1.0, "-"),
+    "mul": (np.multiply, 1.0, "*"),
+    "div": (np.divide, 4.0, "/"),
+    "mod": (np.mod, 4.0, "%"),
+    "lt": (np.less, 1.0, "<"),
+    "le": (np.less_equal, 1.0, "<="),
+    "gt": (np.greater, 1.0, ">"),
+    "ge": (np.greater_equal, 1.0, ">="),
+    "eq": (np.equal, 1.0, "=="),
+    "ne": (np.not_equal, 1.0, "!="),
+    "and": (np.logical_and, 1.0, "&&"),
+    "or": (np.logical_or, 1.0, "||"),
+}
+
+
+class LambdaExpr:
+    """Node of a placeholder expression tree."""
+
+    def __init__(
+        self,
+        source: str,
+        arity: int,
+        flops: float,
+        evaluate: Callable[..., np.ndarray],
+    ) -> None:
+        self.source = source
+        self.arity = arity
+        self.flops = flops
+        self._evaluate = evaluate
+
+    # -- combination ---------------------------------------------------------
+
+    def _combine(self, other: Operand, op: str, reflected: bool = False) -> "LambdaExpr":
+        ufunc, flops, spelling = _BINARY_OPS[op]
+        other_expr = _as_expr(other)
+        left, right = (other_expr, self) if reflected else (self, other_expr)
+        arity = max(left.arity, right.arity)
+        le, re_ = left._evaluate, right._evaluate
+
+        def evaluate(*args: np.ndarray) -> np.ndarray:
+            return ufunc(le(*args), re_(*args))
+
+        return LambdaExpr(
+            source=f"({left.source} {spelling} {right.source})",
+            arity=arity,
+            flops=left.flops + right.flops + flops,
+            evaluate=evaluate,
+        )
+
+    # Arithmetic.
+    def __add__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "add")
+
+    def __radd__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "add", reflected=True)
+
+    def __sub__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "sub")
+
+    def __rsub__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "sub", reflected=True)
+
+    def __mul__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "mul")
+
+    def __rmul__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "mul", reflected=True)
+
+    def __truediv__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "div")
+
+    def __rtruediv__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "div", reflected=True)
+
+    def __mod__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "mod")
+
+    # Comparisons.
+    def __lt__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "lt")
+
+    def __le__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "le")
+
+    def __gt__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "gt")
+
+    def __ge__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "ge")
+
+    def __eq__(self, other: Operand) -> "LambdaExpr":  # type: ignore[override]
+        return self._combine(other, "eq")
+
+    def __ne__(self, other: Operand) -> "LambdaExpr":  # type: ignore[override]
+        return self._combine(other, "ne")
+
+    __hash__ = None  # type: ignore[assignment]  # == builds expressions
+
+    # Logical (bitwise operators, as in C++ lambda expressions).
+    def __and__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "and")
+
+    def __or__(self, other: Operand) -> "LambdaExpr":
+        return self._combine(other, "or")
+
+    def __invert__(self) -> "LambdaExpr":
+        inner = self._evaluate
+
+        def evaluate(*args: np.ndarray) -> np.ndarray:
+            return np.logical_not(inner(*args))
+
+        return LambdaExpr(f"(!{self.source})", self.arity, self.flops + 1.0, evaluate)
+
+    def __neg__(self) -> "LambdaExpr":
+        inner = self._evaluate
+
+        def evaluate(*args: np.ndarray) -> np.ndarray:
+            return np.negative(inner(*args))
+
+        return LambdaExpr(f"(-{self.source})", self.arity, self.flops + 1.0, evaluate)
+
+    # -- compilation -----------------------------------------------------------
+
+    def to_functor(self) -> Functor:
+        """Lower the expression to the shared :class:`Functor` form."""
+        if self.arity == 0:
+            raise ExpressionError(
+                f"lambda expression {self.source!r} uses no placeholder"
+            )
+        return Functor(self.source, self._evaluate, arity=self.arity, flops=self.flops)
+
+    def __repr__(self) -> str:
+        return f"LambdaExpr({self.source!r})"
+
+
+def _as_expr(operand: Operand) -> LambdaExpr:
+    if isinstance(operand, LambdaExpr):
+        return operand
+    if isinstance(operand, (bool, int, float, np.generic)):
+        value = operand
+
+        def evaluate(*args: np.ndarray) -> np.ndarray:
+            return np.asarray(value)
+
+        return LambdaExpr(repr(operand), arity=0, flops=0.0, evaluate=evaluate)
+    raise ExpressionError(f"cannot use {operand!r} in a lambda expression")
+
+
+def _placeholder(index: int) -> LambdaExpr:
+    def evaluate(*args: np.ndarray) -> np.ndarray:
+        if len(args) < index:
+            raise ExpressionError(
+                f"placeholder _{index} given only {len(args)} argument(s)"
+            )
+        return args[index - 1]
+
+    return LambdaExpr(f"_{index}", arity=index, flops=0.0, evaluate=evaluate)
+
+
+#: First argument placeholder (``boost::compute::lambda::_1``).
+_1 = _placeholder(1)
+#: Second argument placeholder (``boost::compute::lambda::_2``).
+_2 = _placeholder(2)

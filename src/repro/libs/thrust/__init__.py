@@ -1,0 +1,71 @@
+"""Thrust emulation (CUDA-tier, eager execution).
+
+Mirrors the subset of ``thrust/`` the paper's operator realizations use
+(Table II): ``transform``, ``exclusive_scan``, ``gather``/``scatter``,
+``for_each_n``, ``reduce``/``reduce_by_key``, ``sort``/``sort_by_key``,
+plus supporting algorithms.
+"""
+
+from repro.libs.thrust import functional
+from repro.libs.thrust.algorithms import (
+    adjacent_difference,
+    copy,
+    copy_if,
+    count_if,
+    exclusive_scan,
+    fill,
+    for_each_n,
+    gather,
+    inclusive_scan,
+    inner_product,
+    is_sorted,
+    lower_bound,
+    max_element,
+    min_element,
+    reduce,
+    reduce_by_key,
+    scatter,
+    scatter_if,
+    sequence,
+    sort,
+    sort_by_key,
+    transform,
+    transform_reduce,
+    unique,
+    upper_bound,
+)
+from repro.libs.thrust.functional import Functor
+from repro.libs.thrust.vector import THRUST_PROFILE, ThrustRuntime, device_vector
+
+__all__ = [
+    "ThrustRuntime",
+    "device_vector",
+    "THRUST_PROFILE",
+    "Functor",
+    "functional",
+    "transform",
+    "transform_reduce",
+    "inner_product",
+    "max_element",
+    "min_element",
+    "adjacent_difference",
+    "for_each_n",
+    "reduce",
+    "count_if",
+    "exclusive_scan",
+    "inclusive_scan",
+    "sort",
+    "sort_by_key",
+    "is_sorted",
+    "reduce_by_key",
+    "copy_if",
+    "gather",
+    "scatter",
+    "scatter_if",
+    "sequence",
+    "fill",
+    "copy",
+    "unique",
+    "lower_bound",
+    "upper_bound",
+]

@@ -1,0 +1,47 @@
+"""Query processing: logical plans, a fluent builder, and the executor."""
+
+from repro.query.builder import QueryBuilder, scan
+from repro.query.executor import (
+    ColumnMeta,
+    ExecutionReport,
+    ExecutionResult,
+    QueryExecutor,
+)
+from repro.query.optimizer import optimize, rename_predicate
+from repro.query.session import GpuSession
+from repro.query.plan import (
+    Aggregate,
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    explain,
+    walk,
+)
+
+__all__ = [
+    "QueryBuilder",
+    "scan",
+    "QueryExecutor",
+    "ExecutionReport",
+    "ExecutionResult",
+    "ColumnMeta",
+    "GpuSession",
+    "optimize",
+    "rename_predicate",
+    "PlanNode",
+    "Scan",
+    "Filter",
+    "Project",
+    "Join",
+    "GroupBy",
+    "Aggregate",
+    "OrderBy",
+    "Limit",
+    "walk",
+    "explain",
+]

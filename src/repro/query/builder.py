@@ -1,0 +1,116 @@
+"""Fluent plan builder.
+
+Reads close to SQL::
+
+    plan = (
+        scan("lineitem")
+        .filter(col_between("l_shipdate", d0, d1))
+        .group_by([], [("revenue", "sum", col("l_extendedprice") * col("l_discount"))])
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.expr import Expr, as_expr
+from repro.core.predicate import Predicate
+from repro.query.plan import (
+    Aggregate,
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+)
+
+AggregateSpec = Tuple[str, str, Optional[Union[Expr, str]]]
+OutputSpec = Union[str, Tuple[str, Union[Expr, str]]]
+
+
+class QueryBuilder:
+    """Immutable fluent wrapper around a plan node."""
+
+    def __init__(self, plan: PlanNode) -> None:
+        self._plan = plan
+
+    def build(self) -> PlanNode:
+        """The wrapped logical plan."""
+        return self._plan
+
+    # -- operators --------------------------------------------------------------
+
+    def filter(self, predicate: Predicate) -> "QueryBuilder":
+        """Append a Filter node."""
+        return QueryBuilder(Filter(self._plan, predicate))
+
+    def project(self, outputs: Sequence[OutputSpec]) -> "QueryBuilder":
+        """Append a Project node.
+
+        Each output is either a column name (pass-through) or a
+        ``(name, expression)`` pair.
+        """
+        resolved: List[Tuple[str, Expr]] = []
+        for output in outputs:
+            if isinstance(output, str):
+                resolved.append((output, as_expr(output)))
+            else:
+                name, expr = output
+                resolved.append((name, as_expr(expr)))
+        return QueryBuilder(Project(self._plan, tuple(resolved)))
+
+    def join(
+        self,
+        other: "QueryBuilder",
+        left_on: str,
+        right_on: str,
+        algorithm: str = "auto",
+    ) -> "QueryBuilder":
+        """Append an inner equi-join with ``other``."""
+        return QueryBuilder(
+            Join(self._plan, other._plan, left_on, right_on, algorithm)
+        )
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ) -> "QueryBuilder":
+        """Append a GroupBy node.
+
+        ``aggregates`` entries are ``(output name, kind, expression)``;
+        the expression may be ``None`` for ``count(*)``.
+        """
+        resolved = tuple(
+            Aggregate(
+                name,
+                kind,
+                as_expr(expr) if expr is not None else None,
+            )
+            for name, kind, expr in aggregates
+        )
+        return QueryBuilder(GroupBy(self._plan, tuple(keys), resolved))
+
+    def aggregate(self, aggregates: Sequence[AggregateSpec]) -> "QueryBuilder":
+        """Global aggregation (GroupBy with no keys)."""
+        return self.group_by((), aggregates)
+
+    def order_by(self, key: str, descending: bool = False) -> "QueryBuilder":
+        """Append an OrderBy node."""
+        return QueryBuilder(OrderBy(self._plan, key, descending))
+
+    def limit(self, n: int) -> "QueryBuilder":
+        """Append a Limit node."""
+        return QueryBuilder(Limit(self._plan, n))
+
+    def __repr__(self) -> str:
+        return f"QueryBuilder({self._plan!r})"
+
+
+def scan(table: str) -> QueryBuilder:
+    """Start a query from a base table."""
+    return QueryBuilder(Scan(table))

@@ -1,0 +1,578 @@
+"""Physical execution of logical plans on an operator backend.
+
+The executor is backend-agnostic: it lowers each plan node onto the
+:class:`~repro.core.backend.OperatorBackend` operator set (Table II), so a
+query costs exactly what its operator composition costs on the chosen
+library.  Columns are uploaded once per scan (only those the plan
+references — column-store style) and every intermediate is a device
+handle; the only downloads are scalar counts and the final result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backend import Handle, OperatorBackend
+from repro.core.expr import ColRef, Expr, Lit
+from repro.errors import PlanError, UnsupportedOperatorError
+from repro.gpu.profiler import ProfileSummary
+from repro.query.plan import (
+    Aggregate,
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+)
+from repro.relational.column import Column
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+
+
+@dataclass
+class ColumnMeta:
+    """Host-side metadata carried alongside a device column handle."""
+
+    ctype: ColumnType
+    dictionary: Optional[List[str]] = None
+    #: Upper bound for composite-key strides; -1 = unknown (derived
+    #: columns), which blocks use as a non-first group-by key.
+    max_value: int = -1
+
+
+@dataclass
+class _Relation:
+    """Intermediate execution state: named device handles + metadata."""
+
+    columns: Dict[str, Handle]
+    meta: Dict[str, ColumnMeta]
+    num_rows: int
+    row_limit: Optional[int] = None
+
+    def handle(self, name: str) -> Handle:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise PlanError(
+                f"column {name!r} not available "
+                f"(have: {', '.join(self.columns)})"
+            )
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Cost accounting for one query execution."""
+
+    backend: str
+    simulated_seconds: float
+    summary: ProfileSummary
+    peak_device_bytes: int
+
+    @property
+    def simulated_ms(self) -> float:
+        """Total simulated wall-clock in milliseconds."""
+        return self.simulated_seconds * 1e3
+
+    def breakdown(self) -> Dict[str, float]:
+        """Seconds by cost category (kernel / transfer / compile)."""
+        return {
+            "kernel": self.summary.kernel_time,
+            "transfer": self.summary.transfer_time,
+            "compile": self.summary.compile_time,
+        }
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """A materialised result table plus its cost report."""
+
+    table: Table
+    report: ExecutionReport
+
+
+class QueryExecutor:
+    """Runs logical plans against a catalog of host tables."""
+
+    def __init__(
+        self,
+        backend: OperatorBackend,
+        catalog: Dict[str, Table],
+    ) -> None:
+        self.backend = backend
+        self.catalog = dict(catalog)
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, plan: PlanNode, result_name: str = "result") -> ExecutionResult:
+        """Execute ``plan`` and return the result with its cost report."""
+        device = self.backend.device
+        cursor = device.profiler.mark()
+        t0 = device.clock.now
+        device.memory.reset_peak()
+        relation = self._execute(plan, needed=None)
+        table = self._materialise(relation, result_name)
+        report = ExecutionReport(
+            backend=self.backend.name,
+            simulated_seconds=device.clock.elapsed_since(t0),
+            summary=device.profiler.summary(since=cursor),
+            peak_device_bytes=device.memory.peak_bytes,
+        )
+        return ExecutionResult(table=table, report=report)
+
+    # -- static analysis -----------------------------------------------------------
+
+    def _output_columns(self, plan: PlanNode) -> List[str]:
+        """Column names a node's output relation will carry."""
+        if isinstance(plan, Scan):
+            return self.catalog[plan.table].column_names
+        if isinstance(plan, Project):
+            return [name for name, _expr in plan.outputs]
+        if isinstance(plan, GroupBy):
+            return list(plan.keys) + [a.name for a in plan.aggregates]
+        if isinstance(plan, Join):
+            left = self._output_columns(plan.left)
+            right = self._output_columns(plan.right)
+            overlap = set(left) & set(right)
+            if overlap:
+                raise PlanError(
+                    f"join sides share column names {sorted(overlap)}; "
+                    "project/rename before joining"
+                )
+            return left + right
+        children = plan.children()
+        if len(children) == 1:
+            return self._output_columns(children[0])
+        raise PlanError(f"cannot derive output columns of {plan!r}")
+
+    # -- node dispatch ----------------------------------------------------------------
+
+    def _execute(
+        self, plan: PlanNode, needed: Optional[Sequence[str]]
+    ) -> _Relation:
+        if isinstance(plan, Scan):
+            return self._execute_scan(plan, needed)
+        if isinstance(plan, Filter):
+            return self._execute_filter(plan, needed)
+        if isinstance(plan, Project):
+            return self._execute_project(plan)
+        if isinstance(plan, Join):
+            return self._execute_join(plan, needed)
+        if isinstance(plan, GroupBy):
+            return self._execute_group_by(plan)
+        if isinstance(plan, OrderBy):
+            return self._execute_order_by(plan, needed)
+        if isinstance(plan, Limit):
+            relation = self._execute(plan.child, needed)
+            limit = plan.n if relation.row_limit is None else min(
+                plan.n, relation.row_limit
+            )
+            relation.row_limit = limit
+            return relation
+        raise PlanError(f"unknown plan node {type(plan).__name__}")
+
+    # -- scan ----------------------------------------------------------------------------
+
+    def _execute_scan(
+        self, plan: Scan, needed: Optional[Sequence[str]]
+    ) -> _Relation:
+        try:
+            table = self.catalog[plan.table]
+        except KeyError:
+            known = ", ".join(sorted(self.catalog))
+            raise PlanError(f"unknown table {plan.table!r}; catalog has: {known}")
+        names = list(needed) if needed is not None else table.column_names
+        columns: Dict[str, Handle] = {}
+        meta: Dict[str, ColumnMeta] = {}
+        for name in names:
+            column = table.column(name)
+            columns[name] = self._upload_column(
+                plan.table, name, column.data
+            )
+            max_value = int(column.data.max()) if len(column.data) else 0
+            meta[name] = ColumnMeta(
+                ctype=column.ctype,
+                dictionary=column.dictionary,
+                max_value=max_value,
+            )
+        return _Relation(columns=columns, meta=meta, num_rows=table.num_rows)
+
+    def _upload_column(
+        self, table_name: str, column_name: str, data: np.ndarray
+    ) -> Handle:
+        """Scan upload hook (GpuSession overrides it with a resident-column
+        cache)."""
+        return self.backend.upload(
+            data, label=f"{table_name}.{column_name}"
+        )
+
+    # -- filter --------------------------------------------------------------------------
+
+    def _execute_filter(
+        self, plan: Filter, needed: Optional[Sequence[str]]
+    ) -> _Relation:
+        child_needed = self._merge_needed(
+            needed, plan.predicate.columns(), plan.child
+        )
+        relation = self._execute(plan.child, child_needed)
+        predicate_columns = {
+            name: relation.handle(name) for name in plan.predicate.columns()
+        }
+        ids = self.backend.selection(predicate_columns, plan.predicate)
+        selected = len(ids)
+        keep = list(needed) if needed is not None else list(relation.columns)
+        new_columns = {
+            name: self.backend.gather(relation.handle(name), ids)
+            for name in keep
+        }
+        return _Relation(
+            columns=new_columns,
+            meta={name: relation.meta[name] for name in keep},
+            num_rows=selected,
+            row_limit=relation.row_limit,
+        )
+
+    # -- project -------------------------------------------------------------------------
+
+    def _execute_project(self, plan: Project) -> _Relation:
+        child_needed = self._merge_needed(
+            None, plan.required_columns(), plan.child, restrict=True
+        )
+        relation = self._execute(plan.child, child_needed)
+        columns: Dict[str, Handle] = {}
+        meta: Dict[str, ColumnMeta] = {}
+        for name, expr in plan.outputs:
+            if isinstance(expr, ColRef):
+                columns[name] = relation.handle(expr.name)
+                meta[name] = relation.meta[expr.name]
+            else:
+                columns[name] = self.backend.compute(relation.columns, expr)
+                meta[name] = ColumnMeta(ctype=ColumnType.FLOAT64)
+        return _Relation(
+            columns=columns,
+            meta=meta,
+            num_rows=relation.num_rows,
+            row_limit=relation.row_limit,
+        )
+
+    # -- join ----------------------------------------------------------------------------
+
+    def _execute_join(
+        self, plan: Join, needed: Optional[Sequence[str]]
+    ) -> _Relation:
+        left_available = self._output_columns(plan.left)
+        right_available = self._output_columns(plan.right)
+        overlap = set(left_available) & set(right_available)
+        if overlap:
+            raise PlanError(
+                f"join sides share column names {sorted(overlap)}; "
+                "project/rename before joining"
+            )
+        if needed is None:
+            left_needed: Optional[List[str]] = None
+            right_needed: Optional[List[str]] = None
+        else:
+            left_needed = [n for n in needed if n in left_available]
+            right_needed = [n for n in needed if n in right_available]
+            if plan.left_on not in left_needed:
+                left_needed.append(plan.left_on)
+            if plan.right_on not in right_needed:
+                right_needed.append(plan.right_on)
+        left = self._execute(plan.left, left_needed)
+        right = self._execute(plan.right, right_needed)
+        left_ids, right_ids = self._run_join(
+            plan.algorithm,
+            left.handle(plan.left_on),
+            right.handle(plan.right_on),
+        )
+        matches = len(left_ids)
+        columns: Dict[str, Handle] = {}
+        meta: Dict[str, ColumnMeta] = {}
+        for name, handle in left.columns.items():
+            if needed is not None and name not in needed:
+                continue
+            columns[name] = self.backend.gather(handle, left_ids)
+            meta[name] = left.meta[name]
+        for name, handle in right.columns.items():
+            if needed is not None and name not in needed:
+                continue
+            columns[name] = self.backend.gather(handle, right_ids)
+            meta[name] = right.meta[name]
+        return _Relation(columns=columns, meta=meta, num_rows=matches)
+
+    def _run_join(
+        self, algorithm: str, left_keys: Handle, right_keys: Handle
+    ) -> Tuple[Handle, Handle]:
+        if algorithm == "nested_loop":
+            return self.backend.nested_loop_join(left_keys, right_keys)
+        if algorithm == "merge":
+            return self.backend.merge_join(left_keys, right_keys)
+        if algorithm == "hash":
+            return self.backend.hash_join(left_keys, right_keys)
+        # auto: best supported algorithm first, nested loops as last resort
+        # (the only join every studied library can express).
+        for runner in (self.backend.hash_join, self.backend.merge_join):
+            try:
+                return runner(left_keys, right_keys)
+            except UnsupportedOperatorError:
+                continue
+        return self.backend.nested_loop_join(left_keys, right_keys)
+
+    # -- group by -----------------------------------------------------------------------
+
+    def _execute_group_by(self, plan: GroupBy) -> _Relation:
+        child_needed = self._merge_needed(
+            None, plan.required_columns(), plan.child, restrict=True
+        )
+        relation = self._execute(plan.child, child_needed)
+        if not plan.keys:
+            return self._global_aggregation(plan, relation)
+        key_handle, strides = self._composite_key(plan.keys, relation)
+        columns: Dict[str, Handle] = {}
+        meta: Dict[str, ColumnMeta] = {}
+        out_keys: Optional[Handle] = None
+        for aggregate in plan.aggregates:
+            values = self._aggregate_values(aggregate, relation, key_handle)
+            group_keys, group_values = self.backend.grouped_aggregation(
+                key_handle, values, aggregate.kind
+            )
+            if out_keys is None:
+                out_keys = group_keys
+            columns[aggregate.name] = group_values
+            out_type = (
+                ColumnType.INT64 if aggregate.kind == "count"
+                else ColumnType.FLOAT64
+            )
+            meta[aggregate.name] = ColumnMeta(ctype=out_type)
+        assert out_keys is not None
+        group_count = len(out_keys)
+        # Decompose the composite key on the host (group outputs are small),
+        # then re-upload the per-column keys so downstream operators (joins,
+        # sorts) keep working on device handles.
+        composite = self.backend.download(out_keys).astype(np.int64)
+        key_columns = self._decompose_keys(plan.keys, composite, strides, relation)
+        ordered: Dict[str, Handle] = {}
+        ordered_meta: Dict[str, ColumnMeta] = {}
+        for name, (data, key_meta) in key_columns.items():
+            ordered[name] = self.backend.upload(data, label=f"groupkey.{name}")
+            ordered_meta[name] = key_meta
+        ordered.update(columns)
+        ordered_meta.update(meta)
+        return _Relation(
+            columns=ordered, meta=ordered_meta, num_rows=group_count
+        )
+
+    def _global_aggregation(
+        self, plan: GroupBy, relation: _Relation
+    ) -> _Relation:
+        columns: Dict[str, Handle] = {}
+        meta: Dict[str, ColumnMeta] = {}
+        for aggregate in plan.aggregates:
+            if aggregate.kind == "count" and aggregate.expr is None:
+                scalar = float(relation.num_rows)
+            else:
+                assert aggregate.expr is not None
+                values = self._expr_handle(aggregate.expr, relation)
+                scalar = self.backend.reduction(values, aggregate.kind)
+            if aggregate.kind == "count":
+                columns[aggregate.name] = _HostColumn(
+                    np.asarray([int(scalar)], dtype=np.int64)
+                )
+                meta[aggregate.name] = ColumnMeta(ctype=ColumnType.INT64)
+            else:
+                columns[aggregate.name] = _HostColumn(
+                    np.asarray([scalar], dtype=np.float64)
+                )
+                meta[aggregate.name] = ColumnMeta(ctype=ColumnType.FLOAT64)
+        return _Relation(columns=columns, meta=meta, num_rows=1)
+
+    def _aggregate_values(
+        self, aggregate: Aggregate, relation: _Relation, key_handle: Handle
+    ) -> Handle:
+        if aggregate.kind == "count" and aggregate.expr is None:
+            # Backends ignore values for counts; reuse the key handle.
+            return key_handle
+        assert aggregate.expr is not None
+        return self._expr_handle(aggregate.expr, relation)
+
+    def _expr_handle(self, expr: Expr, relation: _Relation) -> Handle:
+        if isinstance(expr, ColRef):
+            return relation.handle(expr.name)
+        return self.backend.compute(relation.columns, expr)
+
+    def _composite_key(
+        self, keys: Tuple[str, ...], relation: _Relation
+    ) -> Tuple[Handle, List[int]]:
+        """Combine key columns into one integer key on the device.
+
+        Strides come from each column's value bound (host metadata), so
+        ``(k0 * s1 + k1) * s2 + k2 ...`` is collision-free.
+        """
+        if len(keys) == 1:
+            return relation.handle(keys[0]), [1]
+        for key in keys[1:]:
+            if relation.meta[key].max_value < 0:
+                raise PlanError(
+                    f"group-by key {key!r} has no known value bound (it is "
+                    "a derived column); place it first in the key list or "
+                    "group by the base columns it derives from"
+                )
+        strides = [relation.meta[k].max_value + 1 for k in keys]
+        expr: Expr = ColRef(keys[0])
+        for key, stride in zip(keys[1:], strides[1:]):
+            expr = expr * Lit(stride) + ColRef(key)
+        return self.backend.compute(relation.columns, expr), strides
+
+    def _decompose_keys(
+        self,
+        keys: Tuple[str, ...],
+        composite: np.ndarray,
+        strides: List[int],
+        relation: _Relation,
+    ) -> Dict[str, Tuple[np.ndarray, ColumnMeta]]:
+        result: Dict[str, Tuple[np.ndarray, ColumnMeta]] = {}
+        if len(keys) == 1:
+            name = keys[0]
+            key_meta = relation.meta[name]
+            result[name] = (
+                composite.astype(key_meta.ctype.numpy_dtype), key_meta
+            )
+            return result
+        remaining = composite.astype(np.int64)
+        # Peel from the last key to the first: values were accumulated as
+        # (((k0 * s1) + k1) * s2 + k2) ...
+        parts: List[np.ndarray] = []
+        for stride in reversed(strides[1:]):
+            parts.append(remaining % stride)
+            remaining = remaining // stride
+        parts.append(remaining)
+        parts.reverse()
+        for name, data in zip(keys, parts):
+            key_meta = relation.meta[name]
+            result[name] = (data.astype(key_meta.ctype.numpy_dtype), key_meta)
+        return result
+
+    # -- order by ----------------------------------------------------------------------
+
+    def _execute_order_by(
+        self, plan: OrderBy, needed: Optional[Sequence[str]]
+    ) -> _Relation:
+        child_needed = self._merge_needed(
+            needed, frozenset({plan.key}), plan.child
+        )
+        relation = self._execute(plan.child, child_needed)
+        key_handle = relation.handle(plan.key)
+        if isinstance(key_handle, _HostColumn):
+            # Group-by outputs are host-resident; sort them on the host.
+            order = np.argsort(key_handle.data, kind="stable")
+            if plan.descending:
+                order = order[::-1]
+            columns = {
+                name: _reorder_host(handle, order, self.backend)
+                for name, handle in relation.columns.items()
+            }
+            return _Relation(
+                columns=columns,
+                meta=relation.meta,
+                num_rows=relation.num_rows,
+                row_limit=relation.row_limit,
+            )
+        rowids = self.backend.iota(relation.num_rows)
+        _sorted_keys, sorted_ids = self.backend.sort_by_key(
+            key_handle, rowids, descending=plan.descending
+        )
+        columns = {
+            name: self.backend.gather(handle, sorted_ids)
+            if not isinstance(handle, _HostColumn)
+            else _HostColumn(
+                handle.data[self.backend.download(sorted_ids).astype(np.int64)]
+            )
+            for name, handle in relation.columns.items()
+        }
+        return _Relation(
+            columns=columns,
+            meta=relation.meta,
+            num_rows=relation.num_rows,
+            row_limit=relation.row_limit,
+        )
+
+    # -- materialisation ----------------------------------------------------------------
+
+    def _materialise(self, relation: _Relation, name: str) -> Table:
+        columns: List[Column] = []
+        limit = relation.row_limit
+        for column_name, handle in relation.columns.items():
+            if isinstance(handle, _HostColumn):
+                data = handle.data
+            else:
+                data = self.backend.download(handle)
+            if limit is not None:
+                data = data[:limit]
+            column_meta = relation.meta[column_name]
+            columns.append(
+                _decode_column(column_name, data, column_meta)
+            )
+        if not columns:
+            raise PlanError("query produced no columns")
+        return Table(name, columns)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _merge_needed(
+        self,
+        needed: Optional[Sequence[str]],
+        extra: frozenset,
+        child: PlanNode,
+        restrict: bool = False,
+    ) -> Optional[List[str]]:
+        """Column set to request from ``child``.
+
+        ``restrict=True`` (Project/GroupBy) always narrows to ``extra``;
+        otherwise ``None`` (= all) propagates.
+        """
+        if restrict:
+            return sorted(extra)
+        if needed is None:
+            return None
+        merged = set(needed) | set(extra)
+        available = set(self._output_columns(child))
+        return sorted(merged & available)
+
+
+class _HostColumn:
+    """A small host-resident result column (group keys, scalars)."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def _reorder_host(
+    handle: Handle, order: np.ndarray, backend: OperatorBackend
+) -> Handle:
+    if isinstance(handle, _HostColumn):
+        return _HostColumn(handle.data[order])
+    data = backend.download(handle)
+    return _HostColumn(data[order])
+
+
+def _decode_column(name: str, data: np.ndarray, meta: ColumnMeta) -> Column:
+    """Turn downloaded physical data back into a typed column."""
+    if meta.ctype.is_dictionary_encoded:
+        return Column(
+            name,
+            meta.ctype,
+            data.astype(np.int32, copy=False),
+            meta.dictionary,
+        )
+    physical = meta.ctype.numpy_dtype
+    if data.dtype != physical:
+        data = data.astype(physical)
+    return Column(name, meta.ctype, np.ascontiguousarray(data))

@@ -1,0 +1,221 @@
+"""Logical query plans.
+
+A plan is a tree of dataclass nodes over named base tables.  The executor
+lowers it onto one :class:`~repro.core.backend.OperatorBackend`; the same
+plan therefore runs on every library — the framework property the paper's
+query benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.expr import Expr
+from repro.core.predicate import Predicate
+from repro.errors import PlanError
+
+#: Join algorithms a Join node may request.  "auto" picks the backend's
+#: best supported algorithm (hash > merge > nested loops).
+JOIN_ALGORITHMS = ("auto", "nested_loop", "merge", "hash")
+
+
+class PlanNode:
+    """Base class of logical plan nodes."""
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Child plans (empty for leaves)."""
+        return ()
+
+    def required_columns(self) -> FrozenSet[str]:
+        """Columns this node itself reads (not including children)."""
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """Leaf: read a named base table from the catalog."""
+
+    table: str
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise PlanError("Scan needs a table name")
+
+
+@dataclass(frozen=True)
+class Filter(PlanNode):
+    """Row selection by predicate."""
+
+    child: PlanNode
+    predicate: Predicate
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def required_columns(self) -> FrozenSet[str]:
+        return self.predicate.columns()
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    """Column projection / derivation: (output name, expression) pairs."""
+
+    child: PlanNode
+    outputs: Tuple[Tuple[str, Expr], ...]
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise PlanError("Project needs at least one output")
+        names = [name for name, _expr in self.outputs]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate projection names in {names}")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def required_columns(self) -> FrozenSet[str]:
+        needed: FrozenSet[str] = frozenset()
+        for _name, expr in self.outputs:
+            needed |= expr.columns()
+        return needed
+
+
+@dataclass(frozen=True)
+class Join(PlanNode):
+    """Inner equi-join of two child plans."""
+
+    left: PlanNode
+    right: PlanNode
+    left_on: str
+    right_on: str
+    algorithm: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in JOIN_ALGORITHMS:
+            raise PlanError(
+                f"unknown join algorithm {self.algorithm!r}; "
+                f"known: {', '.join(JOIN_ALGORITHMS)}"
+            )
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def required_columns(self) -> FrozenSet[str]:
+        return frozenset({self.left_on, self.right_on})
+
+
+@dataclass(frozen=True)
+class Aggregate(PlanNode):
+    """One output aggregate: name, kind, and the value expression."""
+
+    name: str
+    kind: str  # sum | count | min | max | avg
+    expr: Optional[Expr] = None  # None allowed for count(*)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sum", "count", "min", "max", "avg"):
+            raise PlanError(f"unknown aggregate kind {self.kind!r}")
+        if self.expr is None and self.kind != "count":
+            raise PlanError(f"aggregate {self.kind!r} needs an expression")
+
+
+@dataclass(frozen=True)
+class GroupBy(PlanNode):
+    """Grouped aggregation over zero or more key columns.
+
+    Zero keys = global aggregation (Q6); one or more keys = SQL GROUP BY
+    (multi-key groups are combined into one composite device key).
+    """
+
+    child: PlanNode
+    keys: Tuple[str, ...]
+    aggregates: Tuple[Aggregate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise PlanError("GroupBy needs at least one aggregate")
+        names = [a.name for a in self.aggregates] + list(self.keys)
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate output names in group-by: {names}")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def required_columns(self) -> FrozenSet[str]:
+        needed = frozenset(self.keys)
+        for aggregate in self.aggregates:
+            if aggregate.expr is not None:
+                needed |= aggregate.expr.columns()
+        return needed
+
+
+@dataclass(frozen=True)
+class OrderBy(PlanNode):
+    """Sort rows by one column."""
+
+    child: PlanNode
+    key: str
+    descending: bool = False
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def required_columns(self) -> FrozenSet[str]:
+        return frozenset({self.key})
+
+
+@dataclass(frozen=True)
+class Limit(PlanNode):
+    """Keep the first ``n`` rows."""
+
+    child: PlanNode
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise PlanError(f"Limit must be non-negative, got {self.n}")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+def walk(plan: PlanNode):
+    """Pre-order traversal of a plan tree."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)
+
+
+def explain(plan: PlanNode, indent: int = 0) -> str:
+    """Indented textual rendering of the plan tree."""
+    pad = "  " * indent
+    if isinstance(plan, Scan):
+        line = f"{pad}Scan({plan.table})"
+    elif isinstance(plan, Filter):
+        line = f"{pad}Filter({plan.predicate!r})"
+    elif isinstance(plan, Project):
+        cols = ", ".join(f"{n}={e!r}" for n, e in plan.outputs)
+        line = f"{pad}Project({cols})"
+    elif isinstance(plan, Join):
+        line = (
+            f"{pad}Join({plan.left_on} = {plan.right_on}, "
+            f"algorithm={plan.algorithm})"
+        )
+    elif isinstance(plan, GroupBy):
+        aggs = ", ".join(
+            f"{a.name}={a.kind}({a.expr!r})" for a in plan.aggregates
+        )
+        keys = ", ".join(plan.keys) if plan.keys else "<global>"
+        line = f"{pad}GroupBy(keys=[{keys}], {aggs})"
+    elif isinstance(plan, OrderBy):
+        direction = "desc" if plan.descending else "asc"
+        line = f"{pad}OrderBy({plan.key} {direction})"
+    elif isinstance(plan, Limit):
+        line = f"{pad}Limit({plan.n})"
+    else:
+        line = f"{pad}{type(plan).__name__}"
+    lines = [line]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Column-store relational substrate: types, columns, schemas, tables."""
+
+from repro.relational.column import Column
+from repro.relational.io import read_csv, write_csv
+from repro.relational.schema import Field, Schema
+from repro.relational.table import Table, concat_tables
+from repro.relational.types import (
+    DATE_EPOCH,
+    ColumnType,
+    as_column_type,
+    date_to_days,
+    days_to_date,
+    infer_column_type,
+)
+
+__all__ = [
+    "Column",
+    "read_csv",
+    "write_csv",
+    "Field",
+    "Schema",
+    "Table",
+    "concat_tables",
+    "ColumnType",
+    "as_column_type",
+    "DATE_EPOCH",
+    "date_to_days",
+    "days_to_date",
+    "infer_column_type",
+]

@@ -1,0 +1,95 @@
+"""CSV import/export for tables.
+
+A small, dependency-free interchange path: export query results for
+external plotting, or load hand-made fixture relations.  Types round-trip
+through a header of ``name:type`` pairs; dates serialise as ISO strings,
+dictionary-encoded strings as their values.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+from typing import List
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.column import Column
+from repro.relational.table import Table
+from repro.relational.types import ColumnType, as_column_type
+
+
+def write_csv(table: Table, path: str) -> None:
+    """Write a table as CSV with a typed header row."""
+    header = [
+        f"{column.name}:{column.ctype.value}" for column in table
+    ]
+    decoded = {column.name: column.to_values() for column in table}
+    names = table.column_names
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row_index in range(table.num_rows):
+            writer.writerow(
+                [_to_cell(decoded[name][row_index]) for name in names]
+            )
+
+
+def read_csv(path: str, name: str = "table") -> Table:
+    """Read a table written by :func:`write_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV file")
+        fields = [_parse_header_cell(cell, path) for cell in header]
+        rows = list(reader)
+    columns: List[Column] = []
+    for index, (column_name, ctype) in enumerate(fields):
+        raw = [row[index] for row in rows]
+        columns.append(_build_column(column_name, ctype, raw))
+    return Table(name, columns)
+
+
+def _parse_header_cell(cell: str, path: str):
+    column_name, separator, type_name = cell.partition(":")
+    if not separator or not column_name:
+        raise SchemaError(
+            f"{path}: header cell {cell!r} is not 'name:type'"
+        )
+    return column_name, as_column_type(type_name)
+
+
+def _to_cell(value: object) -> str:
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    # NumPy booleans are not instances of Python bool; cover both.
+    if isinstance(value, (bool, np.bool_)):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _build_column(
+    column_name: str, ctype: ColumnType, raw: List[str]
+) -> Column:
+    if ctype is ColumnType.STRING:
+        return Column.from_strings(column_name, raw)
+    if ctype is ColumnType.DATE:
+        return Column.from_values(
+            column_name,
+            [datetime.date.fromisoformat(cell) for cell in raw],
+            ctype,
+        )
+    if ctype is ColumnType.BOOL:
+        return Column.from_values(
+            column_name, [cell == "true" for cell in raw], ctype
+        )
+    if ctype in (ColumnType.INT32, ColumnType.INT64):
+        return Column.from_values(
+            column_name, [int(cell) for cell in raw], ctype
+        )
+    return Column.from_values(
+        column_name, [float(cell) for cell in raw], ctype
+    )

@@ -1,0 +1,84 @@
+"""Relation schemas: ordered, typed field lists with validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.column import Column
+from repro.relational.types import ColumnType, TypeLike, as_column_type
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed slot in a schema."""
+
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("field name cannot be empty")
+
+
+class Schema:
+    """An ordered collection of fields with unique names."""
+
+    def __init__(self, fields: Sequence[Tuple[str, TypeLike]]) -> None:
+        self._fields: List[Field] = []
+        self._by_name: Dict[str, Field] = {}
+        for name, ctype in fields:
+            field = Field(name, as_column_type(ctype))
+            if field.name in self._by_name:
+                raise SchemaError(f"duplicate field name {field.name!r}")
+            self._fields.append(field)
+            self._by_name[field.name] = field
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> List[str]:
+        """Field names in declaration order."""
+        return [field.name for field in self._fields]
+
+    def field(self, name: str) -> Field:
+        """Look up a field by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"no field {name!r} in schema (has: {', '.join(self.names)})"
+            )
+
+    def validate_column(self, column: Column) -> None:
+        """Check that ``column`` matches its declared field."""
+        field = self.field(column.name)
+        if field.ctype is not column.ctype:
+            raise SchemaError(
+                f"column {column.name!r} has type {column.ctype.value}, "
+                f"schema declares {field.ctype.value}"
+            )
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Sub-schema containing only ``names`` (in the given order)."""
+        return Schema([(n, self.field(n).ctype) for n in names])
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{f.name}:{f.ctype.value}" for f in self._fields)
+        return f"Schema({body})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._fields))

@@ -1,0 +1,103 @@
+"""Column type system for the relational layer.
+
+GPUs process fixed-width columnar data; variable-length strings are
+dictionary-encoded on the host (codes travel to the device, the dictionary
+stays on the host).  Dates are stored as int32 days since 1992-01-01 (the
+start of the TPC-H date range), so that date predicates become plain
+integer comparisons — which is also how the GPU DBMSes the paper surveys
+handle them.
+"""
+
+from __future__ import annotations
+
+import datetime
+from enum import Enum
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+#: Epoch for DATE columns: the first date appearing in TPC-H data.
+DATE_EPOCH = datetime.date(1992, 1, 1)
+
+
+class ColumnType(Enum):
+    """Logical column types supported by the engine."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    DATE = "date"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Physical NumPy dtype backing this logical type."""
+        return _PHYSICAL[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether arithmetic is defined on the type."""
+        return self in (
+            ColumnType.INT32,
+            ColumnType.INT64,
+            ColumnType.FLOAT32,
+            ColumnType.FLOAT64,
+        )
+
+    @property
+    def is_dictionary_encoded(self) -> bool:
+        """Whether values are codes into a host-side dictionary."""
+        return self is ColumnType.STRING
+
+
+_PHYSICAL = {
+    ColumnType.INT32: np.dtype(np.int32),
+    ColumnType.INT64: np.dtype(np.int64),
+    ColumnType.FLOAT32: np.dtype(np.float32),
+    ColumnType.FLOAT64: np.dtype(np.float64),
+    ColumnType.BOOL: np.dtype(bool),
+    ColumnType.DATE: np.dtype(np.int32),
+    ColumnType.STRING: np.dtype(np.int32),
+}
+
+TypeLike = Union[ColumnType, str]
+
+
+def as_column_type(value: TypeLike) -> ColumnType:
+    """Coerce a string or ColumnType to a ColumnType."""
+    if isinstance(value, ColumnType):
+        return value
+    try:
+        return ColumnType(value)
+    except ValueError:
+        known = ", ".join(t.value for t in ColumnType)
+        raise SchemaError(f"unknown column type {value!r}; known types: {known}")
+
+
+def date_to_days(value: Union[datetime.date, str]) -> int:
+    """Convert a date (or ISO string) to days since :data:`DATE_EPOCH`."""
+    if isinstance(value, str):
+        value = datetime.date.fromisoformat(value)
+    return (value - DATE_EPOCH).days
+
+
+def days_to_date(days: int) -> datetime.date:
+    """Inverse of :func:`date_to_days`."""
+    return DATE_EPOCH + datetime.timedelta(days=int(days))
+
+
+def infer_column_type(data: np.ndarray) -> ColumnType:
+    """Best-effort logical type for a NumPy array."""
+    if data.dtype == np.dtype(bool):
+        return ColumnType.BOOL
+    if np.issubdtype(data.dtype, np.integer):
+        return ColumnType.INT64 if data.dtype.itemsize > 4 else ColumnType.INT32
+    if np.issubdtype(data.dtype, np.floating):
+        return ColumnType.FLOAT64 if data.dtype.itemsize > 4 else ColumnType.FLOAT32
+    if data.dtype.kind in ("U", "S", "O"):
+        return ColumnType.STRING
+    raise SchemaError(f"cannot infer a column type for dtype {data.dtype}")

@@ -1,0 +1,35 @@
+"""The paper's library survey (Table I) as structured data."""
+
+from repro.survey.catalog import (
+    CATEGORIES,
+    LIBRARIES,
+    PAPER_CATEGORY_COUNTS,
+    PAPER_TOTAL,
+    STUDIED,
+    LibraryRecord,
+    by_category,
+    category_counts,
+    database_libraries,
+)
+from repro.survey.report import (
+    render_category_histogram,
+    render_selection_rationale,
+    render_table_i,
+    verify_against_paper,
+)
+
+__all__ = [
+    "LibraryRecord",
+    "LIBRARIES",
+    "CATEGORIES",
+    "STUDIED",
+    "PAPER_TOTAL",
+    "PAPER_CATEGORY_COUNTS",
+    "by_category",
+    "category_counts",
+    "database_libraries",
+    "render_table_i",
+    "render_category_histogram",
+    "render_selection_rationale",
+    "verify_against_paper",
+]

@@ -1,0 +1,90 @@
+"""Renderers for Table I and its aggregates."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.survey.catalog import (
+    CATEGORIES,
+    LIBRARIES,
+    PAPER_CATEGORY_COUNTS,
+    PAPER_TOTAL,
+    STUDIED,
+    category_counts,
+)
+
+
+def render_table_i(attested_only: bool = False) -> str:
+    """Reproduce Table I as a text table."""
+    rows = [
+        record for record in LIBRARIES
+        if record.attested or not attested_only
+    ]
+    header = ["Library", "Wrapper/Language", "Use case", "Reference"]
+    body: List[List[str]] = []
+    for record in rows:
+        marker = "" if record.attested else " *"
+        body.append([
+            record.name + marker,
+            record.interface,
+            record.use_case,
+            record.reference,
+        ])
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(4)
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in body
+    )
+    lines.append(
+        f"({len(rows)} libraries; rows marked * are reconstructed from the "
+        "garbled region of the printed table — see module docstring)"
+    )
+    return "\n".join(lines)
+
+
+def render_category_histogram() -> str:
+    """Category counts with the paper's quoted aggregates alongside."""
+    counts = category_counts()
+    lines = ["Use case                  count   paper"]
+    lines.append("-" * 40)
+    for category in CATEGORIES:
+        quoted = PAPER_CATEGORY_COUNTS.get(category)
+        quoted_text = str(quoted) if quoted is not None else "-"
+        lines.append(f"{category:25s} {counts[category]:5d}   {quoted_text}")
+    lines.append("-" * 40)
+    lines.append(f"{'total':25s} {sum(counts.values()):5d}   {PAPER_TOTAL}")
+    return "\n".join(lines)
+
+
+def render_selection_rationale() -> str:
+    """Why the paper narrows the study to three libraries."""
+    lines = [
+        "Libraries with explicit database-operator support: 5",
+        "  - SkelCL and OCL-Library are boilerplates over OpenCL without",
+        "    pre-written functions, leaving three candidates:",
+    ]
+    for name, reason in STUDIED:
+        lines.append(f"  - {name}: {reason}")
+    return "\n".join(lines)
+
+
+def verify_against_paper() -> List[str]:
+    """Check every aggregate the paper quotes; returns mismatch strings."""
+    mismatches: List[str] = []
+    counts = category_counts()
+    total = sum(counts.values())
+    if total != PAPER_TOTAL:
+        mismatches.append(f"total: paper says {PAPER_TOTAL}, catalog has {total}")
+    for category, quoted in PAPER_CATEGORY_COUNTS.items():
+        if counts.get(category) != quoted:
+            mismatches.append(
+                f"{category}: paper says {quoted}, catalog has "
+                f"{counts.get(category)}"
+            )
+    return mismatches

@@ -1,0 +1,27 @@
+"""TPC-H substrate: deterministic data generator and query plans."""
+
+from repro.tpch.generator import TpchGenerator
+from repro.tpch.queries import ALL_QUERIES, q1, q3, q4, q5, q6, q10
+from repro.tpch.schema import (
+    BASE_ROWS,
+    CURRENT_DATE,
+    SCHEMAS,
+    TABLE_NAMES,
+    rows_at_scale,
+)
+
+__all__ = [
+    "TpchGenerator",
+    "ALL_QUERIES",
+    "q1",
+    "q3",
+    "q4",
+    "q5",
+    "q6",
+    "q10",
+    "SCHEMAS",
+    "TABLE_NAMES",
+    "BASE_ROWS",
+    "CURRENT_DATE",
+    "rows_at_scale",
+]

@@ -1,0 +1,303 @@
+"""Deterministic TPC-H data generator (dbgen replacement).
+
+Value distributions follow the TPC-H specification clauses that the
+implemented queries (Q1, Q3, Q4, Q6) are sensitive to: uniform order
+dates, 1–7 lineitems per order, quantities 1–50, discounts 0–10%, taxes
+0–8%, ship/commit/receipt date offsets, and the return-flag/line-status
+rules derived from CURRENTDATE.  Text columns that queries never touch
+are omitted (see DESIGN.md, "Out of scope").
+
+Everything is generated with a seeded NumPy RNG: the same (seed, scale
+factor) always yields the same database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.relational.column import Column
+from repro.relational.table import Table
+from repro.tpch import schema as spec
+
+
+class TpchGenerator:
+    """Generates the eight TPC-H tables at a given scale factor."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 19920101) -> None:
+        if scale_factor <= 0:
+            raise ValueError(f"scale factor must be positive: {scale_factor}")
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    def _rng(self, table: str) -> np.random.Generator:
+        """Per-table RNG so tables can regenerate independently."""
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, hash(table) & 0x7FFFFFFF])
+        )
+
+    # -- small dimension tables -------------------------------------------------
+
+    def region(self) -> Table:
+        """The five fixed regions."""
+        keys = np.arange(len(spec.REGIONS), dtype=np.int32)
+        return Table("region", [
+            Column("r_regionkey", "int32", keys),
+            _encoded("r_name", list(spec.REGIONS), keys),
+        ])
+
+    def nation(self) -> Table:
+        """The 25 fixed nations with their region assignment."""
+        names = [name for name, _region in spec.NATIONS]
+        regions = np.array(
+            [region for _name, region in spec.NATIONS], dtype=np.int32
+        )
+        keys = np.arange(len(spec.NATIONS), dtype=np.int32)
+        return Table("nation", [
+            Column("n_nationkey", "int32", keys),
+            _encoded("n_name", sorted(names), keys_for(names)),
+            Column("n_regionkey", "int32", regions),
+        ])
+
+    # -- scaled tables ---------------------------------------------------------------
+
+    def supplier(self) -> Table:
+        rng = self._rng("supplier")
+        n = spec.rows_at_scale("supplier", self.scale_factor)
+        return Table("supplier", [
+            Column("s_suppkey", "int32", np.arange(1, n + 1, dtype=np.int32)),
+            Column(
+                "s_nationkey", "int32",
+                rng.integers(0, len(spec.NATIONS), n).astype(np.int32),
+            ),
+            Column(
+                "s_acctbal", "float64",
+                np.round(rng.uniform(-999.99, 9999.99, n), 2),
+            ),
+        ])
+
+    def part(self) -> Table:
+        rng = self._rng("part")
+        n = spec.rows_at_scale("part", self.scale_factor)
+        partkeys = np.arange(1, n + 1, dtype=np.int32)
+        brands = [f"Brand#{m}{s}" for m in range(1, 6) for s in range(1, 6)]
+        brand_codes = rng.integers(0, len(brands), n).astype(np.int32)
+        # Spec 4.2.3: retailprice = (90000 + (partkey/10 mod 20001) +
+        # 100*(partkey mod 1000)) / 100.
+        retail = (
+            90000
+            + (partkeys // 10) % 20001
+            + 100 * (partkeys % 1000)
+        ) / 100.0
+        return Table("part", [
+            Column("p_partkey", "int32", partkeys),
+            Column("p_brand", "string", brand_codes, sorted(brands)),
+            Column(
+                "p_size", "int32", rng.integers(1, 51, n).astype(np.int32)
+            ),
+            Column("p_retailprice", "float64", retail),
+        ])
+
+    def partsupp(self) -> Table:
+        rng = self._rng("partsupp")
+        parts = spec.rows_at_scale("part", self.scale_factor)
+        suppliers = spec.rows_at_scale("supplier", self.scale_factor)
+        # Spec: each part has 4 suppliers.
+        partkeys = np.repeat(
+            np.arange(1, parts + 1, dtype=np.int32), 4
+        )
+        n = len(partkeys)
+        suppkeys = rng.integers(1, suppliers + 1, n).astype(np.int32)
+        return Table("partsupp", [
+            Column("ps_partkey", "int32", partkeys),
+            Column("ps_suppkey", "int32", suppkeys),
+            Column(
+                "ps_availqty", "int32",
+                rng.integers(1, 10_000, n).astype(np.int32),
+            ),
+            Column(
+                "ps_supplycost", "float64",
+                np.round(rng.uniform(1.0, 1000.0, n), 2),
+            ),
+        ])
+
+    def customer(self) -> Table:
+        rng = self._rng("customer")
+        n = spec.rows_at_scale("customer", self.scale_factor)
+        segment_codes = rng.integers(
+            0, len(spec.MARKET_SEGMENTS), n
+        ).astype(np.int32)
+        return Table("customer", [
+            Column("c_custkey", "int32", np.arange(1, n + 1, dtype=np.int32)),
+            Column(
+                "c_nationkey", "int32",
+                rng.integers(0, len(spec.NATIONS), n).astype(np.int32),
+            ),
+            Column(
+                "c_mktsegment", "string", segment_codes,
+                sorted(spec.MARKET_SEGMENTS),
+            ),
+            Column(
+                "c_acctbal", "float64",
+                np.round(rng.uniform(-999.99, 9999.99, n), 2),
+            ),
+        ])
+
+    def orders(self) -> Table:
+        rng = self._rng("orders")
+        n = spec.rows_at_scale("orders", self.scale_factor)
+        customers = spec.rows_at_scale("customer", self.scale_factor)
+        orderkeys = np.arange(1, n + 1, dtype=np.int32)
+        # Spec: only 2/3 of customers have orders; sparse custkeys model it.
+        custkeys = rng.integers(1, customers + 1, n).astype(np.int32)
+        orderdates = rng.integers(
+            spec.START_DATE, spec.LAST_ORDER_DATE + 1, n
+        ).astype(np.int32)
+        # Order status reflects lineitem shipment state relative to
+        # CURRENTDATE: orders far in the past are fulfilled (F), recent
+        # ones open (O), a thin band in between partial (P).
+        status_codes = np.full(n, 1, dtype=np.int32)  # "O"
+        fulfilled = orderdates < spec.CURRENT_DATE - 151
+        partial = (~fulfilled) & (orderdates < spec.CURRENT_DATE)
+        status_codes[fulfilled] = 0  # "F"
+        status_codes[partial] = 2  # "P"
+        priority_codes = rng.integers(
+            0, len(spec.ORDER_PRIORITIES), n
+        ).astype(np.int32)
+        return Table("orders", [
+            Column("o_orderkey", "int32", orderkeys),
+            Column("o_custkey", "int32", custkeys),
+            Column(
+                "o_orderstatus", "string", status_codes,
+                list(spec.ORDER_STATUSES),
+            ),
+            Column(
+                "o_totalprice", "float64",
+                np.round(rng.uniform(850.0, 560_000.0, n), 2),
+            ),
+            Column("o_orderdate", "date", orderdates),
+            Column(
+                "o_orderpriority", "string", priority_codes,
+                sorted(spec.ORDER_PRIORITIES),
+            ),
+            Column("o_shippriority", "int32", np.zeros(n, dtype=np.int32)),
+        ])
+
+    def lineitem(self, orders: Table, part: Table) -> Table:
+        """Lineitem rows derived from orders (1–7 lines each)."""
+        rng = self._rng("lineitem")
+        orderkeys_base = orders.column("o_orderkey").data
+        orderdates_base = orders.column("o_orderdate").data
+        lines_per_order = rng.integers(1, 8, len(orderkeys_base))
+        orderkeys = np.repeat(orderkeys_base, lines_per_order)
+        orderdates = np.repeat(orderdates_base, lines_per_order)
+        n = len(orderkeys)
+        linenumbers = _sequence_within_groups(lines_per_order)
+        parts = part.num_rows
+        partkeys = rng.integers(1, parts + 1, n).astype(np.int32)
+        suppliers = spec.rows_at_scale("supplier", self.scale_factor)
+        suppkeys = rng.integers(1, suppliers + 1, n).astype(np.int32)
+        quantity = rng.integers(1, 51, n).astype(np.float64)
+        retail = part.column("p_retailprice").data
+        extendedprice = np.round(quantity * retail[partkeys - 1], 2)
+        discount = np.round(rng.integers(0, 11, n) / 100.0, 2)
+        tax = np.round(rng.integers(0, 9, n) / 100.0, 2)
+        shipdate = (orderdates + rng.integers(1, 122, n)).astype(np.int32)
+        commitdate = (orderdates + rng.integers(30, 91, n)).astype(np.int32)
+        receiptdate = (shipdate + rng.integers(1, 31, n)).astype(np.int32)
+        # Spec 4.2.3: returnflag is R or A (50/50) when the item was
+        # received by CURRENTDATE, N otherwise; linestatus is O when
+        # shipped after CURRENTDATE, F otherwise.
+        returned = receiptdate <= spec.CURRENT_DATE
+        flag_codes = np.full(n, 1, dtype=np.int32)  # "N"
+        coin = rng.random(n) < 0.5
+        flag_codes[returned & coin] = 0  # "A"
+        flag_codes[returned & ~coin] = 2  # "R"
+        status_codes = (shipdate > spec.CURRENT_DATE).astype(np.int32)  # F=0,O=1
+        shipmode_codes = rng.integers(0, len(spec.SHIP_MODES), n).astype(np.int32)
+        shipinstruct_codes = rng.integers(
+            0, len(spec.SHIP_INSTRUCTIONS), n
+        ).astype(np.int32)
+        return Table("lineitem", [
+            Column("l_orderkey", "int32", orderkeys),
+            Column("l_partkey", "int32", partkeys),
+            Column("l_suppkey", "int32", suppkeys),
+            Column("l_linenumber", "int32", linenumbers),
+            Column("l_quantity", "float64", quantity),
+            Column("l_extendedprice", "float64", extendedprice),
+            Column("l_discount", "float64", discount),
+            Column("l_tax", "float64", tax),
+            Column(
+                "l_returnflag", "string", flag_codes, list(spec.RETURN_FLAGS)
+            ),
+            Column(
+                "l_linestatus", "string", status_codes,
+                list(spec.LINE_STATUSES),
+            ),
+            Column("l_shipdate", "date", shipdate),
+            Column("l_commitdate", "date", commitdate),
+            Column("l_receiptdate", "date", receiptdate),
+            Column(
+                "l_shipmode", "string", shipmode_codes,
+                sorted(spec.SHIP_MODES),
+            ),
+            Column(
+                "l_shipinstruct", "string", shipinstruct_codes,
+                sorted(spec.SHIP_INSTRUCTIONS),
+            ),
+        ])
+
+    # -- whole database ---------------------------------------------------------------
+
+    def generate(self) -> Dict[str, Table]:
+        """All eight tables as a catalog dict (keyed by table name)."""
+        part = self.part()
+        orders = self.orders()
+        catalog = {
+            "region": self.region(),
+            "nation": self.nation(),
+            "supplier": self.supplier(),
+            "part": part,
+            "partsupp": self.partsupp(),
+            "customer": self.customer(),
+            "orders": orders,
+            "lineitem": self.lineitem(orders, part),
+        }
+        for name, table in catalog.items():
+            _validate(name, table)
+        return catalog
+
+
+def _validate(name: str, table: Table) -> None:
+    expected = spec.SCHEMAS[name]
+    if table.schema != expected:
+        raise AssertionError(
+            f"generated table {name!r} schema mismatch:\n"
+            f"  expected {expected!r}\n  got      {table.schema!r}"
+        )
+
+
+def _encoded(name: str, dictionary: List[str], keys: np.ndarray) -> Column:
+    """Column whose i-th row is dictionary[keys[i]] (dictionary sorted)."""
+    ordered = sorted(dictionary)
+    return Column(name, "string", keys.astype(np.int32), ordered)
+
+
+def keys_for(names: List[str]) -> np.ndarray:
+    """Codes of ``names`` within their own sorted dictionary."""
+    ordered = sorted(names)
+    index = {word: code for code, word in enumerate(ordered)}
+    return np.array([index[w] for w in names], dtype=np.int32)
+
+
+def _sequence_within_groups(group_sizes: np.ndarray) -> np.ndarray:
+    """[1..k] for each group of size k, concatenated (l_linenumber)."""
+    total = int(group_sizes.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int32)
+    ends = np.cumsum(group_sizes)
+    starts = ends - group_sizes
+    return (
+        np.arange(total, dtype=np.int64) - np.repeat(starts, group_sizes) + 1
+    ).astype(np.int32)

@@ -1,0 +1,14 @@
+"""TPC-H query plans (Q1, Q3, Q4, Q5, Q6, Q10) with NumPy oracles."""
+
+from repro.tpch.queries import q1, q3, q4, q5, q6, q10
+
+ALL_QUERIES = {
+    "Q1": q1,
+    "Q3": q3,
+    "Q4": q4,
+    "Q5": q5,
+    "Q6": q6,
+    "Q10": q10,
+}
+
+__all__ = ["q1", "q3", "q4", "q5", "q6", "q10", "ALL_QUERIES"]

@@ -1,0 +1,122 @@
+"""TPC-H Q1 — Pricing Summary Report.
+
+.. code-block:: sql
+
+    SELECT l_returnflag, l_linestatus,
+           SUM(l_quantity)                                       AS sum_qty,
+           SUM(l_extendedprice)                                  AS sum_base_price,
+           SUM(l_extendedprice * (1 - l_discount))               AS sum_disc_price,
+           SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+           AVG(l_quantity)                                       AS avg_qty,
+           AVG(l_extendedprice)                                  AS avg_price,
+           AVG(l_discount)                                       AS avg_disc,
+           COUNT(*)                                              AS count_order
+    FROM lineitem
+    WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL ':1' DAY
+    GROUP BY l_returnflag, l_linestatus
+    ORDER BY l_returnflag, l_linestatus
+
+A pure grouped-aggregation query: on the library backends it exercises the
+``sort_by_key`` + ``reduce_by_key`` composition once per aggregate, which
+is exactly the call-chaining overhead the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.expr import col, lit
+from repro.core.predicate import col_le
+from repro.query.builder import scan
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+
+QUERY_NAME = "Q1"
+
+
+@dataclass(frozen=True)
+class Q1Params:
+    """Substitution parameters (spec default: DELTA = 90 days)."""
+
+    delta_days: int = 90
+
+    @property
+    def cutoff(self) -> int:
+        """l_shipdate upper bound in epoch days."""
+        return date_to_days("1998-12-01") - self.delta_days
+
+
+DEFAULT_PARAMS = Q1Params()
+
+AGGREGATE_NAMES = (
+    "sum_qty", "sum_base_price", "sum_disc_price", "sum_charge",
+    "avg_qty", "avg_price", "avg_disc", "count_order",
+)
+
+
+def plan(params: Q1Params = DEFAULT_PARAMS) -> PlanNode:
+    """Logical plan for Q1."""
+    disc_price = col("l_extendedprice") * (lit(1.0) - col("l_discount"))
+    charge = disc_price * (lit(1.0) + col("l_tax"))
+    return (
+        scan("lineitem")
+        .filter(col_le("l_shipdate", params.cutoff))
+        .group_by(
+            ["l_returnflag", "l_linestatus"],
+            [
+                ("sum_qty", "sum", "l_quantity"),
+                ("sum_base_price", "sum", "l_extendedprice"),
+                ("sum_disc_price", "sum", disc_price),
+                ("sum_charge", "sum", charge),
+                ("avg_qty", "avg", "l_quantity"),
+                ("avg_price", "avg", "l_extendedprice"),
+                ("avg_disc", "avg", "l_discount"),
+                ("count_order", "count", None),
+            ],
+        )
+        .order_by("l_returnflag")
+        .build()
+    )
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q1Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle, keyed like the query output and sorted by group."""
+    lineitem = catalog["lineitem"]
+    data = {c.name: c.data for c in lineitem}
+    mask = data["l_shipdate"] <= params.cutoff
+    flag = data["l_returnflag"][mask]
+    status = data["l_linestatus"][mask]
+    qty = data["l_quantity"][mask]
+    price = data["l_extendedprice"][mask]
+    disc = data["l_discount"][mask]
+    tax = data["l_tax"][mask]
+    status_card = int(data["l_linestatus"].max()) + 1
+    composite = flag.astype(np.int64) * status_card + status
+    groups, inverse = np.unique(composite, return_inverse=True)
+    k = len(groups)
+    sum_qty = np.bincount(inverse, weights=qty, minlength=k)
+    sum_price = np.bincount(inverse, weights=price, minlength=k)
+    disc_price = price * (1.0 - disc)
+    sum_disc_price = np.bincount(inverse, weights=disc_price, minlength=k)
+    sum_charge = np.bincount(
+        inverse, weights=disc_price * (1.0 + tax), minlength=k
+    )
+    counts = np.bincount(inverse, minlength=k)
+    return {
+        "l_returnflag": (groups // status_card).astype(np.int32),
+        "l_linestatus": (groups % status_card).astype(np.int32),
+        "sum_qty": sum_qty,
+        "sum_base_price": sum_price,
+        "sum_disc_price": sum_disc_price,
+        "sum_charge": sum_charge,
+        "avg_qty": sum_qty / counts,
+        "avg_price": sum_price / counts,
+        "avg_disc": np.bincount(inverse, weights=disc, minlength=k) / counts,
+        "count_order": counts.astype(np.int64),
+    }

@@ -1,0 +1,130 @@
+"""TPC-H Q10 — Returned Item Reporting (top-k variant).
+
+.. code-block:: sql
+
+    SELECT c_custkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+    FROM customer, orders, lineitem
+    WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+      AND o_orderdate >= DATE ':1'
+      AND o_orderdate < DATE ':1' + INTERVAL '3' MONTH
+      AND l_returnflag = 'R'
+    GROUP BY c_custkey
+    ORDER BY revenue DESC
+    LIMIT 20
+
+The spec's GROUP BY lists c_name/c_acctbal/... too; all are functionally
+dependent on c_custkey, so the columnar engine groups by the key alone
+(the standard rewrite).  Exercises a join *after* a string-predicate
+filter plus a large-domain group-by (one group per customer).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.backend import join_reference
+from repro.core.expr import col, lit
+from repro.core.predicate import col_eq, col_ge, col_lt
+from repro.query.builder import scan
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+
+QUERY_NAME = "Q10"
+
+
+@dataclass(frozen=True)
+class Q10Params:
+    """Substitution parameters (spec default: quarter starting 1993-10-01)."""
+
+    date: str = "1993-10-01"
+    limit: int = 20
+
+    @property
+    def date_lo(self) -> int:
+        """Quarter start in epoch days."""
+        return date_to_days(self.date)
+
+    @property
+    def date_hi(self) -> int:
+        """Quarter end (exclusive) in epoch days."""
+        start = datetime.date.fromisoformat(self.date)
+        month = start.month + 3
+        year = start.year + (month - 1) // 12
+        month = (month - 1) % 12 + 1
+        return date_to_days(datetime.date(year, month, start.day).isoformat())
+
+
+DEFAULT_PARAMS = Q10Params()
+
+
+def plan(
+    catalog: Dict[str, Table],
+    params: Q10Params = DEFAULT_PARAMS,
+    join_algorithm: str = "auto",
+) -> PlanNode:
+    """Logical plan for Q10."""
+    returned_code = catalog["lineitem"].column("l_returnflag").code_for("R")
+    returned_lines = (
+        scan("lineitem")
+        .filter(col_eq("l_returnflag", returned_code))
+        .project([
+            "l_orderkey",
+            (
+                "disc_price",
+                col("l_extendedprice") * (lit(1.0) - col("l_discount")),
+            ),
+        ])
+    )
+    quarter_orders = (
+        scan("orders")
+        .filter(
+            col_ge("o_orderdate", params.date_lo)
+            & col_lt("o_orderdate", params.date_hi)
+        )
+        .project(["o_orderkey", "o_custkey"])
+    )
+    return (
+        returned_lines
+        .join(quarter_orders, "l_orderkey", "o_orderkey",
+              algorithm=join_algorithm)
+        .group_by(["o_custkey"], [("revenue", "sum", "disc_price")])
+        .order_by("revenue", descending=True)
+        .limit(params.limit)
+        .build()
+    )
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q10Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q10 (full ranking; apply LIMIT when comparing).
+
+    Sorted by revenue descending with customer key as tiebreak.
+    """
+    orders = catalog["orders"]
+    lineitem = catalog["lineitem"]
+    returned_code = lineitem.column("l_returnflag").code_for("R")
+    l_mask = lineitem.column("l_returnflag").data == returned_code
+    l_orderkey = lineitem.column("l_orderkey").data[l_mask]
+    price = lineitem.column("l_extendedprice").data[l_mask]
+    disc = lineitem.column("l_discount").data[l_mask]
+    disc_price = price * (1.0 - disc)
+    o_date = orders.column("o_orderdate").data
+    o_mask = (o_date >= params.date_lo) & (o_date < params.date_hi)
+    o_keys = orders.column("o_orderkey").data[o_mask]
+    o_cust = orders.column("o_custkey").data[o_mask]
+    left_ids, right_ids = join_reference(l_orderkey, o_keys)
+    custkeys = o_cust[right_ids].astype(np.int64)
+    values = disc_price[left_ids]
+    groups, inverse = np.unique(custkeys, return_inverse=True)
+    revenue = np.bincount(inverse, weights=values, minlength=len(groups))
+    order = np.lexsort((groups, -revenue))
+    return {
+        "o_custkey": groups[order].astype(np.int32),
+        "revenue": revenue[order],
+    }

@@ -1,0 +1,147 @@
+"""TPC-H Q3 — Shipping Priority.
+
+.. code-block:: sql
+
+    SELECT l_orderkey,
+           SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+           o_orderdate, o_shippriority
+    FROM customer, orders, lineitem
+    WHERE c_mktsegment = ':1'
+      AND c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND o_orderdate < DATE ':2'
+      AND l_shipdate  > DATE ':2'
+    GROUP BY l_orderkey, o_orderdate, o_shippriority
+    ORDER BY revenue DESC, o_orderdate
+    LIMIT 10
+
+The canonical join query.  On the studied libraries the two equi-joins
+fall back to nested loops (or the composed sort-merge) because no library
+offers hashing — the paper's headline gap; the handwritten backend runs
+the same plan with hash joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.backend import join_reference
+from repro.core.expr import col, lit
+from repro.core.predicate import col_eq, col_gt, col_lt
+from repro.query.builder import scan
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+
+QUERY_NAME = "Q3"
+
+
+@dataclass(frozen=True)
+class Q3Params:
+    """Substitution parameters (spec defaults)."""
+
+    segment: str = "BUILDING"
+    date: str = "1995-03-15"
+
+    @property
+    def date_days(self) -> int:
+        """The pivot date in epoch days."""
+        return date_to_days(self.date)
+
+
+DEFAULT_PARAMS = Q3Params()
+
+
+def plan(
+    catalog: Dict[str, Table],
+    params: Q3Params = DEFAULT_PARAMS,
+    join_algorithm: str = "auto",
+) -> PlanNode:
+    """Logical plan for Q3 (needs the catalog to resolve the segment's
+    dictionary code, since string predicates run on codes)."""
+    segment_code = catalog["customer"].column("c_mktsegment").code_for(
+        params.segment
+    )
+    customers = (
+        scan("customer")
+        .filter(col_eq("c_mktsegment", segment_code))
+        .project(["c_custkey"])
+    )
+    orders = (
+        scan("orders")
+        .filter(col_lt("o_orderdate", params.date_days))
+        .project(["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"])
+    )
+    lineitems = (
+        scan("lineitem")
+        .filter(col_gt("l_shipdate", params.date_days))
+        .project([
+            "l_orderkey",
+            (
+                "disc_price",
+                col("l_extendedprice") * (lit(1.0) - col("l_discount")),
+            ),
+        ])
+    )
+    revenue_by_order = (
+        orders
+        .join(customers, "o_custkey", "c_custkey", algorithm=join_algorithm)
+        .join(lineitems, "o_orderkey", "l_orderkey", algorithm=join_algorithm)
+        .group_by(
+            ["l_orderkey", "o_orderdate", "o_shippriority"],
+            [("revenue", "sum", "disc_price")],
+        )
+        .order_by("revenue", descending=True)
+        .limit(10)
+    )
+    return revenue_by_order.build()
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q3Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q3 (full result, sorted by revenue desc then
+    orderkey; callers apply the LIMIT when comparing)."""
+    customer = catalog["customer"]
+    orders = catalog["orders"]
+    lineitem = catalog["lineitem"]
+    segment_code = customer.column("c_mktsegment").code_for(params.segment)
+    c_mask = customer.column("c_mktsegment").data == segment_code
+    c_keys = customer.column("c_custkey").data[c_mask]
+    o_mask = orders.column("o_orderdate").data < params.date_days
+    o_orderkey = orders.column("o_orderkey").data[o_mask]
+    o_custkey = orders.column("o_custkey").data[o_mask]
+    o_orderdate = orders.column("o_orderdate").data[o_mask]
+    o_ship = orders.column("o_shippriority").data[o_mask]
+    oc_left, _oc_right = join_reference(o_custkey, c_keys)
+    o_orderkey = o_orderkey[oc_left]
+    o_orderdate = o_orderdate[oc_left]
+    o_ship = o_ship[oc_left]
+    l_mask = lineitem.column("l_shipdate").data > params.date_days
+    l_orderkey = lineitem.column("l_orderkey").data[l_mask]
+    price = lineitem.column("l_extendedprice").data[l_mask]
+    disc = lineitem.column("l_discount").data[l_mask]
+    disc_price = price * (1.0 - disc)
+    ol_left, ol_right = join_reference(o_orderkey, l_orderkey)
+    keys = o_orderkey[ol_left].astype(np.int64)
+    dates = o_orderdate[ol_left].astype(np.int64)
+    ships = o_ship[ol_left].astype(np.int64)
+    values = disc_price[ol_right]
+    date_stride = int(orders.column("o_orderdate").data.max()) + 1
+    ship_stride = int(orders.column("o_shippriority").data.max()) + 1
+    composite = (keys * date_stride + dates) * ship_stride + ships
+    groups, inverse = np.unique(composite, return_inverse=True)
+    revenue = np.bincount(inverse, weights=values, minlength=len(groups))
+    out_keys = groups // (date_stride * ship_stride)
+    out_dates = (groups // ship_stride) % date_stride
+    out_ships = groups % ship_stride
+    order = np.lexsort((out_keys, -revenue))
+    return {
+        "l_orderkey": out_keys[order].astype(np.int32),
+        "o_orderdate": out_dates[order].astype(np.int32),
+        "o_shippriority": out_ships[order].astype(np.int32),
+        "revenue": revenue[order],
+    }

@@ -1,0 +1,111 @@
+"""TPC-H Q4 — Order Priority Checking.
+
+.. code-block:: sql
+
+    SELECT o_orderpriority, COUNT(*) AS order_count
+    FROM orders
+    WHERE o_orderdate >= DATE ':1'
+      AND o_orderdate < DATE ':1' + INTERVAL '3' MONTH
+      AND EXISTS (SELECT * FROM lineitem
+                  WHERE l_orderkey = o_orderkey
+                    AND l_commitdate < l_receiptdate)
+    GROUP BY o_orderpriority
+    ORDER BY o_orderpriority
+
+The EXISTS semi-join is decorrelated into: deduplicate the qualifying
+lineitem order keys with a grouped aggregation, then inner-join orders
+against the distinct key set — the standard rewrite, and one that keeps
+the whole query inside the framework's operator set.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.backend import join_reference
+from repro.core.predicate import col_cmp, col_ge, col_lt
+from repro.query.builder import scan
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+
+QUERY_NAME = "Q4"
+
+
+@dataclass(frozen=True)
+class Q4Params:
+    """Substitution parameters (spec default: quarter starting 1993-07-01)."""
+
+    date: str = "1993-07-01"
+
+    @property
+    def date_lo(self) -> int:
+        """Quarter start in epoch days."""
+        return date_to_days(self.date)
+
+    @property
+    def date_hi(self) -> int:
+        """Quarter end (exclusive) in epoch days."""
+        start = datetime.date.fromisoformat(self.date)
+        month = start.month + 3
+        year = start.year + (month - 1) // 12
+        month = (month - 1) % 12 + 1
+        return date_to_days(datetime.date(year, month, start.day).isoformat())
+
+
+DEFAULT_PARAMS = Q4Params()
+
+
+def plan(
+    params: Q4Params = DEFAULT_PARAMS,
+    join_algorithm: str = "auto",
+) -> PlanNode:
+    """Logical plan for Q4 (EXISTS decorrelated via distinct + join)."""
+    late_lineitems = (
+        scan("lineitem")
+        .filter(col_cmp("l_commitdate", "lt", "l_receiptdate"))
+        # GROUP BY l_orderkey == DISTINCT l_orderkey; the count is unused.
+        .group_by(["l_orderkey"], [("line_count", "count", None)])
+        .project(["l_orderkey"])
+    )
+    return (
+        scan("orders")
+        .filter(
+            col_ge("o_orderdate", params.date_lo)
+            & col_lt("o_orderdate", params.date_hi)
+        )
+        .project(["o_orderkey", "o_orderpriority"])
+        .join(late_lineitems, "o_orderkey", "l_orderkey",
+              algorithm=join_algorithm)
+        .group_by(["o_orderpriority"], [("order_count", "count", None)])
+        .order_by("o_orderpriority")
+        .build()
+    )
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q4Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q4, sorted by priority code."""
+    orders = catalog["orders"]
+    lineitem = catalog["lineitem"]
+    late = (
+        lineitem.column("l_commitdate").data
+        < lineitem.column("l_receiptdate").data
+    )
+    late_keys = np.unique(lineitem.column("l_orderkey").data[late])
+    o_date = orders.column("o_orderdate").data
+    o_mask = (o_date >= params.date_lo) & (o_date < params.date_hi)
+    o_keys = orders.column("o_orderkey").data[o_mask]
+    o_prio = orders.column("o_orderpriority").data[o_mask]
+    left_ids, _right_ids = join_reference(o_keys, late_keys)
+    matched_prio = o_prio[left_ids]
+    groups, counts = np.unique(matched_prio, return_counts=True)
+    return {
+        "o_orderpriority": groups.astype(np.int32),
+        "order_count": counts.astype(np.int64),
+    }

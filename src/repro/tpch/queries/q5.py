@@ -1,0 +1,187 @@
+"""TPC-H Q5 — Local Supplier Volume.
+
+.. code-block:: sql
+
+    SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+    FROM customer, orders, lineitem, supplier, nation, region
+    WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+      AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+      AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+      AND r_name = ':1'
+      AND o_orderdate >= DATE ':2'
+      AND o_orderdate < DATE ':2' + INTERVAL '1' YEAR
+    GROUP BY n_name
+    ORDER BY revenue DESC
+
+The heaviest query in the suite: a six-table join.  Five of the six join
+conditions are equi-joins on keys; the sixth (``c_nationkey =
+s_nationkey``) is a join *predicate* between two already-joined sides and
+lowers onto a column-column selection (:class:`~repro.core.predicate.CompareCols`)
+after the key joins — the standard decomposition when the engine only has
+binary equi-joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.backend import join_reference
+from repro.core.expr import col, lit
+from repro.core.predicate import col_cmp, col_eq, col_ge, col_lt
+from repro.query.builder import scan
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+
+QUERY_NAME = "Q5"
+
+
+@dataclass(frozen=True)
+class Q5Params:
+    """Substitution parameters (spec defaults)."""
+
+    region: str = "ASIA"
+    date: str = "1994-01-01"
+
+    @property
+    def date_lo(self) -> int:
+        """Year start in epoch days."""
+        return date_to_days(self.date)
+
+    @property
+    def date_hi(self) -> int:
+        """Year end (exclusive) in epoch days."""
+        year = int(self.date[:4])
+        return date_to_days(f"{year + 1}{self.date[4:]}")
+
+
+DEFAULT_PARAMS = Q5Params()
+
+
+def plan(
+    catalog: Dict[str, Table],
+    params: Q5Params = DEFAULT_PARAMS,
+    join_algorithm: str = "auto",
+) -> PlanNode:
+    """Logical plan for Q5."""
+    region_code = catalog["region"].column("r_name").code_for(params.region)
+    regional_nations = (
+        scan("nation")
+        .join(
+            scan("region").filter(col_eq("r_name", region_code))
+            .project(["r_regionkey"]),
+            "n_regionkey", "r_regionkey",
+            algorithm=join_algorithm,
+        )
+        .project(["n_nationkey", "n_name"])
+    )
+    regional_suppliers = (
+        scan("supplier")
+        .project(["s_suppkey", "s_nationkey"])
+        .join(regional_nations, "s_nationkey", "n_nationkey",
+              algorithm=join_algorithm)
+        .project(["s_suppkey", "s_nationkey", "n_name"])
+    )
+    customer_orders = (
+        scan("orders")
+        .filter(
+            col_ge("o_orderdate", params.date_lo)
+            & col_lt("o_orderdate", params.date_hi)
+        )
+        .project(["o_orderkey", "o_custkey"])
+        .join(
+            scan("customer").project(["c_custkey", "c_nationkey"]),
+            "o_custkey", "c_custkey",
+            algorithm=join_algorithm,
+        )
+        .project(["o_orderkey", "c_nationkey"])
+    )
+    lineitems = scan("lineitem").project([
+        "l_orderkey", "l_suppkey",
+        ("disc_price", col("l_extendedprice") * (lit(1.0) - col("l_discount"))),
+    ])
+    return (
+        lineitems
+        .join(customer_orders, "l_orderkey", "o_orderkey",
+              algorithm=join_algorithm)
+        .join(regional_suppliers, "l_suppkey", "s_suppkey",
+              algorithm=join_algorithm)
+        # The non-key join condition: customer and supplier share a nation.
+        .filter(col_cmp("c_nationkey", "eq", "s_nationkey"))
+        .group_by(["n_name"], [("revenue", "sum", "disc_price")])
+        .order_by("revenue", descending=True)
+        .build()
+    )
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q5Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q5, sorted by revenue descending."""
+    region = catalog["region"]
+    nation = catalog["nation"]
+    supplier = catalog["supplier"]
+    customer = catalog["customer"]
+    orders = catalog["orders"]
+    lineitem = catalog["lineitem"]
+
+    region_code = region.column("r_name").code_for(params.region)
+    region_keys = region.column("r_regionkey").data[
+        region.column("r_name").data == region_code
+    ]
+    nation_in_region = np.isin(nation.column("n_regionkey").data, region_keys)
+    nation_keys = nation.column("n_nationkey").data[nation_in_region]
+    name_by_nation = dict(zip(
+        nation.column("n_nationkey").data.tolist(),
+        nation.column("n_name").data.tolist(),
+    ))
+
+    supplier_nation = supplier.column("s_nationkey").data
+    supplier_in_region = np.isin(supplier_nation, nation_keys)
+    nation_by_supplier = dict(zip(
+        supplier.column("s_suppkey").data[supplier_in_region].tolist(),
+        supplier_nation[supplier_in_region].tolist(),
+    ))
+
+    o_date = orders.column("o_orderdate").data
+    o_mask = (o_date >= params.date_lo) & (o_date < params.date_hi)
+    o_keys = orders.column("o_orderkey").data[o_mask]
+    o_cust = orders.column("o_custkey").data[o_mask]
+    customer_nation = customer.column("c_nationkey").data
+    cust_nation_by_order = dict(zip(
+        o_keys.tolist(),
+        customer_nation[o_cust - 1].tolist(),
+    ))
+
+    l_orderkey = lineitem.column("l_orderkey").data
+    l_suppkey = lineitem.column("l_suppkey").data
+    price = lineitem.column("l_extendedprice").data
+    disc = lineitem.column("l_discount").data
+    disc_price = price * (1.0 - disc)
+
+    revenue_by_name: Dict[int, float] = {}
+    lo, _ro = join_reference(l_orderkey, o_keys)
+    # Use the join to restrict to qualifying orders, then apply the
+    # supplier-region and shared-nation conditions row by row.
+    for row in lo:
+        order = int(l_orderkey[row])
+        supp = int(l_suppkey[row])
+        supplier_nation_key = nation_by_supplier.get(supp)
+        if supplier_nation_key is None:
+            continue
+        if cust_nation_by_order.get(order) != supplier_nation_key:
+            continue
+        name_code = name_by_nation[supplier_nation_key]
+        revenue_by_name[name_code] = (
+            revenue_by_name.get(name_code, 0.0) + disc_price[row]
+        )
+    names = np.array(sorted(revenue_by_name), dtype=np.int32)
+    revenues = np.array([revenue_by_name[n] for n in names])
+    order = np.argsort(-revenues, kind="stable")
+    return {
+        "n_name": names[order],
+        "revenue": revenues[order],
+    }

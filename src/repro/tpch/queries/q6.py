@@ -1,0 +1,97 @@
+"""TPC-H Q6 — Forecasting Revenue Change.
+
+.. code-block:: sql
+
+    SELECT SUM(l_extendedprice * l_discount) AS revenue
+    FROM lineitem
+    WHERE l_shipdate >= DATE ':1'
+      AND l_shipdate < DATE ':1' + INTERVAL '1' YEAR
+      AND l_discount BETWEEN :2 - 0.01 AND :2 + 0.01
+      AND l_quantity < :3
+
+The canonical selection-plus-reduction query: a three-way conjunctive
+filter followed by a product and a sum.  This is the query where
+ArrayFire's JIT fusion shines (one fused predicate kernel vs. the STL
+libraries' per-comparison transform chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.expr import col
+from repro.core.predicate import col_between, col_ge, col_lt
+from repro.query.builder import scan
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+
+QUERY_NAME = "Q6"
+
+
+@dataclass(frozen=True)
+class Q6Params:
+    """Substitution parameters (spec defaults)."""
+
+    year: int = 1994
+    discount: float = 0.06
+    quantity: float = 24.0
+
+    @property
+    def date_lo(self) -> int:
+        """First shipdate in range (epoch days)."""
+        return date_to_days(f"{self.year}-01-01")
+
+    @property
+    def date_hi(self) -> int:
+        """First shipdate past the range."""
+        return date_to_days(f"{self.year + 1}-01-01")
+
+
+DEFAULT_PARAMS = Q6Params()
+
+
+def plan(params: Q6Params = DEFAULT_PARAMS) -> PlanNode:
+    """Logical plan for Q6."""
+    predicate = (
+        col_ge("l_shipdate", params.date_lo)
+        & col_lt("l_shipdate", params.date_hi)
+        & col_between(
+            "l_discount",
+            round(params.discount - 0.01, 2),
+            round(params.discount + 0.01, 2),
+        )
+        & col_lt("l_quantity", params.quantity)
+    )
+    return (
+        scan("lineitem")
+        .filter(predicate)
+        .aggregate(
+            [("revenue", "sum", col("l_extendedprice") * col("l_discount"))]
+        )
+        .build()
+    )
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q6Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q6."""
+    lineitem = catalog["lineitem"]
+    data = {c.name: c.data for c in lineitem}
+    lo = round(params.discount - 0.01, 2)
+    hi = round(params.discount + 0.01, 2)
+    mask = (
+        (data["l_shipdate"] >= params.date_lo)
+        & (data["l_shipdate"] < params.date_hi)
+        & (data["l_discount"] >= lo)
+        & (data["l_discount"] <= hi)
+        & (data["l_quantity"] < params.quantity)
+    )
+    revenue = float(
+        (data["l_extendedprice"][mask] * data["l_discount"][mask]).sum()
+    )
+    return {"revenue": np.asarray([revenue])}

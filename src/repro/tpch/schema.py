@@ -1,0 +1,142 @@
+"""TPC-H schema and categorical vocabularies.
+
+Dates are int32 days since 1992-01-01 (:data:`repro.relational.types.DATE_EPOCH`);
+strings are dictionary-encoded.  Row counts scale linearly with the scale
+factor exactly as in the TPC-H specification (SF 1 = 6M lineitem rows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.relational.schema import Schema
+from repro.relational.types import date_to_days
+
+#: TPC-H date range boundaries (days since the 1992-01-01 epoch).
+START_DATE = date_to_days("1992-01-01")  # = 0
+END_DATE = date_to_days("1998-12-31")
+#: The specification's CURRENTDATE used to derive flags/status.
+CURRENT_DATE = date_to_days("1995-06-17")
+#: Last o_orderdate the generator emits (spec: ENDDATE - 151 days).
+LAST_ORDER_DATE = date_to_days("1998-08-02")
+
+#: The 25 TPC-H nations with their region assignment.
+NATIONS: Tuple[Tuple[str, int], ...] = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+REGIONS: Tuple[str, ...] = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+MARKET_SEGMENTS: Tuple[str, ...] = (
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
+)
+
+ORDER_PRIORITIES: Tuple[str, ...] = (
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW",
+)
+
+SHIP_MODES: Tuple[str, ...] = (
+    "AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK",
+)
+
+SHIP_INSTRUCTIONS: Tuple[str, ...] = (
+    "COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN",
+)
+
+RETURN_FLAGS: Tuple[str, ...] = ("A", "N", "R")
+LINE_STATUSES: Tuple[str, ...] = ("F", "O")
+ORDER_STATUSES: Tuple[str, ...] = ("F", "O", "P")
+
+#: Base cardinalities at scale factor 1 (nation/region are fixed).
+BASE_ROWS: Dict[str, int] = {
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    # lineitem is derived: 1..7 lines per order, ~4 on average.
+}
+
+SCHEMAS: Dict[str, Schema] = {
+    "region": Schema([
+        ("r_regionkey", "int32"),
+        ("r_name", "string"),
+    ]),
+    "nation": Schema([
+        ("n_nationkey", "int32"),
+        ("n_name", "string"),
+        ("n_regionkey", "int32"),
+    ]),
+    "supplier": Schema([
+        ("s_suppkey", "int32"),
+        ("s_nationkey", "int32"),
+        ("s_acctbal", "float64"),
+    ]),
+    "part": Schema([
+        ("p_partkey", "int32"),
+        ("p_brand", "string"),
+        ("p_size", "int32"),
+        ("p_retailprice", "float64"),
+    ]),
+    "partsupp": Schema([
+        ("ps_partkey", "int32"),
+        ("ps_suppkey", "int32"),
+        ("ps_availqty", "int32"),
+        ("ps_supplycost", "float64"),
+    ]),
+    "customer": Schema([
+        ("c_custkey", "int32"),
+        ("c_nationkey", "int32"),
+        ("c_mktsegment", "string"),
+        ("c_acctbal", "float64"),
+    ]),
+    "orders": Schema([
+        ("o_orderkey", "int32"),
+        ("o_custkey", "int32"),
+        ("o_orderstatus", "string"),
+        ("o_totalprice", "float64"),
+        ("o_orderdate", "date"),
+        ("o_orderpriority", "string"),
+        ("o_shippriority", "int32"),
+    ]),
+    "lineitem": Schema([
+        ("l_orderkey", "int32"),
+        ("l_partkey", "int32"),
+        ("l_suppkey", "int32"),
+        ("l_linenumber", "int32"),
+        ("l_quantity", "float64"),
+        ("l_extendedprice", "float64"),
+        ("l_discount", "float64"),
+        ("l_tax", "float64"),
+        ("l_returnflag", "string"),
+        ("l_linestatus", "string"),
+        ("l_shipdate", "date"),
+        ("l_commitdate", "date"),
+        ("l_receiptdate", "date"),
+        ("l_shipmode", "string"),
+        ("l_shipinstruct", "string"),
+    ]),
+}
+
+TABLE_NAMES: Tuple[str, ...] = tuple(SCHEMAS)
+
+
+def rows_at_scale(table: str, scale_factor: float) -> int:
+    """Row count of a base table at the given scale factor."""
+    if table == "region":
+        return len(REGIONS)
+    if table == "nation":
+        return len(NATIONS)
+    if table == "lineitem":
+        raise ValueError("lineitem row count is derived from orders")
+    try:
+        base = BASE_ROWS[table]
+    except KeyError:
+        raise ValueError(f"unknown TPC-H table {table!r}")
+    return max(1, int(base * scale_factor))

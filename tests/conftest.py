@@ -1,0 +1,44 @@
+"""Shared fixtures: devices, backends, small relations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import default_framework
+from repro.gpu import Device, GTX_1080TI
+
+#: Backends priced on the simulated device.
+GPU_BACKEND_NAMES = ("thrust", "boost.compute", "arrayfire", "handwritten")
+#: All backends including the free CPU oracle.
+ALL_BACKEND_NAMES = GPU_BACKEND_NAMES + ("cpu-reference",)
+
+
+@pytest.fixture
+def device() -> Device:
+    """A fresh default simulated GPU."""
+    return Device(GTX_1080TI)
+
+
+@pytest.fixture
+def framework():
+    """A framework with all built-in backends."""
+    return default_framework()
+
+
+@pytest.fixture(params=ALL_BACKEND_NAMES)
+def any_backend(request, framework):
+    """Parameterised over every backend (each on its own device)."""
+    return framework.create(request.param)
+
+
+@pytest.fixture(params=GPU_BACKEND_NAMES)
+def gpu_backend(request, framework):
+    """Parameterised over the GPU-costed backends."""
+    return framework.create(request.param)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded RNG for deterministic test data."""
+    return np.random.default_rng(0xC0FFEE)

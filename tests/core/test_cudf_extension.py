@@ -1,0 +1,119 @@
+"""Tests for the cuDF-class extension backend (beyond the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EXTENSION_BACKENDS,
+    CudfLikeBackend,
+    HandwrittenBackend,
+    Operator,
+    SupportLevel,
+    ThrustBackend,
+    col_lt,
+    default_framework,
+)
+from repro.core.backend import join_reference
+from repro.gpu import Device
+
+
+class TestRegistration:
+    def test_registered_by_default(self, framework):
+        assert "cudf" in framework
+        assert EXTENSION_BACKENDS == ("cudf",)
+
+    def test_not_counted_among_studied_libraries(self):
+        from repro.core import GPU_BACKENDS, STUDIED_LIBRARIES
+
+        assert "cudf" not in STUDIED_LIBRARIES
+        assert "cudf" not in GPU_BACKENDS
+
+
+class TestSupport:
+    def test_full_support_including_hashing(self):
+        backend = CudfLikeBackend(Device())
+        support = backend.support()
+        assert all(
+            cell.level is SupportLevel.FULL for cell in support.values()
+        )
+        assert "inner_join" in support[Operator.HASH_JOIN].functions
+
+    def test_profile_is_library_tier(self):
+        backend = CudfLikeBackend(Device())
+        assert backend.runtime.profile.name == "cudf"
+        assert backend.runtime.library_name == "cudf"
+
+
+class TestCorrectness:
+    def test_hash_join_matches_reference(self, rng):
+        backend = CudfLikeBackend(Device())
+        left = rng.integers(0, 400, 3_000).astype(np.int32)
+        right = rng.integers(0, 400, 2_000).astype(np.int32)
+        expected = join_reference(left, right)
+        got_l, got_r = backend.hash_join(
+            backend.upload(left), backend.upload(right)
+        )
+        dl = backend.download(got_l).astype(np.int64)
+        dr = backend.download(got_r).astype(np.int64)
+        order = np.lexsort((dr, dl))
+        assert np.array_equal(dl[order], expected[0])
+        assert np.array_equal(dr[order], expected[1])
+
+    def test_selection_matches_reference(self, rng):
+        backend = CudfLikeBackend(Device())
+        data = rng.integers(0, 1000, 5_000).astype(np.int32)
+        ids = backend.selection(
+            {"x": backend.upload(data)}, col_lt("x", 100)
+        )
+        assert np.array_equal(
+            np.sort(backend.download(ids).astype(np.int64)),
+            np.flatnonzero(data < 100),
+        )
+
+    def test_runs_tpch_q3_with_hash_joins(self, rng):
+        from repro.query import QueryExecutor
+        from repro.tpch import TpchGenerator, q3
+
+        catalog = TpchGenerator(scale_factor=0.003, seed=5).generate()
+        executor = QueryExecutor(CudfLikeBackend(Device()), catalog)
+        result = executor.execute(q3.plan(catalog, join_algorithm="hash"))
+        expected = q3.reference(catalog)
+        k = result.table.num_rows
+        assert np.allclose(
+            np.sort(result.table.column("revenue").data)[::-1],
+            expected["revenue"][:k],
+        )
+
+
+class TestCostShape:
+    def test_between_handwritten_and_thrust(self, rng):
+        """Library-tier: slower than hand-tuned, faster than Thrust's
+        sort-based composition on group-bys."""
+        keys = rng.integers(0, 1000, 1 << 19).astype(np.int32)
+        values = rng.random(1 << 19)
+
+        def group_time(backend):
+            kh, vh = backend.upload(keys), backend.upload(values)
+            backend.grouped_aggregation(kh, vh, "sum")
+            t0 = backend.device.clock.now
+            backend.grouped_aggregation(kh, vh, "sum")
+            return backend.device.clock.now - t0
+
+        cudf_time = group_time(CudfLikeBackend(Device()))
+        handwritten_time = group_time(HandwrittenBackend(Device()))
+        thrust_time = group_time(ThrustBackend(Device()))
+        assert handwritten_time <= cudf_time < thrust_time
+
+    def test_hash_join_recovers_most_of_the_gap(self, rng):
+        left = rng.integers(0, 20_000, 100_000).astype(np.int32)
+        right = np.arange(20_000, dtype=np.int32)
+
+        def join_time(backend, method):
+            handles = backend.upload(left), backend.upload(right)
+            t0 = backend.device.clock.now
+            getattr(backend, method)(*handles)
+            return backend.device.clock.now - t0
+
+        thrust_nlj = join_time(ThrustBackend(Device()), "nested_loop_join")
+        cudf_hash = join_time(CudfLikeBackend(Device()), "hash_join")
+        assert thrust_nlj / cudf_hash > 50.0

@@ -1,0 +1,81 @@
+"""Unit tests for the scalar expression AST."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import BinOp, ColRef, Lit, as_expr, col, flatten, lit
+from repro.errors import ExpressionError
+
+
+@pytest.fixture
+def columns():
+    return {"x": np.array([1.0, 2.0, 3.0]), "y": np.array([10.0, 20.0, 30.0])}
+
+
+class TestConstruction:
+    def test_col_and_lit_shorthands(self):
+        assert isinstance(col("x"), ColRef)
+        assert isinstance(lit(3), Lit)
+        assert lit(3).value == 3.0
+
+    def test_as_expr_coercions(self):
+        assert isinstance(as_expr("x"), ColRef)
+        assert isinstance(as_expr(2.5), Lit)
+        assert as_expr(col("x")) is not None
+        with pytest.raises(ExpressionError):
+            as_expr([1, 2])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ExpressionError):
+            BinOp("pow", col("x"), lit(2))
+
+
+class TestEvaluation:
+    def test_arithmetic(self, columns):
+        expr = col("x") * col("y") + 1.0
+        assert np.allclose(
+            expr.evaluate(columns), columns["x"] * columns["y"] + 1.0
+        )
+
+    def test_reflected_operators(self, columns):
+        expr = 1.0 - col("x")
+        assert np.allclose(expr.evaluate(columns), 1.0 - columns["x"])
+        expr = 10.0 / col("x")
+        assert np.allclose(expr.evaluate(columns), 10.0 / columns["x"])
+
+    def test_division(self, columns):
+        expr = col("y") / col("x")
+        assert np.allclose(expr.evaluate(columns), [10.0, 10.0, 10.0])
+
+    def test_missing_column(self, columns):
+        with pytest.raises(ExpressionError):
+            col("zzz").evaluate(columns)
+
+    def test_q6_revenue_shape(self, columns):
+        revenue = col("x") * (lit(1.0) - col("y"))
+        expected = columns["x"] * (1.0 - columns["y"])
+        assert np.allclose(revenue.evaluate(columns), expected)
+
+
+class TestMetadata:
+    def test_columns(self):
+        expr = col("x") * (lit(1.0) - col("y"))
+        assert expr.columns() == frozenset({"x", "y"})
+
+    def test_node_count(self):
+        expr = col("x") * (lit(1.0) - col("y"))
+        assert expr.node_count == 2
+        assert col("x").node_count == 0
+
+    def test_flops_add_up(self):
+        expr = col("x") / col("y") + 1.0  # div=4, add=1
+        assert expr.flops == pytest.approx(5.0)
+
+    def test_flatten_postorder(self):
+        expr = col("x") + col("y") * 2.0
+        nodes = flatten(expr)
+        assert isinstance(nodes[-1], BinOp)
+        assert nodes[-1].op == "add"
+
+    def test_repr(self):
+        assert repr(col("x") * 2.0) == "(x * 2.0)"

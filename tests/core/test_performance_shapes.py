@@ -1,0 +1,205 @@
+"""Performance-shape assertions.
+
+These tests pin the *qualitative* results the paper reports: who wins
+which operator, and by what rough magnitude.  They are the regression
+harness for the cost-model calibration — if a refactor flips a winner,
+these fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import col_gt, col_lt, default_framework
+from repro.gpu import Device
+
+
+def _fresh(name):
+    return default_framework().create(name, Device())
+
+
+def _selection_time(backend, data, threshold, warm: bool = True) -> float:
+    handle = backend.upload(data)
+    predicate = col_lt("x", threshold)
+    if warm:
+        backend.selection({"x": handle}, predicate)
+    device = backend.device
+    t0 = device.clock.now
+    backend.selection({"x": handle}, predicate)
+    return device.clock.now - t0
+
+
+N = 1 << 21
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(1)
+    return rng.integers(0, 1 << 20, N).astype(np.int32)
+
+
+class TestSelectionShape:
+    def test_warm_ordering_matches_paper(self, data):
+        """handwritten < arrayfire < thrust < boost.compute."""
+        times = {
+            name: _selection_time(_fresh(name), data, 1 << 18)
+            for name in ("handwritten", "arrayfire", "thrust", "boost.compute")
+        }
+        assert times["handwritten"] < times["arrayfire"]
+        assert times["arrayfire"] < times["thrust"]
+        assert times["thrust"] < times["boost.compute"]
+
+    def test_boost_cold_start_dominated_by_compilation(self, data):
+        backend = _fresh("boost.compute")
+        cold = _selection_time(backend, data, 1 << 18, warm=False)
+        warm = _selection_time(backend, data, 1 << 18, warm=True)
+        # The first query compiles 3+ OpenCL programs (tens of ms).
+        assert cold > 5.0 * warm
+
+    def test_arrayfire_fusion_advantage_grows_with_predicates(self, data):
+        """More predicates -> bigger ArrayFire advantage (fusion)."""
+
+        def conj_time(name, k):
+            backend = _fresh(name)
+            columns = {
+                f"c{i}": backend.upload(data) for i in range(k)
+            }
+            predicate = col_gt("c0", 1000)
+            for i in range(1, k):
+                predicate = predicate & col_gt(f"c{i}", 1000)
+            backend.selection(columns, predicate)  # warm
+            t0 = backend.device.clock.now
+            backend.selection(columns, predicate)
+            return backend.device.clock.now - t0
+
+        ratio_1 = conj_time("thrust", 1) / conj_time("arrayfire", 1)
+        ratio_4 = conj_time("thrust", 4) / conj_time("arrayfire", 4)
+        assert ratio_4 > ratio_1
+
+    def test_scaling_is_roughly_linear(self, data):
+        backend = _fresh("thrust")
+        t_small = _selection_time(backend, data[: N // 4], 1 << 18)
+        t_large = _selection_time(backend, data, 1 << 18)
+        assert 2.0 < t_large / t_small < 8.0
+
+
+class TestJoinShape:
+    @pytest.fixture(scope="class")
+    def join_keys(self):
+        rng = np.random.default_rng(2)
+        left = rng.integers(0, 50_000, 200_000).astype(np.int32)
+        right = rng.permutation(50_000).astype(np.int32)
+        return left, right
+
+    def _join_time(self, backend, method, left, right):
+        lh, rh = backend.upload(left), backend.upload(right)
+        device = backend.device
+        t0 = device.clock.now
+        getattr(backend, method)(lh, rh)
+        return device.clock.now - t0
+
+    def test_hash_join_orders_of_magnitude_faster_than_nlj(self, join_keys):
+        """The paper's 'unused tuning potential': no library exposes the
+        hash join that beats their nested loops by >100x."""
+        left, right = join_keys
+        nlj = self._join_time(_fresh("thrust"), "nested_loop_join", left, right)
+        hash_join = self._join_time(
+            _fresh("handwritten"), "hash_join", left, right
+        )
+        assert nlj / hash_join > 100.0
+
+    def test_composed_merge_join_beats_nlj(self, join_keys):
+        left, right = join_keys
+        backend = _fresh("thrust")
+        nlj = self._join_time(backend, "nested_loop_join", left, right)
+        merge = self._join_time(backend, "merge_join", left, right)
+        assert merge < nlj
+
+    def test_arrayfire_nlj_slower_than_thrust_nlj(self, join_keys):
+        """Partial support (batched gfor) materialises boolean matrices."""
+        left, right = join_keys
+        af_time = self._join_time(
+            _fresh("arrayfire"), "nested_loop_join", left, right
+        )
+        thrust_time = self._join_time(
+            _fresh("thrust"), "nested_loop_join", left, right
+        )
+        assert af_time > thrust_time
+
+    def test_nlj_scales_quadratically(self):
+        rng = np.random.default_rng(3)
+        backend = _fresh("thrust")
+        small_l = rng.integers(0, 1000, 10_000).astype(np.int32)
+        small_r = rng.integers(0, 1000, 10_000).astype(np.int32)
+        t_small = self._join_time(
+            backend, "nested_loop_join", small_l, small_r
+        )
+        t_large = self._join_time(
+            backend, "nested_loop_join",
+            np.tile(small_l, 2), np.tile(small_r, 2),
+        )
+        # Doubling both sides quadruples the work.
+        assert 3.0 < t_large / t_small < 5.0
+
+
+class TestGroupByShape:
+    def test_hash_aggregation_beats_sort_based(self):
+        """Handwritten hash aggregation skips the sort the libraries need."""
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 1000, 1 << 20).astype(np.int32)
+        values = rng.random(1 << 20)
+
+        def group_time(name):
+            backend = _fresh(name)
+            kh, vh = backend.upload(keys), backend.upload(values)
+            backend.grouped_aggregation(kh, vh, "sum")  # warm
+            t0 = backend.device.clock.now
+            backend.grouped_aggregation(kh, vh, "sum")
+            return backend.device.clock.now - t0
+
+        assert group_time("handwritten") * 3.0 < group_time("thrust")
+
+    def test_thrust_beats_boost_on_groupby(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 1000, 1 << 19).astype(np.int32)
+        values = rng.random(1 << 19)
+
+        def group_time(name):
+            backend = _fresh(name)
+            kh, vh = backend.upload(keys), backend.upload(values)
+            backend.grouped_aggregation(kh, vh, "sum")
+            t0 = backend.device.clock.now
+            backend.grouped_aggregation(kh, vh, "sum")
+            return backend.device.clock.now - t0
+
+        assert group_time("thrust") < group_time("boost.compute")
+
+
+class TestSortShape:
+    def test_thrust_fastest_library_sort(self):
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 1 << 30, 1 << 20).astype(np.int32)
+
+        def sort_time(name):
+            backend = _fresh(name)
+            handle = backend.upload(data)
+            backend.sort(handle)  # warm
+            t0 = backend.device.clock.now
+            backend.sort(handle)
+            return backend.device.clock.now - t0
+
+        thrust_time = sort_time("thrust")
+        assert thrust_time < sort_time("boost.compute")
+        assert thrust_time < sort_time("arrayfire")
+
+
+class TestDeviceComparison:
+    def test_faster_device_runs_faster(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 1 << 20, 1 << 21).astype(np.int32)
+        from repro.gpu import GTX_1080TI, TESLA_V100
+
+        def time_on(spec):
+            backend = default_framework().create("thrust", Device(spec))
+            return _selection_time(backend, data, 1 << 18)
+
+        assert time_on(TESLA_V100) < time_on(GTX_1080TI)

@@ -1,0 +1,140 @@
+"""Unit tests for the predicate AST."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicate import (
+    And,
+    Between,
+    Compare,
+    CompareCols,
+    Not,
+    Or,
+    col_between,
+    col_cmp,
+    col_eq,
+    col_ge,
+    col_gt,
+    col_le,
+    col_lt,
+    col_ne,
+    conjunction,
+    disjunction,
+)
+from repro.errors import ExpressionError
+
+
+@pytest.fixture
+def columns():
+    return {
+        "a": np.array([1, 5, 9, 3]),
+        "b": np.array([2, 2, 2, 2]),
+    }
+
+
+class TestCompare:
+    def test_all_operators(self, columns):
+        a = columns["a"]
+        assert np.array_equal(col_lt("a", 5).evaluate(columns), a < 5)
+        assert np.array_equal(col_le("a", 5).evaluate(columns), a <= 5)
+        assert np.array_equal(col_gt("a", 5).evaluate(columns), a > 5)
+        assert np.array_equal(col_ge("a", 5).evaluate(columns), a >= 5)
+        assert np.array_equal(col_eq("a", 5).evaluate(columns), a == 5)
+        assert np.array_equal(col_ne("a", 5).evaluate(columns), a != 5)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ExpressionError):
+            Compare("a", "spaceship", 1)
+
+    def test_columns(self):
+        assert col_lt("a", 1).columns() == frozenset({"a"})
+
+    def test_missing_column(self, columns):
+        with pytest.raises(ExpressionError):
+            col_lt("zzz", 1).evaluate(columns)
+
+    def test_repr_readable(self):
+        assert repr(col_lt("a", 5)) == "(a < 5)"
+
+
+class TestCompareCols:
+    def test_evaluate(self, columns):
+        predicate = col_cmp("a", "gt", "b")
+        assert np.array_equal(
+            predicate.evaluate(columns), columns["a"] > columns["b"]
+        )
+
+    def test_columns_reports_both(self):
+        assert col_cmp("a", "lt", "b").columns() == frozenset({"a", "b"})
+
+    def test_unknown_op(self):
+        with pytest.raises(ExpressionError):
+            CompareCols("a", "xor", "b")
+
+
+class TestBetween:
+    def test_closed_range(self, columns):
+        predicate = col_between("a", 3, 5)
+        assert np.array_equal(
+            predicate.evaluate(columns), [False, True, False, True]
+        )
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ExpressionError):
+            Between("a", 5, 3)
+
+    def test_flops(self):
+        assert col_between("a", 1, 2).flops == 3.0
+
+
+class TestCompound:
+    def test_and(self, columns):
+        predicate = col_gt("a", 2) & col_lt("a", 9)
+        assert isinstance(predicate, And)
+        assert np.array_equal(
+            predicate.evaluate(columns), [False, True, False, True]
+        )
+
+    def test_or(self, columns):
+        predicate = col_lt("a", 2) | col_gt("a", 8)
+        assert isinstance(predicate, Or)
+        assert np.array_equal(
+            predicate.evaluate(columns), [True, False, True, False]
+        )
+
+    def test_not(self, columns):
+        predicate = ~col_lt("a", 5)
+        assert isinstance(predicate, Not)
+        assert np.array_equal(
+            predicate.evaluate(columns), [False, True, True, False]
+        )
+
+    def test_nested_columns(self):
+        predicate = (col_lt("a", 1) & col_gt("b", 2)) | col_eq("c", 3)
+        assert predicate.columns() == frozenset({"a", "b", "c"})
+
+    def test_and_requires_two_parts(self):
+        with pytest.raises(ExpressionError):
+            And((col_lt("a", 1),))
+
+    def test_or_requires_two_parts(self):
+        with pytest.raises(ExpressionError):
+            Or((col_lt("a", 1),))
+
+    def test_conjunction_helper(self, columns):
+        single = conjunction([col_lt("a", 5)])
+        assert isinstance(single, Compare)
+        multi = conjunction([col_lt("a", 5), col_gt("b", 1)])
+        assert isinstance(multi, And)
+        with pytest.raises(ExpressionError):
+            conjunction([])
+
+    def test_disjunction_helper(self):
+        multi = disjunction([col_lt("a", 5), col_gt("b", 1)])
+        assert isinstance(multi, Or)
+        with pytest.raises(ExpressionError):
+            disjunction([])
+
+    def test_repr(self, columns):
+        text = repr(col_lt("a", 5) & col_gt("b", 1))
+        assert "AND" in text

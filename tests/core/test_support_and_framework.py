@@ -1,0 +1,141 @@
+"""Tests for the support matrix (Table II) and the plug-in framework."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GPU_BACKENDS,
+    PAPER_TABLE_II,
+    STUDIED_LIBRARIES,
+    GpuOperatorFramework,
+    Operator,
+    SupportLevel,
+    build_support_matrix,
+    compare_with_paper,
+    default_framework,
+    render_table_ii,
+)
+from repro.core.backend import OperatorSupport
+from repro.core.cpu_backend import CpuReferenceBackend
+from repro.core.support import TABLE_II_ROWS
+from repro.errors import ReproError
+from repro.gpu import Device
+
+
+@pytest.fixture
+def studied_backends(framework):
+    return [framework.create(name) for name in STUDIED_LIBRARIES]
+
+
+class TestTableII:
+    def test_matrix_matches_paper_exactly(self, studied_backends):
+        assert compare_with_paper(studied_backends) == []
+
+    def test_every_paper_row_is_covered(self):
+        row_titles = {title for title, _ops in TABLE_II_ROWS}
+        assert row_titles == set(PAPER_TABLE_II)
+
+    def test_hash_join_unsupported_in_all_libraries(self, studied_backends):
+        """The paper's headline finding."""
+        for backend in studied_backends:
+            assert (
+                backend.support()[Operator.HASH_JOIN].level
+                is SupportLevel.NONE
+            )
+
+    def test_merge_join_unsupported_in_all_libraries(self, studied_backends):
+        for backend in studied_backends:
+            assert (
+                backend.support()[Operator.MERGE_JOIN].level
+                is SupportLevel.NONE
+            )
+
+    def test_selection_full_only_in_arrayfire(self, studied_backends):
+        levels = {
+            backend.name: backend.support()[Operator.SELECTION].level
+            for backend in studied_backends
+        }
+        assert levels["arrayfire"] is SupportLevel.FULL
+        assert levels["thrust"] is SupportLevel.PARTIAL
+        assert levels["boost.compute"] is SupportLevel.PARTIAL
+
+    def test_render_contains_all_rows_and_legend(self, studied_backends):
+        text = render_table_ii(studied_backends)
+        for title, _ops in TABLE_II_ROWS:
+            assert title in text
+        assert "legend" in text
+
+    def test_merged_rows_take_weakest_level(self, framework):
+        matrix = build_support_matrix([framework.create("thrust")])
+        level, _functions = matrix["Conjunction & Disjunction"]["thrust"]
+        assert level is SupportLevel.FULL
+
+    def test_handwritten_supports_everything(self, framework):
+        backend = framework.create("handwritten")
+        assert all(
+            cell.level is SupportLevel.FULL
+            for cell in backend.support().values()
+        )
+
+
+class TestFramework:
+    def test_default_backends_registered(self, framework):
+        for name in GPU_BACKENDS + ("cpu-reference",):
+            assert name in framework
+
+    def test_create_unknown_backend(self, framework):
+        with pytest.raises(ReproError):
+            framework.create("cupy")
+
+    def test_duplicate_registration_rejected(self, framework):
+        with pytest.raises(ReproError):
+            framework.register("thrust", CpuReferenceBackend)
+
+    def test_plug_in_custom_backend(self, framework):
+        """The paper: a user can plug in new libraries and custom code."""
+
+        class MyBackend(CpuReferenceBackend):
+            name = "my-library"
+
+        framework.register("my-library", MyBackend)
+        backend = framework.create("my-library")
+        assert backend.name == "my-library"
+        ids = backend.selection(
+            {"x": np.array([1, 5])},
+            __import__("repro.core", fromlist=["col_gt"]).col_gt("x", 2),
+        )
+        assert np.array_equal(ids, [1])
+
+    def test_unregister(self, framework):
+        framework.register("temp", CpuReferenceBackend)
+        framework.unregister("temp")
+        assert "temp" not in framework
+        with pytest.raises(ReproError):
+            framework.unregister("temp")
+
+    def test_create_all_uses_independent_devices(self, framework):
+        backends = framework.create_all(["thrust", "arrayfire"])
+        assert backends[0].device is not backends[1].device
+
+    def test_empty_framework(self):
+        framework = GpuOperatorFramework(register_defaults=False)
+        assert len(framework) == 0
+
+    def test_iteration_sorted(self, framework):
+        assert list(framework) == sorted(framework.backend_names)
+
+    def test_create_with_explicit_device(self, framework):
+        device = Device()
+        backend = framework.create("thrust", device)
+        assert backend.device is device
+
+
+class TestOperatorSupportDataclass:
+    def test_defaults(self):
+        cell = OperatorSupport(SupportLevel.FULL)
+        assert cell.functions == ""
+
+    def test_support_levels_have_paper_symbols(self):
+        assert SupportLevel.FULL.value == "+"
+        assert SupportLevel.PARTIAL.value == "~"
+        assert SupportLevel.NONE.value == "-"

@@ -1,0 +1,83 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.gpu.clock import SimulatedClock, Stopwatch
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(1.5).now == 1.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(0.25)
+        clock.advance(0.75)
+        assert clock.now == pytest.approx(1.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimulatedClock()
+        assert clock.advance(2.0) == pytest.approx(2.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimulatedClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1e-9)
+
+    def test_unit_properties(self):
+        clock = SimulatedClock()
+        clock.advance(0.5)
+        assert clock.now_ms == pytest.approx(500.0)
+        assert clock.now_us == pytest.approx(500_000.0)
+
+    def test_elapsed_since(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        t0 = clock.now
+        clock.advance(0.5)
+        assert clock.elapsed_since(t0) == pytest.approx(0.5)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(3.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_repr_mentions_time(self):
+        assert "now=" in repr(SimulatedClock())
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        clock = SimulatedClock()
+        with Stopwatch(clock) as sw:
+            clock.advance(0.125)
+        assert sw.elapsed == pytest.approx(0.125)
+        assert sw.elapsed_ms == pytest.approx(125.0)
+
+    def test_nested_stopwatches(self):
+        clock = SimulatedClock()
+        with Stopwatch(clock) as outer:
+            clock.advance(0.1)
+            with Stopwatch(clock) as inner:
+                clock.advance(0.2)
+        assert inner.elapsed == pytest.approx(0.2)
+        assert outer.elapsed == pytest.approx(0.3)
+
+    def test_zero_elapsed_when_clock_untouched(self):
+        clock = SimulatedClock()
+        with Stopwatch(clock) as sw:
+            pass
+        assert sw.elapsed == 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for the Device facade and transfer model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    GTX_1080TI,
+    INTEGRATED_GPU,
+    PCIE3_X16,
+    TESLA_V100,
+    TUNED_PROFILE,
+    Device,
+    KernelCost,
+    LinkSpec,
+    get_spec,
+)
+from repro.gpu import profiler as prof
+
+
+class TestDeviceSpec:
+    def test_peak_flops_formula(self):
+        spec = GTX_1080TI
+        expected = spec.sm_count * spec.cores_per_sm * spec.core_clock_hz * 2
+        assert spec.peak_flops == pytest.approx(expected)
+
+    def test_presets_lookup(self):
+        assert get_spec("gtx-1080ti") is GTX_1080TI
+        assert get_spec("tesla-v100") is TESLA_V100
+        assert get_spec("integrated") is INTEGRATED_GPU
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_spec("quantum-gpu")
+
+    def test_v100_outperforms_1080ti(self):
+        assert TESLA_V100.peak_flops > GTX_1080TI.peak_flops
+        assert TESLA_V100.dram_bandwidth > GTX_1080TI.dram_bandwidth
+
+
+class TestLinkSpec:
+    def test_transfer_time_latency_plus_bandwidth(self):
+        link = LinkSpec("test", bandwidth=1e9, latency=1e-5)
+        assert link.transfer_time(0) == pytest.approx(1e-5)
+        assert link.transfer_time(1_000_000) == pytest.approx(1e-5 + 1e-3)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE3_X16.transfer_time(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec("bad", bandwidth=0.0, latency=0.0)
+        with pytest.raises(ValueError):
+            LinkSpec("bad", bandwidth=1.0, latency=-1.0)
+
+
+class TestDevice:
+    def test_launch_advances_clock_and_records(self, device):
+        cost = KernelCost("k", elements=1000, bytes_read_per_element=4.0)
+        duration = device.launch(cost, TUNED_PROFILE)
+        assert device.clock.now == pytest.approx(duration)
+        events = device.profiler.events
+        assert len(events) == 1
+        assert events[0].kind == prof.KERNEL
+        assert events[0].name == "k"
+
+    def test_transfers_record_bytes(self, device):
+        device.transfer_to_device(1_000_000, "upload")
+        device.transfer_to_host(512, "download")
+        summary = device.profiler.summary()
+        assert summary.bytes_h2d == 1_000_000
+        assert summary.bytes_d2h == 512
+        assert summary.transfer_time > 0.0
+
+    def test_compile_charges_and_records(self, device):
+        device.compile_program("opencl::foo", 0.025)
+        assert device.clock.now == pytest.approx(0.025)
+        assert device.profiler.summary().compile_time == pytest.approx(0.025)
+
+    def test_negative_compile_cost_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.compile_program("bad", -1.0)
+
+    def test_allocate_and_free_roundtrip(self, device):
+        buffer = device.allocate(4096, "col")
+        assert device.memory.used_bytes >= 4096
+        device.free(buffer)
+        assert device.memory.used_bytes == 0
+
+    def test_alloc_for_array(self, device):
+        array = np.zeros(1000, dtype=np.float64)
+        buffer = device.alloc_for_array(array, "col")
+        assert buffer.nbytes == array.nbytes
+
+    def test_reset_clears_clock_and_trace(self, device):
+        device.transfer_to_device(100)
+        device.reset()
+        assert device.clock.now == 0.0
+        assert len(device.profiler) == 0
+
+    def test_repr(self, device):
+        assert "gtx-1080ti" in repr(device)
+
+    def test_shared_memory_link_cheaper_than_pcie(self):
+        discrete = Device(GTX_1080TI)
+        integrated = Device(INTEGRATED_GPU)
+        nbytes = 100_000_000
+        t_discrete = discrete.transfer_to_device(nbytes)
+        t_integrated = integrated.transfer_to_device(nbytes)
+        assert t_integrated < t_discrete

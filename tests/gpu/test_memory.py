@@ -1,0 +1,130 @@
+"""Unit tests for the device memory manager."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError, InvalidBufferError
+from repro.gpu.memory import (
+    ALLOCATION_ALIGNMENT,
+    MemoryManager,
+    ScopedAllocation,
+    align_size,
+)
+
+
+class TestAlignSize:
+    def test_zero_rounds_to_one_unit(self):
+        assert align_size(0) == ALLOCATION_ALIGNMENT
+
+    def test_exact_multiple_unchanged(self):
+        assert align_size(ALLOCATION_ALIGNMENT * 3) == ALLOCATION_ALIGNMENT * 3
+
+    def test_rounds_up(self):
+        assert align_size(1) == ALLOCATION_ALIGNMENT
+        assert align_size(ALLOCATION_ALIGNMENT + 1) == 2 * ALLOCATION_ALIGNMENT
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            align_size(-1)
+
+
+class TestMemoryManager:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MemoryManager(0)
+
+    def test_allocation_accounts_aligned_bytes(self):
+        manager = MemoryManager(10_000)
+        buffer = manager.allocate(100, "x")
+        assert buffer.nbytes == 100
+        assert buffer.aligned_nbytes == ALLOCATION_ALIGNMENT
+        assert manager.used_bytes == ALLOCATION_ALIGNMENT
+
+    def test_oom_raises_with_details(self):
+        manager = MemoryManager(1024)
+        manager.allocate(512)
+        with pytest.raises(DeviceMemoryError) as excinfo:
+            manager.allocate(1024)
+        assert excinfo.value.requested == 1024
+        assert excinfo.value.available == 512
+
+    def test_free_restores_capacity(self):
+        manager = MemoryManager(1024)
+        buffer = manager.allocate(1024)
+        manager.free(buffer)
+        assert manager.used_bytes == 0
+        assert manager.free_bytes == 1024
+
+    def test_double_free_rejected(self):
+        manager = MemoryManager(1024)
+        buffer = manager.allocate(10)
+        manager.free(buffer)
+        with pytest.raises(InvalidBufferError):
+            manager.free(buffer)
+
+    def test_foreign_buffer_rejected(self):
+        a = MemoryManager(1024)
+        b = MemoryManager(1024)
+        buffer = a.allocate(10)
+        with pytest.raises(InvalidBufferError):
+            b.free(buffer)
+
+    def test_peak_tracks_high_water_mark(self):
+        manager = MemoryManager(10_000)
+        first = manager.allocate(2_000)
+        second = manager.allocate(2_000)
+        manager.free(first)
+        manager.free(second)
+        assert manager.peak_bytes >= 4_000
+        assert manager.used_bytes == 0
+
+    def test_reset_peak(self):
+        manager = MemoryManager(10_000)
+        buffer = manager.allocate(4_000)
+        manager.free(buffer)
+        manager.reset_peak()
+        assert manager.peak_bytes == 0
+
+    def test_leak_detection(self):
+        manager = MemoryManager(10_000)
+        kept = manager.allocate(100, "leaky")
+        freed = manager.allocate(100)
+        manager.free(freed)
+        leaks = manager.leaked_buffers()
+        assert leaks == (kept,)
+
+    def test_check_buffer_accepts_live(self):
+        manager = MemoryManager(1024)
+        buffer = manager.allocate(10)
+        manager.check_buffer(buffer)  # no raise
+
+    def test_check_buffer_rejects_freed(self):
+        manager = MemoryManager(1024)
+        buffer = manager.allocate(10)
+        manager.free(buffer)
+        with pytest.raises(InvalidBufferError):
+            manager.check_buffer(buffer)
+
+    def test_stats_count_allocs_and_frees(self):
+        manager = MemoryManager(10_000)
+        buffers = [manager.allocate(10) for _ in range(5)]
+        for buffer in buffers[:3]:
+            manager.free(buffer)
+        assert manager.stats == (5, 3)
+        assert manager.live_buffer_count == 2
+
+
+class TestScopedAllocation:
+    def test_frees_on_exit(self):
+        manager = MemoryManager(10_000)
+        with ScopedAllocation(manager, 100, "scratch") as buffer:
+            assert not buffer.freed
+            assert manager.used_bytes > 0
+        assert buffer.freed
+        assert manager.used_bytes == 0
+
+    def test_frees_on_exception(self):
+        manager = MemoryManager(10_000)
+        with pytest.raises(RuntimeError):
+            with ScopedAllocation(manager, 100, "scratch"):
+                raise RuntimeError("boom")
+        assert manager.used_bytes == 0

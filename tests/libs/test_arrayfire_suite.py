@@ -1,0 +1,311 @@
+"""Unit tests for the ArrayFire emulation: lazy algebra, JIT fusion,
+kernel cache, and the eager algorithm suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ArraySizeMismatchError, LibraryError
+from repro.gpu import Device
+from repro.libs import arrayfire as af
+
+
+@pytest.fixture
+def rt(device):
+    return af.ArrayFireRuntime(device)
+
+
+class TestLazyAlgebra:
+    def test_upload_is_materialized(self, rt):
+        a = rt.array(np.arange(10, dtype=np.float32))
+        assert not a.is_lazy
+
+    def test_elementwise_builds_lazy_tree(self, rt):
+        a = rt.array(np.arange(10, dtype=np.float32))
+        expr = a * 2.0 + 1.0
+        assert expr.is_lazy
+        assert len(expr) == 10
+
+    def test_no_kernel_until_eval(self, rt, device):
+        a = rt.array(np.arange(10, dtype=np.float32))
+        cursor = device.profiler.mark()
+        _expr = (a * 2.0 + 1.0) > 5.0
+        assert device.profiler.summary(since=cursor).kernel_count == 0
+
+    def test_eval_fuses_to_single_kernel(self, rt, device):
+        a = rt.array(np.arange(10, dtype=np.float32))
+        b = rt.array(np.ones(10, dtype=np.float32))
+        expr = (a * b + 1.0) / 2.0 - 3.0
+        cursor = device.profiler.mark()
+        expr.eval()
+        summary = device.profiler.summary(since=cursor)
+        assert summary.kernel_count == 1
+
+    def test_eval_semantics(self, rt):
+        data = np.arange(10, dtype=np.float64)
+        a = rt.array(data)
+        expr = (a * 3.0 + 1.0) / 2.0
+        assert np.allclose(expr.peek(), (data * 3.0 + 1.0) / 2.0)
+
+    def test_eval_idempotent(self, rt, device):
+        a = rt.array(np.arange(4, dtype=np.float32))
+        expr = a + 1.0
+        expr.eval()
+        cursor = device.profiler.mark()
+        expr.eval()
+        assert device.profiler.summary(since=cursor).kernel_count == 0
+
+    def test_comparisons_yield_bool(self, rt):
+        a = rt.array(np.array([1.0, 5.0]))
+        mask = (a > 2.0).eval()
+        assert mask.dtype == np.dtype(bool)
+        assert np.array_equal(mask.peek(), [False, True])
+
+    def test_logical_ops(self, rt):
+        a = rt.array(np.array([1, 4, 8], dtype=np.int32))
+        mask = ((a > 2) & (a < 6)) | (a == 1)
+        assert np.array_equal(mask.peek(), [True, True, False])
+
+    def test_invert_and_neg_and_abs(self, rt):
+        a = rt.array(np.array([-1, 2], dtype=np.int32))
+        assert np.array_equal((~(a > 0)).peek(), [True, False])
+        assert np.array_equal((-a).peek(), [1, -2])
+        assert np.array_equal(abs(a).peek(), [1, 2])
+
+    def test_reflected_scalar_ops(self, rt):
+        a = rt.array(np.array([1.0, 2.0]))
+        assert np.allclose((10.0 - a).peek(), [9.0, 8.0])
+        assert np.allclose((1.0 / a).peek(), [1.0, 0.5])
+
+    def test_cast(self, rt):
+        a = rt.array(np.array([1.7, 2.2]))
+        out = a.cast(np.int32).eval()
+        assert out.dtype == np.dtype(np.int32)
+        assert np.array_equal(out.peek(), [1, 2])
+
+    def test_length_mismatch_rejected(self, rt):
+        a = rt.array(np.arange(3, dtype=np.float32))
+        b = rt.array(np.arange(4, dtype=np.float32))
+        with pytest.raises(ArraySizeMismatchError):
+            _ = a + b
+
+    def test_cross_runtime_rejected(self, rt):
+        other = af.ArrayFireRuntime(Device())
+        a = rt.array(np.arange(3, dtype=np.float32))
+        b = other.array(np.arange(3, dtype=np.float32))
+        with pytest.raises(LibraryError):
+            _ = a + b
+
+    def test_to_host_charges_transfer(self, rt, device):
+        a = rt.array(np.arange(10, dtype=np.float64))
+        before = device.profiler.summary().bytes_d2h
+        (a + 1.0).to_host()
+        assert device.profiler.summary().bytes_d2h > before
+
+    def test_constant_and_iota(self, rt):
+        c = rt.constant(7, 5, np.int32)
+        assert np.array_equal(c.peek(), [7] * 5)
+        i = rt.iota(4)
+        assert np.array_equal(i.peek(), [0, 1, 2, 3])
+
+
+class TestJitCache:
+    def test_first_eval_compiles(self, rt, device):
+        a = rt.array(np.arange(10, dtype=np.float32))
+        (a * 2.0).eval()
+        assert rt.jit_cache.misses == 1
+        assert device.profiler.summary().compile_time > 0.0
+
+    def test_same_shape_hits_cache(self, rt, device):
+        a = rt.array(np.arange(10, dtype=np.float32))
+        b = rt.array(np.arange(10, dtype=np.float32))
+        (a * 2.0).eval()
+        compile_time = device.profiler.summary().compile_time
+        (b * 5.0).eval()  # same tree shape, different scalar/buffer
+        assert rt.jit_cache.hits == 1
+        assert device.profiler.summary().compile_time == compile_time
+
+    def test_different_shape_recompiles(self, rt):
+        a = rt.array(np.arange(10, dtype=np.float32))
+        (a * 2.0).eval()
+        (a + 2.0).eval()
+        assert rt.jit_cache.misses == 2
+
+    def test_bigger_trees_cost_more_to_compile(self, rt):
+        from repro.libs.arrayfire.jit import FusedKernel, JitKernelCache
+
+        cache = JitKernelCache()
+        small = FusedKernel("sig-a", node_count=1, flops_per_element=1.0,
+                            leaf_count=1)
+        large = FusedKernel("sig-b", node_count=20, flops_per_element=20.0,
+                            leaf_count=4)
+        assert cache.compile_cost(large) > cache.compile_cost(small)
+
+    def test_invalidate(self, rt):
+        a = rt.array(np.arange(4, dtype=np.float32))
+        (a * 2.0).eval()
+        rt.jit_cache.invalidate()
+        b = rt.array(np.arange(4, dtype=np.float32))
+        (b * 2.0).eval()
+        assert rt.jit_cache.misses == 2
+
+    def test_fusion_disabled_evaluates_eagerly(self, device):
+        rt = af.ArrayFireRuntime(device, fusion_enabled=False)
+        a = rt.array(np.arange(10, dtype=np.float32))
+        cursor = device.profiler.mark()
+        expr = a * 2.0 + 1.0
+        assert not expr.is_lazy
+        # Two ops -> two kernels (one per op), like an eager library.
+        assert device.profiler.summary(since=cursor).kernel_count == 2
+
+
+class TestAlgorithms:
+    def test_where(self, rt):
+        a = rt.array(np.array([0, 3, 0, 7], dtype=np.int32))
+        ids = af.where(a > 0)
+        assert ids.dtype == np.dtype(np.uint32)
+        assert np.array_equal(ids.peek(), [1, 3])
+
+    def test_where_on_fused_predicate_total_two_extra_kernels(self, rt, device):
+        a = rt.array(np.arange(100, dtype=np.float64))
+        b = rt.array(np.arange(100, dtype=np.float64))
+        mask = (a > 10.0) & (b < 90.0)
+        cursor = device.profiler.mark()
+        af.where(mask)
+        # 1 fused predicate kernel + scan + compact.
+        assert device.profiler.summary(since=cursor).kernel_count == 3
+
+    def test_count(self, rt):
+        a = rt.array(np.array([1, 0, 2], dtype=np.int32))
+        assert af.count(a) == 2
+
+    def test_reductions(self, rt):
+        a = rt.array(np.array([1.0, 2.0, 3.0]))
+        assert af.sum(a) == pytest.approx(6.0)
+        assert af.product(a) == pytest.approx(6.0)
+        assert af.min(a) == pytest.approx(1.0)
+        assert af.max(a) == pytest.approx(3.0)
+
+    def test_reduction_of_empty_minmax_raises(self, rt):
+        empty = rt.array(np.empty(0, dtype=np.float64))
+        with pytest.raises(LibraryError):
+            af.min(empty)
+
+    def test_sum_by_key_and_count_by_key(self, rt):
+        keys = rt.array(np.array([1, 1, 2], dtype=np.int32))
+        values = rt.array(np.array([1.0, 2.0, 5.0]))
+        out_keys, sums = af.sum_by_key(keys, values)
+        assert np.array_equal(out_keys.peek(), [1, 2])
+        assert np.allclose(sums.peek(), [3.0, 5.0])
+        ones = rt.constant(1, 3, np.int64)
+        _keys, counts = af.count_by_key(keys, ones)
+        assert np.array_equal(counts.peek(), [2, 1])
+
+    def test_minmax_by_key(self, rt):
+        keys = rt.array(np.array([1, 1, 2], dtype=np.int32))
+        values = rt.array(np.array([4.0, 9.0, 5.0]))
+        _k, mx = af.max_by_key(keys, values)
+        _k, mn = af.min_by_key(keys, values)
+        assert np.allclose(mx.peek(), [9.0, 5.0])
+        assert np.allclose(mn.peek(), [4.0, 5.0])
+
+    def test_by_key_length_mismatch(self, rt):
+        keys = rt.array(np.array([1], dtype=np.int32))
+        values = rt.array(np.array([1.0, 2.0]))
+        with pytest.raises(LibraryError):
+            af.sum_by_key(keys, values)
+
+    def test_sort_out_of_place(self, rt, rng):
+        data = rng.integers(0, 50, 32).astype(np.int32)
+        a = rt.array(data)
+        sorted_a = af.sort(a)
+        assert np.array_equal(sorted_a.peek(), np.sort(data))
+        assert np.array_equal(a.peek(), data)  # original untouched
+
+    def test_sort_descending(self, rt):
+        a = rt.array(np.array([2, 9, 4], dtype=np.int32))
+        assert np.array_equal(af.sort(a, ascending=False).peek(), [9, 4, 2])
+
+    def test_sort_by_key(self, rt):
+        keys = rt.array(np.array([3, 1], dtype=np.int32))
+        values = rt.array(np.array([30, 10], dtype=np.int32))
+        out_keys, out_values = af.sort_by_key(keys, values)
+        assert np.array_equal(out_keys.peek(), [1, 3])
+        assert np.array_equal(out_values.peek(), [10, 30])
+
+    def test_scan_and_accum(self, rt):
+        a = rt.array(np.array([1, 2, 3], dtype=np.int32))
+        assert np.array_equal(af.scan(a).peek(), [0, 1, 3])
+        assert np.array_equal(af.accum(a).peek(), [1, 3, 6])
+
+    def test_set_ops(self, rt):
+        a = rt.array(np.array([1, 3, 5], dtype=np.uint32))
+        b = rt.array(np.array([3, 5, 7], dtype=np.uint32))
+        assert np.array_equal(af.set_intersect(a, b).peek(), [3, 5])
+        assert np.array_equal(af.set_union(a, b).peek(), [1, 3, 5, 7])
+
+    def test_set_unique(self, rt):
+        a = rt.array(np.array([5, 1, 5, 3], dtype=np.int32))
+        assert np.array_equal(af.set_unique(a).peek(), [1, 3, 5])
+
+    def test_set_ops_with_non_unique_inputs(self, rt):
+        a = rt.array(np.array([1, 1, 2], dtype=np.int32))
+        b = rt.array(np.array([2, 2, 3], dtype=np.int32))
+        assert np.array_equal(
+            af.set_intersect(a, b, is_unique=False).peek(), [2]
+        )
+
+    def test_lookup(self, rt):
+        a = rt.array(np.array([10, 20, 30], dtype=np.int32))
+        idx = rt.array(np.array([2, 0], dtype=np.uint32))
+        assert np.array_equal(af.lookup(a, idx).peek(), [30, 10])
+
+    def test_lookup_out_of_range(self, rt):
+        a = rt.array(np.array([10], dtype=np.int32))
+        idx = rt.array(np.array([1], dtype=np.uint32))
+        with pytest.raises(IndexError):
+            af.lookup(a, idx)
+
+    def test_assign_indexed(self, rt):
+        destination = rt.constant(0, 4, np.int32)
+        af.assign_indexed(
+            destination,
+            rt.array(np.array([3, 1], dtype=np.uint32)),
+            rt.array(np.array([9, 5], dtype=np.int32)),
+        )
+        assert np.array_equal(destination.peek(), [0, 5, 0, 9])
+
+    def test_join_concatenates(self, rt):
+        a = rt.array(np.array([1, 2], dtype=np.int32))
+        b = rt.array(np.array([3], dtype=np.int32))
+        assert np.array_equal(af.join(a, b).peek(), [1, 2, 3])
+
+
+class TestFusionAdvantage:
+    def test_fused_selection_reads_less_than_eager(self):
+        """The core ArrayFire claim: a k-predicate conjunction is one fused
+        kernel, so adding predicates costs almost nothing vs. eager
+        libraries' extra transform per predicate."""
+        n = 1 << 20
+        data = [np.arange(n, dtype=np.float64) for _ in range(3)]
+
+        def af_time(k: int) -> float:
+            device = Device()
+            rt = af.ArrayFireRuntime(device)
+            arrays = [rt.array(d) for d in data[:k]]
+            mask = arrays[0] > 100.0
+            for arr in arrays[1:]:
+                mask = mask & (arr > 100.0)
+            mask.eval()  # includes one JIT compile
+            # measure warm
+            mask2 = arrays[0] > 200.0
+            for arr in arrays[1:]:
+                mask2 = mask2 & (arr > 200.0)
+            t0 = device.clock.now
+            mask2.eval()
+            return device.clock.now - t0
+
+        one = af_time(1)
+        three = af_time(3)
+        # Three predicates read three columns instead of one, but still one
+        # kernel: well under 3x the single-predicate time plus overheads.
+        assert three < 3.2 * one

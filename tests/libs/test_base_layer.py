@@ -1,0 +1,128 @@
+"""Tests for the shared library-emulation base layer and trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ArraySizeMismatchError
+from repro.gpu import Device, to_chrome_trace
+from repro.libs.base import (
+    DeviceArray,
+    LibraryRuntime,
+    as_numpy,
+    check_same_length,
+)
+from repro.libs.thrust.vector import THRUST_PROFILE
+
+
+class _ToyRuntime(LibraryRuntime):
+    library_name = "toy"
+
+    def __init__(self, device: Device) -> None:
+        super().__init__(device, THRUST_PROFILE)
+
+
+@pytest.fixture
+def runtime(device):
+    return _ToyRuntime(device)
+
+
+class TestAsNumpy:
+    def test_coerces_lists(self):
+        out = as_numpy([1, 2, 3], np.dtype(np.int32))
+        assert out.dtype == np.int32
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_numpy(np.zeros((2, 2)))
+
+
+class TestCheckSameLength:
+    def test_returns_length(self):
+        assert check_same_length(np.zeros(3), np.ones(3), "ctx") == 3
+
+    def test_raises_with_context(self):
+        with pytest.raises(ArraySizeMismatchError) as excinfo:
+            check_same_length(np.zeros(3), np.ones(4), "my-op")
+        assert "my-op" in str(excinfo.value)
+
+
+class TestRuntimeHelpers:
+    def test_upload_charges_h2d_and_copies(self, runtime, device):
+        data = np.arange(10, dtype=np.int64)
+        array = runtime._upload(data, "col")
+        data[0] = 99  # caller mutation must not leak into device state
+        assert array.peek()[0] == 0
+        assert device.profiler.summary().bytes_h2d == 80
+
+    def test_materialize_charges_nothing(self, runtime, device):
+        runtime._materialize(np.arange(4, dtype=np.int32), "tmp")
+        assert device.profiler.summary().bytes_h2d == 0
+
+    def test_charge_prefixes_library_name(self, runtime, device):
+        runtime._charge("my_kernel", 100, read=4.0)
+        assert device.profiler.events[-1].name == "toy::my_kernel"
+
+    def test_read_scalar_charges_d2h(self, runtime, device):
+        runtime._read_scalar(np.float64(1.5), "result")
+        assert device.profiler.summary().bytes_d2h == 8
+
+    def test_array_type_controls_wrapper_class(self, device):
+        class FancyArray(DeviceArray):
+            pass
+
+        class FancyRuntime(_ToyRuntime):
+            array_type = FancyArray
+
+        runtime = FancyRuntime(device)
+        out = runtime._upload(np.arange(3, dtype=np.int32), "x")
+        assert isinstance(out, FancyArray)
+
+
+class TestDeviceArrayLifetime:
+    def test_free_is_idempotent(self, runtime):
+        array = runtime._upload(np.arange(3, dtype=np.int32), "x")
+        array.free()
+        array.free()  # no raise
+        assert not array.alive
+
+    def test_repr_mentions_device(self, runtime):
+        array = runtime._upload(np.arange(3, dtype=np.int32), "x")
+        assert "gtx-1080ti" in repr(array)
+
+    def test_peek_does_not_charge(self, runtime, device):
+        array = runtime._upload(np.arange(3, dtype=np.int32), "x")
+        before = device.profiler.summary().bytes_d2h
+        array.peek()
+        assert device.profiler.summary().bytes_d2h == before
+
+
+class TestChromeTrace:
+    def test_export_shape(self, runtime, device):
+        array = runtime._upload(np.arange(100, dtype=np.int32), "x")
+        runtime._charge("k", 100, read=4.0)
+        device.compile_program("jit", 0.001)
+        array.free()
+        trace = to_chrome_trace(device.profiler.events)
+        # alloc/free are bookkeeping, not timeline rows.
+        categories = {entry["cat"] for entry in trace}
+        assert categories == {"transfer_h2d", "kernel", "compile"}
+        for entry in trace:
+            assert entry["ph"] == "X"
+            assert entry["dur"] >= 0.0
+
+    def test_export_is_json_serialisable(self, runtime, device):
+        runtime._charge("k", 10, read=4.0)
+        payload = json.dumps(
+            {"traceEvents": to_chrome_trace(device.profiler.events)}
+        )
+        assert "toy::k" in payload
+
+    def test_timeline_is_monotone(self, runtime, device):
+        for _ in range(5):
+            runtime._charge("k", 1000, read=4.0)
+        trace = to_chrome_trace(device.profiler.events)
+        starts = [entry["ts"] for entry in trace]
+        assert starts == sorted(starts)

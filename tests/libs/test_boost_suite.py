@@ -1,0 +1,233 @@
+"""Unit tests for the Boost.Compute emulation: semantics, the lambda DSL,
+and the program cache's cold/warm behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.gpu import Device
+from repro.libs import boost_compute as bc
+from repro.libs.boost_compute import _1, _2
+from repro.libs.thrust import functional as F
+
+
+@pytest.fixture
+def rt(device):
+    return bc.BoostComputeRuntime(device)
+
+
+class TestLambdaDsl:
+    def test_placeholder_arithmetic(self):
+        expr = _1 * 2 + 1
+        functor = expr.to_functor()
+        assert functor.arity == 1
+        assert np.array_equal(functor(np.array([0, 1, 2])), [1, 3, 5])
+
+    def test_two_placeholders(self):
+        expr = _1 + _2 * 10
+        functor = expr.to_functor()
+        assert functor.arity == 2
+        assert np.array_equal(
+            functor(np.array([1, 2]), np.array([3, 4])), [31, 42]
+        )
+
+    def test_comparisons_and_logic(self):
+        expr = (_1 > 2) & (_1 < 5)
+        functor = expr.to_functor()
+        assert np.array_equal(
+            functor(np.array([1, 3, 6])), [False, True, False]
+        )
+
+    def test_reflected_operands(self):
+        functor = (10 - _1).to_functor()
+        assert np.array_equal(functor(np.array([1, 2])), [9, 8])
+
+    def test_negation_and_not(self):
+        assert np.array_equal((-_1).to_functor()(np.array([1, -2])), [-1, 2])
+        assert np.array_equal(
+            (~(_1 > 0)).to_functor()(np.array([1, -1])), [False, True]
+        )
+
+    def test_source_signature_tracks_structure(self):
+        assert (_1 * 2).source == "(_1 * 2)"
+        assert (_1 * 2 + _2).source == "((_1 * 2) + _2)"
+
+    def test_flops_accumulate(self):
+        assert (_1 * 2 + 1).flops == pytest.approx(2.0)
+
+    def test_constant_only_expression_rejected(self):
+        from repro.libs.boost_compute.lambda_ import _as_expr
+
+        with pytest.raises(ExpressionError):
+            _as_expr(5).to_functor()
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(ExpressionError):
+            _1 + "banana"
+
+
+class TestProgramCache:
+    def test_first_use_compiles(self, rt, device):
+        v = rt.vector(np.arange(10, dtype=np.int32))
+        bc.transform(v, _1 * 2)
+        assert rt.program_cache.stats.misses == 1
+        assert device.profiler.summary().compile_time > 0.0
+
+    def test_second_use_hits(self, rt, device):
+        v = rt.vector(np.arange(10, dtype=np.int32))
+        bc.transform(v, _1 * 2)
+        compile_after_first = device.profiler.summary().compile_time
+        bc.transform(v, _1 * 2)
+        assert rt.program_cache.stats.hits == 1
+        assert device.profiler.summary().compile_time == compile_after_first
+
+    def test_different_source_recompiles(self, rt):
+        v = rt.vector(np.arange(10, dtype=np.int32))
+        bc.transform(v, _1 * 2)
+        bc.transform(v, _1 * 3)  # different constant -> different source
+        assert rt.program_cache.stats.misses == 2
+
+    def test_different_dtype_recompiles(self, rt):
+        a = rt.vector(np.arange(10, dtype=np.int32))
+        b = rt.vector(np.arange(10, dtype=np.int64))
+        bc.transform(a, _1 * 2)
+        bc.transform(b, _1 * 2)
+        assert rt.program_cache.stats.misses == 2
+
+    def test_invalidate_forces_recompile(self, rt):
+        v = rt.vector(np.arange(10, dtype=np.int32))
+        bc.transform(v, _1 * 2)
+        rt.program_cache.invalidate()
+        bc.transform(v, _1 * 2)
+        assert rt.program_cache.stats.misses == 2
+
+    def test_complexity_scales_compile_cost(self, rt):
+        cost_simple = rt.program_cache.ensure("simple", complexity=1)
+        cost_complex = rt.program_cache.ensure("complex", complexity=10)
+        assert cost_complex > cost_simple
+
+    def test_invalid_complexity(self, rt):
+        with pytest.raises(ValueError):
+            rt.program_cache.ensure("x", complexity=0)
+
+    def test_contains_and_len(self, rt):
+        rt.program_cache.ensure("a")
+        assert "a" in rt.program_cache
+        assert len(rt.program_cache) == 1
+
+
+class TestAlgorithms:
+    def test_transform_with_shared_functor(self, rt):
+        a = rt.vector(np.arange(5, dtype=np.int32))
+        b = rt.vector(np.ones(5, dtype=np.int32))
+        out = bc.transform(a, F.plus(), b)
+        assert np.array_equal(out.peek(), np.arange(5) + 1)
+
+    def test_reduce_and_accumulate(self, rt):
+        v = rt.vector(np.arange(10, dtype=np.int32))
+        assert bc.reduce(v) == 45
+        assert bc.accumulate(v, init=5) == 50
+
+    def test_reduce_minmax(self, rt):
+        v = rt.vector(np.array([4, 9, 2], dtype=np.int32))
+        assert bc.reduce(v, init=0, op=F.maximum()) == 9
+        assert bc.reduce(v, init=99, op=F.minimum()) == 2
+
+    def test_count_if_lambda(self, rt):
+        v = rt.vector(np.arange(100, dtype=np.int32))
+        assert bc.count_if(v, _1 >= 90) == 10
+
+    def test_scans(self, rt):
+        v = rt.vector(np.array([2, 4, 6], dtype=np.int32))
+        assert np.array_equal(bc.exclusive_scan(v).peek(), [0, 2, 6])
+        assert np.array_equal(bc.inclusive_scan(v).peek(), [2, 6, 12])
+
+    def test_sort_and_sort_by_key(self, rt, rng):
+        data = rng.integers(0, 100, 64).astype(np.int32)
+        v = rt.vector(data)
+        bc.sort(v)
+        assert np.array_equal(v.peek(), np.sort(data))
+        keys = rt.vector(np.array([2, 1], dtype=np.int32))
+        values = rt.vector(np.array([20, 10], dtype=np.int32))
+        bc.sort_by_key(keys, values)
+        assert np.array_equal(values.peek(), [10, 20])
+
+    def test_reduce_by_key(self, rt):
+        keys = rt.vector(np.array([1, 1, 3], dtype=np.int32))
+        values = rt.vector(np.array([1.5, 2.5, 4.0]))
+        out_keys, out_values = bc.reduce_by_key(keys, values)
+        assert np.array_equal(out_keys.peek(), [1, 3])
+        assert np.allclose(out_values.peek(), [4.0, 4.0])
+
+    def test_copy_if(self, rt):
+        v = rt.vector(np.arange(10, dtype=np.int32))
+        out = bc.copy_if(v, _1 % 2 == 0)
+        assert np.array_equal(out.peek(), [0, 2, 4, 6, 8])
+
+    def test_gather_scatter(self, rt):
+        source = rt.vector(np.array([5, 6, 7], dtype=np.int32))
+        index_map = rt.vector(np.array([2, 0], dtype=np.int32))
+        assert np.array_equal(bc.gather(index_map, source).peek(), [7, 5])
+        destination = rt.vector(np.zeros(3, dtype=np.int32))
+        bc.scatter(
+            rt.vector(np.array([1, 2], dtype=np.int32)),
+            rt.vector(np.array([1, 2], dtype=np.int32)),
+            destination,
+        )
+        assert np.array_equal(destination.peek(), [0, 1, 2])
+
+    def test_iota_fill_copy_unique(self, rt):
+        v = rt.empty(4, np.int32)
+        bc.iota(v, start=5)
+        assert np.array_equal(v.peek(), [5, 6, 7, 8])
+        clone = bc.copy(v)
+        bc.fill(v, 1)
+        assert np.array_equal(clone.peek(), [5, 6, 7, 8])
+        dup = rt.vector(np.array([1, 1, 2], dtype=np.int32))
+        assert np.array_equal(bc.unique(dup).peek(), [1, 2])
+
+    def test_bounds(self, rt):
+        haystack = rt.vector(np.array([1, 2, 2, 4], dtype=np.int32))
+        needles = rt.vector(np.array([2], dtype=np.int32))
+        assert bc.lower_bound(haystack, needles).peek()[0] == 1
+        assert bc.upper_bound(haystack, needles).peek()[0] == 3
+
+
+class TestCostShape:
+    def test_boost_slower_than_thrust_on_same_operator(self):
+        """Steady-state: OpenCL-tier kernels trail CUDA-tier ones."""
+        from repro.libs import thrust
+
+        data = np.arange(1_000_000, dtype=np.int32)
+
+        boost_device = Device()
+        boost_rt = bc.BoostComputeRuntime(boost_device)
+        bv = boost_rt.vector(data)
+        bc.transform(bv, _1 * 2)  # warm the cache
+        t0 = boost_device.clock.now
+        bc.transform(bv, _1 * 2)
+        boost_time = boost_device.clock.now - t0
+
+        thrust_device = Device()
+        thrust_rt = thrust.ThrustRuntime(thrust_device)
+        tv = thrust_rt.device_vector(data)
+        t0 = thrust_device.clock.now
+        thrust.transform(tv, F.multiplies(), tv)
+        thrust_time = thrust_device.clock.now - t0
+
+        assert boost_time > thrust_time
+
+    def test_radix_uses_more_passes_than_thrust(self, rt, device):
+        """Boost's 4-bit digits double the device passes of Thrust's 8-bit."""
+        from repro.libs import thrust
+
+        data = np.arange(100_000, dtype=np.int32)
+        v = rt.vector(data)
+        bc.sort(v)  # includes compile
+        t_device = Device()
+        t_rt = thrust.ThrustRuntime(t_device)
+        tv = t_rt.device_vector(data)
+        thrust.sort(tv)
+        boost_kernel_ms = device.profiler.summary().kernel_time
+        thrust_kernel_ms = t_device.profiler.summary().kernel_time
+        assert boost_kernel_ms > 1.5 * thrust_kernel_ms

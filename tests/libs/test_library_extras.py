@@ -1,0 +1,147 @@
+"""Tests for the extended library APIs (fused folds, element search,
+adjacent difference, mean, histogram)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ArraySizeMismatchError, LibraryError
+from repro.libs import arrayfire as af
+from repro.libs import thrust
+from repro.libs.thrust.functional import Functor
+
+
+@pytest.fixture
+def rt(device):
+    return thrust.ThrustRuntime(device)
+
+
+@pytest.fixture
+def art(device):
+    return af.ArrayFireRuntime(device)
+
+
+class TestTransformReduce:
+    def test_fused_map_fold(self, rt):
+        v = rt.device_vector(np.array([1.0, 2.0, 3.0]))
+        square = Functor("square", lambda x: x * x, arity=1, flops=1.0)
+        assert thrust.transform_reduce(v, square) == pytest.approx(14.0)
+
+    def test_init(self, rt):
+        v = rt.device_vector(np.array([1.0, 1.0]))
+        identity = Functor("id", lambda x: x, arity=1, flops=0.0)
+        assert thrust.transform_reduce(v, identity, init=10.0) == 12.0
+
+    def test_binary_functor_rejected(self, rt):
+        from repro.libs.thrust.functional import plus
+
+        v = rt.device_vector(np.array([1.0]))
+        with pytest.raises(TypeError):
+            thrust.transform_reduce(v, plus())
+
+    def test_single_kernel(self, rt, device):
+        v = rt.device_vector(np.ones(1000))
+        square = Functor("square", lambda x: x * x, arity=1, flops=1.0)
+        cursor = device.profiler.mark()
+        thrust.transform_reduce(v, square)
+        assert device.profiler.summary(since=cursor).kernel_count == 1
+
+    def test_cheaper_than_transform_then_reduce(self, device):
+        """The reason the fused form exists: one pass, no intermediate."""
+        rt = thrust.ThrustRuntime(device)
+        data = np.ones(1 << 20)
+        v = rt.device_vector(data)
+        square = Functor("square", lambda x: x * x, arity=1, flops=1.0)
+        t0 = device.clock.now
+        thrust.transform_reduce(v, square)
+        fused = device.clock.now - t0
+        t0 = device.clock.now
+        squared = thrust.transform(v, square)
+        thrust.reduce(squared)
+        chained = device.clock.now - t0
+        assert fused < chained
+
+
+class TestInnerProduct:
+    def test_dot(self, rt):
+        a = rt.device_vector(np.array([1.0, 2.0]))
+        b = rt.device_vector(np.array([3.0, 4.0]))
+        assert thrust.inner_product(a, b) == pytest.approx(11.0)
+
+    def test_length_mismatch(self, rt):
+        a = rt.device_vector(np.array([1.0]))
+        b = rt.device_vector(np.array([1.0, 2.0]))
+        with pytest.raises(ArraySizeMismatchError):
+            thrust.inner_product(a, b)
+
+    def test_q6_revenue_via_inner_product(self, rt, rng):
+        price = rng.random(1000) * 100
+        disc = rng.random(1000) * 0.1
+        a = rt.device_vector(price)
+        b = rt.device_vector(disc)
+        assert thrust.inner_product(a, b) == pytest.approx(
+            (price * disc).sum()
+        )
+
+
+class TestElementSearch:
+    def test_positions(self, rt):
+        v = rt.device_vector(np.array([3, 9, 1, 9], dtype=np.int32))
+        assert thrust.max_element(v) == 1  # first maximum
+        assert thrust.min_element(v) == 2
+
+    def test_empty_rejected(self, rt):
+        v = rt.device_vector(np.empty(0, dtype=np.int32))
+        with pytest.raises(LibraryError):
+            thrust.max_element(v)
+
+
+class TestAdjacentDifference:
+    def test_semantics(self, rt):
+        v = rt.device_vector(np.array([2, 5, 5, 9], dtype=np.int64))
+        out = thrust.adjacent_difference(v)
+        assert np.array_equal(out.peek(), [2, 3, 0, 4])
+
+    def test_group_boundary_detection(self, rt):
+        """The sorted-key run-boundary idiom."""
+        keys = rt.device_vector(np.array([1, 1, 2, 2, 2, 7], dtype=np.int64))
+        diffs = thrust.adjacent_difference(keys)
+        boundaries = np.flatnonzero(diffs.peek() != 0)
+        assert np.array_equal(boundaries, [0, 2, 5])
+
+    def test_empty(self, rt):
+        v = rt.device_vector(np.empty(0, dtype=np.int32))
+        assert len(thrust.adjacent_difference(v)) == 0
+
+
+class TestArrayFireMean:
+    def test_mean(self, art):
+        a = art.array(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert af.mean(a) == pytest.approx(2.5)
+
+    def test_mean_forces_lazy_eval(self, art):
+        a = art.array(np.array([1.0, 3.0]))
+        assert af.mean(a * 2.0) == pytest.approx(4.0)
+
+    def test_empty_rejected(self, art):
+        with pytest.raises(LibraryError):
+            af.mean(art.array(np.empty(0, dtype=np.float64)))
+
+
+class TestArrayFireHistogram:
+    def test_counts(self, art):
+        a = art.array(np.array([0.5, 1.5, 1.6, 3.2]))
+        h = af.histogram(a, bins=4, minval=0.0, maxval=4.0)
+        assert np.array_equal(h.peek(), [1, 2, 0, 1])
+        assert h.dtype == np.dtype(np.uint32)
+
+    def test_validation(self, art):
+        a = art.array(np.array([1.0]))
+        with pytest.raises(LibraryError):
+            af.histogram(a, bins=0, minval=0.0, maxval=1.0)
+        with pytest.raises(LibraryError):
+            af.histogram(a, bins=4, minval=1.0, maxval=1.0)
+
+    def test_total_count_preserved_for_in_range_data(self, art, rng):
+        data = rng.random(10_000)
+        h = af.histogram(art.array(data), bins=32, minval=0.0, maxval=1.0)
+        assert int(h.peek().sum()) == 10_000

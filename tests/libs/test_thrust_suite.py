@@ -1,0 +1,334 @@
+"""Unit tests for the Thrust emulation (semantics + cost accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ArraySizeMismatchError, InvalidBufferError
+from repro.gpu import Device
+from repro.libs import thrust
+from repro.libs.thrust import functional as F
+
+
+@pytest.fixture
+def rt(device):
+    return thrust.ThrustRuntime(device)
+
+
+class TestDeviceVector:
+    def test_upload_charges_transfer(self, rt, device):
+        rt.device_vector(np.arange(1000, dtype=np.int32))
+        summary = device.profiler.summary()
+        assert summary.bytes_h2d == 4000
+        assert device.clock.now > 0.0
+
+    def test_size_and_dtype(self, rt):
+        v = rt.device_vector(np.arange(10, dtype=np.float32))
+        assert v.size() == 10
+        assert v.dtype == np.float32
+        assert v.itemsize == 4
+
+    def test_empty_allocates_without_transfer(self, rt, device):
+        rt.empty(100, np.int64)
+        assert device.profiler.summary().bytes_h2d == 0
+
+    def test_negative_size_rejected(self, rt):
+        with pytest.raises(ValueError):
+            rt.empty(-1, np.int32)
+
+    def test_to_host_charges_d2h(self, rt, device):
+        v = rt.device_vector(np.arange(10, dtype=np.int32))
+        host = v.to_host()
+        assert np.array_equal(host, np.arange(10))
+        assert device.profiler.summary().bytes_d2h == 40
+
+    def test_free_releases_device_memory(self, rt, device):
+        v = rt.device_vector(np.arange(1000, dtype=np.int64))
+        used = device.memory.used_bytes
+        v.free()
+        assert device.memory.used_bytes < used
+        assert not v.alive
+
+    def test_use_after_free_rejected(self, rt):
+        v = rt.device_vector(np.arange(4, dtype=np.int32))
+        v.free()
+        with pytest.raises(InvalidBufferError):
+            v.to_host()
+
+    def test_garbage_collection_frees_buffer(self, rt, device):
+        v = rt.device_vector(np.arange(1000, dtype=np.int64))
+        del v
+        assert device.memory.used_bytes == 0
+
+
+class TestTransform:
+    def test_unary(self, rt):
+        v = rt.device_vector(np.arange(8, dtype=np.int32))
+        out = thrust.transform(v, F.negate())
+        assert np.array_equal(out.peek(), -np.arange(8))
+
+    def test_binary(self, rt):
+        a = rt.device_vector(np.arange(8, dtype=np.int32))
+        b = rt.device_vector(np.full(8, 3, dtype=np.int32))
+        out = thrust.transform(a, F.plus(), b)
+        assert np.array_equal(out.peek(), np.arange(8) + 3)
+
+    def test_length_mismatch(self, rt):
+        a = rt.device_vector(np.arange(8, dtype=np.int32))
+        b = rt.device_vector(np.arange(4, dtype=np.int32))
+        with pytest.raises(ArraySizeMismatchError):
+            thrust.transform(a, F.plus(), b)
+
+    def test_arity_mismatch(self, rt):
+        a = rt.device_vector(np.arange(8, dtype=np.int32))
+        b = rt.device_vector(np.arange(8, dtype=np.int32))
+        with pytest.raises(TypeError):
+            thrust.transform(a, F.plus())
+        with pytest.raises(TypeError):
+            thrust.transform(a, F.negate(), b)
+
+    def test_predicate_functors(self, rt):
+        v = rt.device_vector(np.array([1, 5, 9, 3], dtype=np.int32))
+        assert np.array_equal(
+            thrust.transform(v, F.greater_than(4)).peek(),
+            [False, True, True, False],
+        )
+        assert np.array_equal(
+            thrust.transform(v, F.between(3, 9)).peek(),
+            [False, True, False, True],
+        )
+
+    def test_one_kernel_per_transform(self, rt, device):
+        v = rt.device_vector(np.arange(8, dtype=np.int32))
+        cursor = device.profiler.mark()
+        thrust.transform(v, F.negate())
+        assert device.profiler.summary(since=cursor).kernel_count == 1
+
+
+class TestReduce:
+    def test_sum_default(self, rt):
+        v = rt.device_vector(np.arange(100, dtype=np.int32))
+        assert thrust.reduce(v) == 4950
+
+    def test_sum_with_init(self, rt):
+        v = rt.device_vector(np.ones(10, dtype=np.float64))
+        assert thrust.reduce(v, init=5.0) == pytest.approx(15.0)
+
+    def test_int32_sum_does_not_overflow(self, rt):
+        v = rt.device_vector(np.full(10, 2**30, dtype=np.int32))
+        assert thrust.reduce(v) == 10 * 2**30
+
+    def test_maximum_minimum(self, rt):
+        v = rt.device_vector(np.array([3, 7, 1], dtype=np.int64))
+        assert thrust.reduce(v, init=0, functor=F.maximum()) == 7
+        assert thrust.reduce(v, init=100, functor=F.minimum()) == 1
+
+    def test_reads_scalar_back(self, rt, device):
+        v = rt.device_vector(np.ones(10, dtype=np.float64))
+        cursor = device.profiler.mark()
+        thrust.reduce(v)
+        assert device.profiler.summary(since=cursor).bytes_d2h > 0
+
+    def test_count_if(self, rt):
+        v = rt.device_vector(np.arange(100, dtype=np.int32))
+        assert thrust.count_if(v, F.less_than(10)) == 10
+
+
+class TestScan:
+    def test_exclusive(self, rt):
+        v = rt.device_vector(np.array([1, 2, 3, 4], dtype=np.int32))
+        out = thrust.exclusive_scan(v)
+        assert np.array_equal(out.peek(), [0, 1, 3, 6])
+
+    def test_exclusive_with_init(self, rt):
+        v = rt.device_vector(np.array([1, 2, 3], dtype=np.int32))
+        out = thrust.exclusive_scan(v, init=10)
+        assert np.array_equal(out.peek(), [10, 11, 13])
+
+    def test_inclusive(self, rt):
+        v = rt.device_vector(np.array([1, 2, 3, 4], dtype=np.int32))
+        out = thrust.inclusive_scan(v)
+        assert np.array_equal(out.peek(), [1, 3, 6, 10])
+
+    def test_empty_input(self, rt):
+        v = rt.device_vector(np.empty(0, dtype=np.int32))
+        assert len(thrust.exclusive_scan(v)) == 0
+
+
+class TestSort:
+    def test_sort_in_place(self, rt, rng):
+        data = rng.integers(0, 1000, 500).astype(np.int32)
+        v = rt.device_vector(data)
+        thrust.sort(v)
+        assert np.array_equal(v.peek(), np.sort(data))
+
+    def test_sort_descending(self, rt, rng):
+        data = rng.integers(0, 1000, 100).astype(np.int32)
+        v = rt.device_vector(data)
+        thrust.sort(v, descending=True)
+        assert np.array_equal(v.peek(), np.sort(data)[::-1])
+
+    def test_sort_by_key_permutes_values(self, rt):
+        keys = rt.device_vector(np.array([3, 1, 2], dtype=np.int32))
+        values = rt.device_vector(np.array([30, 10, 20], dtype=np.int32))
+        thrust.sort_by_key(keys, values)
+        assert np.array_equal(keys.peek(), [1, 2, 3])
+        assert np.array_equal(values.peek(), [10, 20, 30])
+
+    def test_sort_by_key_is_stable(self, rt):
+        keys = rt.device_vector(np.array([1, 1, 0, 0], dtype=np.int32))
+        values = rt.device_vector(np.array([0, 1, 2, 3], dtype=np.int32))
+        thrust.sort_by_key(keys, values)
+        assert np.array_equal(values.peek(), [2, 3, 0, 1])
+
+    def test_is_sorted(self, rt):
+        assert thrust.is_sorted(
+            rt.device_vector(np.array([1, 2, 3], dtype=np.int32))
+        )
+        assert not thrust.is_sorted(
+            rt.device_vector(np.array([3, 2, 1], dtype=np.int32))
+        )
+
+    def test_64bit_sort_costs_more_than_32bit(self, device):
+        rt = thrust.ThrustRuntime(device)
+        data32 = np.arange(100_000, dtype=np.int32)
+        data64 = np.arange(100_000, dtype=np.int64)
+        v32 = rt.device_vector(data32)
+        v64 = rt.device_vector(data64)
+        t0 = device.clock.now
+        thrust.sort(v32)
+        t_32 = device.clock.now - t0
+        t0 = device.clock.now
+        thrust.sort(v64)
+        t_64 = device.clock.now - t0
+        # Twice the digit passes and twice the bytes per pass.
+        assert t_64 > 2.0 * t_32
+
+
+class TestReduceByKey:
+    def test_consecutive_segments(self, rt):
+        keys = rt.device_vector(np.array([1, 1, 2, 2, 2, 5], dtype=np.int32))
+        values = rt.device_vector(
+            np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], dtype=np.float64)
+        )
+        out_keys, out_values = thrust.reduce_by_key(keys, values)
+        assert np.array_equal(out_keys.peek(), [1, 2, 5])
+        assert np.allclose(out_values.peek(), [3.0, 12.0, 6.0])
+
+    def test_unsorted_keys_yield_runs(self, rt):
+        """C++ contract: only *consecutive* equal keys merge."""
+        keys = rt.device_vector(np.array([1, 2, 1], dtype=np.int32))
+        values = rt.device_vector(np.array([10, 20, 30], dtype=np.int32))
+        out_keys, out_values = thrust.reduce_by_key(keys, values)
+        assert np.array_equal(out_keys.peek(), [1, 2, 1])
+        assert np.array_equal(out_values.peek(), [10, 20, 30])
+
+    def test_maximum_functor(self, rt):
+        keys = rt.device_vector(np.array([1, 1, 2], dtype=np.int32))
+        values = rt.device_vector(np.array([5, 9, 2], dtype=np.int32))
+        _keys, out = thrust.reduce_by_key(keys, values, F.maximum())
+        assert np.array_equal(out.peek(), [9, 2])
+
+    def test_empty(self, rt):
+        keys = rt.device_vector(np.empty(0, dtype=np.int32))
+        values = rt.device_vector(np.empty(0, dtype=np.int32))
+        out_keys, out_values = thrust.reduce_by_key(keys, values)
+        assert len(out_keys) == 0
+        assert len(out_values) == 0
+
+
+class TestCompactionAndMovement:
+    def test_copy_if(self, rt):
+        v = rt.device_vector(np.arange(10, dtype=np.int32))
+        out = thrust.copy_if(v, F.greater_equal(7))
+        assert np.array_equal(out.peek(), [7, 8, 9])
+
+    def test_copy_if_launches_three_kernels(self, rt, device):
+        v = rt.device_vector(np.arange(10, dtype=np.int32))
+        cursor = device.profiler.mark()
+        thrust.copy_if(v, F.greater_equal(7))
+        assert device.profiler.summary(since=cursor).kernel_count == 3
+
+    def test_copy_if_with_stencil(self, rt):
+        v = rt.device_vector(np.array([10, 20, 30], dtype=np.int32))
+        stencil = rt.device_vector(np.array([0, 1, 1], dtype=np.int32))
+        out = thrust.copy_if(v, F.greater_than(0), stencil=stencil)
+        assert np.array_equal(out.peek(), [20, 30])
+
+    def test_gather(self, rt):
+        source = rt.device_vector(np.array([10, 20, 30, 40], dtype=np.int32))
+        index_map = rt.device_vector(np.array([3, 0, 2], dtype=np.int32))
+        out = thrust.gather(index_map, source)
+        assert np.array_equal(out.peek(), [40, 10, 30])
+
+    def test_gather_out_of_range(self, rt):
+        source = rt.device_vector(np.arange(4, dtype=np.int32))
+        index_map = rt.device_vector(np.array([4], dtype=np.int32))
+        with pytest.raises(IndexError):
+            thrust.gather(index_map, source)
+
+    def test_scatter(self, rt):
+        source = rt.device_vector(np.array([10, 20, 30], dtype=np.int32))
+        index_map = rt.device_vector(np.array([2, 0, 1], dtype=np.int32))
+        destination = rt.device_vector(np.zeros(3, dtype=np.int32))
+        thrust.scatter(source, index_map, destination)
+        assert np.array_equal(destination.peek(), [20, 30, 10])
+
+    def test_scatter_out_of_range(self, rt):
+        source = rt.device_vector(np.array([1], dtype=np.int32))
+        index_map = rt.device_vector(np.array([5], dtype=np.int32))
+        destination = rt.device_vector(np.zeros(3, dtype=np.int32))
+        with pytest.raises(IndexError):
+            thrust.scatter(source, index_map, destination)
+
+    def test_scatter_if_counting_iterator(self, rt):
+        positions = rt.device_vector(np.array([0, 0, 1, 1], dtype=np.int32))
+        flags = rt.device_vector(np.array([0, 1, 0, 1], dtype=np.int32))
+        out = rt.empty(2, np.int64)
+        thrust.scatter_if(positions, flags, out)
+        # Selected rows 1 and 3 land at their scanned positions.
+        assert np.array_equal(out.peek(), [1, 3])
+
+    def test_sequence_and_fill(self, rt):
+        v = rt.empty(5, np.int32)
+        thrust.sequence(v, start=2, step=3)
+        assert np.array_equal(v.peek(), [2, 5, 8, 11, 14])
+        thrust.fill(v, 7)
+        assert np.array_equal(v.peek(), [7] * 5)
+
+    def test_copy_is_independent(self, rt):
+        v = rt.device_vector(np.array([1, 2, 3], dtype=np.int32))
+        clone = thrust.copy(v)
+        thrust.fill(v, 0)
+        assert np.array_equal(clone.peek(), [1, 2, 3])
+
+    def test_unique_consecutive(self, rt):
+        v = rt.device_vector(np.array([1, 1, 2, 1, 1, 3], dtype=np.int32))
+        out = thrust.unique(v)
+        assert np.array_equal(out.peek(), [1, 2, 1, 3])
+
+    def test_lower_upper_bound(self, rt):
+        haystack = rt.device_vector(np.array([1, 3, 3, 5], dtype=np.int32))
+        needles = rt.device_vector(np.array([0, 3, 6], dtype=np.int32))
+        lo = thrust.lower_bound(haystack, needles)
+        hi = thrust.upper_bound(haystack, needles)
+        assert np.array_equal(lo.peek(), [0, 1, 4])
+        assert np.array_equal(hi.peek(), [0, 3, 4])
+
+    def test_for_each_n(self, rt):
+        v = rt.device_vector(np.arange(6, dtype=np.int32))
+        thrust.for_each_n(v, 3, F.negate())
+        assert np.array_equal(v.peek(), [0, -1, -2, 3, 4, 5])
+
+    def test_for_each_n_out_of_range(self, rt):
+        v = rt.device_vector(np.arange(3, dtype=np.int32))
+        with pytest.raises(IndexError):
+            thrust.for_each_n(v, 4, F.negate())
+
+    def test_wrong_runtime_rejected(self, device):
+        from repro.errors import LibraryError
+        from repro.libs import boost_compute as bc
+
+        boost_rt = bc.BoostComputeRuntime(device)
+        v = boost_rt.vector(np.arange(3, dtype=np.int32))
+        with pytest.raises(LibraryError):
+            thrust.transform(v, F.negate())

@@ -1,0 +1,165 @@
+"""Tests for the logical plan optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import col_gt, col_lt, default_framework
+from repro.core.expr import col
+from repro.core.predicate import And
+from repro.query import Filter, Project, QueryExecutor, Scan, scan, walk
+from repro.query.optimizer import optimize, rename_predicate
+from repro.relational import Column, Table
+
+
+@pytest.fixture
+def catalog(rng):
+    return {
+        "t": Table("t", [
+            Column.from_values("a", rng.integers(0, 100, 3_000).astype(np.int32)),
+            Column.from_values("b", rng.random(3_000)),
+            Column.from_values("c", rng.random(3_000)),
+        ])
+    }
+
+
+def _count(plan, node_type):
+    return sum(1 for node in walk(plan) if isinstance(node, node_type))
+
+
+class TestRenamePredicate:
+    def test_renames_all_node_kinds(self):
+        from repro.core.predicate import col_between, col_cmp
+
+        predicate = (
+            (col_lt("x", 1) & col_between("y", 0, 2))
+            | ~col_cmp("x", "lt", "y")
+        )
+        renamed = rename_predicate(predicate, {"x": "a", "y": "b"})
+        assert renamed.columns() == frozenset({"a", "b"})
+
+    def test_unmapped_columns_pass_through(self):
+        renamed = rename_predicate(col_lt("x", 1), {})
+        assert renamed.columns() == frozenset({"x"})
+
+
+class TestFilterMerging:
+    def test_adjacent_filters_merge(self):
+        plan = (
+            scan("t").filter(col_lt("a", 50)).filter(col_gt("b", 0.2)).build()
+        )
+        optimized = optimize(plan)
+        assert _count(plan, Filter) == 2
+        assert _count(optimized, Filter) == 1
+        merged = next(n for n in walk(optimized) if isinstance(n, Filter))
+        assert isinstance(merged.predicate, And)
+
+    def test_three_filters_collapse_to_one(self):
+        plan = (
+            scan("t")
+            .filter(col_lt("a", 50))
+            .filter(col_gt("b", 0.2))
+            .filter(col_lt("c", 0.9))
+            .build()
+        )
+        assert _count(optimize(plan), Filter) == 1
+
+    def test_fixpoint_is_stable(self):
+        plan = scan("t").filter(col_lt("a", 50)).build()
+        once = optimize(plan)
+        twice = optimize(once)
+        assert once == twice
+
+
+class TestFilterPushdown:
+    def test_pushes_through_passthrough_project(self):
+        plan = (
+            scan("t")
+            .project(["a", "b"])
+            .filter(col_lt("a", 50))
+            .build()
+        )
+        optimized = optimize(plan)
+        # Project is now the root; Filter sits below it.
+        assert isinstance(optimized, Project)
+        assert isinstance(optimized.child, Filter)
+        assert isinstance(optimized.child.child, Scan)
+
+    def test_renamed_passthrough_rewrites_predicate(self):
+        plan = (
+            scan("t")
+            .project([("alias", col("a"))])
+            .filter(col_lt("alias", 50))
+            .build()
+        )
+        optimized = optimize(plan)
+        pushed = next(n for n in walk(optimized) if isinstance(n, Filter))
+        assert pushed.predicate.columns() == frozenset({"a"})
+
+    def test_derived_column_blocks_pushdown(self):
+        plan = (
+            scan("t")
+            .project([("d", col("a") * 2.0)])
+            .filter(col_lt("d", 50))
+            .build()
+        )
+        optimized = optimize(plan)
+        # The derived column must be computed first: Filter stays on top.
+        assert isinstance(optimized, Filter)
+
+    def test_push_then_merge_composes(self):
+        plan = (
+            scan("t")
+            .filter(col_gt("b", 0.1))
+            .project(["a", "b"])
+            .filter(col_lt("a", 50))
+            .build()
+        )
+        optimized = optimize(plan)
+        assert _count(optimized, Filter) == 1
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("backend_name", ["thrust", "arrayfire",
+                                              "handwritten"])
+    def test_optimized_plans_return_identical_results(
+        self, catalog, framework, backend_name
+    ):
+        plans = [
+            scan("t").filter(col_lt("a", 50)).filter(col_gt("b", 0.3)).build(),
+            scan("t").project(["a", "c"]).filter(col_lt("a", 20)).build(),
+            (
+                scan("t")
+                .filter(col_gt("c", 0.1))
+                .project([("x", col("a")), "b"])
+                .filter(col_lt("x", 70))
+                .order_by("x")
+                .limit(10)
+                .build()
+            ),
+        ]
+        for plan in plans:
+            base = QueryExecutor(
+                framework.create(backend_name), catalog
+            ).execute(plan)
+            optimized = QueryExecutor(
+                framework.create(backend_name), catalog
+            ).execute(optimize(plan))
+            assert base.table.equals(optimized.table), plan
+
+    def test_merging_reduces_simulated_cost(self, catalog, framework):
+        plan = (
+            scan("t").filter(col_lt("a", 50)).filter(col_gt("b", 0.3)).build()
+        )
+        base_backend = framework.create("thrust")
+        base = QueryExecutor(base_backend, catalog).execute(plan)
+        optimized_backend = framework.create("thrust")
+        optimized = QueryExecutor(optimized_backend, catalog).execute(
+            optimize(plan)
+        )
+        assert (
+            optimized.report.simulated_seconds < base.report.simulated_seconds
+        )
+        assert (
+            optimized.report.summary.kernel_count
+            < base.report.summary.kernel_count
+        )

@@ -1,0 +1,140 @@
+"""Unit tests for logical plans and the fluent builder."""
+
+import pytest
+
+from repro.core.expr import ColRef, col, lit
+from repro.core.predicate import col_gt, col_lt
+from repro.errors import PlanError
+from repro.query import (
+    Aggregate,
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    OrderBy,
+    Project,
+    Scan,
+    explain,
+    scan,
+    walk,
+)
+
+
+class TestPlanNodes:
+    def test_scan_validation(self):
+        with pytest.raises(PlanError):
+            Scan("")
+
+    def test_filter_required_columns(self):
+        node = Filter(Scan("t"), col_lt("a", 1) & col_gt("b", 2))
+        assert node.required_columns() == frozenset({"a", "b"})
+        assert node.children() == (Scan("t"),)
+
+    def test_project_validation(self):
+        with pytest.raises(PlanError):
+            Project(Scan("t"), ())
+        with pytest.raises(PlanError):
+            Project(
+                Scan("t"),
+                (("x", ColRef("a")), ("x", ColRef("b"))),
+            )
+
+    def test_project_required_columns(self):
+        node = Project(Scan("t"), (("y", col("a") * col("b")),))
+        assert node.required_columns() == frozenset({"a", "b"})
+
+    def test_join_validation(self):
+        with pytest.raises(PlanError):
+            Join(Scan("a"), Scan("b"), "x", "y", algorithm="quantum")
+
+    def test_join_required_columns(self):
+        node = Join(Scan("a"), Scan("b"), "x", "y")
+        assert node.required_columns() == frozenset({"x", "y"})
+
+    def test_aggregate_validation(self):
+        with pytest.raises(PlanError):
+            Aggregate("a", "median", col("x"))
+        with pytest.raises(PlanError):
+            Aggregate("a", "sum", None)
+        Aggregate("a", "count", None)  # count(*) is fine
+
+    def test_group_by_validation(self):
+        with pytest.raises(PlanError):
+            GroupBy(Scan("t"), ("k",), ())
+        with pytest.raises(PlanError):
+            GroupBy(
+                Scan("t"), ("k",),
+                (Aggregate("k", "count", None),),  # clashes with key name
+            )
+
+    def test_group_by_required_columns(self):
+        node = GroupBy(
+            Scan("t"), ("k",),
+            (Aggregate("s", "sum", col("v") * 2.0),),
+        )
+        assert node.required_columns() == frozenset({"k", "v"})
+
+    def test_limit_validation(self):
+        with pytest.raises(PlanError):
+            Limit(Scan("t"), -1)
+
+    def test_walk_preorder(self):
+        plan = Filter(Scan("t"), col_lt("a", 1))
+        kinds = [type(node).__name__ for node in walk(plan)]
+        assert kinds == ["Filter", "Scan"]
+
+    def test_explain_renders_tree(self):
+        plan = Limit(
+            OrderBy(Filter(Scan("t"), col_lt("a", 1)), "a"), 5
+        )
+        text = explain(plan)
+        assert "Limit(5)" in text
+        assert "OrderBy(a asc)" in text
+        assert "Scan(t)" in text
+
+
+class TestBuilder:
+    def test_chain_builds_expected_tree(self):
+        plan = (
+            scan("t")
+            .filter(col_lt("a", 10))
+            .project(["a", ("double_a", col("a") * 2)])
+            .order_by("a", descending=True)
+            .limit(3)
+            .build()
+        )
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.child, OrderBy)
+        assert plan.child.descending
+        project = plan.child.child
+        assert isinstance(project, Project)
+        assert project.outputs[0][0] == "a"
+        assert isinstance(project.outputs[0][1], ColRef)
+
+    def test_builder_is_immutable(self):
+        base = scan("t")
+        filtered = base.filter(col_lt("a", 1))
+        assert base.build() != filtered.build()
+        assert isinstance(base.build(), Scan)
+
+    def test_group_by_and_aggregate(self):
+        plan = (
+            scan("t")
+            .group_by(["k"], [("total", "sum", "v"), ("n", "count", None)])
+            .build()
+        )
+        assert isinstance(plan, GroupBy)
+        assert plan.keys == ("k",)
+        assert plan.aggregates[1].expr is None
+
+    def test_aggregate_shorthand_is_keyless(self):
+        plan = scan("t").aggregate([("total", "sum", lit(1.0) + col("v"))]).build()
+        assert isinstance(plan, GroupBy)
+        assert plan.keys == ()
+
+    def test_join(self):
+        plan = (
+            scan("a").join(scan("b"), "x", "y", algorithm="hash").build()
+        )
+        assert isinstance(plan, Join)
+        assert plan.algorithm == "hash"

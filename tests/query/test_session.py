@@ -1,0 +1,104 @@
+"""Tests for resident-column GPU sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core import col_lt
+from repro.query import GpuSession, QueryExecutor, scan
+from repro.relational import Column, Table
+from repro.tpch import TpchGenerator, q1, q6
+
+
+@pytest.fixture
+def catalog(rng):
+    return {
+        "t": Table("t", [
+            Column.from_values("a", rng.integers(0, 100, 2_000).astype(np.int32)),
+            Column.from_values("b", rng.random(2_000)),
+        ])
+    }
+
+
+@pytest.fixture(params=["thrust", "arrayfire", "handwritten"])
+def session(request, catalog, framework):
+    return GpuSession(framework.create(request.param), catalog)
+
+
+class TestCaching:
+    def test_second_query_transfers_less(self, session):
+        plan = scan("t").filter(col_lt("a", 50)).build()
+        first = session.execute(plan)
+        second = session.execute(plan)
+        assert (
+            second.report.summary.bytes_h2d
+            < 0.2 * max(first.report.summary.bytes_h2d, 1)
+        )
+
+    def test_results_identical_cached_or_not(self, session, catalog):
+        plan = scan("t").filter(col_lt("a", 50)).build()
+        first = session.execute(plan)
+        second = session.execute(plan)
+        assert first.table.equals(second.table)
+        fresh = QueryExecutor(session.backend, catalog).execute(plan)
+        assert fresh.table.equals(second.table)
+
+    def test_resident_metadata(self, session):
+        session.execute(scan("t").filter(col_lt("a", 50)).build())
+        assert ("t", "a") in session.resident_columns
+        assert session.resident_bytes > 0
+        assert "resident" in repr(session)
+
+    def test_partial_column_overlap(self, session):
+        session.execute(
+            scan("t").filter(col_lt("a", 50)).project(["a"]).build()
+        )
+        before = set(session.resident_columns)
+        session.execute(
+            scan("t").filter(col_lt("a", 50)).project(["b"]).build()
+        )
+        after = set(session.resident_columns)
+        assert ("t", "b") in after - before
+
+
+class TestEviction:
+    def test_evict_all(self, session):
+        session.execute(scan("t").build())
+        count = session.evict()
+        assert count == 2
+        assert session.resident_columns == ()
+        assert session.resident_bytes == 0
+
+    def test_evict_one_table(self, session, catalog):
+        session.execute(scan("t").build())
+        assert session.evict("nope") == 0
+        assert session.evict("t") == 2
+
+    def test_query_after_eviction_reuploads(self, session):
+        plan = scan("t").build()
+        session.execute(plan)
+        session.evict()
+        result = session.execute(plan)
+        assert result.report.summary.bytes_h2d > 0
+
+    def test_eviction_releases_device_memory(self, session):
+        session.execute(scan("t").build())
+        used_before = session.backend.device.memory.used_bytes
+        session.evict()
+        assert session.backend.device.memory.used_bytes < used_before
+
+
+class TestTpchSession:
+    def test_mixed_workload_amortises_transfers(self, framework):
+        catalog = TpchGenerator(scale_factor=0.005, seed=17).generate()
+        session = GpuSession(framework.create("thrust"), catalog)
+        first_q6 = session.execute(q6.plan())
+        session.execute(q1.plan())
+        second_q6 = session.execute(q6.plan())
+        assert (
+            second_q6.report.summary.transfer_time
+            < first_q6.report.summary.transfer_time
+        )
+        assert np.isclose(
+            second_q6.table.column("revenue").data[0],
+            first_q6.table.column("revenue").data[0],
+        )

@@ -1,0 +1,81 @@
+"""Tests for CSV import/export."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Column, Table, read_csv, write_csv
+
+
+@pytest.fixture
+def table():
+    return Table("t", [
+        Column.from_values("k", np.array([1, 2, 3], np.int32)),
+        Column.from_values("big", np.array([10**12, 0, -5], np.int64)),
+        Column.from_values("v", np.array([1.5, -2.25, 0.0])),
+        Column.from_strings("s", ["x", "hello, world", "x"]),
+        Column.from_values("d", [
+            datetime.date(1994, 1, 1),
+            datetime.date(1992, 1, 1),
+            datetime.date(1998, 12, 31),
+        ]),
+        Column.from_values("flag", np.array([True, False, True])),
+    ])
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, table, tmp_path):
+        path = str(tmp_path / "t.csv")
+        write_csv(table, path)
+        loaded = read_csv(path, name="t")
+        assert loaded.equals(table)
+
+    def test_types_preserved(self, table, tmp_path):
+        path = str(tmp_path / "t.csv")
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.schema == table.schema
+
+    def test_commas_in_strings_survive(self, table, tmp_path):
+        path = str(tmp_path / "t.csv")
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert "hello, world" in loaded.column("s").to_values()
+
+    def test_query_result_export(self, tmp_path, framework):
+        from repro.core import col_lt
+        from repro.query import QueryExecutor, scan
+        from repro.tpch import TpchGenerator
+
+        catalog = TpchGenerator(scale_factor=0.001, seed=41).generate()
+        executor = QueryExecutor(framework.create("thrust"), catalog)
+        result = executor.execute(
+            scan("lineitem").filter(col_lt("l_quantity", 3)).limit(20).build()
+        )
+        path = str(tmp_path / "result.csv")
+        write_csv(result.table, path)
+        loaded = read_csv(path)
+        assert loaded.num_rows == result.table.num_rows
+        assert loaded.equals(result.table)
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(str(path))
+
+    def test_untyped_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SchemaError):
+            read_csv(str(path))
+
+    def test_unknown_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a:varchar\nx\n")
+        with pytest.raises(SchemaError):
+            read_csv(str(path))

@@ -1,0 +1,90 @@
+"""Tests for the Table I survey catalog and reports."""
+
+from repro.survey import (
+    CATEGORIES,
+    LIBRARIES,
+    PAPER_CATEGORY_COUNTS,
+    PAPER_TOTAL,
+    by_category,
+    category_counts,
+    database_libraries,
+    render_category_histogram,
+    render_selection_rationale,
+    render_table_i,
+    verify_against_paper,
+)
+from repro.survey.catalog import DATABASE, IMAGE_VIDEO, MATH
+
+
+class TestCatalog:
+    def test_total_matches_paper(self):
+        assert len(LIBRARIES) == PAPER_TOTAL
+
+    def test_quoted_aggregates_match(self):
+        assert verify_against_paper() == []
+        counts = category_counts()
+        assert counts[MATH] == PAPER_CATEGORY_COUNTS[MATH] == 13
+        assert counts[IMAGE_VIDEO] == PAPER_CATEGORY_COUNTS[IMAGE_VIDEO] == 7
+        assert counts[DATABASE] == PAPER_CATEGORY_COUNTS[DATABASE] == 5
+
+    def test_unique_names(self):
+        names = [record.name for record in LIBRARIES]
+        assert len(names) == len(set(names))
+
+    def test_every_category_known(self):
+        assert {record.use_case for record in LIBRARIES} <= set(CATEGORIES)
+
+    def test_database_five(self):
+        names = {record.name for record in database_libraries()}
+        assert names == {
+            "ArrayFire", "Boost.Compute", "Thrust", "SkelCL", "OCL-Library"
+        }
+
+    def test_studied_libraries_are_attested(self):
+        studied = {"ArrayFire", "Boost.Compute", "Thrust"}
+        for record in LIBRARIES:
+            if record.name in studied:
+                assert record.attested
+                assert "studied" in record.note
+
+    def test_reconstructed_rows_are_marked(self):
+        reconstructed = [r for r in LIBRARIES if not r.attested]
+        assert len(reconstructed) == 9
+        # Reconstructions stay out of the categories with quoted counts
+        # present in the attested rows... except where needed to hit 13/7.
+        assert all(r.reference for r in reconstructed)
+
+    def test_every_record_has_reference(self):
+        assert all(record.reference for record in LIBRARIES)
+
+    def test_by_category_partition(self):
+        grouped = by_category()
+        total = sum(len(rows) for rows in grouped.values())
+        assert total == len(LIBRARIES)
+
+
+class TestReports:
+    def test_render_table_i_contains_all_names(self):
+        text = render_table_i()
+        for record in LIBRARIES:
+            assert record.name in text
+
+    def test_render_table_i_marks_reconstructions(self):
+        text = render_table_i()
+        assert "CUB *" in text
+        assert "Thrust " in text
+
+    def test_attested_only_filter(self):
+        text = render_table_i(attested_only=True)
+        assert "CUB" not in text
+        assert "(34 libraries" in text
+
+    def test_histogram_totals(self):
+        text = render_category_histogram()
+        assert "43" in text
+        assert "Math" in text
+
+    def test_selection_rationale_names_three(self):
+        text = render_selection_rationale()
+        for name in ("ArrayFire", "Boost.Compute", "Thrust"):
+            assert name in text

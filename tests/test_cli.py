@@ -1,0 +1,62 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["operators"])
+        assert args.op == "selection"
+        assert args.log2_sizes == [16, 19, 22]
+        args = build_parser().parse_args(["tpch"])
+        assert args.query == "Q6"
+        assert args.scale_factor == 0.01
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["operators", "--op", "teleport"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "ArrayFire" in out
+        assert "Hash Join" in out
+        assert "legend" in out
+
+    def test_operators_small_sweep(self, capsys):
+        assert main(["operators", "--op", "reduction",
+                     "--log2-sizes", "12", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction sweep" in out
+        assert "handwritten" in out
+
+    @pytest.mark.parametrize("query", ["Q6", "Q4", "Q3"])
+    def test_tpch_queries(self, capsys, query):
+        assert main(
+            ["tpch", "--query", query, "--scale-factor", "0.002"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "thrust" in out
+        assert "warm ms" in out
+
+    def test_tpch_query_is_case_insensitive(self, capsys):
+        assert main(["tpch", "--query", "q6",
+                     "--scale-factor", "0.002"]) == 0
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "Cost-model calibration" in out
+        assert "integrated" in out
+
+    def test_tpch_unknown_query(self):
+        with pytest.raises(SystemExit):
+            main(["tpch", "--query", "Q99"])

@@ -1,0 +1,65 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ArraySizeMismatchError,
+    BenchmarkError,
+    DeviceError,
+    DeviceMemoryError,
+    ExpressionError,
+    InvalidBufferError,
+    LibraryError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    UnsupportedOperatorError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        DeviceError, DeviceMemoryError, InvalidBufferError, LibraryError,
+        ArraySizeMismatchError, UnsupportedOperatorError, PlanError,
+        SchemaError, ExpressionError, BenchmarkError,
+    ])
+    def test_everything_derives_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_device_memory_error_is_device_error(self):
+        assert issubclass(DeviceMemoryError, DeviceError)
+
+    def test_array_size_mismatch_is_library_error(self):
+        assert issubclass(ArraySizeMismatchError, LibraryError)
+
+    def test_one_except_clause_catches_all(self):
+        with pytest.raises(ReproError):
+            raise UnsupportedOperatorError("lib", "op")
+
+
+class TestMessages:
+    def test_device_memory_error_carries_sizes(self):
+        error = DeviceMemoryError(requested=1000, available=10)
+        assert error.requested == 1000
+        assert error.available == 10
+        assert "1000" in str(error)
+        assert "10" in str(error)
+
+    def test_array_size_mismatch_with_context(self):
+        error = ArraySizeMismatchError(3, 5, context="transform")
+        assert "3" in str(error) and "5" in str(error)
+        assert "transform" in str(error)
+
+    def test_array_size_mismatch_without_context(self):
+        error = ArraySizeMismatchError(3, 5)
+        assert str(error).endswith("3 vs 5")
+
+    def test_unsupported_operator_names_both(self):
+        error = UnsupportedOperatorError("thrust", "hash_join", "no hashing")
+        assert error.backend == "thrust"
+        assert error.operator == "hash_join"
+        assert "no hashing" in str(error)
+
+    def test_unsupported_operator_without_reason(self):
+        error = UnsupportedOperatorError("thrust", "hash_join")
+        assert str(error).endswith("'hash_join'")

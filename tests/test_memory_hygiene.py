@@ -1,0 +1,107 @@
+"""Device-memory hygiene: intermediates are released, sessions pin only
+what they cache, and repeated query workloads do not leak."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core import col_lt, default_framework
+from repro.query import GpuSession, QueryExecutor, scan
+from repro.relational import Column, Table
+from repro.tpch import TpchGenerator, q1, q6
+
+
+@pytest.fixture
+def catalog(rng):
+    return {
+        "t": Table("t", [
+            Column.from_values("a", rng.integers(0, 100, 5_000).astype(np.int32)),
+            Column.from_values("b", rng.random(5_000)),
+        ])
+    }
+
+
+@pytest.mark.parametrize("backend_name", ["thrust", "boost.compute",
+                                          "arrayfire", "handwritten"])
+class TestNoLeaks:
+    def test_query_intermediates_are_collected(self, catalog, framework,
+                                               backend_name):
+        backend = framework.create(backend_name)
+        executor = QueryExecutor(backend, catalog)
+        result = executor.execute(
+            scan("t").filter(col_lt("a", 50)).build()
+        )
+        del result
+        gc.collect()
+        assert backend.device.memory.used_bytes == 0
+        assert backend.device.memory.live_buffer_count == 0
+
+    def test_repeated_queries_do_not_grow_memory(self, catalog, framework,
+                                                 backend_name):
+        backend = framework.create(backend_name)
+        executor = QueryExecutor(backend, catalog)
+        plan = scan("t").filter(col_lt("a", 50)).build()
+        executor.execute(plan)
+        gc.collect()
+        baseline = backend.device.memory.used_bytes
+        for _ in range(5):
+            executor.execute(plan)
+        gc.collect()
+        assert backend.device.memory.used_bytes <= baseline
+
+    def test_operator_results_freed_on_drop(self, framework, backend_name,
+                                            rng):
+        backend = framework.create(backend_name)
+        data = rng.integers(0, 100, 10_000).astype(np.int32)
+        handle = backend.upload(data)
+        sorted_handle = backend.sort(handle)
+        gc.collect()
+        in_use = backend.device.memory.used_bytes
+        del sorted_handle
+        gc.collect()
+        assert backend.device.memory.used_bytes < in_use
+        del handle
+        gc.collect()
+        assert backend.device.memory.used_bytes == 0
+
+
+class TestSessionPinning:
+    def test_session_pins_only_cached_columns(self, framework):
+        catalog = TpchGenerator(scale_factor=0.003, seed=23).generate()
+        backend = framework.create("thrust")
+        session = GpuSession(backend, catalog)
+        session.execute(q6.plan())
+        session.execute(q1.plan())
+        gc.collect()
+        # Device usage equals exactly the resident columns' bytes
+        # (alignment rounds each buffer up to 256B).
+        resident = session.resident_bytes
+        used = backend.device.memory.used_bytes
+        assert used >= resident
+        assert used <= resident + 256 * len(session.resident_columns)
+
+    def test_eviction_returns_to_zero(self, framework):
+        catalog = TpchGenerator(scale_factor=0.003, seed=23).generate()
+        backend = framework.create("thrust")
+        session = GpuSession(backend, catalog)
+        session.execute(q6.plan())
+        session.evict()
+        gc.collect()
+        assert backend.device.memory.used_bytes == 0
+
+    def test_peak_memory_reported_per_query(self, framework):
+        catalog = TpchGenerator(scale_factor=0.003, seed=23).generate()
+        backend = framework.create("thrust")
+        executor = QueryExecutor(backend, catalog)
+        report = executor.execute(q1.plan()).report
+        assert report.peak_device_bytes > 0
+        # Peak must cover at least the uploaded scan columns.
+        lineitem = catalog["lineitem"]
+        needed = sum(
+            lineitem.column(c).nbytes
+            for c in ("l_returnflag", "l_linestatus", "l_quantity",
+                      "l_extendedprice", "l_discount", "l_tax",
+                      "l_shipdate")
+        )
+        assert report.peak_device_bytes >= needed

@@ -1,0 +1,252 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property runs across the GPU backends and asserts agreement with a
+pure-NumPy model — the strongest guarantee that the paper's comparison
+measures equal work on every library.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    ArrayFireBackend,
+    HandwrittenBackend,
+    ThrustBackend,
+    col_lt,
+)
+from repro.core.backend import join_reference
+from repro.gpu import Device
+from repro.libs import arrayfire as af
+from repro.libs import thrust
+from repro.libs.thrust import functional as F
+
+# Bounded int32 values keep sums exact in float64 accumulators.
+int_arrays = arrays(
+    np.int32,
+    st.integers(min_value=0, max_value=200),
+    elements=st.integers(min_value=-10_000, max_value=10_000),
+)
+
+nonempty_int_arrays = arrays(
+    np.int32,
+    st.integers(min_value=1, max_value=200),
+    elements=st.integers(min_value=-10_000, max_value=10_000),
+)
+
+key_arrays = arrays(
+    np.int32,
+    st.integers(min_value=1, max_value=150),
+    elements=st.integers(min_value=0, max_value=20),
+)
+
+BACKEND_FACTORIES = (ThrustBackend, ArrayFireBackend, HandwrittenBackend)
+
+
+def _backends():
+    return [factory(Device()) for factory in BACKEND_FACTORIES]
+
+
+class TestScanProperties:
+    @given(data=int_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_exclusive_scan_matches_cumsum(self, data):
+        rt = thrust.ThrustRuntime(Device())
+        v = rt.device_vector(data)
+        out = thrust.exclusive_scan(v).peek()
+        expected = np.concatenate([[0], np.cumsum(data[:-1], dtype=np.int64)])
+        if len(data) == 0:
+            assert len(out) == 0
+        else:
+            assert np.array_equal(out.astype(np.int64), expected)
+
+    @given(data=nonempty_int_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_scan_last_plus_last_element_equals_sum(self, data):
+        """The stream-compaction sizing identity the selection chain uses."""
+        rt = thrust.ThrustRuntime(Device())
+        flags = (data > 0).astype(np.int32)
+        v = rt.device_vector(flags)
+        scanned = thrust.exclusive_scan(v).peek()
+        assert scanned[-1] + flags[-1] == flags.sum()
+
+
+class TestSortProperties:
+    @given(data=nonempty_int_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_sort_is_permutation_and_ordered(self, data):
+        for backend in _backends():
+            out = backend.download(backend.sort(backend.upload(data)))
+            assert np.array_equal(np.sort(data), out), backend.name
+
+    @given(keys=key_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_sort_by_key_preserves_pairs(self, keys):
+        values = np.arange(len(keys), dtype=np.int64)
+        for backend in _backends():
+            out_keys, out_values = backend.sort_by_key(
+                backend.upload(keys), backend.upload(values)
+            )
+            got_keys = backend.download(out_keys)
+            got_values = backend.download(out_values)
+            # Keys sorted; the (key, value) multiset is preserved.
+            assert np.all(got_keys[:-1] <= got_keys[1:])
+            original = sorted(zip(keys.tolist(), values.tolist()))
+            recovered = sorted(zip(got_keys.tolist(), got_values.tolist()))
+            assert original == recovered, backend.name
+
+
+class TestSelectionProperties:
+    @given(data=nonempty_int_arrays,
+           threshold=st.integers(min_value=-10_001, max_value=10_001))
+    @settings(max_examples=30, deadline=None)
+    def test_selection_matches_numpy_mask(self, data, threshold):
+        expected = np.flatnonzero(data < threshold)
+        for backend in _backends():
+            ids = backend.selection(
+                {"x": backend.upload(data)}, col_lt("x", threshold)
+            )
+            got = np.sort(backend.download(ids).astype(np.int64))
+            assert np.array_equal(got, expected), backend.name
+
+    @given(data=nonempty_int_arrays,
+           low=st.integers(min_value=-100, max_value=100),
+           span=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_conjunction_equals_mask_intersection(self, data, low, span):
+        from repro.core import col_ge, col_le
+
+        predicate = col_ge("x", low) & col_le("x", low + span)
+        expected = np.flatnonzero((data >= low) & (data <= low + span))
+        for backend in _backends():
+            ids = backend.selection(
+                {"x": backend.upload(data)}, predicate
+            )
+            got = np.sort(backend.download(ids).astype(np.int64))
+            assert np.array_equal(got, expected), backend.name
+
+
+class TestGroupByProperties:
+    @given(keys=key_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_group_sums_total_to_column_sum(self, keys):
+        values = np.ones(len(keys), dtype=np.float64)
+        for backend in _backends():
+            _group_keys, group_values = backend.grouped_aggregation(
+                backend.upload(keys), backend.upload(values), "sum"
+            )
+            total = backend.download(group_values).sum()
+            assert total == pytest.approx(len(keys)), backend.name
+
+    @given(keys=key_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_group_keys_are_unique_and_sorted(self, keys):
+        values = np.zeros(len(keys), dtype=np.float64)
+        for backend in _backends():
+            group_keys, _values = backend.grouped_aggregation(
+                backend.upload(keys), backend.upload(values), "count"
+            )
+            got = backend.download(group_keys).astype(np.int64)
+            assert np.array_equal(got, np.unique(keys)), backend.name
+
+
+class TestJoinProperties:
+    @given(
+        left=arrays(np.int32, st.integers(min_value=0, max_value=60),
+                    elements=st.integers(min_value=0, max_value=10)),
+        right=arrays(np.int32, st.integers(min_value=0, max_value=60),
+                     elements=st.integers(min_value=0, max_value=10)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_join_cardinality_equals_key_histogram_product(self, left, right):
+        """|L ⋈ R| = Σ_k count_L(k) · count_R(k)."""
+        left_ids, right_ids = join_reference(left, right)
+        expected = 0
+        for key in np.unique(left):
+            expected += (left == key).sum() * (right == key).sum()
+        assert len(left_ids) == expected
+        # Every emitted pair actually matches.
+        assert np.array_equal(left[left_ids], right[right_ids])
+
+    @given(
+        left=arrays(np.int32, st.integers(min_value=1, max_value=50),
+                    elements=st.integers(min_value=0, max_value=8)),
+        right=arrays(np.int32, st.integers(min_value=1, max_value=50),
+                     elements=st.integers(min_value=0, max_value=8)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_all_join_algorithms_agree(self, left, right):
+        reference = join_reference(left, right)
+        backend = HandwrittenBackend(Device())
+        lh, rh = backend.upload(left), backend.upload(right)
+        for method in ("nested_loop_join", "merge_join", "hash_join"):
+            got_l, got_r = getattr(backend, method)(lh, rh)
+            dl = backend.download(got_l).astype(np.int64)
+            dr = backend.download(got_r).astype(np.int64)
+            order = np.lexsort((dr, dl))
+            assert np.array_equal(dl[order], reference[0]), method
+            assert np.array_equal(dr[order], reference[1]), method
+
+
+class TestJitProperties:
+    @given(
+        data=arrays(np.float64, st.integers(min_value=1, max_value=100),
+                    elements=st.floats(min_value=-1e6, max_value=1e6,
+                                       allow_nan=False)),
+        a=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        b=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fused_evaluation_matches_numpy(self, data, a, b):
+        rt = af.ArrayFireRuntime(Device())
+        array = rt.array(data)
+        fused = (array * a + b).peek()
+        assert np.allclose(fused, data * a + b)
+
+    @given(
+        data=arrays(np.float64, st.integers(min_value=1, max_value=100),
+                    elements=st.floats(min_value=-1e6, max_value=1e6,
+                                       allow_nan=False)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fusion_on_off_agree(self, data):
+        """JIT fusion is a pure optimisation: results are identical."""
+        fused_rt = af.ArrayFireRuntime(Device(), fusion_enabled=True)
+        eager_rt = af.ArrayFireRuntime(Device(), fusion_enabled=False)
+        fused = ((fused_rt.array(data) * 2.0 + 1.0) > 0.0).peek()
+        eager = ((eager_rt.array(data) * 2.0 + 1.0) > 0.0).peek()
+        assert np.array_equal(fused, eager)
+
+
+class TestPrefixSumProperties:
+    @given(data=nonempty_int_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_sum_differences_recover_input(self, data):
+        for backend in _backends():
+            scanned = backend.download(
+                backend.prefix_sum(backend.upload(data))
+            ).astype(np.int64)
+            recovered = np.diff(
+                np.concatenate([scanned, [scanned[-1] + data[-1]]])
+            )
+            assert np.array_equal(recovered, data), backend.name
+
+
+class TestScatterGatherProperties:
+    @given(n=st.integers(min_value=1, max_value=300),
+           seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_scatter_then_gather_is_identity_on_permutations(self, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.random(n)
+        perm = rng.permutation(n).astype(np.int32)
+        for backend in _backends():
+            scattered = backend.scatter(
+                backend.upload(data), backend.upload(perm), n
+            )
+            gathered = backend.download(
+                backend.gather(scattered, backend.upload(perm))
+            )
+            assert np.allclose(gathered, data), backend.name

@@ -1,0 +1,204 @@
+"""Property-based tests over randomly generated expression/predicate trees.
+
+Strategies build arbitrary well-formed scalar expressions and predicates;
+every backend must agree with the NumPy oracle on all of them — the
+deepest check that eager chaining, JIT fusion, and fused handwritten
+kernels implement the same algebra.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ArrayFireBackend,
+    CudfLikeBackend,
+    HandwrittenBackend,
+    ThrustBackend,
+)
+from repro.core.expr import BinOp, ColRef, Expr, Lit
+from repro.core.predicate import (
+    And,
+    Between,
+    Compare,
+    CompareCols,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.gpu import Device
+from repro.libs.boost_compute.lambda_ import _1
+
+COLUMNS = ("a", "b", "c")
+
+# -- strategies ---------------------------------------------------------------
+
+finite_scalars = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False
+).map(lambda value: round(value, 3))
+
+
+def expressions(max_depth: int = 3) -> st.SearchStrategy[Expr]:
+    """Random arithmetic expression trees over COLUMNS.
+
+    Division is restricted to scalar divisors bounded away from zero, so
+    reference and backend results stay finite and comparable.
+    """
+    leaves = st.one_of(
+        st.sampled_from(COLUMNS).map(ColRef),
+        finite_scalars.map(Lit),
+    )
+
+    def extend(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        safe_div = st.builds(
+            BinOp,
+            st.just("div"),
+            children,
+            st.floats(min_value=1.0, max_value=100.0,
+                      allow_nan=False).map(Lit),
+        )
+        other = st.builds(
+            BinOp,
+            st.sampled_from(["add", "sub", "mul"]),
+            children,
+            children,
+        )
+        return st.one_of(other, safe_div)
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def predicates(max_depth: int = 3) -> st.SearchStrategy[Predicate]:
+    """Random predicate trees over COLUMNS."""
+    leaves = st.one_of(
+        st.builds(
+            Compare,
+            st.sampled_from(COLUMNS),
+            st.sampled_from(["lt", "le", "gt", "ge", "eq", "ne"]),
+            finite_scalars,
+        ),
+        st.builds(
+            CompareCols,
+            st.sampled_from(COLUMNS),
+            st.sampled_from(["lt", "le", "gt", "ge"]),
+            st.sampled_from(COLUMNS),
+        ),
+        st.builds(
+            lambda column, low, span: Between(column, low, low + span),
+            st.sampled_from(COLUMNS),
+            finite_scalars,
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        ),
+    )
+
+    def extend(
+        children: st.SearchStrategy[Predicate],
+    ) -> st.SearchStrategy[Predicate]:
+        return st.one_of(
+            st.builds(lambda l, r: And((l, r)), children, children),
+            st.builds(lambda l, r: Or((l, r)), children, children),
+            st.builds(Not, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def _host_columns(seed: int, n: int = 257):
+    rng = np.random.default_rng(seed)
+    return {
+        name: np.round(rng.uniform(-100, 100, n), 3) for name in COLUMNS
+    }
+
+
+BACKEND_FACTORIES = (
+    ThrustBackend,
+    ArrayFireBackend,
+    HandwrittenBackend,
+    CudfLikeBackend,
+)
+
+
+class TestExpressionAgreement:
+    @given(expr=expressions(), seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=50, deadline=None)
+    def test_compute_matches_numpy_on_all_backends(self, expr, seed):
+        host = _host_columns(seed)
+        if not expr.columns():
+            return  # constant-only trees are rejected by compute()
+        expected = np.broadcast_to(
+            np.asarray(expr.evaluate(host), dtype=np.float64), (257,)
+        )
+        for factory in BACKEND_FACTORIES:
+            backend = factory(Device())
+            handles = {
+                name: backend.upload(host[name]) for name in expr.columns()
+            }
+            got = backend.download(backend.compute(handles, expr))
+            assert np.allclose(got, expected, rtol=1e-9, equal_nan=True), (
+                backend.name, repr(expr)
+            )
+
+    @given(expr=expressions())
+    @settings(max_examples=30, deadline=None)
+    def test_flops_and_node_count_consistent(self, expr):
+        assert expr.node_count >= 0
+        assert expr.flops >= expr.node_count  # every op costs >= 1 flop
+
+
+class TestPredicateAgreement:
+    @given(pred=predicates(), seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=50, deadline=None)
+    def test_selection_matches_numpy_on_all_backends(self, pred, seed):
+        host = _host_columns(seed)
+        expected = np.flatnonzero(pred.evaluate(host))
+        for factory in BACKEND_FACTORIES:
+            backend = factory(Device())
+            handles = {
+                name: backend.upload(host[name]) for name in pred.columns()
+            }
+            ids = backend.selection(handles, pred)
+            got = np.sort(backend.download(ids).astype(np.int64))
+            assert np.array_equal(got, expected), (backend.name, repr(pred))
+
+    @given(pred=predicates(), seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=25, deadline=None)
+    def test_arrayfire_strategies_agree(self, pred, seed):
+        host = _host_columns(seed)
+        ids = {}
+        for strategy in ("fused", "set_ops"):
+            backend = ArrayFireBackend(
+                Device(), conjunction_strategy=strategy
+            )
+            handles = {
+                name: backend.upload(host[name]) for name in pred.columns()
+            }
+            handle = backend.selection(handles, pred)
+            ids[strategy] = np.sort(
+                backend.download(handle).astype(np.int64)
+            )
+        assert np.array_equal(ids["fused"], ids["set_ops"]), repr(pred)
+
+
+class TestLambdaDslProperties:
+    @given(
+        scale=finite_scalars,
+        offset=finite_scalars,
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_affine_lambda_matches_numpy(self, scale, offset, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-10, 10, 100)
+        functor = (_1 * scale + offset).to_functor()
+        assert np.allclose(functor(data), data * scale + offset)
+
+    @given(threshold=finite_scalars,
+           seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=40, deadline=None)
+    def test_lambda_predicate_matches_numpy(self, threshold, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-100, 100, 100)
+        functor = ((_1 > threshold) | (_1 < -threshold)).to_functor()
+        expected = (data > threshold) | (data < -threshold)
+        assert np.array_equal(functor(data), expected)

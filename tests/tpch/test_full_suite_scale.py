@@ -1,0 +1,85 @@
+"""Scale integration test: the full query suite at a larger scale factor.
+
+Runs every implemented TPC-H query at SF 0.05 (~300k lineitem rows) on the
+fastest library backend and the handwritten baseline, validating against
+the NumPy oracles — a smoke test that the whole stack holds up beyond
+toy sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query import QueryExecutor
+from repro.tpch import ALL_QUERIES, TpchGenerator
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return TpchGenerator(scale_factor=0.05, seed=2026).generate()
+
+
+@pytest.fixture(scope="module")
+def executors(catalog, ):
+    from repro.core import default_framework
+
+    framework = default_framework()
+    return {
+        name: QueryExecutor(framework.create(name), catalog)
+        for name in ("thrust", "handwritten")
+    }
+
+
+def _plan_for(module, catalog):
+    import inspect
+
+    if "catalog" in inspect.signature(module.plan).parameters:
+        return module.plan(catalog)
+    return module.plan()
+
+
+class TestFullSuiteAtScale:
+    @pytest.mark.parametrize("query_name", sorted(ALL_QUERIES))
+    def test_query_matches_oracle(self, query_name, catalog, executors):
+        module = ALL_QUERIES[query_name]
+        plan = _plan_for(module, catalog)
+        reference = module.reference(catalog)
+        results = {
+            name: executor.execute(plan)
+            for name, executor in executors.items()
+        }
+        # Backends agree with each other...
+        thrust_table = results["thrust"].table
+        handwritten_table = results["handwritten"].table
+        assert thrust_table.num_rows == handwritten_table.num_rows
+        # ...and with the oracle on the revenue/measure column.
+        measure = _measure_column(thrust_table.column_names)
+        got = np.sort(thrust_table.column(measure).data.astype(np.float64))
+        expected = np.sort(
+            np.asarray(
+                reference[_measure_column(list(reference))],
+                dtype=np.float64,
+            )[: thrust_table.num_rows]
+        )
+        # Top-k queries compare against the reference's top slice.
+        if len(got) < len(reference[_measure_column(list(reference))]):
+            full = np.asarray(
+                reference[_measure_column(list(reference))], dtype=np.float64
+            )
+            expected = np.sort(np.sort(full)[::-1][: len(got)])
+        assert np.allclose(got, expected), query_name
+
+    def test_handwritten_never_slower_than_thrust(self, catalog, executors):
+        totals = {"thrust": 0.0, "handwritten": 0.0}
+        for query_name, module in ALL_QUERIES.items():
+            plan = _plan_for(module, catalog)
+            for name, executor in executors.items():
+                executor.execute(plan)  # warm
+                totals[name] += executor.execute(plan).report.simulated_seconds
+        assert totals["handwritten"] < totals["thrust"]
+
+
+def _measure_column(names) -> str:
+    for candidate in ("revenue", "order_count", "sum_disc_price"):
+        if candidate in names:
+            return candidate
+    raise AssertionError(f"no measure column among {names}")

@@ -1,0 +1,153 @@
+"""Unit tests for the TPC-H data generator."""
+
+import numpy as np
+import pytest
+
+from repro.tpch import TpchGenerator, rows_at_scale
+from repro.tpch import schema as spec
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return TpchGenerator(scale_factor=0.002, seed=7).generate()
+
+
+class TestScaling:
+    def test_rows_at_scale(self):
+        assert rows_at_scale("orders", 1.0) == 1_500_000
+        assert rows_at_scale("customer", 0.01) == 1_500
+        assert rows_at_scale("region", 123.0) == 5
+        assert rows_at_scale("nation", 0.001) == 25
+
+    def test_lineitem_rows_derived(self):
+        with pytest.raises(ValueError):
+            rows_at_scale("lineitem", 1.0)
+
+    def test_unknown_table(self):
+        with pytest.raises(ValueError):
+            rows_at_scale("warehouse", 1.0)
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            TpchGenerator(scale_factor=0.0)
+
+    def test_catalog_row_counts(self, catalog):
+        assert catalog["orders"].num_rows == rows_at_scale("orders", 0.002)
+        assert catalog["customer"].num_rows == rows_at_scale("customer", 0.002)
+        # 1..7 lineitems per order, so the average should be near 4.
+        ratio = catalog["lineitem"].num_rows / catalog["orders"].num_rows
+        assert 3.5 < ratio < 4.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = TpchGenerator(scale_factor=0.001, seed=1).generate()
+        b = TpchGenerator(scale_factor=0.001, seed=1).generate()
+        for name in a:
+            assert a[name].equals(b[name]), name
+
+    def test_different_seed_different_data(self):
+        a = TpchGenerator(scale_factor=0.001, seed=1).generate()
+        b = TpchGenerator(scale_factor=0.001, seed=2).generate()
+        assert not np.array_equal(
+            a["lineitem"].column("l_quantity").data,
+            b["lineitem"].column("l_quantity").data,
+        )
+
+
+class TestSchemas:
+    def test_all_tables_match_declared_schema(self, catalog):
+        for name, table in catalog.items():
+            assert table.schema == spec.SCHEMAS[name], name
+
+    def test_all_eight_tables_present(self, catalog):
+        assert set(catalog) == set(spec.TABLE_NAMES)
+
+
+class TestValueDistributions:
+    def test_quantity_range(self, catalog):
+        quantity = catalog["lineitem"].column("l_quantity").data
+        assert quantity.min() >= 1 and quantity.max() <= 50
+
+    def test_discount_and_tax_ranges(self, catalog):
+        discount = catalog["lineitem"].column("l_discount").data
+        tax = catalog["lineitem"].column("l_tax").data
+        assert discount.min() >= 0.0 and discount.max() <= 0.10 + 1e-9
+        assert tax.min() >= 0.0 and tax.max() <= 0.08 + 1e-9
+
+    def test_date_ordering_invariants(self, catalog):
+        lineitem = catalog["lineitem"]
+        ship = lineitem.column("l_shipdate").data
+        receipt = lineitem.column("l_receiptdate").data
+        assert np.all(receipt > ship)
+
+    def test_shipdate_after_orderdate(self, catalog):
+        orders = catalog["orders"]
+        lineitem = catalog["lineitem"]
+        order_dates = dict(zip(
+            orders.column("o_orderkey").data.tolist(),
+            orders.column("o_orderdate").data.tolist(),
+        ))
+        ship = lineitem.column("l_shipdate").data
+        keys = lineitem.column("l_orderkey").data
+        sampled = np.random.default_rng(0).choice(len(keys), 500)
+        for i in sampled:
+            assert ship[i] > order_dates[int(keys[i])]
+
+    def test_returnflag_rule(self, catalog):
+        """Spec: items received by CURRENTDATE carry A/R, later ones N."""
+        lineitem = catalog["lineitem"]
+        receipt = lineitem.column("l_receiptdate").data
+        flags = np.array(lineitem.column("l_returnflag").to_values())
+        received = receipt <= spec.CURRENT_DATE
+        assert set(flags[received]) <= {"A", "R"}
+        assert set(flags[~received]) == {"N"}
+
+    def test_linestatus_rule(self, catalog):
+        lineitem = catalog["lineitem"]
+        ship = lineitem.column("l_shipdate").data
+        status = np.array(lineitem.column("l_linestatus").to_values())
+        assert set(status[ship > spec.CURRENT_DATE]) == {"O"}
+        assert set(status[ship <= spec.CURRENT_DATE]) == {"F"}
+
+    def test_linenumbers_sequential_per_order(self, catalog):
+        lineitem = catalog["lineitem"]
+        keys = lineitem.column("l_orderkey").data
+        numbers = lineitem.column("l_linenumber").data
+        # Rows are generated grouped by order: within a group, 1..k.
+        boundaries = np.flatnonzero(np.diff(keys) != 0) + 1
+        starts = np.concatenate([[0], boundaries])
+        assert np.all(numbers[starts] == 1)
+
+    def test_extendedprice_consistent_with_retailprice(self, catalog):
+        lineitem = catalog["lineitem"]
+        part = catalog["part"]
+        partkeys = lineitem.column("l_partkey").data
+        quantity = lineitem.column("l_quantity").data
+        price = lineitem.column("l_extendedprice").data
+        retail = part.column("p_retailprice").data
+        expected = np.round(quantity * retail[partkeys - 1], 2)
+        assert np.allclose(price, expected)
+
+    def test_nations_and_regions_fixed(self, catalog):
+        assert catalog["nation"].num_rows == 25
+        assert catalog["region"].num_rows == 5
+        names = set(catalog["nation"].column("n_name").to_values())
+        assert "GERMANY" in names and "UNITED STATES" in names
+        region_keys = catalog["nation"].column("n_regionkey").data
+        assert region_keys.min() >= 0 and region_keys.max() <= 4
+
+    def test_foreign_keys_valid(self, catalog):
+        orders = catalog["orders"]
+        customers = catalog["customer"].num_rows
+        assert orders.column("o_custkey").data.max() <= customers
+        lineitem = catalog["lineitem"]
+        assert lineitem.column("l_partkey").data.max() <= catalog["part"].num_rows
+        assert (
+            lineitem.column("l_suppkey").data.max()
+            <= catalog["supplier"].num_rows
+        )
+
+    def test_partsupp_four_suppliers_per_part(self, catalog):
+        partsupp = catalog["partsupp"]
+        assert partsupp.num_rows == 4 * catalog["part"].num_rows

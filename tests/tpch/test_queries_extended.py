@@ -1,0 +1,92 @@
+"""Integration tests for the extended TPC-H queries (Q5, Q10)."""
+
+import numpy as np
+import pytest
+
+from repro.query import QueryExecutor
+from repro.tpch import ALL_QUERIES, TpchGenerator, q5, q10
+
+BACKENDS = ("cpu-reference", "thrust", "arrayfire", "handwritten", "cudf")
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return TpchGenerator(scale_factor=0.004, seed=55).generate()
+
+
+@pytest.fixture(params=BACKENDS)
+def executor(request, catalog, framework):
+    return QueryExecutor(framework.create(request.param), catalog)
+
+
+class TestQ5:
+    def test_revenue_by_nation_matches_oracle(self, executor, catalog):
+        result = executor.execute(q5.plan(catalog))
+        expected = q5.reference(catalog)
+        table = result.table
+        assert table.num_rows == len(expected["n_name"])
+        got = dict(zip(
+            table.column("n_name").data.tolist(),
+            table.column("revenue").data.tolist(),
+        ))
+        for name_code, revenue in zip(
+            expected["n_name"], expected["revenue"]
+        ):
+            assert got[int(name_code)] == pytest.approx(float(revenue))
+
+    def test_ordered_by_revenue_descending(self, executor, catalog):
+        result = executor.execute(q5.plan(catalog))
+        revenue = result.table.column("revenue").data
+        assert np.all(revenue[:-1] >= revenue[1:])
+
+    def test_nations_decode_to_asia(self, executor, catalog):
+        """Default params restrict to the ASIA region's five nations."""
+        result = executor.execute(q5.plan(catalog))
+        names = set(result.table.column("n_name").to_values())
+        assert names <= {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"}
+
+    def test_alternate_region(self, executor, catalog):
+        params = q5.Q5Params(region="EUROPE", date="1995-01-01")
+        result = executor.execute(q5.plan(catalog, params))
+        expected = q5.reference(catalog, params)
+        assert result.table.num_rows == len(expected["n_name"])
+
+
+class TestQ10:
+    def test_top_customers_match_oracle(self, executor, catalog):
+        result = executor.execute(q10.plan(catalog))
+        expected = q10.reference(catalog)
+        k = result.table.num_rows
+        assert k <= q10.DEFAULT_PARAMS.limit
+        got = np.sort(result.table.column("revenue").data)[::-1]
+        assert np.allclose(got, expected["revenue"][:k])
+
+    def test_customer_keys_consistent_with_revenue(self, executor, catalog):
+        result = executor.execute(q10.plan(catalog))
+        expected = q10.reference(catalog)
+        revenue_by_customer = dict(zip(
+            expected["o_custkey"].tolist(), expected["revenue"].tolist()
+        ))
+        table = result.table
+        for i in range(table.num_rows):
+            custkey = int(table.column("o_custkey").data[i])
+            assert table.column("revenue").data[i] == pytest.approx(
+                revenue_by_customer[custkey]
+            )
+
+    def test_custom_limit(self, executor, catalog):
+        params = q10.Q10Params(limit=5)
+        result = executor.execute(q10.plan(catalog, params))
+        assert result.table.num_rows <= 5
+
+
+class TestQueryRegistry:
+    def test_all_queries_registered(self):
+        assert set(ALL_QUERIES) == {"Q1", "Q3", "Q4", "Q5", "Q6", "Q10"}
+
+    def test_every_module_exposes_the_contract(self):
+        for name, module in ALL_QUERIES.items():
+            assert hasattr(module, "plan"), name
+            assert hasattr(module, "reference"), name
+            assert hasattr(module, "DEFAULT_PARAMS"), name
+            assert module.QUERY_NAME == name

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
+#: Where rendered benchmark reports land, regardless of the process cwd.
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
 #: The three studied libraries, in Table II column order.
 LIBRARIES = ("arrayfire", "boost.compute", "thrust")
 #: The studied libraries plus the expert baseline.
@@ -10,6 +15,12 @@ ALL_GPU = ("arrayfire", "boost.compute", "thrust", "handwritten")
 #: Scale factors for the TPC-H sweeps (simulator-sized; the paper used
 #: SF 1-10 on physical hardware — shapes, not absolutes, transfer).
 SCALE_FACTORS = (0.002, 0.005, 0.01, 0.02)
+
+
+def out_dir() -> Path:
+    """The report directory, created (with parents) on first use."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
 
 
 def run_once(benchmark, fn):

@@ -7,7 +7,7 @@ much of the cold-query penalty the cache recovers — the steady-state
 numbers the paper reports assume a warm cache.
 """
 
-from _util import run_once
+from _util import out_dir, run_once
 from repro.bench import grouped_keys, uniform_ints, write_report
 from repro.core import BoostComputeBackend, col_gt
 from repro.gpu import Device
@@ -71,7 +71,7 @@ def test_ablation_program_cache(benchmark):
         f"  cold / warm ratio: {cold_ms / warm_ms:8.1f}x",
     ])
     print("\n" + text)
-    write_report("ablation_compile_cache", text)
+    write_report("ablation_compile_cache", text, directory=out_dir())
 
     assert cold_ms > 5.0 * warm_ms
     assert nocache_ms > 5.0 * warm_ms

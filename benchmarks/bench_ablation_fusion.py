@@ -9,7 +9,7 @@ selections.
 
 import numpy as np
 
-from _util import run_once
+from _util import out_dir, run_once
 from repro.bench import uniform_ints, write_report
 from repro.core import ArrayFireBackend, ThrustBackend, col_gt, conjunction
 from repro.gpu import Device
@@ -66,7 +66,7 @@ def test_ablation_jit_fusion(benchmark):
         " intermediates vs the chain's int32 flags)",
     ])
     print("\n" + text)
-    write_report("ablation_fusion", text)
+    write_report("ablation_fusion", text, directory=out_dir())
 
     # Fusion is worth a material factor on multi-predicate selections...
     assert unfused / fused > 1.4

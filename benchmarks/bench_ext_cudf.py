@@ -7,7 +7,7 @@ experiments with the cuDF-class backend in the mix: the join ladder and
 the grouped aggregation sweep.
 """
 
-from _util import run_once
+from _util import out_dir, run_once
 from repro.bench import fk_join_keys, grouped_keys, write_report
 from repro.core import default_framework
 from repro.errors import UnsupportedOperatorError
@@ -62,7 +62,7 @@ def test_ext_cudf_closes_join_gap(benchmark):
     )
     text = "\n".join(lines)
     print("\n" + text)
-    write_report("ext_cudf_joins", text)
+    write_report("ext_cudf_joins", text, directory=out_dir())
 
     assert cudf_hash is not None
     assert timings[("thrust", "hash_join")] is None
@@ -94,7 +94,7 @@ def test_ext_cudf_hash_groupby(benchmark):
     ]
     text = "\n".join(lines)
     print("\n" + text)
-    write_report("ext_cudf_groupby", text)
+    write_report("ext_cudf_groupby", text, directory=out_dir())
 
     # Hash aggregation (cudf, handwritten) beats sort-based (thrust, af).
     assert timings["cudf"] < timings["thrust"] / 2.0

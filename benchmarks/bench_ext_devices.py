@@ -8,7 +8,7 @@ the big discrete parts; transfer-heavy single-pass queries let the
 integrated device's shared-memory link claw time back.
 """
 
-from _util import run_once
+from _util import out_dir, run_once
 from repro.bench import uniform_ints, write_report
 from repro.core import default_framework
 from repro.gpu import Device, GTX_1080TI, INTEGRATED_GPU, TESLA_V100
@@ -62,7 +62,7 @@ def test_ext_device_sweep(benchmark):
     )
     text = "\n".join(lines)
     print("\n" + text)
-    write_report("ext_devices", text)
+    write_report("ext_devices", text, directory=out_dir())
 
     sort = {name: row[0] for name, row in rows.items()}
     q6_report = {name: row[1] for name, row in rows.items()}

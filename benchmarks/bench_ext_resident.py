@@ -7,7 +7,7 @@ regime (every query re-uploads its scan columns) with a
 mixed Q6+Q1 workload.
 """
 
-from _util import run_once
+from _util import out_dir, run_once
 from repro.bench import write_report
 from repro.core import default_framework
 from repro.gpu import Device
@@ -60,7 +60,7 @@ def test_ext_resident_columns(benchmark):
         "(all of it recovered transfer time)",
     ])
     print("\n" + text)
-    write_report("ext_resident", text)
+    write_report("ext_resident", text, directory=out_dir())
 
     assert resident_ms < streaming_ms
     # Residual transfers = first-run uploads + per-query result downloads.

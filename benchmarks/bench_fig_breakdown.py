@@ -6,7 +6,7 @@ to its query measurements: chained library calls move intermediates, and
 runtime-compiling libraries pay once per process.
 """
 
-from _util import ALL_GPU, run_once
+from _util import ALL_GPU, out_dir, run_once
 from repro.bench import write_report
 from repro.core import default_framework
 from repro.gpu import Device
@@ -47,7 +47,7 @@ def test_fig_q6_cost_breakdown(benchmark, tpch_catalogs):
             )
     text = "\n".join(lines)
     print("\n" + text)
-    write_report("fig_q6_breakdown", text)
+    write_report("fig_q6_breakdown", text, directory=out_dir())
 
     # Cold boost.compute time is mostly OpenCL program builds.
     cold_boost = rows["boost.compute"][0]

@@ -8,7 +8,7 @@ one JIT kernel (+ one ``where``), while the STL libraries launch one
 
 import numpy as np
 
-from _util import ALL_GPU, run_once
+from _util import ALL_GPU, out_dir, run_once
 from repro.bench import render_all, run_simple_sweep, uniform_ints, write_report
 from repro.core import col_gt, conjunction, disjunction
 
@@ -43,7 +43,7 @@ def test_fig_conjunction_predicate_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_all(result, baseline="handwritten")
     print("\n" + text)
-    write_report("fig_conjunction", text)
+    write_report("fig_conjunction", text, directory=out_dir())
     # ArrayFire's advantage over Thrust grows with predicate count (fusion).
     ratio_at = [
         thrust_ms / af_ms
@@ -62,7 +62,7 @@ def test_fig_disjunction_predicate_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_all(result, baseline="handwritten")
     print("\n" + text)
-    write_report("fig_disjunction", text)
+    write_report("fig_disjunction", text, directory=out_dir())
     for name in ALL_GPU:
         assert all(ms is not None for ms in result.ms(name))
 
@@ -102,5 +102,5 @@ def test_fig_conjunction_set_ops_vs_fused(benchmark):
         f"  set-ops / fused ratio:              {setops_ms / fused_ms:10.2f}x"
     )
     print("\n" + text)
-    write_report("fig_conjunction_af_strategies", text)
+    write_report("fig_conjunction_af_strategies", text, directory=out_dir())
     assert fused_ms < setops_ms

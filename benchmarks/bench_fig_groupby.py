@@ -6,7 +6,7 @@ uses single-pass hash aggregation, which is why it wins by a widening
 margin — the sort dominates the libraries' time.
 """
 
-from _util import ALL_GPU, run_once
+from _util import ALL_GPU, out_dir, run_once
 from repro.bench import (
     grouped_keys,
     render_all,
@@ -45,7 +45,7 @@ def test_fig_groupby_size_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_all(result, baseline="handwritten")
     print("\n" + text)
-    write_report("fig_groupby_size", text)
+    write_report("fig_groupby_size", text, directory=out_dir())
     last = {name: result.ms(name)[-1] for name in ALL_GPU}
     assert last["handwritten"] < last["thrust"] / 2.0
     assert last["thrust"] < last["boost.compute"]
@@ -61,7 +61,7 @@ def test_fig_groupby_group_count_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_series(result, point_header="groups")
     print("\n" + text)
-    write_report("fig_groupby_groups", text)
+    write_report("fig_groupby_groups", text, directory=out_dir())
     # Sort-based realizations are insensitive to group count; no library
     # series may vary by more than ~2x across three orders of magnitude.
     for name in ("thrust", "boost.compute", "arrayfire"):

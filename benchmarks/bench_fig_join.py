@@ -9,7 +9,7 @@ Two views:
   express** (the paper's headline "unused tuning potential").
 """
 
-from _util import ALL_GPU, run_once
+from _util import ALL_GPU, out_dir, run_once
 from repro.bench import (
     fk_join_keys,
     render_all,
@@ -45,7 +45,7 @@ def test_fig_join_nlj_size_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_all(result, baseline="handwritten")
     print("\n" + text)
-    write_report("fig_join_nlj", text)
+    write_report("fig_join_nlj", text, directory=out_dir())
     last = {name: result.ms(name)[-1] for name in ALL_GPU}
     # ArrayFire's partial-support NLJ (materialised boolean matrices)
     # trails the STL libraries' for_each_n loop.
@@ -95,7 +95,7 @@ def test_fig_join_algorithm_ladder(benchmark):
     )
     text = "\n".join(lines)
     print("\n" + text)
-    write_report("fig_join_ladder", text)
+    write_report("fig_join_ladder", text, directory=out_dir())
     # Libraries cannot hash-join; the expert kernel runs away with it.
     for library in ("thrust", "boost.compute", "arrayfire"):
         assert timings[(library, "hash_join")] is None

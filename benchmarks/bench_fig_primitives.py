@@ -5,7 +5,7 @@ The paper studies these because they materialise selection/projection
 results ("commonly used for materializing final values").
 """
 
-from _util import ALL_GPU, run_once
+from _util import ALL_GPU, out_dir, run_once
 from repro.bench import (
     render_series,
     run_simple_sweep,
@@ -86,7 +86,7 @@ def test_fig_primitives(benchmark):
         parts.append(summarize_winners(result))
     text = "\n\n".join(parts)
     print("\n" + text)
-    write_report("fig_primitives", text)
+    write_report("fig_primitives", text, directory=out_dir())
     # Uncoalesced scatter/gather cost more than the streaming product.
     for backend in ALL_GPU:
         assert results["gather"].ms(backend)[-1] > (

@@ -4,7 +4,7 @@ The simplest operator: every library has full support (Table II), so the
 figure isolates pure kernel-tier efficiency plus per-launch overheads.
 """
 
-from _util import ALL_GPU, run_once
+from _util import ALL_GPU, out_dir, run_once
 from repro.bench import (
     render_all,
     run_simple_sweep,
@@ -33,7 +33,7 @@ def test_fig_reduction_size_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_all(result, baseline="handwritten")
     print("\n" + text)
-    write_report("fig_reduction", text)
+    write_report("fig_reduction", text, directory=out_dir())
     last = {name: result.ms(name)[-1] for name in ALL_GPU}
     # Memory-bound operator: ordering follows memory-tier efficiency.
     assert last["handwritten"] <= last["thrust"]

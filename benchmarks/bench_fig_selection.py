@@ -9,7 +9,7 @@ Expected shape: handwritten < ArrayFire (fused ``where``) < Thrust
 (transform/scan/scatter chain) < Boost.Compute (same chain at OpenCL tier).
 """
 
-from _util import ALL_GPU, run_once
+from _util import ALL_GPU, out_dir, run_once
 from repro.bench import (
     render_all,
     render_bar_chart,
@@ -56,7 +56,7 @@ def test_fig_selection_size_sweep(benchmark):
     text = render_all(result, baseline="handwritten")
     text += "\n\n" + render_bar_chart(result)
     print("\n" + text)
-    write_report("fig_selection_size", text)
+    write_report("fig_selection_size", text, directory=out_dir())
     # Shape assertions: the paper's qualitative result at the largest size.
     last = {name: result.ms(name)[-1] for name in ALL_GPU}
     assert last["handwritten"] < last["arrayfire"]
@@ -74,7 +74,7 @@ def test_fig_selection_selectivity_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_series(result, point_header="selectivity")
     print("\n" + text)
-    write_report("fig_selection_selectivity", text)
+    write_report("fig_selection_selectivity", text, directory=out_dir())
     # Higher selectivity writes more row ids -> strictly more time.
     for name in ALL_GPU:
         series = result.ms(name)

@@ -5,7 +5,7 @@ Radix-sort shootout: Thrust (8-bit digits, CUDA tier) vs. Boost.Compute
 digits + out-of-place copy-out) vs. a tuned handwritten sort.
 """
 
-from _util import ALL_GPU, run_once
+from _util import ALL_GPU, out_dir, run_once
 from repro.bench import (
     render_all,
     run_simple_sweep,
@@ -44,7 +44,7 @@ def test_fig_sort_size_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_all(result, baseline="handwritten")
     print("\n" + text)
-    write_report("fig_sort", text)
+    write_report("fig_sort", text, directory=out_dir())
     last = {name: result.ms(name)[-1] for name in ALL_GPU}
     assert last["thrust"] < last["arrayfire"]
     assert last["thrust"] < last["boost.compute"]
@@ -62,7 +62,7 @@ def test_fig_sort_by_key_size_sweep(benchmark):
     result = run_once(benchmark, sweep)
     text = render_all(result, baseline="handwritten")
     print("\n" + text)
-    write_report("fig_sort_by_key", text)
+    write_report("fig_sort_by_key", text, directory=out_dir())
     for name in ALL_GPU:
         assert all(ms is not None for ms in result.ms(name))
     # Carrying a payload costs more than sorting keys alone.

@@ -7,7 +7,7 @@ handwritten hash join runs the *same logical plan* orders of magnitude
 faster once the joins dominate.
 """
 
-from _util import SCALE_FACTORS, run_once
+from _util import SCALE_FACTORS, out_dir, run_once
 from repro.bench import write_report
 from repro.core import default_framework
 from repro.errors import UnsupportedOperatorError
@@ -19,8 +19,10 @@ from repro.tpch import q3, q4
 CONFIGURATIONS = (
     ("thrust", "nested_loop"),
     ("thrust", "merge"),
+    ("thrust+hash", "hash"),
     ("boost.compute", "nested_loop"),
     ("arrayfire", "nested_loop"),
+    ("handwritten", "nested_loop"),
     ("handwritten", "hash"),
 )
 
@@ -84,9 +86,18 @@ def test_fig_tpch_q3_join_algorithms(benchmark, tpch_catalogs):
         f"SF {SCALE_FACTORS[-1]}: {speedup:.1f}x"
     )
     print("\n" + text)
-    write_report("fig_tpch_q3_joins", text)
+    write_report("fig_tpch_q3_joins", text, directory=out_dir())
     assert largest[("handwritten", "hash")] < largest[("thrust", "nested_loop")]
     assert largest[("thrust", "merge")] < largest[("thrust", "nested_loop")]
+    # The hash plan beats the NLJ plan on the *same* backend at scale,
+    # and the extension closes most of thrust's gap.
+    assert (
+        largest[("handwritten", "hash")]
+        < largest[("handwritten", "nested_loop")]
+    )
+    assert (
+        largest[("thrust+hash", "hash")] < largest[("thrust", "nested_loop")]
+    )
     # The gap widens with scale (quadratic vs linear joins).
     first = rows[SCALE_FACTORS[0]]
     gap_small = (
@@ -107,6 +118,6 @@ def test_fig_tpch_q4_join_algorithms(benchmark, tpch_catalogs):
     rows = run_once(benchmark, sweep)
     text = _render("Fig. QJ-b: TPC-H Q4 by backend and join algorithm", rows)
     print("\n" + text)
-    write_report("fig_tpch_q4_joins", text)
+    write_report("fig_tpch_q4_joins", text, directory=out_dir())
     largest = rows[SCALE_FACTORS[-1]]
     assert largest[("handwritten", "hash")] < largest[("thrust", "nested_loop")]

@@ -6,7 +6,7 @@ keys.  The library realization re-sorts per reduce_by_key call (the
 handwritten backend's hash aggregation never sorts.
 """
 
-from _util import ALL_GPU, SCALE_FACTORS, run_once
+from _util import ALL_GPU, SCALE_FACTORS, out_dir, run_once
 from repro.bench import write_report
 from repro.core import default_framework
 from repro.gpu import Device
@@ -49,7 +49,7 @@ def test_fig_tpch_q1_scale_sweep(benchmark, tpch_catalogs):
     )
     text = "\n".join(lines)
     print("\n" + text)
-    write_report("fig_tpch_q1", text)
+    write_report("fig_tpch_q1", text, directory=out_dir())
 
     assert largest["handwritten"] * 2.0 < largest["thrust"]
     assert largest["thrust"] < largest["boost.compute"]

@@ -8,7 +8,7 @@ ArrayFire JIT) the paper attributes to runtime compilation.
 
 import numpy as np
 
-from _util import ALL_GPU, SCALE_FACTORS, run_once
+from _util import ALL_GPU, SCALE_FACTORS, out_dir, run_once
 from repro.bench import write_report
 from repro.core import default_framework
 from repro.gpu import Device
@@ -52,7 +52,7 @@ def test_fig_tpch_q6_scale_sweep(benchmark, tpch_catalogs):
         lines.append(f"{sf:8.3f}  " + "  ".join(cells))
     text = "\n".join(lines)
     print("\n" + text)
-    write_report("fig_tpch_q6", text)
+    write_report("fig_tpch_q6", text, directory=out_dir())
 
     largest = rows[SCALE_FACTORS[-1]]
     warm = {name: largest[name][1] for name in ALL_GPU}

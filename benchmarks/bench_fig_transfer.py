@@ -7,7 +7,7 @@ operator time, per input size.  Small inputs are transfer-dominated,
 which is why GPU offloading only pays off beyond a size threshold.
 """
 
-from _util import run_once
+from _util import out_dir, run_once
 from repro.bench import selection_workload, write_report
 from repro.core import ThrustBackend, col_lt
 from repro.gpu import Device
@@ -53,7 +53,7 @@ def test_fig_transfer_vs_compute(benchmark):
     )
     text = "\n".join(lines)
     print("\n" + text)
-    write_report("fig_transfer", text)
+    write_report("fig_transfer", text, directory=out_dir())
 
     # At small n the operator's fixed launch costs dominate; at large n
     # upload dominates and its share keeps growing with size.

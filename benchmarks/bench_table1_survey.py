@@ -5,7 +5,7 @@ Regenerates the survey table, the category histogram the paper quotes
 selection rationale.
 """
 
-from _util import run_once
+from _util import out_dir, run_once
 from repro.bench import write_report
 from repro.survey import (
     render_category_histogram,
@@ -29,4 +29,4 @@ def test_table1_survey(benchmark):
     text = run_once(benchmark, build)
     assert verify_against_paper() == []
     print("\n" + text)
-    write_report("table1_survey", text)
+    write_report("table1_survey", text, directory=out_dir())

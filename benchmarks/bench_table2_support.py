@@ -4,7 +4,7 @@ Regenerates the support matrix from the live backends and asserts it
 matches the paper cell-for-cell (support levels).
 """
 
-from _util import LIBRARIES, run_once
+from _util import LIBRARIES, out_dir, run_once
 from repro.bench import write_report
 from repro.core import compare_with_paper, default_framework, render_table_ii
 
@@ -20,7 +20,7 @@ def test_table2_support_matrix(benchmark):
     mismatches = compare_with_paper(backends)
     assert mismatches == [], mismatches
     print("\n" + text)
-    write_report("table2_support", text)
+    write_report("table2_support", text, directory=out_dir())
 
 
 def test_table2_extended_with_cudf(benchmark):
@@ -36,7 +36,7 @@ def test_table2_extended_with_cudf(benchmark):
 
     text = run_once(benchmark, build)
     print("\n" + text)
-    write_report("table2_support_extended", text)
+    write_report("table2_support_extended", text, directory=out_dir())
     hash_row = next(
         line for line in text.splitlines() if line.startswith("Hash Join")
     )

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-import os
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.bench.runner import SweepResult
 
@@ -98,14 +98,16 @@ def summarize_winners(result: SweepResult) -> str:
     return "\n".join(lines)
 
 
-def write_report(name: str, text: str, directory: str = "benchmarks/out") -> str:
+def write_report(
+    name: str, text: str, directory: Union[str, Path] = "benchmarks/out"
+) -> str:
     """Persist a rendered report under ``benchmarks/out`` and return the
     path (benchmarks both print and save their tables)."""
-    os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, f"{name}.txt")
-    with open(path, "w") as handle:
-        handle.write(text + "\n")
-    return path
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{name}.txt"
+    path.write_text(text + "\n")
+    return str(path)
 
 
 def render_all(

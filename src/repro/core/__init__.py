@@ -31,6 +31,12 @@ from repro.core.framework import (
     default_framework,
 )
 from repro.core.handwritten_backend import HandwrittenBackend
+from repro.core.hash_extension import (
+    ArrayFireHashBackend,
+    BoostComputeHashBackend,
+    HashJoinExtensionMixin,
+    ThrustHashBackend,
+)
 from repro.core.predicate import (
     And,
     Between,
@@ -79,6 +85,10 @@ __all__ = [
     "HandwrittenBackend",
     "CpuReferenceBackend",
     "CudfLikeBackend",
+    "ThrustHashBackend",
+    "BoostComputeHashBackend",
+    "ArrayFireHashBackend",
+    "HashJoinExtensionMixin",
     "StlStyleBackend",
     "Predicate",
     "Compare",

@@ -17,6 +17,7 @@ from repro.core.boost_backend import BoostComputeBackend
 from repro.core.cpu_backend import CpuReferenceBackend
 from repro.core.cudf_backend import CudfLikeBackend
 from repro.core.handwritten_backend import HandwrittenBackend
+from repro.core.hash_extension import HASH_EXTENSION_BACKENDS
 from repro.core.thrust_backend import ThrustBackend
 from repro.errors import ReproError
 from repro.gpu.device import Device
@@ -35,8 +36,13 @@ class GpuOperatorFramework:
             self.register("arrayfire", ArrayFireBackend)
             self.register("handwritten", HandwrittenBackend)
             self.register("cpu-reference", CpuReferenceBackend)
-            # Extension beyond the paper: a cuDF-class library with hashing.
+            # Extensions beyond the paper: a cuDF-class library with
+            # hashing, and each studied library plus the hash join it
+            # should have offered (opt-in; defaults preserve the paper's
+            # negative result).
             self.register("cudf", CudfLikeBackend)
+            for name, factory in HASH_EXTENSION_BACKENDS.items():
+                self.register(name, factory)
 
     def register(self, name: str, factory: BackendFactory) -> None:
         """Plug in a backend factory under ``name``.
@@ -96,8 +102,9 @@ STUDIED_LIBRARIES = ("arrayfire", "boost.compute", "thrust")
 #: All GPU-costed backends (studied libraries + the tuned baseline).
 GPU_BACKENDS = STUDIED_LIBRARIES + ("handwritten",)
 
-#: Backends beyond the paper's scope (see repro/core/cudf_backend.py).
-EXTENSION_BACKENDS = ("cudf",)
+#: Backends beyond the paper's scope (see repro/core/cudf_backend.py and
+#: repro/core/hash_extension.py).
+EXTENSION_BACKENDS = ("cudf",) + tuple(sorted(HASH_EXTENSION_BACKENDS))
 
 
 def default_framework() -> GpuOperatorFramework:

@@ -42,6 +42,7 @@ from repro.core.predicate import (
 from repro.gpu.device import Device
 from repro.gpu.kernel import TUNED_PROFILE
 from repro.libs.base import DeviceArray, LibraryRuntime
+from repro.relational.hashjoin import HashJoinConfig, SimulatedHashJoin
 
 
 class HandwrittenRuntime(LibraryRuntime):
@@ -85,6 +86,15 @@ class HandwrittenBackend(OperatorBackend):
     def __init__(self, device: Device) -> None:
         super().__init__(device)
         self.runtime = HandwrittenRuntime(device)
+        self._hash_joiner = SimulatedHashJoin(
+            device,
+            profile=self.runtime.profile,
+            config=HashJoinConfig(
+                load_factor=1.0 / self.HASH_TABLE_OVERALLOC,
+                slot_bytes=self.HASH_SLOT_BYTES,
+            ),
+            name=self.runtime.library_name,
+        )
 
     # -- data movement -----------------------------------------------------------
 
@@ -181,35 +191,14 @@ class HandwrittenBackend(OperatorBackend):
     def hash_join(
         self, left_keys: Handle, right_keys: Handle
     ) -> Tuple[Handle, Handle]:
-        """Build a hash table on the smaller (right) side, probe with the
-        left — the operator the paper finds missing from every library."""
-        left, right = left_keys.peek(), right_keys.peek()
-        left_ids, right_ids = join_reference(left, right)
-        n, m = len(left), len(right)
-        table_bytes = self.HASH_SLOT_BYTES * self.HASH_TABLE_OVERALLOC * m
-        # Build: stream right keys, scatter (key, rowid) into the table
-        # with atomic CAS — uncoalesced writes, 4x sector amplification.
-        self.runtime._charge(
-            "hash_build",
-            m,
-            flops=6.0,  # hash + CAS loop
-            read=float(right_keys.itemsize),
-            written=4.0 * self.HASH_SLOT_BYTES,
-            fixed_bytes=table_bytes,  # table initialisation traffic
-        )
-        # Probe: stream left keys, random-read table slots.
-        self.runtime._charge(
-            "hash_probe",
-            n,
-            flops=8.0,
-            read=left_keys.itemsize + 4.0 * self.HASH_SLOT_BYTES,
-            written=16.0 * (len(left_ids) / max(n, 1)),
-            passes=2,
-        )
-        self.device.transfer_to_host(8, "hash_join_count")
+        """Build a hash table on the smaller side, probe with the other —
+        the operator the paper finds missing from every library.  Costing
+        and profiler events come from the shared simulated hash-join
+        subsystem (:mod:`repro.relational.hashjoin`)."""
+        result = self._hash_joiner.join(left_keys.peek(), right_keys.peek())
         return (
-            self._wrap(left_ids, "hw::hj_left"),
-            self._wrap(right_ids, "hw::hj_right"),
+            self._wrap(result.left_ids, "hw::hj_left"),
+            self._wrap(result.right_ids, "hw::hj_right"),
         )
 
     # -- aggregation ---------------------------------------------------------------------

@@ -7,9 +7,18 @@ from repro.query.executor import (
     ExecutionResult,
     QueryExecutor,
 )
-from repro.query.optimizer import optimize, rename_predicate
+from repro.query.optimizer import (
+    COSTED_JOIN_ALGORITHMS,
+    choose_join_algorithm,
+    estimate_rows,
+    join_cost,
+    optimize,
+    rename_predicate,
+    select_join_strategies,
+)
 from repro.query.session import GpuSession
 from repro.query.plan import (
+    JOIN_ALGORITHMS,
     Aggregate,
     Filter,
     GroupBy,
@@ -33,6 +42,12 @@ __all__ = [
     "GpuSession",
     "optimize",
     "rename_predicate",
+    "choose_join_algorithm",
+    "select_join_strategies",
+    "estimate_rows",
+    "join_cost",
+    "COSTED_JOIN_ALGORITHMS",
+    "JOIN_ALGORITHMS",
     "PlanNode",
     "Scan",
     "Filter",

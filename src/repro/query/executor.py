@@ -15,11 +15,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.backend import Handle, OperatorBackend
+from repro.core.backend import Handle, Operator, OperatorBackend, SupportLevel
 from repro.core.expr import ColRef, Expr, Lit
 from repro.errors import PlanError, UnsupportedOperatorError
 from repro.gpu.profiler import ProfileSummary
+from repro.query.optimizer import choose_join_algorithm
 from repro.query.plan import (
+    JOIN_ALGORITHMS,
     Aggregate,
     Filter,
     GroupBy,
@@ -97,15 +99,29 @@ class ExecutionResult:
 
 
 class QueryExecutor:
-    """Runs logical plans against a catalog of host tables."""
+    """Runs logical plans against a catalog of host tables.
+
+    ``join_strategy`` overrides the algorithm of every join the plan left
+    undecided (``auto``/``cost``); per-node explicit algorithms always
+    win.  ``"cost"`` resolves each undecided join at runtime with the
+    optimizer's cost model over the *actual* key cardinalities, restricted
+    to what the backend supports.
+    """
 
     def __init__(
         self,
         backend: OperatorBackend,
         catalog: Dict[str, Table],
+        join_strategy: Optional[str] = None,
     ) -> None:
+        if join_strategy is not None and join_strategy not in JOIN_ALGORITHMS:
+            raise PlanError(
+                f"unknown join strategy {join_strategy!r}; "
+                f"known: {', '.join(JOIN_ALGORITHMS)}"
+            )
         self.backend = backend
         self.catalog = dict(catalog)
+        self.join_strategy = join_strategy
 
     # -- public API --------------------------------------------------------------
 
@@ -308,6 +324,14 @@ class QueryExecutor:
     def _run_join(
         self, algorithm: str, left_keys: Handle, right_keys: Handle
     ) -> Tuple[Handle, Handle]:
+        if algorithm in ("auto", "cost") and self.join_strategy is not None:
+            algorithm = self.join_strategy
+        if algorithm == "cost":
+            algorithm = choose_join_algorithm(
+                len(left_keys),
+                len(right_keys),
+                supported=self._supported_join_algorithms(),
+            )
         if algorithm == "nested_loop":
             return self.backend.nested_loop_join(left_keys, right_keys)
         if algorithm == "merge":
@@ -322,6 +346,20 @@ class QueryExecutor:
             except UnsupportedOperatorError:
                 continue
         return self.backend.nested_loop_join(left_keys, right_keys)
+
+    def _supported_join_algorithms(self) -> Tuple[str, ...]:
+        """Join algorithms the backend's Table II column offers."""
+        support = self.backend.support()
+        levels = {
+            "hash": support.get(Operator.HASH_JOIN),
+            "merge": support.get(Operator.MERGE_JOIN),
+            "nested_loop": support.get(Operator.NESTED_LOOP_JOIN),
+        }
+        return tuple(
+            name
+            for name, cell in levels.items()
+            if cell is not None and cell.level is not SupportLevel.NONE
+        )
 
     # -- group by -----------------------------------------------------------------------
 

@@ -17,11 +17,20 @@ Two classic rewrites, both significant under library execution costs:
 
 ``optimize`` applies the rules bottom-up to a fixpoint.  Rewrites are
 purely logical: results are identical (asserted by property tests).
+
+A third, *physical* rewrite is cost-based join selection
+(:func:`select_join_strategies`): given base-table cardinalities it
+resolves every ``auto``/``cost`` join to the cheapest algorithm the
+backend supports, using the same work model as the executor's runtime
+dispatch (:func:`choose_join_algorithm`).  It is separate from
+:func:`optimize` because it needs a catalog and a backend capability set,
+while the logical rules need neither.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import math
+from typing import Dict, Optional, Sequence
 
 from repro.core.expr import ColRef
 from repro.core.predicate import (
@@ -43,6 +52,34 @@ from repro.query.plan import (
     Project,
     Scan,
 )
+
+#: Join algorithms the cost model can choose between, in preference order
+#: on ties (hash first: fewest device passes at equal modelled work).
+COSTED_JOIN_ALGORITHMS = ("hash", "merge", "nested_loop")
+
+#: Default selectivity guess for a Filter when no statistics exist (the
+#: classic System R third).
+FILTER_SELECTIVITY = 1.0 / 3.0
+
+# -- join cost model --------------------------------------------------------
+#
+# Relative per-element work units mirroring the backends' kernel charges
+# (see repro/core/*_backend.py and repro/relational/hashjoin.py): the
+# absolute scale cancels out, only ratios pick winners.
+#
+#: NLJ compares every (outer, inner) pair: units per pair.
+_NLJ_UNIT = 6.0
+#: Merge join radix-sorts both sides (multi-pass) then merges: units per
+#: element per side.
+_MERGE_UNIT = 40.0
+#: Hash join streams each side once through build/probe kernels.
+_HASH_UNIT = 12.0
+#: Fixed per-kernel-launch work equivalent: biases tiny joins toward the
+#: single-launch NLJ, the way launch latency does on the device.
+_LAUNCH_UNIT = 2.0e4
+#: Launches per algorithm (NLJ: 1; hash: build + probe; merge: radix-sort
+#: passes on both sides + merge path).
+_LAUNCHES = {"nested_loop": 1.0, "hash": 2.0, "merge": 9.0}
 
 
 def rename_predicate(
@@ -177,3 +214,130 @@ def _optimize_once(plan: PlanNode) -> Optional[PlanNode]:
 
     result = rebuild(plan)
     return result if changed else None
+
+
+# -- cost-based join selection ----------------------------------------------
+
+
+def join_cost(algorithm: str, left_rows: int, right_rows: int) -> float:
+    """Modelled work (arbitrary units) of one join algorithm.
+
+    Mirrors the simulated kernels' cost structure: NLJ is quadratic,
+    merge pays multi-pass sorts on both sides, hash streams each side
+    once; every algorithm carries its launch overhead so tiny inputs
+    prefer the single-launch NLJ.
+    """
+    if algorithm not in _LAUNCHES:
+        raise ValueError(f"no cost model for join algorithm {algorithm!r}")
+    n, m = max(left_rows, 0), max(right_rows, 0)
+    overhead = _LAUNCHES[algorithm] * _LAUNCH_UNIT
+    if algorithm == "nested_loop":
+        return _NLJ_UNIT * n * m + overhead
+    if algorithm == "merge":
+        return _MERGE_UNIT * (n + m) + overhead
+    if algorithm == "hash":
+        return _HASH_UNIT * (n + m) + overhead
+    raise ValueError(f"no cost model for join algorithm {algorithm!r}")
+
+
+def choose_join_algorithm(
+    left_rows: int,
+    right_rows: int,
+    supported: Sequence[str] = COSTED_JOIN_ALGORITHMS,
+) -> str:
+    """Cheapest supported algorithm for the given input cardinalities."""
+    candidates = [a for a in COSTED_JOIN_ALGORITHMS if a in supported]
+    if not candidates:
+        raise ValueError(
+            f"no supported join algorithm among {tuple(supported)!r}"
+        )
+    return min(
+        candidates, key=lambda a: join_cost(a, left_rows, right_rows)
+    )
+
+
+def estimate_rows(plan: PlanNode, catalog: Dict[str, object]) -> int:
+    """Textbook cardinality estimate for a plan node.
+
+    ``catalog`` maps table names to objects with a ``num_rows`` attribute
+    (:class:`~repro.relational.table.Table`).  Estimates are deliberately
+    simple — scans are exact, filters apply the System R selectivity
+    guess, FK-shaped joins keep the larger side — because the join cost
+    model only needs order-of-magnitude inputs.
+    """
+    if isinstance(plan, Scan):
+        table = catalog.get(plan.table)
+        return int(getattr(table, "num_rows", 0)) if table is not None else 0
+    if isinstance(plan, Filter):
+        return max(1, int(estimate_rows(plan.child, catalog) * FILTER_SELECTIVITY))
+    if isinstance(plan, Join):
+        left = estimate_rows(plan.left, catalog)
+        right = estimate_rows(plan.right, catalog)
+        # FK joins keep each row of the referencing (larger) side once.
+        return max(left, right)
+    if isinstance(plan, GroupBy):
+        if not plan.keys:
+            return 1
+        # Distinct-group guess: sqrt of the input (Cardenas-style shrink).
+        return max(1, math.isqrt(estimate_rows(plan.child, catalog)))
+    if isinstance(plan, Limit):
+        return min(plan.n, estimate_rows(plan.child, catalog))
+    children = plan.children()
+    if len(children) == 1:
+        return estimate_rows(children[0], catalog)
+    raise TypeError(f"cannot estimate cardinality of {type(plan).__name__}")
+
+
+def select_join_strategies(
+    plan: PlanNode,
+    catalog: Dict[str, object],
+    supported: Sequence[str] = COSTED_JOIN_ALGORITHMS,
+) -> PlanNode:
+    """Resolve every ``auto``/``cost`` join to a concrete algorithm.
+
+    Explicitly requested algorithms are left untouched; subtrees without
+    undecided joins keep their identity (cheap no-op on join-free plans).
+    """
+
+    def rebuild(node: PlanNode) -> PlanNode:
+        if isinstance(node, Scan):
+            return node
+        if isinstance(node, Join):
+            left = rebuild(node.left)
+            right = rebuild(node.right)
+            algorithm = node.algorithm
+            if algorithm in ("auto", "cost"):
+                algorithm = choose_join_algorithm(
+                    estimate_rows(node.left, catalog),
+                    estimate_rows(node.right, catalog),
+                    supported,
+                )
+            if (
+                left is node.left
+                and right is node.right
+                and algorithm == node.algorithm
+            ):
+                return node
+            return Join(left, right, node.left_on, node.right_on, algorithm)
+        if isinstance(node, Filter):
+            child = rebuild(node.child)
+            return node if child is node.child else Filter(child, node.predicate)
+        if isinstance(node, Project):
+            child = rebuild(node.child)
+            return node if child is node.child else Project(child, node.outputs)
+        if isinstance(node, GroupBy):
+            child = rebuild(node.child)
+            if child is node.child:
+                return node
+            return GroupBy(child, node.keys, node.aggregates)
+        if isinstance(node, OrderBy):
+            child = rebuild(node.child)
+            if child is node.child:
+                return node
+            return OrderBy(child, node.key, node.descending)
+        if isinstance(node, Limit):
+            child = rebuild(node.child)
+            return node if child is node.child else Limit(child, node.n)
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+
+    return rebuild(plan)

@@ -16,8 +16,10 @@ from repro.core.predicate import Predicate
 from repro.errors import PlanError
 
 #: Join algorithms a Join node may request.  "auto" picks the backend's
-#: best supported algorithm (hash > merge > nested loops).
-JOIN_ALGORITHMS = ("auto", "nested_loop", "merge", "hash")
+#: best supported algorithm (hash > merge > nested loops); "cost" defers
+#: to the optimizer's cost model over the actual input cardinalities (see
+#: :func:`repro.query.optimizer.choose_join_algorithm`).
+JOIN_ALGORITHMS = ("auto", "nested_loop", "merge", "hash", "cost")
 
 
 class PlanNode:
@@ -97,6 +99,11 @@ class Join(PlanNode):
                 f"unknown join algorithm {self.algorithm!r}; "
                 f"known: {', '.join(JOIN_ALGORITHMS)}"
             )
+
+    @property
+    def join_strategy(self) -> str:
+        """Alias for :attr:`algorithm` (the executor-facing name)."""
+        return self.algorithm
 
     def children(self) -> Tuple[PlanNode, ...]:
         return (self.left, self.right)

@@ -31,8 +31,9 @@ class _CachingExecutor(QueryExecutor):
         backend: OperatorBackend,
         catalog: Dict[str, Table],
         cache: Dict[Tuple[str, str], Handle],
+        join_strategy: Optional[str] = None,
     ) -> None:
-        super().__init__(backend, catalog)
+        super().__init__(backend, catalog, join_strategy=join_strategy)
         self._cache = cache
 
     def _upload_column(self, table_name: str, column_name: str,
@@ -61,11 +62,19 @@ class GpuSession:
         self,
         backend: OperatorBackend,
         catalog: Dict[str, Table],
+        join_strategy: Optional[str] = None,
     ) -> None:
         self.backend = backend
         self.catalog = dict(catalog)
         self._cache: Dict[Tuple[str, str], Handle] = {}
-        self._executor = _CachingExecutor(backend, self.catalog, self._cache)
+        self._executor = _CachingExecutor(
+            backend, self.catalog, self._cache, join_strategy=join_strategy
+        )
+
+    @property
+    def join_strategy(self) -> Optional[str]:
+        """Session-wide override for undecided (auto/cost) joins."""
+        return self._executor.join_strategy
 
     def execute(self, plan: PlanNode, result_name: str = "result") -> ExecutionResult:
         """Execute a plan, reusing resident columns."""

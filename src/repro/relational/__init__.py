@@ -1,6 +1,17 @@
 """Column-store relational substrate: types, columns, schemas, tables."""
 
 from repro.relational.column import Column
+from repro.relational.hashjoin import (
+    DEFAULT_CONFIG as DEFAULT_HASH_JOIN_CONFIG,
+    HashJoinConfig,
+    HashJoinResult,
+    HashJoinStats,
+    HashTableLayout,
+    SimulatedHashJoin,
+    hash_codes,
+    simulated_hash_join,
+    table_layout,
+)
 from repro.relational.io import read_csv, write_csv
 from repro.relational.schema import Field, Schema
 from repro.relational.table import Table, concat_tables
@@ -15,6 +26,15 @@ from repro.relational.types import (
 
 __all__ = [
     "Column",
+    "HashJoinConfig",
+    "DEFAULT_HASH_JOIN_CONFIG",
+    "HashJoinResult",
+    "HashJoinStats",
+    "HashTableLayout",
+    "SimulatedHashJoin",
+    "hash_codes",
+    "simulated_hash_join",
+    "table_layout",
     "read_csv",
     "write_csv",
     "Field",

@@ -13,7 +13,6 @@ from repro.core import (
     col_cmp,
     col_gt,
     col_lt,
-    default_framework,
 )
 from repro.core.backend import join_reference
 from repro.core.cpu_backend import CpuReferenceBackend

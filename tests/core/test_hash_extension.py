@@ -1,0 +1,147 @@
+"""Tests for the per-library hash-join extension backends."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EXTENSION_BACKENDS,
+    STUDIED_LIBRARIES,
+    ArrayFireHashBackend,
+    BoostComputeHashBackend,
+    Operator,
+    SupportLevel,
+    ThrustHashBackend,
+    default_framework,
+)
+from repro.core.backend import join_reference
+from repro.core.hash_extension import HASH_EXTENSION_BACKENDS
+from repro.errors import UnsupportedOperatorError
+from repro.gpu.profiler import KERNEL
+
+EXTENSION_NAMES = ("thrust+hash", "boost.compute+hash", "arrayfire+hash")
+
+
+@pytest.fixture(params=EXTENSION_NAMES)
+def hash_backend(request, framework):
+    return framework.create(request.param)
+
+
+class TestRegistration:
+    def test_all_extensions_registered(self, framework):
+        for name in EXTENSION_NAMES:
+            assert name in framework
+            assert name in EXTENSION_BACKENDS
+        assert set(HASH_EXTENSION_BACKENDS) == set(EXTENSION_NAMES)
+
+    def test_not_counted_as_studied_libraries(self):
+        for name in EXTENSION_NAMES:
+            assert name not in STUDIED_LIBRARIES
+
+    def test_factory_classes_exported(self):
+        assert HASH_EXTENSION_BACKENDS["thrust+hash"] is ThrustHashBackend
+        assert (
+            HASH_EXTENSION_BACKENDS["boost.compute+hash"]
+            is BoostComputeHashBackend
+        )
+        assert (
+            HASH_EXTENSION_BACKENDS["arrayfire+hash"] is ArrayFireHashBackend
+        )
+
+
+class TestSupport:
+    def test_hash_join_now_full(self, hash_backend):
+        cell = hash_backend.support()[Operator.HASH_JOIN]
+        assert cell.level is SupportLevel.FULL
+        assert "extension" in cell.functions
+
+    def test_base_library_still_lacks_hashing(self, framework):
+        """The default backends keep the paper's Table II verbatim."""
+        for name in ("thrust", "boost.compute", "arrayfire"):
+            backend = framework.create(name)
+            cell = backend.support()[Operator.HASH_JOIN]
+            assert cell.level is SupportLevel.NONE
+            with pytest.raises(UnsupportedOperatorError):
+                backend.hash_join(
+                    backend.upload(np.arange(4, dtype=np.int32)),
+                    backend.upload(np.arange(4, dtype=np.int32)),
+                )
+
+    def test_other_operators_unchanged(self, framework):
+        for name in EXTENSION_NAMES:
+            base = framework.create(name.split("+")[0]).support()
+            extended = framework.create(name).support()
+            for operator, cell in base.items():
+                if operator is Operator.HASH_JOIN:
+                    continue
+                assert extended[operator].level is cell.level
+
+
+class TestCorrectness:
+    def test_matches_reference(self, hash_backend, rng):
+        left = rng.integers(0, 300, 2_000).astype(np.int32)
+        right = rng.integers(0, 300, 1_500).astype(np.int32)
+        expected = join_reference(left, right)
+        got_l, got_r = hash_backend.hash_join(
+            hash_backend.upload(left), hash_backend.upload(right)
+        )
+        assert np.array_equal(
+            hash_backend.download(got_l).astype(np.int64), expected[0]
+        )
+        assert np.array_equal(
+            hash_backend.download(got_r).astype(np.int64), expected[1]
+        )
+
+    def test_result_feeds_gather(self, hash_backend, rng):
+        """Join ids must be usable as gather indices downstream."""
+        left = rng.integers(0, 100, 500).astype(np.int32)
+        right = np.arange(100, dtype=np.int32)
+        payload = rng.random(500)
+        left_ids, _right_ids = hash_backend.hash_join(
+            hash_backend.upload(left), hash_backend.upload(right)
+        )
+        gathered = hash_backend.gather(
+            hash_backend.upload(payload), left_ids
+        )
+        expected = payload[join_reference(left, right)[0]]
+        assert np.allclose(hash_backend.download(gathered), expected)
+
+
+class TestCost:
+    def test_kernels_priced_at_library_tier(self, rng):
+        """The same join must cost more on a library tier than handwritten."""
+        left = rng.integers(0, 50_000, 200_000).astype(np.int32)
+        right = np.arange(50_000, dtype=np.int32)
+
+        def join_time(name):
+            backend = default_framework().create(name)
+            handles = backend.upload(left), backend.upload(right)
+            t0 = backend.device.clock.now
+            backend.hash_join(*handles)
+            return backend.device.clock.now - t0
+
+        assert join_time("thrust+hash") > join_time("handwritten")
+
+    def test_hash_beats_native_nested_loop(self, rng):
+        left = rng.integers(0, 20_000, 100_000).astype(np.int32)
+        right = np.arange(20_000, dtype=np.int32)
+
+        def join_time(name, method):
+            backend = default_framework().create(name)
+            handles = backend.upload(left), backend.upload(right)
+            t0 = backend.device.clock.now
+            getattr(backend, method)(*handles)
+            return backend.device.clock.now - t0
+
+        nlj = join_time("thrust", "nested_loop_join")
+        hashed = join_time("thrust+hash", "hash_join")
+        assert nlj / hashed > 50.0
+
+    def test_kernel_names_carry_extension_name(self, framework, rng):
+        backend = framework.create("thrust+hash")
+        backend.hash_join(
+            backend.upload(rng.integers(0, 50, 200).astype(np.int32)),
+            backend.upload(np.arange(50, dtype=np.int32)),
+        )
+        kernels = [e.name for e in backend.device.profiler.iter_kind(KERNEL)]
+        assert "thrust+hash::hash_build" in kernels
+        assert "thrust+hash::hash_probe" in kernels

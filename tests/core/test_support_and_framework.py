@@ -12,7 +12,6 @@ from repro.core import (
     SupportLevel,
     build_support_matrix,
     compare_with_paper,
-    default_framework,
     render_table_ii,
 )
 from repro.core.backend import OperatorSupport

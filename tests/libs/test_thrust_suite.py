@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ArraySizeMismatchError, InvalidBufferError
-from repro.gpu import Device
 from repro.libs import thrust
 from repro.libs.thrust import functional as F
 

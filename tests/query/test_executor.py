@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import col_eq, col_gt, col_lt, default_framework
+from repro.core import col_eq, col_gt, col_lt
 from repro.core.expr import col, lit
 from repro.errors import PlanError
 from repro.query import QueryExecutor, scan

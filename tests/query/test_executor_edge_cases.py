@@ -6,8 +6,7 @@ import datetime
 import numpy as np
 import pytest
 
-from repro.core import col_eq, col_gt, col_lt, default_framework
-from repro.core.expr import col
+from repro.core import col_eq, col_gt, col_lt
 from repro.errors import DeviceMemoryError, PlanError
 from repro.gpu import Device, INTEGRATED_GPU
 from repro.query import QueryExecutor, scan

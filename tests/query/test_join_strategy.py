@@ -1,0 +1,270 @@
+"""Join-strategy selection: executor overrides and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import HandwrittenBackend, ThrustBackend, default_framework
+from repro.errors import PlanError, UnsupportedOperatorError
+from repro.gpu import Device
+from repro.gpu.profiler import KERNEL
+from repro.query import (
+    COSTED_JOIN_ALGORITHMS,
+    GpuSession,
+    QueryExecutor,
+    choose_join_algorithm,
+    estimate_rows,
+    join_cost,
+    scan,
+    select_join_strategies,
+    walk,
+)
+from repro.query.plan import Join
+from repro.relational.column import Column
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+from repro.tpch import TpchGenerator, q3
+
+
+def _int_table(name, **columns):
+    return Table(name, [
+        Column(col_name, ColumnType.INT32, np.asarray(data, dtype=np.int32))
+        for col_name, data in columns.items()
+    ])
+
+
+def _join_kernels(device):
+    return [e.name for e in device.profiler.iter_kind(KERNEL)
+            if any(tag in e.name for tag in
+                   ("nlj", "hash_build", "hash_probe", "merge"))]
+
+
+@pytest.fixture(scope="module")
+def tpch_catalog():
+    return TpchGenerator(scale_factor=0.005, seed=11).generate()
+
+
+@pytest.fixture(scope="module")
+def large_catalog():
+    """Big enough for streaming join wins to beat transfer noise."""
+    return TpchGenerator(scale_factor=0.02, seed=11).generate()
+
+
+class TestCostModel:
+    def test_tiny_join_prefers_nested_loop(self):
+        assert choose_join_algorithm(10, 10) == "nested_loop"
+
+    def test_large_join_prefers_hash(self):
+        assert choose_join_algorithm(100_000, 20_000) == "hash"
+
+    def test_without_hash_large_join_prefers_merge(self):
+        assert choose_join_algorithm(
+            100_000, 20_000, supported=("merge", "nested_loop")
+        ) == "merge"
+
+    def test_no_supported_algorithm_raises(self):
+        with pytest.raises(ValueError):
+            choose_join_algorithm(10, 10, supported=("index",))
+
+    def test_costs_are_positive_and_ordered(self):
+        for algorithm in COSTED_JOIN_ALGORITHMS:
+            assert join_cost(algorithm, 0, 0) > 0.0
+        # Quadratic NLJ must dominate for large symmetric inputs.
+        n = 1 << 20
+        assert join_cost("nested_loop", n, n) > join_cost("hash", n, n)
+        assert join_cost("nested_loop", n, n) > join_cost("merge", n, n)
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError):
+            join_cost("index", 10, 10)
+
+
+class TestEstimates:
+    def test_scan_is_exact(self, tpch_catalog):
+        plan = scan("orders").build()
+        expected = tpch_catalog["orders"].num_rows
+        assert estimate_rows(plan, tpch_catalog) == expected
+
+    def test_filter_applies_selectivity(self, tpch_catalog):
+        from repro.core.predicate import col_lt
+
+        plan = scan("orders").filter(col_lt("o_orderdate", 10_000)).build()
+        orders = tpch_catalog["orders"].num_rows
+        assert estimate_rows(plan, tpch_catalog) == max(1, orders // 3)
+
+    def test_join_keeps_larger_side(self, tpch_catalog):
+        plan = (
+            scan("orders")
+            .join(scan("customer"), "o_custkey", "c_custkey")
+            .build()
+        )
+        assert estimate_rows(plan, tpch_catalog) == max(
+            tpch_catalog["orders"].num_rows,
+            tpch_catalog["customer"].num_rows,
+        )
+
+    def test_unknown_table_estimates_zero(self):
+        assert estimate_rows(scan("nope").build(), {}) == 0
+
+
+class TestSelectJoinStrategies:
+    def test_resolves_auto_joins(self, tpch_catalog):
+        plan = q3.plan(tpch_catalog, join_algorithm="auto")
+        resolved = select_join_strategies(plan, tpch_catalog)
+        algorithms = [n.algorithm for n in walk(resolved)
+                      if isinstance(n, Join)]
+        assert algorithms and all(
+            a in ("hash", "merge", "nested_loop") for a in algorithms
+        )
+        # TPC-H joins are large: the cost model should pick hash.
+        assert "hash" in algorithms
+
+    def test_explicit_algorithms_untouched(self, tpch_catalog):
+        plan = q3.plan(tpch_catalog, join_algorithm="merge")
+        resolved = select_join_strategies(plan, tpch_catalog)
+        assert all(
+            n.algorithm == "merge" for n in walk(resolved)
+            if isinstance(n, Join)
+        )
+
+    def test_join_free_plan_keeps_identity(self, tpch_catalog):
+        plan = scan("orders").build()
+        assert select_join_strategies(plan, tpch_catalog) is plan
+
+    def test_respects_backend_support(self, tpch_catalog):
+        plan = q3.plan(tpch_catalog, join_algorithm="cost")
+        resolved = select_join_strategies(
+            plan, tpch_catalog, supported=("merge", "nested_loop")
+        )
+        algorithms = {n.algorithm for n in walk(resolved)
+                      if isinstance(n, Join)}
+        assert "hash" not in algorithms
+
+
+class TestExecutorStrategy:
+    def test_unknown_strategy_rejected(self, tpch_catalog):
+        with pytest.raises(PlanError):
+            QueryExecutor(
+                HandwrittenBackend(Device()), tpch_catalog,
+                join_strategy="sideways",
+            )
+
+    def test_strategy_overrides_auto_joins(self, tpch_catalog):
+        backend = HandwrittenBackend(Device())
+        executor = QueryExecutor(
+            backend, tpch_catalog, join_strategy="nested_loop"
+        )
+        executor.execute(q3.plan(tpch_catalog, join_algorithm="auto"))
+        kernels = _join_kernels(backend.device)
+        assert any("tiled_nlj" in k for k in kernels)
+        assert not any("hash_build" in k for k in kernels)
+
+    def test_explicit_node_algorithm_wins(self, tpch_catalog):
+        backend = HandwrittenBackend(Device())
+        executor = QueryExecutor(
+            backend, tpch_catalog, join_strategy="nested_loop"
+        )
+        executor.execute(q3.plan(tpch_catalog, join_algorithm="hash"))
+        kernels = _join_kernels(backend.device)
+        assert any("hash_build" in k for k in kernels)
+        assert not any("tiled_nlj" in k for k in kernels)
+
+    def test_cost_strategy_picks_hash_for_tpch(self, tpch_catalog):
+        backend = HandwrittenBackend(Device())
+        executor = QueryExecutor(backend, tpch_catalog, join_strategy="cost")
+        executor.execute(q3.plan(tpch_catalog, join_algorithm="auto"))
+        assert any(
+            "hash_build" in k for k in _join_kernels(backend.device)
+        )
+
+    def test_cost_strategy_picks_nlj_for_tiny_join(self):
+        catalog = {
+            "a": _int_table("a", k=np.arange(40)),
+            "b": _int_table("b", j=np.arange(40)),
+        }
+        backend = HandwrittenBackend(Device())
+        executor = QueryExecutor(backend, catalog, join_strategy="cost")
+        executor.execute(
+            scan("a").join(scan("b"), "k", "j", algorithm="cost").build()
+        )
+        kernels = _join_kernels(backend.device)
+        assert any("tiled_nlj" in k for k in kernels)
+        assert not any("hash_build" in k for k in kernels)
+
+    def test_cost_strategy_respects_backend_support(self, tpch_catalog):
+        """Thrust has no hashing: cost dispatch must fall back to merge."""
+        backend = ThrustBackend(Device())
+        executor = QueryExecutor(backend, tpch_catalog, join_strategy="cost")
+        executor.execute(q3.plan(tpch_catalog, join_algorithm="auto"))
+        kernels = _join_kernels(backend.device)
+        assert not any("hash" in k for k in kernels)
+
+    def test_session_forwards_strategy(self, tpch_catalog):
+        backend = HandwrittenBackend(Device())
+        session = GpuSession(backend, tpch_catalog, join_strategy="hash")
+        assert session.join_strategy == "hash"
+        session.execute(q3.plan(tpch_catalog, join_algorithm="auto"))
+        assert any(
+            "hash_build" in k for k in _join_kernels(backend.device)
+        )
+
+
+class TestAcceptance:
+    """ISSUE acceptance: hash == nested-loop results, hash faster."""
+
+    @staticmethod
+    def _run(backend_name, algorithm, catalog):
+        backend = default_framework().create(backend_name)
+        executor = QueryExecutor(backend, catalog)
+        return executor.execute(
+            q3.plan(catalog, join_algorithm=algorithm)
+        )
+
+    def test_hash_matches_nested_loop_exactly(self, tpch_catalog):
+        hashed = self._run("handwritten", "hash", tpch_catalog)
+        looped = self._run("handwritten", "nested_loop", tpch_catalog)
+        assert (
+            hashed.table.column_names == looped.table.column_names
+        )
+        for name in hashed.table.column_names:
+            assert np.array_equal(
+                hashed.table.column(name).data,
+                looped.table.column(name).data,
+            ), name
+
+    def test_hash_matches_nested_loop_at_scale(self, large_catalog):
+        hashed = self._run("handwritten", "hash", large_catalog)
+        looped = self._run("handwritten", "nested_loop", large_catalog)
+        assert (
+            hashed.table.column_names == looped.table.column_names
+        )
+        for name in hashed.table.column_names:
+            assert np.array_equal(
+                hashed.table.column(name).data,
+                looped.table.column(name).data,
+            ), name
+
+    def test_hash_is_faster(self, large_catalog):
+        hashed = self._run("handwritten", "hash", large_catalog)
+        looped = self._run("handwritten", "nested_loop", large_catalog)
+        assert (
+            hashed.report.simulated_seconds
+            < looped.report.simulated_seconds
+        )
+
+    def test_extension_backend_runs_q3_with_hash(self, large_catalog):
+        hashed = self._run("thrust+hash", "hash", large_catalog)
+        looped = self._run("thrust", "nested_loop", large_catalog)
+        for name in hashed.table.column_names:
+            assert np.array_equal(
+                hashed.table.column(name).data,
+                looped.table.column(name).data,
+            ), name
+        assert (
+            hashed.report.simulated_seconds
+            < looped.report.simulated_seconds
+        )
+
+    def test_plain_library_still_lacks_hashing(self, tpch_catalog):
+        """The paper's negative result is preserved by default."""
+        with pytest.raises(UnsupportedOperatorError):
+            self._run("thrust", "hash", tpch_catalog)

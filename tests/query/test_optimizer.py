@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import col_gt, col_lt, default_framework
+from repro.core import col_gt, col_lt
 from repro.core.expr import col
 from repro.core.predicate import And
 from repro.query import Filter, Project, QueryExecutor, Scan, scan, walk

@@ -1,12 +1,10 @@
 """Property-based tests: the optimizer never changes query results."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ThrustBackend
-from repro.core.expr import col
 from repro.core.predicate import Compare
 from repro.gpu import Device
 from repro.query import QueryBuilder, QueryExecutor, scan, walk

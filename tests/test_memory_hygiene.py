@@ -6,7 +6,7 @@ import gc
 import numpy as np
 import pytest
 
-from repro.core import col_lt, default_framework
+from repro.core import col_lt
 from repro.query import GpuSession, QueryExecutor, scan
 from repro.relational import Column, Table
 from repro.tpch import TpchGenerator, q1, q6

@@ -21,7 +21,6 @@ from repro.core.backend import join_reference
 from repro.gpu import Device
 from repro.libs import arrayfire as af
 from repro.libs import thrust
-from repro.libs.thrust import functional as F
 
 # Bounded int32 values keep sums exact in float64 accumulators.
 int_arrays = arrays(

@@ -113,15 +113,36 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
         f"\n{'backend':>16}  {'cold ms':>10}  {'warm ms':>10}  "
         f"{'kernels':>8}  {'rows':>6}"
     )
+    trace_device = None
     for name in DEFAULT_BACKENDS:
-        executor = QueryExecutor(framework.create(name, Device()), catalog)
+        device = Device()
+        executor = QueryExecutor(
+            framework.create(name, device),
+            catalog,
+            scan_chunks=args.chunks,
+        )
         cold = executor.execute(plan)
         warm = executor.execute(plan)
+        if args.trace is not None and name == args.trace_backend:
+            trace_device = device
         print(
             f"{name:>16}  {cold.report.simulated_ms:10.3f}  "
             f"{warm.report.simulated_ms:10.3f}  "
             f"{warm.report.summary.kernel_count:8d}  "
             f"{warm.table.num_rows:6d}"
+        )
+    if args.trace is not None:
+        from repro.gpu import write_chrome_trace
+
+        if trace_device is None:
+            known = ", ".join(DEFAULT_BACKENDS)
+            raise SystemExit(
+                f"unknown trace backend {args.trace_backend!r}; known: {known}"
+            )
+        write_chrome_trace(args.trace, trace_device.profiler.events)
+        print(
+            f"\nwrote {len(trace_device.profiler.events)} events to "
+            f"{args.trace} (open at chrome://tracing or ui.perfetto.dev)"
         )
     return 0
 
@@ -170,6 +191,25 @@ def build_parser() -> argparse.ArgumentParser:
     tpch.add_argument("--query", default="Q6",
                       help="one of " + ", ".join(sorted(ALL_QUERIES)))
     tpch.add_argument("--scale-factor", type=float, default=0.01)
+    tpch.add_argument(
+        "--chunks",
+        type=int,
+        default=None,
+        help="chunked scan mode: split eligible scans into N chunks "
+        "pipelined over streams (default: whole-table scans)",
+    )
+    tpch.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome-trace JSON of one backend's simulated "
+        "timeline (view at chrome://tracing)",
+    )
+    tpch.add_argument(
+        "--trace-backend",
+        default="thrust",
+        help="which backend's timeline --trace captures",
+    )
     tpch.set_defaults(handler=_cmd_tpch)
     return parser
 

@@ -35,8 +35,22 @@ from repro.gpu.profiler import (
     Event,
     Profiler,
     ProfileSummary,
+    chrome_trace_json,
     merge_summaries,
     to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.gpu.stream import (
+    DEFAULT_STREAM_ID,
+    ENGINE_COMPUTE,
+    ENGINE_D2H,
+    ENGINE_H2D,
+    ENGINES,
+    EngineTimeline,
+    Stream,
+    StreamEvent,
+    StreamStats,
+    engine_stats,
 )
 from repro.gpu.transfer import (
     PCIE3_X16,
@@ -67,8 +81,20 @@ __all__ = [
     "Event",
     "Profiler",
     "ProfileSummary",
+    "chrome_trace_json",
     "merge_summaries",
     "to_chrome_trace",
+    "write_chrome_trace",
+    "DEFAULT_STREAM_ID",
+    "ENGINE_COMPUTE",
+    "ENGINE_D2H",
+    "ENGINE_H2D",
+    "ENGINES",
+    "EngineTimeline",
+    "Stream",
+    "StreamEvent",
+    "StreamStats",
+    "engine_stats",
     "LinkSpec",
     "PCIE3_X16",
     "PCIE4_X16",

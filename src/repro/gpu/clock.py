@@ -47,6 +47,19 @@ class SimulatedClock:
         self._now += seconds
         return self._now
 
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp`` if it lies in the future.
+
+        Used by the stream scheduler: asynchronous work items resolve to
+        absolute completion times on per-engine timelines, and the global
+        clock tracks the *latest* completion seen so far.  Timestamps in
+        the past are ignored (the clock never rewinds), keeping the clock
+        monotonic while streams interleave work behind it.
+        """
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
     def elapsed_since(self, t0: float) -> float:
         """Seconds elapsed between ``t0`` and now."""
         return self._now - t0

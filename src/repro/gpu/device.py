@@ -8,8 +8,9 @@ transfer size, a compile request) and the device prices it.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -17,6 +18,18 @@ from repro.gpu import profiler as prof
 from repro.gpu.clock import SimulatedClock
 from repro.gpu.kernel import EfficiencyProfile, KernelCost, kernel_duration
 from repro.gpu.memory import DeviceBuffer, MemoryManager
+from repro.gpu.stream import (
+    DEFAULT_STREAM_ID,
+    ENGINE_COMPUTE,
+    ENGINE_D2H,
+    ENGINE_H2D,
+    ENGINES,
+    EngineTimeline,
+    Stream,
+    StreamEvent,
+    StreamStats,
+    engine_stats,
+)
 from repro.gpu.transfer import PCIE3_X16, PCIE4_X16, SHARED_MEMORY_LINK, LinkSpec
 
 
@@ -117,7 +130,13 @@ class Device:
 
     All pricing goes through the four ``launch`` / ``transfer_*`` /
     ``compile`` methods so that every simulated nanosecond is matched by a
-    profiler event.
+    profiler event.  Each method accepts an optional ``stream``: work on a
+    :class:`~repro.gpu.stream.Stream` is scheduled asynchronously on the
+    per-engine timelines (kernels on the compute engine, one copy engine
+    per direction) and overlaps with work on other streams.  Without a
+    stream — and with no :meth:`stream_scope` active — work runs on the
+    legacy default stream: it drains every engine first and runs
+    exclusively, which reproduces the original serial timeline exactly.
     """
 
     def __init__(
@@ -130,14 +149,143 @@ class Device:
         self.clock = SimulatedClock()
         self.memory = MemoryManager(spec.memory_bytes)
         self.profiler = prof.Profiler(enabled=profile_events)
+        #: Bumped on every reset; streams/events from older epochs are stale.
+        self.epoch = 0
+        self._engines: Dict[str, EngineTimeline] = {
+            name: EngineTimeline(name) for name in ENGINES
+        }
+        self._streams: List[Stream] = []
+        self._next_stream_id = 1
+        #: Completion time of the latest legacy default-stream item; async
+        #: work never starts before it (CUDA stream-0 semantics).
+        self._barrier = 0.0
+        self._current_stream: Optional[Stream] = None
+
+    # -- streams -----------------------------------------------------------
+
+    def create_stream(self, name: Optional[str] = None) -> Stream:
+        """Create an asynchronous work queue (``cudaStreamCreate``)."""
+        stream_id = self._next_stream_id
+        self._next_stream_id += 1
+        stream = Stream(self, stream_id, name or f"stream-{stream_id}")
+        self._streams.append(stream)
+        return stream
+
+    @property
+    def current_stream(self) -> Optional[Stream]:
+        """The stream installed by the innermost :meth:`stream_scope`."""
+        return self._current_stream
+
+    @contextmanager
+    def stream_scope(self, stream: Optional[Stream]) -> Iterator[Optional[Stream]]:
+        """Route all work priced inside the scope onto ``stream``.
+
+        An explicit ``stream=`` argument on a pricing call still wins;
+        ``stream_scope(None)`` forces the legacy default stream inside an
+        outer scope.  Scopes nest.
+        """
+        previous = self._current_stream
+        self._current_stream = stream
+        try:
+            yield stream
+        finally:
+            self._current_stream = previous
+
+    def synchronize(self) -> float:
+        """Drain all engines and streams (``cudaDeviceSynchronize``).
+
+        Advances the global clock to the latest completion time across
+        every engine and stream cursor; returns the new clock time.  The
+        sync point also becomes the submission floor: the host waited
+        here, so work submitted afterwards — on any stream — cannot be
+        scheduled before it.  Back-to-back identical runs therefore
+        report identical durations.
+        """
+        latest = self._barrier
+        for engine in self._engines.values():
+            latest = max(latest, engine.busy_until)
+        for stream in self._streams:
+            latest = max(latest, stream.cursor)
+        self._barrier = latest
+        return self.clock.advance_to(latest)
+
+    def _raise_submit_floor(self, timestamp: float) -> None:
+        """Raise the submission floor to ``timestamp`` (monotonic).
+
+        Called when the host blocks (stream/device synchronisation): work
+        submitted after the host resumed cannot be scheduled before the
+        point it resumed at.  Implemented via the default-stream barrier,
+        which both legacy and async scheduling already respect.
+        """
+        if timestamp > self._barrier:
+            self._barrier = timestamp
+
+    def engine_timeline(self, name: str) -> EngineTimeline:
+        """The occupancy timeline of one engine (tests, reports)."""
+        return self._engines[name]
+
+    def engine_summary(self) -> StreamStats:
+        """Engine busy-time summary against the current clock makespan."""
+        return engine_stats(list(self._engines.values()), self.clock.now)
+
+    def record_event(self, stream: Optional[Stream] = None) -> StreamEvent:
+        """Record an event on ``stream`` (default: the legacy stream,
+        whose events capture the completion of all default-stream work)."""
+        if stream is not None:
+            return stream.record_event()
+        return StreamEvent(
+            name="default-stream-event",
+            stream_id=DEFAULT_STREAM_ID,
+            timestamp=max(self.clock.now, self._barrier),
+            epoch=self.epoch,
+        )
+
+    def _resolve_stream(self, stream: Optional[Stream]) -> Optional[Stream]:
+        """Explicit stream argument, else the scope stream, else legacy."""
+        return stream if stream is not None else self._current_stream
+
+    def _schedule(
+        self, engine_name: str, duration: float, stream: Optional[Stream]
+    ) -> Tuple[float, float, int]:
+        """Resolve one work item's (start, end, stream id).
+
+        Legacy default-stream items drain every engine, run exclusively,
+        and raise the barrier; stream items start at the latest of the
+        stream's FIFO cursor, the barrier, and the engine's free time.
+        The global clock advances to the item's end (monotonic max).
+        """
+        engine = self._engines[engine_name]
+        if stream is None:
+            earliest = self.clock.now
+            if self._barrier > earliest:
+                earliest = self._barrier
+            for other in self._engines.values():
+                if other.busy_until > earliest:
+                    earliest = other.busy_until
+            start, end = engine.schedule(earliest, duration)
+            self._barrier = end
+            self.clock.advance_to(end)
+            return start, end, DEFAULT_STREAM_ID
+        stream._check_epoch()
+        earliest = max(stream.cursor, self._barrier)
+        start, end = engine.schedule(earliest, duration)
+        stream._advance(end)
+        self.clock.advance_to(end)
+        return start, end, stream.stream_id
 
     # -- kernels ----------------------------------------------------------
 
-    def launch(self, cost: KernelCost, profile: EfficiencyProfile) -> float:
+    def launch(
+        self,
+        cost: KernelCost,
+        profile: EfficiencyProfile,
+        stream: Optional[Stream] = None,
+    ) -> float:
         """Price and execute one kernel launch; returns its duration."""
         duration = kernel_duration(cost, self.spec, profile)
-        start = self.clock.now
-        self.clock.advance(duration)
+        start, _end, stream_id = self._schedule(
+            ENGINE_COMPUTE, duration, self._resolve_stream(stream)
+        )
         self.profiler.record(
             prof.KERNEL,
             cost.name,
@@ -147,39 +295,68 @@ class Device:
             flops=cost.total_flops,
             bytes=cost.total_bytes,
             library=profile.name,
+            stream=stream_id,
+            engine=ENGINE_COMPUTE,
         )
         return duration
 
     # -- transfers --------------------------------------------------------
 
-    def transfer_to_device(self, nbytes: int, label: str = "h2d") -> float:
-        """Host → device copy of ``nbytes``."""
+    def transfer_to_device(
+        self,
+        nbytes: int,
+        label: str = "h2d",
+        stream: Optional[Stream] = None,
+    ) -> float:
+        """Host → device copy of ``nbytes`` (async when on a stream)."""
         duration = self.spec.link.transfer_time(nbytes)
-        start = self.clock.now
-        self.clock.advance(duration)
+        start, _end, stream_id = self._schedule(
+            ENGINE_H2D, duration, self._resolve_stream(stream)
+        )
         self.profiler.record(
-            prof.TRANSFER_H2D, label, start, duration, nbytes=nbytes
+            prof.TRANSFER_H2D, label, start, duration,
+            nbytes=nbytes, stream=stream_id, engine=ENGINE_H2D,
         )
         return duration
 
-    def transfer_to_host(self, nbytes: int, label: str = "d2h") -> float:
-        """Device → host copy of ``nbytes``."""
+    def transfer_to_host(
+        self,
+        nbytes: int,
+        label: str = "d2h",
+        stream: Optional[Stream] = None,
+    ) -> float:
+        """Device → host copy of ``nbytes`` (async when on a stream)."""
         duration = self.spec.link.transfer_time(nbytes)
-        start = self.clock.now
-        self.clock.advance(duration)
+        start, _end, stream_id = self._schedule(
+            ENGINE_D2H, duration, self._resolve_stream(stream)
+        )
         self.profiler.record(
-            prof.TRANSFER_D2H, label, start, duration, nbytes=nbytes
+            prof.TRANSFER_D2H, label, start, duration,
+            nbytes=nbytes, stream=stream_id, engine=ENGINE_D2H,
         )
         return duration
 
     # -- runtime compilation (OpenCL program build / ArrayFire JIT) -------
 
     def compile_program(self, name: str, cost_seconds: float) -> float:
-        """Charge a runtime compilation (OpenCL build, JIT codegen)."""
+        """Charge a runtime compilation (OpenCL build, JIT codegen).
+
+        Compilation is host/driver work: it blocks the submitting thread,
+        so it always serialises against everything regardless of any
+        active stream scope (it drains the engines and raises the
+        default-stream barrier).
+        """
         if cost_seconds < 0.0:
             raise ValueError(f"compile cost cannot be negative: {cost_seconds}")
         start = self.clock.now
-        self.clock.advance(cost_seconds)
+        if self._barrier > start:
+            start = self._barrier
+        for engine in self._engines.values():
+            if engine.busy_until > start:
+                start = engine.busy_until
+        end = start + cost_seconds
+        self._barrier = end
+        self.clock.advance_to(end)
         self.profiler.record(prof.COMPILE, name, start, cost_seconds)
         return cost_seconds
 
@@ -209,10 +386,22 @@ class Device:
     # -- bookkeeping -------------------------------------------------------
 
     def reset(self) -> None:
-        """Reset clock, trace, and peak counters (buffers stay allocated)."""
+        """Reset clock, trace, engines, streams, and peak counters
+        (buffers stay allocated).
+
+        Bumps the device epoch: existing :class:`Stream` objects restart
+        from cursor zero on next use, and events recorded before the
+        reset can no longer be waited on.
+        """
         self.clock.reset()
         self.profiler.clear()
         self.memory.reset_peak()
+        self.epoch += 1
+        self._barrier = 0.0
+        for engine in self._engines.values():
+            engine.reset()
+        for stream in self._streams:
+            stream._check_epoch()
 
     def __repr__(self) -> str:
         return (

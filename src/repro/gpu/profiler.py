@@ -169,13 +169,33 @@ class Profiler:
         ]
 
 
-#: Chrome-trace process/track ids per event kind, so kernels, transfers,
-#: and compiles render as separate rows in the viewer.
+#: Chrome-trace track (tid) per hardware engine: kernels, the two copy
+#: directions, and host-side compiles render as separate rows so stream
+#: overlap is visible as side-by-side bars.
+ENGINE_TRACKS = {
+    "compute": 1,
+    "copy_h2d": 2,
+    "copy_d2h": 3,
+}
+
+#: Track for events that carry no engine (host/driver compiles).
+_COMPILE_TRACK = 4
+
+#: Fallback tracks for events recorded without engine payloads (traces
+#: produced before the stream subsystem, or hand-built events).
 _TRACE_TRACKS = {
     KERNEL: 1,
     TRANSFER_H2D: 2,
-    TRANSFER_D2H: 2,
-    COMPILE: 3,
+    TRANSFER_D2H: 3,
+    COMPILE: _COMPILE_TRACK,
+}
+
+#: Human-readable row names emitted as Chrome-trace thread metadata.
+_TRACK_NAMES = {
+    1: "compute engine",
+    2: "copy engine H2D",
+    3: "copy engine D2H",
+    _COMPILE_TRACK: "driver (compile)",
 }
 
 
@@ -183,14 +203,18 @@ def to_chrome_trace(events: Sequence[Event]) -> List[Dict[str, Any]]:
     """Convert events into Chrome tracing format (``chrome://tracing`` /
     Perfetto): a list of "X" (complete) events in microseconds.
 
-    Zero-duration bookkeeping events (alloc/free) are skipped.  Dump with
-    ``json.dump({"traceEvents": to_chrome_trace(device.profiler.events)}, f)``
-    and load the file in any trace viewer to see the simulated timeline.
+    One row (tid) per hardware engine, so transfer/compute overlap across
+    streams shows up as concurrent bars; the stream id rides along in
+    ``args``.  Zero-duration bookkeeping events (alloc/free) are skipped.
+    Prefer :func:`chrome_trace_json` when writing a file — it prepends
+    the row-name metadata and has a stable field ordering.
     """
     trace: List[Dict[str, Any]] = []
     for event in events:
         if event.kind not in _TRACE_TRACKS:
             continue
+        engine = event.payload.get("engine")
+        tid = ENGINE_TRACKS.get(engine, _TRACE_TRACKS[event.kind])
         trace.append({
             "name": event.name,
             "cat": event.kind,
@@ -198,10 +222,45 @@ def to_chrome_trace(events: Sequence[Event]) -> List[Dict[str, Any]]:
             "ts": event.start * 1e6,
             "dur": event.duration * 1e6,
             "pid": 0,
-            "tid": _TRACE_TRACKS[event.kind],
+            "tid": tid,
             "args": dict(event.payload),
         })
     return trace
+
+
+def chrome_trace_json(events: Sequence[Event], indent: int = 1) -> str:
+    """Render events as a complete Chrome-trace JSON document.
+
+    The output is deterministic for a given event sequence: metadata rows
+    first (one per engine track, in tid order), then the events in
+    recording order, with a fixed field order throughout — so traces can
+    be diffed and golden-tested.  Load the file at ``chrome://tracing``
+    or https://ui.perfetto.dev to inspect the simulated timeline.
+    """
+    import json
+
+    metadata: List[Dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": track_name},
+        }
+        for tid, track_name in sorted(_TRACK_NAMES.items())
+    ]
+    document = {
+        "traceEvents": metadata + to_chrome_trace(events),
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(document, indent=indent)
+
+
+def write_chrome_trace(path: str, events: Sequence[Event]) -> None:
+    """Write :func:`chrome_trace_json` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(events))
+        handle.write("\n")
 
 
 def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]:

@@ -85,6 +85,26 @@ class ArrayFireRuntime(LibraryRuntime):
         storage = self._materialize(np.ascontiguousarray(data), label)
         return Array(self, storage=storage)
 
+    # -- streams -------------------------------------------------------------
+    #
+    # ArrayFire runs every operation on one internal per-device stream
+    # (``afcu::getStream``); users may swap it for their own via
+    # ``afcu::setStream``.  The base-class ``set_stream`` models exactly
+    # that, so these are thin named aliases.
+
+    def get_stream(self):
+        """``afcu::getStream`` — the stream ArrayFire enqueues work on
+        (``None`` means the legacy default stream)."""
+        return self._effective_stream()
+
+    def use_new_stream(self, name: str = "af-stream"):
+        """Install a fresh asynchronous stream as ArrayFire's per-device
+        queue (``afcu::setStream`` with a user-created stream) and return
+        it."""
+        stream = self.create_stream(name)
+        self.set_stream(stream)
+        return stream
+
 
 class Array:
     """A lazy ArrayFire array (1-D, matching the paper's columnar usage)."""

@@ -11,7 +11,7 @@ efficiency profile carry the *costs*.
 from __future__ import annotations
 
 import weakref
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.errors import ArraySizeMismatchError, InvalidBufferError
 from repro.gpu.device import Device
 from repro.gpu.kernel import EfficiencyProfile, KernelCost
 from repro.gpu.memory import DeviceBuffer
+from repro.gpu.stream import Stream
 
 ArrayLike = Union[np.ndarray, Sequence[int], Sequence[float]]
 
@@ -88,7 +89,9 @@ class DeviceArray:
     def to_host(self, label: str = "d2h") -> np.ndarray:
         """Copy the array back to the host (charges a D2H transfer)."""
         self._require_alive()
-        self.runtime.device.transfer_to_host(self.nbytes, label)
+        self.runtime.device.transfer_to_host(
+            self.nbytes, label, stream=self.runtime._effective_stream()
+        )
         return self.data.copy()
 
     def peek(self) -> np.ndarray:
@@ -119,6 +122,43 @@ class LibraryRuntime:
     def __init__(self, device: Device, profile: EfficiencyProfile) -> None:
         self.device = device
         self.profile = profile
+        #: Runtime-level stream installed by :meth:`set_stream`; work is
+        #: priced on it unless an enclosing ``Device.stream_scope`` wins.
+        self._stream: Optional[Stream] = None
+
+    # -- streams ------------------------------------------------------------
+
+    def create_stream(self, name: Optional[str] = None) -> Stream:
+        """Create an asynchronous stream on the runtime's device."""
+        return self.device.create_stream(name)
+
+    def set_stream(self, stream: Optional[Stream]) -> None:
+        """Install a persistent stream for this runtime's work.
+
+        Models per-context queues (ArrayFire's per-device stream, a
+        Boost.Compute command queue).  ``None`` restores legacy
+        default-stream semantics.
+        """
+        self._stream = stream
+
+    def on(self, stream: Optional[Stream]) -> Iterator[Optional[Stream]]:
+        """Scope-based stream routing (``thrust::cuda::par.on(stream)``):
+        a context manager pricing all enclosed work on ``stream``."""
+        return self.device.stream_scope(stream)
+
+    def _effective_stream(self) -> Optional[Stream]:
+        """Device scope stream first, then the runtime stream."""
+        scoped = self.device.current_stream
+        return scoped if scoped is not None else self._stream
+
+    def sync(self) -> float:
+        """Drain outstanding work: the effective stream if one is set
+        (``cudaStreamSynchronize``), else the whole device.  Returns the
+        new simulated clock time."""
+        stream = self._effective_stream()
+        if stream is not None:
+            return stream.synchronize()
+        return self.device.synchronize()
 
     # -- pricing helpers ----------------------------------------------------
 
@@ -145,7 +185,9 @@ class LibraryRuntime:
             fixed_bytes=fixed_bytes,
             passes=passes,
         )
-        return self.device.launch(cost, self.profile)
+        return self.device.launch(
+            cost, self.profile, stream=self._effective_stream()
+        )
 
     #: Concrete DeviceArray subclass this runtime hands out (library
     #: emulations override this with their native array type).
@@ -155,7 +197,9 @@ class LibraryRuntime:
         """Allocate device storage for ``data`` and charge the H2D copy."""
         contiguous = np.ascontiguousarray(data)
         buffer = self.device.alloc_for_array(contiguous, label)
-        self.device.transfer_to_device(contiguous.nbytes, label)
+        self.device.transfer_to_device(
+            contiguous.nbytes, label, stream=self._effective_stream()
+        )
         return self.array_type(self, contiguous.copy(), buffer)
 
     def _materialize(self, data: np.ndarray, label: str) -> DeviceArray:
@@ -169,7 +213,9 @@ class LibraryRuntime:
     def _read_scalar(self, value: np.generic, label: str) -> np.generic:
         """Charge the D2H copy of a scalar result (reduce & friends)."""
         nbytes = int(np.dtype(value.dtype).itemsize) if hasattr(value, "dtype") else 8
-        self.device.transfer_to_host(nbytes, label)
+        self.device.transfer_to_host(
+            nbytes, label, stream=self._effective_stream()
+        )
         return value
 
 

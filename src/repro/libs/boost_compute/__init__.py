@@ -34,12 +34,14 @@ from repro.libs.boost_compute.context import (
     BoostComputeRuntime,
     ProgramCache,
     ProgramCacheStats,
+    command_queue,
     vector,
 )
 from repro.libs.boost_compute.lambda_ import _1, _2, LambdaExpr
 
 __all__ = [
     "BoostComputeRuntime",
+    "command_queue",
     "vector",
     "BOOST_COMPUTE_PROFILE",
     "ProgramCache",

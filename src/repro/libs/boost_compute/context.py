@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.gpu.device import Device
 from repro.gpu.kernel import EfficiencyProfile
+from repro.gpu.stream import Stream
 from repro.libs.base import ArrayLike, DeviceArray, LibraryRuntime, as_numpy
 
 #: OpenCL kernels generated from high-level C++ expressions lack the
@@ -92,6 +93,39 @@ class vector(DeviceArray):
         return len(self)
 
 
+class command_queue:
+    """``boost::compute::command_queue`` — an in-order OpenCL queue.
+
+    OpenCL has no "legacy default stream": every operation is explicitly
+    enqueued on a command queue, and independent queues may run
+    concurrently.  Here each queue wraps one simulated
+    :class:`~repro.gpu.stream.Stream`; use :meth:`scope` (or pass
+    ``queue=`` to :meth:`BoostComputeRuntime.vector`) to price work on it
+    and :meth:`finish` (``clFinish``) to drain it.
+    """
+
+    def __init__(self, runtime: "BoostComputeRuntime", name: Optional[str] = None) -> None:
+        self.runtime = runtime
+        self.stream: Stream = runtime.device.create_stream(name or "cl-queue")
+
+    def scope(self):
+        """Context manager routing enclosed work onto this queue."""
+        return self.runtime.device.stream_scope(self.stream)
+
+    def finish(self) -> float:
+        """``clFinish`` — block until all enqueued work completes; returns
+        the new simulated clock time."""
+        return self.stream.synchronize()
+
+    def enqueue_barrier(self) -> "object":
+        """``clEnqueueBarrierWithWaitList`` with no wait list: returns an
+        event marking everything enqueued so far (a stream event)."""
+        return self.stream.record_event("cl-barrier")
+
+    def __repr__(self) -> str:
+        return f"command_queue(stream={self.stream.stream_id})"
+
+
 class BoostComputeRuntime(LibraryRuntime):
     """Execution context: OpenCL context + command queue + program cache."""
 
@@ -102,16 +136,25 @@ class BoostComputeRuntime(LibraryRuntime):
         super().__init__(device, BOOST_COMPUTE_PROFILE)
         self.program_cache = ProgramCache(device)
 
+    def command_queue(self, name: Optional[str] = None) -> command_queue:
+        """Create an in-order command queue (its own simulated stream)."""
+        return command_queue(self, name)
+
     def vector(
         self,
         values: ArrayLike,
         dtype: Optional[Union[str, np.dtype]] = None,
         label: str = "boost::compute::vector",
+        queue: Optional[command_queue] = None,
     ) -> vector:
         """Construct a device vector from host data (charges the H2D copy),
         mirroring ``boost::compute::vector<T> v(host.begin(), host.end(),
-        queue)``."""
+        queue)``.  When ``queue`` is given the copy is enqueued on that
+        queue's stream and may overlap work on other queues."""
         data = as_numpy(values, np.dtype(dtype) if dtype is not None else None)
+        if queue is not None:
+            with queue.scope():
+                return self._upload(data, label)
         return self._upload(data, label)
 
     def empty(self, n: int, dtype: Union[str, np.dtype]) -> vector:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.gpu.device import Device
 from repro.gpu.kernel import EfficiencyProfile
+from repro.gpu.stream import Stream
 from repro.libs.base import ArrayLike, DeviceArray, LibraryRuntime, as_numpy
 
 #: Thrust kernels are compiled offline by nvcc (no runtime compilation) and
@@ -52,9 +53,32 @@ class ThrustRuntime(LibraryRuntime):
         label: str = "thrust::device_vector",
     ) -> device_vector:
         """Construct a device vector from host data (charges the H2D copy),
-        mirroring ``thrust::device_vector<T> v(host.begin(), host.end())``."""
+        mirroring ``thrust::device_vector<T> v(host.begin(), host.end())``.
+
+        The copy lands on the legacy default stream unless an enclosing
+        ``par_on``/``Device.stream_scope`` routes it elsewhere — exactly
+        Thrust's own default-stream semantics."""
         data = as_numpy(values, np.dtype(dtype) if dtype is not None else None)
         return self._upload(data, label)
+
+    def device_vector_async(
+        self,
+        values: ArrayLike,
+        stream: "Stream",
+        dtype: Optional[Union[str, np.dtype]] = None,
+        label: str = "thrust::device_vector",
+    ) -> device_vector:
+        """Asynchronous construction: the H2D copy is enqueued on
+        ``stream`` (``cudaMemcpyAsync`` + ``thrust::cuda::par.on``), so it
+        overlaps with kernels running on other streams."""
+        data = as_numpy(values, np.dtype(dtype) if dtype is not None else None)
+        with self.device.stream_scope(stream):
+            return self._upload(data, label)
+
+    def par_on(self, stream: Optional["Stream"]):
+        """``thrust::cuda::par.on(stream)`` — a context manager routing
+        every algorithm call inside it onto ``stream``."""
+        return self.device.stream_scope(stream)
 
     def empty(self, n: int, dtype: Union[str, np.dtype]) -> device_vector:
         """Construct an uninitialised device vector of ``n`` elements

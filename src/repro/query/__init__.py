@@ -1,6 +1,13 @@
 """Query processing: logical plans, a fluent builder, and the executor."""
 
 from repro.query.builder import QueryBuilder, scan
+from repro.query.chunked import (
+    COMBINABLE_AGGREGATES,
+    chunk_bounds,
+    chunkable_table,
+    slice_table,
+    try_execute_chunked,
+)
 from repro.query.executor import (
     ColumnMeta,
     ExecutionReport,
@@ -39,6 +46,11 @@ __all__ = [
     "ExecutionReport",
     "ExecutionResult",
     "ColumnMeta",
+    "COMBINABLE_AGGREGATES",
+    "chunk_bounds",
+    "chunkable_table",
+    "slice_table",
+    "try_execute_chunked",
     "GpuSession",
     "optimize",
     "rename_predicate",

@@ -1,0 +1,186 @@
+"""Chunked, double-buffered scans: pipelining PCIe transfer with compute.
+
+The plain executor uploads every scanned column in full before the first
+kernel runs, so a cold-cache query pays ``T + C`` (transfer then compute)
+even though the two use different hardware engines.  This module splits an
+eligible scan into row chunks and prices each chunk's work on a rotating
+set of asynchronous streams: chunk ``k+1``'s H2D copy overlaps chunk
+``k``'s kernels (and its D2H result copy), driving the makespan toward the
+``max(T, C)`` bound — the classic CUDA streams pattern.
+
+Eligibility is deliberately narrow, because chunks must be combinable on
+the host without changing query semantics:
+
+* the plan is a ``Scan`` followed by any chain of row-local ``Filter`` /
+  ``Project`` nodes (each output row depends on exactly one input row), and
+* optionally one *global* aggregate on top whose kinds all combine
+  associatively (``sum``/``count``/``min``/``max``; ``avg`` only when a
+  single chunk makes combination the identity).
+
+Anything else — joins, keyed group-bys, sorts, limits — falls back to the
+ordinary whole-table execution.  With ``scan_chunks=1`` the sub-plan, the
+catalog slice, and therefore the exact operator sequence are identical to
+the un-chunked path, which is what makes the serial-equivalence tests
+bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.query.plan import Filter, GroupBy, PlanNode, Project, Scan
+from repro.relational.column import Column
+from repro.relational.table import Table, concat_tables
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.query.executor import ExecutionResult, QueryExecutor
+
+#: Aggregate kinds whose per-chunk partials combine associatively.
+COMBINABLE_AGGREGATES = frozenset({"sum", "count", "min", "max"})
+
+
+def chunkable_table(plan: PlanNode, allow_avg: bool = False) -> Optional[str]:
+    """Name of the scanned table if ``plan`` is chunk-eligible, else None.
+
+    ``allow_avg`` admits ``avg`` aggregates (valid only when a single
+    chunk makes the combine step the identity).
+    """
+    node = plan
+    if isinstance(node, GroupBy):
+        if node.keys:
+            return None
+        for aggregate in node.aggregates:
+            if aggregate.kind in COMBINABLE_AGGREGATES:
+                continue
+            if aggregate.kind == "avg" and allow_avg:
+                continue
+            return None
+        node = node.child
+    while isinstance(node, (Filter, Project)):
+        node = node.child
+    if isinstance(node, Scan):
+        return node.table
+    return None
+
+
+def chunk_bounds(num_rows: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``num_rows`` into ``chunks`` contiguous (lo, hi) ranges.
+
+    Ranges are balanced (sizes differ by at most one row) and cover the
+    table exactly.  An empty table yields one empty range so the sub-plan
+    still executes once.
+    """
+    if chunks < 1:
+        raise ValueError(f"chunk count must be >= 1: {chunks}")
+    chunks = min(chunks, num_rows) if num_rows > 0 else 1
+    base, extra = divmod(num_rows, chunks)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(chunks):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def slice_table(table: Table, lo: int, hi: int) -> Table:
+    """Row range ``[lo, hi)`` of ``table`` as a new table.
+
+    Dictionaries are carried over unchanged, so chunk outputs re-combine
+    without re-encoding; a full-range slice reproduces the original
+    column payloads byte-for-byte.
+    """
+    columns = [
+        Column(c.name, c.ctype, c.data[lo:hi], c.dictionary) for c in table
+    ]
+    return Table(table.name, columns)
+
+
+def try_execute_chunked(
+    executor: "QueryExecutor", plan: PlanNode, result_name: str
+) -> Optional["ExecutionResult"]:
+    """Run ``plan`` chunk-by-chunk on rotating streams, or return None.
+
+    Returns None when the plan shape is not eligible (the caller then
+    falls back to whole-table execution).  The cost report covers the
+    whole pipelined execution: its ``simulated_seconds`` is the makespan
+    across all engines, which is where the overlap win shows up.
+    """
+    from repro.query.executor import ExecutionReport, ExecutionResult, QueryExecutor
+
+    requested = executor.scan_chunks or 1
+    table_name = chunkable_table(plan, allow_avg=requested == 1)
+    if table_name is None or table_name not in executor.catalog:
+        return None
+    table = executor.catalog[table_name]
+    bounds = chunk_bounds(table.num_rows, requested)
+
+    device = executor.backend.device
+    cursor = device.profiler.mark()
+    t0 = device.clock.now
+    device.memory.reset_peak()
+    num_streams = max(1, executor.scan_streams)
+    streams = [
+        device.create_stream(f"scan-chunk-{i}") for i in range(num_streams)
+    ]
+
+    chunk_tables: List[Table] = []
+    for i, (lo, hi) in enumerate(bounds):
+        catalog = dict(executor.catalog)
+        catalog[table_name] = slice_table(table, lo, hi)
+        sub = QueryExecutor(
+            executor.backend, catalog, join_strategy=executor.join_strategy
+        )
+        with device.stream_scope(streams[i % num_streams]):
+            relation = sub._execute(plan, needed=None)
+            chunk_tables.append(
+                sub._materialise(relation, f"{result_name}.chunk{i}")
+            )
+    device.synchronize()
+
+    combined = _combine_chunks(plan, chunk_tables, result_name)
+    report = ExecutionReport(
+        backend=executor.backend.name,
+        simulated_seconds=device.clock.elapsed_since(t0),
+        summary=device.profiler.summary(since=cursor),
+        peak_device_bytes=device.memory.peak_bytes,
+    )
+    return ExecutionResult(table=combined, report=report)
+
+
+def _combine_chunks(
+    plan: PlanNode, tables: List[Table], result_name: str
+) -> Table:
+    """Merge per-chunk outputs back into one result table."""
+    if len(tables) == 1:
+        return tables[0].rename(result_name)
+    if isinstance(plan, GroupBy):
+        return _combine_aggregates(plan, tables, result_name)
+    return concat_tables(result_name, tables)
+
+
+def _combine_aggregates(
+    plan: GroupBy, tables: List[Table], result_name: str
+) -> Table:
+    """Fold per-chunk global-aggregate rows into the final single row.
+
+    ``sum`` and ``count`` partials add; ``min``/``max`` partials reduce
+    with the same comparator.  Chunked float sums round differently from a
+    single whole-table reduction (float addition is not associative), the
+    same way a real multi-stream reduction would.
+    """
+    columns: List[Column] = []
+    for aggregate in plan.aggregates:
+        parts = [t.column(aggregate.name) for t in tables]
+        values = np.concatenate([p.data for p in parts])
+        if aggregate.kind in ("sum", "count"):
+            value = values.sum()
+        elif aggregate.kind == "min":
+            value = values.min()
+        else:  # max (avg never reaches here: it requires a single chunk)
+            value = values.max()
+        data = np.asarray([value], dtype=parts[0].data.dtype)
+        columns.append(Column(aggregate.name, parts[0].ctype, data))
+    return Table(result_name, columns)

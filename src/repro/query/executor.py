@@ -106,6 +106,11 @@ class QueryExecutor:
     win.  ``"cost"`` resolves each undecided join at runtime with the
     optimizer's cost model over the *actual* key cardinalities, restricted
     to what the backend supports.
+
+    ``scan_chunks`` turns on chunked, stream-pipelined scans (see
+    :mod:`repro.query.chunked`): eligible plans run chunk-by-chunk on
+    ``scan_streams`` rotating asynchronous streams so transfer and compute
+    overlap; ineligible plans silently fall back to whole-table execution.
     """
 
     def __init__(
@@ -113,20 +118,34 @@ class QueryExecutor:
         backend: OperatorBackend,
         catalog: Dict[str, Table],
         join_strategy: Optional[str] = None,
+        scan_chunks: Optional[int] = None,
+        scan_streams: int = 2,
     ) -> None:
         if join_strategy is not None and join_strategy not in JOIN_ALGORITHMS:
             raise PlanError(
                 f"unknown join strategy {join_strategy!r}; "
                 f"known: {', '.join(JOIN_ALGORITHMS)}"
             )
+        if scan_chunks is not None and scan_chunks < 1:
+            raise PlanError(f"scan_chunks must be >= 1: {scan_chunks}")
+        if scan_streams < 1:
+            raise PlanError(f"scan_streams must be >= 1: {scan_streams}")
         self.backend = backend
         self.catalog = dict(catalog)
         self.join_strategy = join_strategy
+        self.scan_chunks = scan_chunks
+        self.scan_streams = scan_streams
 
     # -- public API --------------------------------------------------------------
 
     def execute(self, plan: PlanNode, result_name: str = "result") -> ExecutionResult:
         """Execute ``plan`` and return the result with its cost report."""
+        if self.scan_chunks is not None:
+            from repro.query.chunked import try_execute_chunked
+
+            chunked = try_execute_chunked(self, plan, result_name)
+            if chunked is not None:
+                return chunked
         device = self.backend.device
         cursor = device.profiler.mark()
         t0 = device.clock.now

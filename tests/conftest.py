@@ -1,4 +1,16 @@
-"""Shared fixtures: devices, backends, small relations."""
+"""Shared fixtures: devices, backends, small relations.
+
+Leakage audit: every fixture below builds a *fresh* ``Device`` (directly
+or via ``framework.create``), so no clock, profiler, engine-timeline, or
+stream state can leak across tests.  Code that instead reuses a device —
+benchmarks, the repeatability tests — must go through ``Device.reset()``,
+which bumps the device epoch: engine timelines and the default-stream
+barrier clear immediately, and every existing ``Stream`` restarts from
+cursor zero on next use (events recorded before the reset become stale).
+``tests/gpu/test_stream.py::TestReset`` and
+``tests/query/test_chunked_scan.py::TestRepeatability`` pin this down:
+two identical queries run back-to-back report identical simulated
+durations."""
 
 from __future__ import annotations
 

@@ -1,0 +1,306 @@
+"""Unit tests for streams, events, and engine timelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    Device,
+    ENGINE_COMPUTE,
+    ENGINE_D2H,
+    ENGINE_H2D,
+    EngineTimeline,
+    KernelCost,
+    TUNED_PROFILE,
+)
+
+MB = 1 << 20
+
+
+def _kernel(n: int = 1 << 20) -> KernelCost:
+    return KernelCost(
+        name="k",
+        elements=n,
+        flops_per_element=1.0,
+        bytes_read_per_element=8.0,
+        bytes_written_per_element=8.0,
+    )
+
+
+class TestEngineTimeline:
+    def test_schedules_back_to_back(self):
+        engine = EngineTimeline("compute")
+        s0, e0 = engine.schedule(0.0, 1.0)
+        s1, e1 = engine.schedule(0.0, 2.0)
+        assert (s0, e0) == (0.0, 1.0)
+        assert (s1, e1) == (1.0, 3.0)  # pushed past the previous item
+        assert engine.busy_seconds == 3.0
+        assert engine.item_count == 2
+
+    def test_honours_later_earliest(self):
+        engine = EngineTimeline("compute")
+        engine.schedule(0.0, 1.0)
+        start, end = engine.schedule(5.0, 1.0)
+        assert (start, end) == (5.0, 6.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            EngineTimeline("compute").schedule(0.0, -1.0)
+
+    def test_reset(self):
+        engine = EngineTimeline("compute")
+        engine.schedule(0.0, 1.0)
+        engine.reset()
+        assert engine.busy_until == 0.0
+        assert engine.busy_seconds == 0.0
+        assert engine.item_count == 0
+
+
+class TestStreamOverlap:
+    def test_two_streams_overlap_transfer_and_compute(self):
+        device = Device()
+        a = device.create_stream("a")
+        b = device.create_stream("b")
+        device.transfer_to_device(64 * MB, stream=a)
+        device.launch(_kernel(), TUNED_PROFILE, stream=b)
+        events = device.profiler.events
+        h2d, kernel = events[0], events[1]
+        # Different engines, different streams: both start at t=0.
+        assert h2d.start == 0.0
+        assert kernel.start == 0.0
+        assert h2d.payload["stream"] == a.stream_id
+        assert kernel.payload["stream"] == b.stream_id
+        # The clock covers both (max of ends), not their sum.
+        assert device.clock.now == max(h2d.end, kernel.end)
+
+    def test_same_stream_is_fifo(self):
+        device = Device()
+        stream = device.create_stream()
+        device.transfer_to_device(64 * MB, stream=stream)
+        device.launch(_kernel(), TUNED_PROFILE, stream=stream)
+        h2d, kernel = device.profiler.events
+        assert kernel.start == h2d.end  # FIFO: no overlap within a stream
+
+    def test_same_engine_serialises_across_streams(self):
+        device = Device()
+        a = device.create_stream()
+        b = device.create_stream()
+        device.transfer_to_device(64 * MB, stream=a)
+        device.transfer_to_device(64 * MB, stream=b)
+        first, second = device.profiler.events
+        assert second.start == first.end  # one H2D copy engine
+
+    def test_h2d_and_d2h_are_separate_engines(self):
+        device = Device()
+        a = device.create_stream()
+        b = device.create_stream()
+        device.transfer_to_device(64 * MB, stream=a)
+        device.transfer_to_host(64 * MB, stream=b)
+        down, up = device.profiler.events
+        assert down.start == 0.0 and up.start == 0.0
+        assert down.payload["engine"] == ENGINE_H2D
+        assert up.payload["engine"] == ENGINE_D2H
+
+
+class TestDefaultStreamSemantics:
+    def test_legacy_work_drains_async_streams(self):
+        device = Device()
+        stream = device.create_stream()
+        device.launch(_kernel(), TUNED_PROFILE, stream=stream)
+        device.transfer_to_device(64 * MB)  # legacy: must wait for the kernel
+        kernel, h2d = device.profiler.events
+        assert h2d.start == kernel.end
+        assert h2d.payload["stream"] == 0
+
+    def test_async_work_waits_for_legacy_barrier(self):
+        device = Device()
+        device.transfer_to_device(64 * MB)  # legacy
+        stream = device.create_stream()
+        device.launch(_kernel(), TUNED_PROFILE, stream=stream)
+        h2d, kernel = device.profiler.events
+        assert kernel.start == h2d.end
+
+    def test_stream_scope_routes_and_restores(self):
+        device = Device()
+        stream = device.create_stream()
+        with device.stream_scope(stream):
+            assert device.current_stream is stream
+            device.transfer_to_device(MB)
+        assert device.current_stream is None
+        assert device.profiler.events[0].payload["stream"] == stream.stream_id
+
+    def test_explicit_stream_beats_scope(self):
+        device = Device()
+        scoped = device.create_stream()
+        explicit = device.create_stream()
+        with device.stream_scope(scoped):
+            device.transfer_to_device(MB, stream=explicit)
+        assert device.profiler.events[0].payload["stream"] == explicit.stream_id
+
+    def test_compile_serialises_against_stream_work(self):
+        device = Device()
+        stream = device.create_stream()
+        with device.stream_scope(stream):
+            device.launch(_kernel(), TUNED_PROFILE)
+            device.compile_program("jit", 0.010)
+        kernel, compile_event = device.profiler.events
+        assert compile_event.start == kernel.end
+        # Later async work cannot start before the compile finished.
+        device.transfer_to_device(MB, stream=stream)
+        assert device.profiler.events[-1].start >= compile_event.end
+
+
+class TestEvents:
+    def test_wait_event_orders_across_streams(self):
+        device = Device()
+        a = device.create_stream()
+        b = device.create_stream()
+        device.launch(_kernel(), TUNED_PROFILE, stream=a)
+        done = a.record_event("a-done")
+        b.wait_event(done)
+        device.transfer_to_host(MB, stream=b)
+        kernel, d2h = device.profiler.events
+        assert done.timestamp == kernel.end
+        assert d2h.start >= kernel.end
+
+    def test_event_from_before_reset_is_stale(self):
+        device = Device()
+        a = device.create_stream()
+        device.launch(_kernel(), TUNED_PROFILE, stream=a)
+        event = a.record_event()
+        device.reset()
+        with pytest.raises(ValueError):
+            a.wait_event(event)
+
+    def test_default_stream_event_captures_barrier(self):
+        device = Device()
+        device.transfer_to_device(64 * MB)
+        event = device.record_event()
+        assert event.stream_id == 0
+        assert event.timestamp == device.profiler.events[0].end
+
+
+class TestSynchronisation:
+    def test_stream_synchronize_never_rewinds_the_clock(self):
+        device = Device()
+        a = device.create_stream()
+        b = device.create_stream()
+        device.transfer_to_device(256 * MB, stream=a)
+        device.transfer_to_device(MB, stream=b)  # queues behind a's copy
+        now = a.synchronize()
+        # The clock is globally monotonic: it already covers b's later
+        # completion, so draining a alone cannot move it backwards.
+        assert now == device.clock.now
+        assert a.cursor <= now <= b.cursor
+
+    def test_device_synchronize_covers_all_streams(self):
+        device = Device()
+        a = device.create_stream()
+        b = device.create_stream()
+        device.transfer_to_device(256 * MB, stream=a)
+        device.launch(_kernel(), TUNED_PROFILE, stream=b)
+        now = device.synchronize()
+        assert now == max(a.cursor, b.cursor)
+
+    def test_engine_summary_reports_overlap(self):
+        device = Device()
+        a = device.create_stream()
+        b = device.create_stream()
+        device.transfer_to_device(64 * MB, stream=a)
+        device.launch(_kernel(), TUNED_PROFILE, stream=b)
+        device.synchronize()
+        stats = device.engine_summary()
+        assert stats.makespan == device.clock.now
+        assert stats.items_by_engine[ENGINE_H2D] == 1
+        assert stats.items_by_engine[ENGINE_COMPUTE] == 1
+        # Concurrent engines: total busy time exceeds the makespan.
+        assert stats.overlap_factor > 1.0
+
+
+class TestReset:
+    def test_reset_restarts_stream_cursors(self):
+        device = Device()
+        stream = device.create_stream()
+        device.transfer_to_device(64 * MB, stream=stream)
+        assert stream.cursor > 0.0
+        device.reset()
+        assert stream.cursor == 0.0
+        assert device.clock.now == 0.0
+        device.transfer_to_device(64 * MB, stream=stream)
+        assert device.profiler.events[0].start == 0.0
+
+    def test_reset_clears_engines_and_barrier(self):
+        device = Device()
+        device.transfer_to_device(64 * MB)  # legacy raises the barrier
+        device.reset()
+        for name in (ENGINE_COMPUTE, ENGINE_H2D, ENGINE_D2H):
+            assert device.engine_timeline(name).busy_until == 0.0
+        stream = device.create_stream()
+        device.launch(_kernel(), TUNED_PROFILE, stream=stream)
+        assert device.profiler.events[0].start == 0.0
+
+    def test_runs_are_repeatable_after_reset(self):
+        device = Device()
+        stream = device.create_stream()
+
+        def run() -> float:
+            device.transfer_to_device(64 * MB, stream=stream)
+            device.launch(_kernel(), TUNED_PROFILE, stream=stream)
+            return device.synchronize()
+
+        first = run()
+        device.reset()
+        second = run()
+        assert first == second
+
+
+class TestLibraryFacades:
+    def test_thrust_async_vector_and_par_on(self):
+        from repro.libs.thrust import ThrustRuntime
+
+        device = Device()
+        runtime = ThrustRuntime(device)
+        stream = runtime.create_stream("upload")
+        vec = runtime.device_vector_async(np.arange(1024.0), stream)
+        assert device.profiler.events[-1].payload["stream"] == stream.stream_id
+        with runtime.par_on(stream):
+            vec.to_host()
+        assert device.profiler.events[-1].payload["stream"] == stream.stream_id
+
+    def test_boost_command_queue(self):
+        from repro.libs.boost_compute import BoostComputeRuntime
+
+        device = Device()
+        runtime = BoostComputeRuntime(device)
+        queue = runtime.command_queue("q0")
+        vec = runtime.vector(np.arange(1024.0), queue=queue)
+        assert device.profiler.events[-1].payload["stream"] == queue.stream.stream_id
+        marker = queue.enqueue_barrier()
+        assert marker.timestamp == queue.stream.cursor
+        assert queue.finish() == device.clock.now
+        assert vec.size() == 1024
+
+    def test_arrayfire_per_device_stream(self):
+        from repro.libs.arrayfire import ArrayFireRuntime
+
+        device = Device()
+        runtime = ArrayFireRuntime(device)
+        assert runtime.get_stream() is None  # legacy by default
+        stream = runtime.use_new_stream()
+        assert runtime.get_stream() is stream
+        runtime.array(np.arange(256.0))
+        uploads = [
+            e for e in device.profiler.events if e.kind == "transfer_h2d"
+        ]
+        assert uploads[-1].payload["stream"] == stream.stream_id
+
+    def test_runtime_sync_drains_effective_stream(self):
+        from repro.libs.thrust import ThrustRuntime
+
+        device = Device()
+        runtime = ThrustRuntime(device)
+        stream = runtime.create_stream()
+        runtime.set_stream(stream)
+        runtime.device_vector(np.arange(1 << 16, dtype=np.float64))
+        assert runtime.sync() == stream.cursor == device.clock.now

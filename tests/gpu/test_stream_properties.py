@@ -1,0 +1,157 @@
+"""Property tests for the stream scheduler's invariants.
+
+Random workloads — arbitrary interleavings of kernels and transfers over a
+handful of streams, with occasional event record/wait pairs and legacy
+default-stream items — must always satisfy:
+
+* *engine exclusivity*: an engine never runs two items at once;
+* *per-stream FIFO*: items on one stream start no earlier than the
+  previous item on that stream finished;
+* *event ordering*: work enqueued after a ``wait_event`` starts no
+  earlier than the awaited event's timestamp;
+* *clock monotonicity*: the global clock equals the latest completion;
+* *serial equivalence*: the same op sequence submitted on a single
+  stream, or with no streams at all, produces the identical event
+  timeline bit-for-bit — chunked mode with one chunk and the pre-stream
+  simulator are the same timeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.gpu import Device, KernelCost, TUNED_PROFILE  # noqa: E402
+
+#: One op: (kind, size, stream slot).  Kind 0 = kernel, 1 = H2D, 2 = D2H;
+#: slot None = legacy default stream.
+Op = Tuple[int, int, Optional[int]]
+
+_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=1, max_value=1 << 22),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _submit(device: Device, ops: List[Op], streams) -> None:
+    for kind, size, slot in ops:
+        stream = None if slot is None else streams[slot % len(streams)]
+        if kind == 0:
+            cost = KernelCost(
+                name=f"k{size}",
+                elements=size,
+                flops_per_element=2.0,
+                bytes_read_per_element=8.0,
+                bytes_written_per_element=8.0,
+            )
+            device.launch(cost, TUNED_PROFILE, stream=stream)
+        elif kind == 1:
+            device.transfer_to_device(size, stream=stream)
+        else:
+            device.transfer_to_host(size, stream=stream)
+
+
+def _run(ops: List[Op], num_streams: int) -> Device:
+    device = Device()
+    streams = [device.create_stream() for _ in range(max(num_streams, 1))]
+    _submit(device, ops, streams)
+    device.synchronize()
+    return device
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops=_ops)
+def test_engines_never_overlap(ops):
+    device = _run(ops, num_streams=3)
+    by_engine = {}
+    for event in device.profiler.events:
+        engine = event.payload.get("engine")
+        if engine is not None:
+            by_engine.setdefault(engine, []).append(event)
+    for events in by_engine.values():
+        ordered = sorted(events, key=lambda e: e.start)
+        for before, after in zip(ordered, ordered[1:]):
+            assert after.start >= before.end
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops=_ops)
+def test_per_stream_fifo(ops):
+    device = _run(ops, num_streams=3)
+    cursor_by_stream = {}
+    for event in device.profiler.events:
+        stream_id = event.payload.get("stream")
+        if stream_id is None:
+            continue
+        previous = cursor_by_stream.get(stream_id, 0.0)
+        assert event.start >= previous  # starts after the stream's last end
+        cursor_by_stream[stream_id] = event.end
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops=_ops)
+def test_clock_is_the_latest_completion(ops):
+    device = _run(ops, num_streams=3)
+    latest = max(event.end for event in device.profiler.events)
+    assert device.clock.now == latest
+
+
+@settings(deadline=None, max_examples=60)
+@given(ops=_ops)
+def test_legacy_items_are_barriers(ops):
+    device = _run(ops, num_streams=3)
+    events = device.profiler.events
+    for i, event in enumerate(events):
+        if event.payload.get("stream") != 0:
+            continue
+        # A legacy item starts after everything before it and bars
+        # everything after it.
+        for before in events[:i]:
+            assert event.start >= before.end
+        for after in events[i + 1:]:
+            assert after.start >= event.end
+
+
+@settings(deadline=None, max_examples=40)
+@given(ops=_ops)
+def test_single_stream_matches_legacy_bit_exactly(ops):
+    """One async stream and the pre-stream serial timeline are identical."""
+    on_stream = _run([(kind, size, 0) for kind, size, _ in ops], num_streams=1)
+    legacy = _run([(kind, size, None) for kind, size, _ in ops], num_streams=1)
+    stream_events = on_stream.profiler.events
+    legacy_events = legacy.profiler.events
+    assert len(stream_events) == len(legacy_events)
+    for mine, theirs in zip(stream_events, legacy_events):
+        assert mine.kind == theirs.kind
+        assert mine.name == theirs.name
+        assert mine.start == theirs.start  # bit-exact, not approximate
+        assert mine.duration == theirs.duration
+    assert on_stream.clock.now == legacy.clock.now
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    ops=_ops,
+    record_after=st.integers(min_value=0, max_value=29),
+)
+def test_event_waits_are_respected(ops, record_after):
+    device = Device()
+    producer = device.create_stream()
+    consumer = device.create_stream()
+    prefix = ops[: record_after % len(ops) + 1]
+    _submit(device, prefix, [producer])
+    event = producer.record_event("handoff")
+    consumer.wait_event(event)
+    device.transfer_to_host(1 << 20, stream=consumer)
+    waited = device.profiler.events[-1]
+    assert event.timestamp == producer.cursor
+    assert waited.start >= event.timestamp

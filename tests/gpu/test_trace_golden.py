@@ -1,0 +1,99 @@
+"""Golden-file test for the Chrome-trace exporter.
+
+A fixed two-stream workload (H2D on one stream overlapping a kernel and a
+readback on another, with a legacy-stream item at each end) is exported
+with :func:`repro.gpu.chrome_trace_json` and compared byte-for-byte
+against a checked-in golden file.  The exporter promises deterministic
+output — metadata rows first, events in recording order, stable field
+ordering — precisely so that this comparison (and diffing of user traces)
+is meaningful.
+
+Regenerate the golden after an *intentional* format change with::
+
+    PYTHONPATH=src python tests/gpu/test_trace_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.gpu import Device, KernelCost, TUNED_PROFILE, chrome_trace_json
+
+GOLDEN = Path(__file__).parent / "golden" / "two_stream_trace.json"
+
+#: Keys of a Chrome-trace "X" (complete) event, in the exporter's order.
+EVENT_KEYS = ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"]
+#: Keys of a metadata ("M") row.
+META_KEYS = ["name", "ph", "pid", "tid", "args"]
+
+
+def _two_stream_workload() -> Device:
+    """The pinned workload: upload ∥ (kernel → readback), legacy bookends."""
+    device = Device()
+    device.compile_program("warmup-build", 0.004)  # legacy: serialises
+    upload = device.create_stream("upload")
+    compute = device.create_stream("compute")
+    device.transfer_to_device(8 << 20, "columns", stream=upload)
+    cost = KernelCost(
+        name="selection",
+        elements=1 << 20,
+        flops_per_element=2.0,
+        bytes_read_per_element=8.0,
+        bytes_written_per_element=1.0,
+    )
+    device.launch(cost, TUNED_PROFILE, stream=compute)
+    device.transfer_to_host(1 << 20, "result", stream=compute)
+    device.transfer_to_host(8, "count")  # legacy default stream
+    device.synchronize()
+    return device
+
+
+def _render() -> str:
+    return chrome_trace_json(_two_stream_workload().profiler.events) + "\n"
+
+
+def test_trace_matches_golden_byte_for_byte():
+    assert GOLDEN.exists(), (
+        f"golden file missing: {GOLDEN}; regenerate with "
+        "`PYTHONPATH=src python tests/gpu/test_trace_golden.py`"
+    )
+    assert _render() == GOLDEN.read_text()
+
+
+def test_trace_schema():
+    document = json.loads(_render())
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    assert document["displayTimeUnit"] == "ms"
+    rows = document["traceEvents"]
+    metadata = [row for row in rows if row["ph"] == "M"]
+    events = [row for row in rows if row["ph"] == "X"]
+    assert len(metadata) + len(events) == len(rows)
+    # Metadata first: one thread_name row per engine track, tid-ordered.
+    assert rows[: len(metadata)] == metadata
+    assert [m["tid"] for m in metadata] == sorted(m["tid"] for m in metadata)
+    for row in metadata:
+        assert list(row) == META_KEYS
+        assert row["name"] == "thread_name"
+    for event in events:
+        assert list(event) == EVENT_KEYS  # stable field ordering
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+        assert event["tid"] in {m["tid"] for m in metadata}
+
+
+def test_trace_shows_overlap_on_distinct_tracks():
+    document = json.loads(_render())
+    events = [row for row in document["traceEvents"] if row["ph"] == "X"]
+    h2d = next(e for e in events if e["name"] == "columns")
+    kernel = next(e for e in events if e["name"] == "selection")
+    assert h2d["tid"] != kernel["tid"]
+    # Both start right after the compile barrier: concurrent bars.
+    assert h2d["ts"] == kernel["ts"]
+    assert h2d["args"]["stream"] != kernel["args"]["stream"]
+
+
+if __name__ == "__main__":  # regenerate the golden file
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(_render())
+    print(f"wrote {GOLDEN}")

@@ -1,0 +1,333 @@
+"""Differential fuzzing: random plans on every backend vs a NumPy oracle.
+
+Each seeded case generates a random catalog and a random logical plan
+(filters, projections, global and keyed aggregations, joins, sorts,
+limits), executes it through the full executor + operator-backend stack on
+*every* registered GPU backend — including the hash-join extension
+backends — and checks the materialised rows against an independent NumPy
+interpretation of the same plan.  Values must match exactly (compared in
+float64, which is lossless for the small integer/float domains the
+generator draws from); any divergence prints the seed, backend, and plan
+so the case replays with ``np.random.default_rng(seed)``.
+
+Case count defaults to 200 (the CI floor from the issue) and scales with
+the ``REPRO_FUZZ_CASES`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core import default_framework
+from repro.core.expr import Expr, col, lit
+from repro.core.predicate import (
+    Predicate,
+    col_between,
+    col_cmp,
+    col_eq,
+    col_ge,
+    col_gt,
+    col_le,
+    col_lt,
+)
+from repro.query import QueryExecutor
+from repro.query.builder import scan
+from repro.query.plan import PlanNode, explain
+from repro.relational.table import Table
+
+#: Backends under differential test: the three studied libraries, the
+#: expert baseline, the CPU oracle backend, and the hash-join extensions.
+FUZZ_BACKENDS = (
+    "thrust",
+    "boost.compute",
+    "arrayfire",
+    "handwritten",
+    "cpu-reference",
+    "thrust+hash",
+    "boost.compute+hash",
+    "arrayfire+hash",
+)
+
+#: Seeded case count; CI runs the default 200.
+FUZZ_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
+
+Columns = Dict[str, np.ndarray]
+Expected = Tuple[List[str], Columns]
+
+
+def _make_catalog(rng: np.random.Generator) -> Dict[str, Table]:
+    """A small random two-table catalog.
+
+    ``t.u`` is a permutation (unique sort keys make ordering assertions
+    exact); ``t.a`` and ``s.j`` share a small key domain so joins hit.
+    """
+    n = int(rng.integers(20, 151))
+    m = int(rng.integers(10, 61))
+    t = Table.from_arrays(
+        "t",
+        {
+            "k": rng.integers(0, 5, n).astype(np.int64),
+            "a": rng.integers(0, 20, n).astype(np.int64),
+            "x": rng.uniform(0.0, 100.0, n),
+            "y": rng.uniform(-50.0, 50.0, n),
+            "u": rng.permutation(n).astype(np.int64),
+        },
+    )
+    s = Table.from_arrays(
+        "s",
+        {
+            "j": rng.integers(0, 20, m).astype(np.int64),
+            "z": rng.uniform(0.0, 10.0, m),
+        },
+    )
+    return {"t": t, "s": s}
+
+
+def _random_predicate(rng: np.random.Generator, depth: int = 0) -> Predicate:
+    """A random predicate over ``t``'s columns, compound with p=1/2."""
+    if depth < 2 and rng.random() < 0.5:
+        left = _random_predicate(rng, depth + 1)
+        right = _random_predicate(rng, depth + 1)
+        combiner = rng.choice(["and", "or", "not"])
+        if combiner == "and":
+            return left & right
+        if combiner == "or":
+            return left | right
+        return ~left
+    kind = rng.choice(["int_cmp", "float_cmp", "between", "col_cmp"])
+    if kind == "int_cmp":
+        column = str(rng.choice(["k", "a"]))
+        value = int(rng.integers(0, 20))
+        op = rng.choice([col_lt, col_le, col_gt, col_ge, col_eq])
+        return op(column, value)
+    if kind == "float_cmp":
+        column = str(rng.choice(["x", "y"]))
+        value = float(np.round(rng.uniform(-50.0, 100.0), 1))
+        op = rng.choice([col_lt, col_le, col_gt, col_ge])
+        return op(column, value)
+    if kind == "between":
+        low = float(np.round(rng.uniform(0.0, 50.0), 1))
+        return col_between("x", low, low + float(rng.uniform(5.0, 50.0)))
+    return col_cmp("x", rng.choice(["lt", "ge"]), "y")
+
+
+def _random_expr(rng: np.random.Generator) -> Expr:
+    """A random arithmetic expression over ``t``'s numeric columns."""
+    a, b = rng.choice(["x", "y", "a"], size=2, replace=False)
+    shape = rng.choice(["mul", "addc", "sub", "fma"])
+    if shape == "mul":
+        return col(a) * col(b)
+    if shape == "addc":
+        return col(a) + lit(float(np.round(rng.uniform(1.0, 9.0), 2)))
+    if shape == "sub":
+        return col(a) - col(b)
+    return col(a) * lit(2.0) + col(b)
+
+
+def _apply_mask(columns: Columns, mask: np.ndarray) -> Columns:
+    return {name: data[mask] for name, data in columns.items()}
+
+
+def _group_reduce(
+    keys: np.ndarray, values: np.ndarray, kind: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Independent keyed aggregation: unique keys ascending."""
+    unique = np.unique(keys)
+    out = []
+    for key in unique:
+        group = values[keys == key]
+        if kind == "sum":
+            out.append(group.sum(dtype=np.float64))
+        elif kind == "count":
+            out.append(len(group))
+        elif kind == "min":
+            out.append(group.min())
+        elif kind == "max":
+            out.append(group.max())
+        else:  # avg
+            out.append(group.sum(dtype=np.float64) / len(group))
+    return unique, np.asarray(out)
+
+
+def _make_case(
+    rng: np.random.Generator, catalog: Dict[str, Table]
+) -> Tuple[PlanNode, Expected]:
+    """One random plan plus its NumPy-interpreted expected output."""
+    t = {name: catalog["t"].column(name).data for name in ("k", "a", "x", "y", "u")}
+    shape = rng.choice(
+        ["scan", "filter", "filter_project", "global_agg", "group_by",
+         "order_by", "join"],
+        p=[0.05, 0.15, 0.2, 0.15, 0.2, 0.15, 0.1],
+    )
+
+    if shape == "scan":
+        plan = scan("t").build()
+        return plan, (list(t), dict(t))
+
+    if shape == "filter":
+        predicate = _random_predicate(rng)
+        plan = scan("t").filter(predicate).build()
+        return plan, (list(t), _apply_mask(t, predicate.evaluate(t)))
+
+    if shape == "filter_project":
+        predicate = _random_predicate(rng)
+        expr = _random_expr(rng)
+        query = scan("t").filter(predicate).project(
+            [("v", expr), ("u", col("u"))]
+        )
+        rows = _apply_mask(t, predicate.evaluate(t))
+        expected = {
+            "v": np.asarray(expr.evaluate(rows), dtype=np.float64),
+            "u": rows["u"],
+        }
+        if rng.random() < 0.3:
+            limit = int(rng.integers(1, 20))
+            query = query.limit(limit)
+            expected = {name: data[:limit] for name, data in expected.items()}
+        return query.build(), (["v", "u"], expected)
+
+    if shape == "global_agg":
+        predicate = _random_predicate(rng) if rng.random() < 0.5 else None
+        rows = t if predicate is None else _apply_mask(t, predicate.evaluate(t))
+        expr = _random_expr(rng)
+        values = np.asarray(expr.evaluate(rows), dtype=np.float64)
+        # Guard empty selections: min/max/avg of nothing is an error on
+        # every backend, so fall back to the always-defined aggregates.
+        kinds = (
+            ["sum", "count"] if len(values) == 0
+            else ["sum", "count", "min", "max", "avg"]
+        )
+        specs, expected, names = [], {}, []
+        for kind in kinds:
+            if rng.random() < 0.4 and len(names) > 0:
+                continue
+            name = f"agg_{kind}"
+            names.append(name)
+            if kind == "count":
+                specs.append((name, "count", None))
+                expected[name] = np.asarray([len(values)], dtype=np.int64)
+                continue
+            specs.append((name, kind, expr))
+            if kind == "sum":
+                scalar = float(values.sum(dtype=np.float64))
+            elif kind == "min":
+                scalar = float(values.min())
+            elif kind == "max":
+                scalar = float(values.max())
+            else:
+                scalar = float(values.mean(dtype=np.float64))
+            expected[name] = np.asarray([scalar], dtype=np.float64)
+        query = scan("t")
+        if predicate is not None:
+            query = query.filter(predicate)
+        return query.aggregate(specs).build(), (names, expected)
+
+    if shape == "group_by":
+        predicate = _random_predicate(rng) if rng.random() < 0.4 else None
+        rows = t if predicate is None else _apply_mask(t, predicate.evaluate(t))
+        if len(rows["k"]) == 0:
+            rows = t
+            predicate = None
+        two_keys = rng.random() < 0.4
+        if two_keys:
+            # Mirrors the executor's composite-key encoding: the stride is
+            # the *scanned* column's bound, not the filtered one.
+            stride = int(t["a"].max()) + 1
+            keys = rows["k"] * stride + rows["a"]
+        else:
+            keys = rows["k"]
+        kind = str(rng.choice(["sum", "count", "min", "max", "avg"]))
+        # Accumulating aggregates (sum/avg) run over the integer column:
+        # backends legitimately differ in float summation *order*
+        # (segmented reduce vs. bincount), so bit-equality only holds when
+        # every partial sum is exactly representable.  Order-free
+        # aggregates (min/max) exercise the continuous column too.
+        value_name = "a" if kind in ("sum", "avg") else str(
+            rng.choice(["x", "a"])
+        )
+        unique, values = _group_reduce(keys, rows[value_name], kind)
+        if two_keys:
+            key_names = ["k", "a"]
+            key_cols = {"k": unique // stride, "a": unique % stride}
+        else:
+            key_names = ["k"]
+            key_cols = {"k": unique}
+        specs = [
+            (f"agg_{kind}", kind, None if kind == "count" else col(value_name))
+        ]
+        query = scan("t")
+        if predicate is not None:
+            query = query.filter(predicate)
+        plan = query.group_by(key_names, specs).build()
+        expected = dict(key_cols)
+        expected[f"agg_{kind}"] = values
+        return plan, (key_names + [f"agg_{kind}"], expected)
+
+    if shape == "order_by":
+        predicate = _random_predicate(rng) if rng.random() < 0.5 else None
+        rows = t if predicate is None else _apply_mask(t, predicate.evaluate(t))
+        descending = bool(rng.random() < 0.5)
+        # Sort keys are unique (u is a permutation; x is continuous), so
+        # the output order is fully determined without stability rules.
+        key = str(rng.choice(["u", "x"]))
+        order = np.argsort(rows[key], kind="stable")
+        if descending:
+            order = order[::-1]
+        expected = {name: data[order] for name, data in rows.items()}
+        query = scan("t")
+        if predicate is not None:
+            query = query.filter(predicate)
+        query = query.order_by(key, descending=descending)
+        if rng.random() < 0.4:
+            limit = int(rng.integers(1, 15))
+            query = query.limit(limit)
+            expected = {name: data[:limit] for name, data in expected.items()}
+        return query.build(), (list(t), expected)
+
+    # join: t ⋈ s on a = j, every backend resolving "auto" its own way
+    # (hash where supported, sort-merge or nested loops elsewhere).
+    s = {name: catalog["s"].column(name).data for name in ("j", "z")}
+    predicate = _random_predicate(rng) if rng.random() < 0.4 else None
+    rows = t if predicate is None else _apply_mask(t, predicate.evaluate(t))
+    left_ids: List[int] = []
+    right_ids: List[int] = []
+    for i, key in enumerate(rows["a"]):
+        for j, other in enumerate(s["j"]):
+            if key == other:
+                left_ids.append(i)
+                right_ids.append(j)
+    expected = {name: data[left_ids] for name, data in rows.items()}
+    expected.update({name: data[right_ids] for name, data in s.items()})
+    query = scan("t")
+    if predicate is not None:
+        query = query.filter(predicate)
+    plan = query.join(scan("s"), left_on="a", right_on="j").build()
+    return plan, (list(t) + list(s), expected)
+
+
+@pytest.mark.parametrize("seed", range(FUZZ_CASES))
+def test_differential_fuzz(seed):
+    """Every backend must produce exactly the oracle's rows."""
+    rng = np.random.default_rng(seed)
+    catalog = _make_catalog(rng)
+    plan, (names, expected) = _make_case(rng, catalog)
+    framework = default_framework()
+    for backend_name in FUZZ_BACKENDS:
+        executor = QueryExecutor(framework.create(backend_name), catalog)
+        result = executor.execute(plan)
+        context = (
+            f"\nseed={seed} backend={backend_name}\nplan:\n{explain(plan)}"
+        )
+        assert result.table.column_names == names, context
+        for name in names:
+            actual = np.asarray(
+                result.table.column(name).data, dtype=np.float64
+            )
+            want = np.asarray(expected[name], dtype=np.float64)
+            assert np.array_equal(actual, want), (
+                f"{context}\ncolumn={name}\nactual={actual}\nexpected={want}"
+            )

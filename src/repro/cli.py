@@ -92,6 +92,40 @@ def _cmd_calibration(_args: argparse.Namespace) -> int:
     return 0
 
 
+_MEM_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_mem_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix ("256M", "4g")."""
+    raw = text.strip().lower().rstrip("b")
+    multiplier = 1
+    if raw and raw[-1] in _MEM_SUFFIXES:
+        multiplier = _MEM_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse memory size {text!r} (examples: 512K, 64M, 2G)"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"memory size must be positive: {text!r}")
+    return int(value * multiplier)
+
+
+def _make_device(args: argparse.Namespace) -> Device:
+    """A device honouring the tpch command's --pool / --device-mem flags."""
+    import dataclasses
+
+    from repro.gpu import GTX_1080TI
+
+    spec = GTX_1080TI
+    if args.device_mem is not None:
+        spec = dataclasses.replace(spec, memory_bytes=args.device_mem)
+    allocator = "pool" if args.pool else "null"
+    return Device(spec, allocator=allocator)
+
+
 def _cmd_tpch(args: argparse.Namespace) -> int:
     query_name = args.query.upper()
     try:
@@ -115,7 +149,7 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
     )
     trace_device = None
     for name in DEFAULT_BACKENDS:
-        device = Device()
+        device = _make_device(args)
         executor = QueryExecutor(
             framework.create(name, device),
             catalog,
@@ -125,12 +159,16 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
         warm = executor.execute(plan)
         if args.trace is not None and name == args.trace_backend:
             trace_device = device
+        recovered = cold.report.oom_recovery_chunks
+        note = f"  [oom: retried in {recovered} chunks]" if recovered else ""
         print(
             f"{name:>16}  {cold.report.simulated_ms:10.3f}  "
             f"{warm.report.simulated_ms:10.3f}  "
             f"{warm.report.summary.kernel_count:8d}  "
-            f"{warm.table.num_rows:6d}"
+            f"{warm.table.num_rows:6d}{note}"
         )
+        if args.pool:
+            print(f"{'':>16}  {device.pool.stats()}")
     if args.trace is not None:
         from repro.gpu import write_chrome_trace
 
@@ -197,6 +235,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="chunked scan mode: split eligible scans into N chunks "
         "pipelined over streams (default: whole-table scans)",
+    )
+    tpch.add_argument(
+        "--pool",
+        action="store_true",
+        help="run every backend's device with the pooling sub-allocator "
+        "(priced cudaMalloc on miss, near-free reuse on hit)",
+    )
+    tpch.add_argument(
+        "--device-mem",
+        type=parse_mem_size,
+        default=None,
+        metavar="SIZE",
+        help="override device memory capacity (e.g. 512K, 64M, 2G); "
+        "undersized devices exercise eviction and chunked OOM recovery",
     )
     tpch.add_argument(
         "--trace",

@@ -17,14 +17,44 @@ class DeviceError(ReproError):
 
 
 class DeviceMemoryError(DeviceError):
-    """Raised when a device allocation exceeds the remaining device memory."""
+    """Raised when a device allocation exceeds the remaining device memory.
 
-    def __init__(self, requested: int, available: int) -> None:
+    ``pool_stats`` carries a :class:`~repro.gpu.memory.PoolStats` snapshot
+    when the failing device runs a pooled allocator (so OOM reports show
+    how much memory sat idle in freelists); ``injected`` marks failures
+    forced by :meth:`~repro.gpu.device.Device.inject_faults`.
+    """
+
+    def __init__(
+        self,
+        requested: int,
+        available: int,
+        pool_stats: object = None,
+        injected: bool = False,
+    ) -> None:
         self.requested = requested
         self.available = available
-        super().__init__(
+        self.pool_stats = pool_stats
+        self.injected = injected
+        message = (
             f"device out of memory: requested {requested} bytes, "
             f"only {available} bytes available"
+        )
+        if injected:
+            message += " (injected fault)"
+        super().__init__(message)
+
+
+class TransferError(DeviceError):
+    """Raised when a host/device transfer fails (injected DMA fault)."""
+
+    def __init__(self, direction: str, index: int, label: str = "") -> None:
+        self.direction = direction
+        self.index = index
+        self.label = label
+        suffix = f" ({label!r})" if label else ""
+        super().__init__(
+            f"{direction} transfer #{index} failed{suffix} (injected fault)"
         )
 
 

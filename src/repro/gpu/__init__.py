@@ -10,12 +10,14 @@ results.
 
 from repro.gpu.clock import SimulatedClock, Stopwatch
 from repro.gpu.device import (
+    ALLOCATOR_KINDS,
     GTX_1080TI,
     INTEGRATED_GPU,
     PRESETS,
     TESLA_V100,
     Device,
     DeviceSpec,
+    FaultPlan,
     get_spec,
 )
 from repro.gpu.kernel import (
@@ -26,10 +28,16 @@ from repro.gpu.kernel import (
 )
 from repro.gpu.memory import (
     ALLOCATION_ALIGNMENT,
+    CUDA_FREE_LATENCY,
+    CUDA_MALLOC_LATENCY,
+    POOL_HIT_LATENCY,
     DeviceBuffer,
     MemoryManager,
+    PoolAllocator,
+    PoolStats,
     ScopedAllocation,
     align_size,
+    pool_class_size,
 )
 from repro.gpu.profiler import (
     Event,
@@ -73,11 +81,19 @@ __all__ = [
     "KernelCost",
     "kernel_duration",
     "TUNED_PROFILE",
+    "ALLOCATOR_KINDS",
+    "FaultPlan",
     "DeviceBuffer",
     "MemoryManager",
+    "PoolAllocator",
+    "PoolStats",
     "ScopedAllocation",
     "align_size",
+    "pool_class_size",
     "ALLOCATION_ALIGNMENT",
+    "CUDA_MALLOC_LATENCY",
+    "CUDA_FREE_LATENCY",
+    "POOL_HIT_LATENCY",
     "Event",
     "Profiler",
     "ProfileSummary",

@@ -14,10 +14,19 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import DeviceMemoryError, TransferError
 from repro.gpu import profiler as prof
 from repro.gpu.clock import SimulatedClock
 from repro.gpu.kernel import EfficiencyProfile, KernelCost, kernel_duration
-from repro.gpu.memory import DeviceBuffer, MemoryManager
+from repro.gpu.memory import (
+    CUDA_FREE_LATENCY,
+    CUDA_MALLOC_LATENCY,
+    POOL_HIT_LATENCY,
+    DeviceBuffer,
+    MemoryManager,
+    PoolAllocator,
+    align_size,
+)
 from repro.gpu.stream import (
     DEFAULT_STREAM_ID,
     ENGINE_COMPUTE,
@@ -125,6 +134,36 @@ def get_spec(name: str) -> DeviceSpec:
         raise KeyError(f"unknown device preset {name!r}; known presets: {known}")
 
 
+#: Allocation pricing modes (``Device(allocator=...)``):
+#:
+#: * ``"null"``  — legacy: allocations/frees are free and asynchronous, as
+#:   if every buffer were pre-allocated (how the paper's benchmarks run).
+#: * ``"malloc"`` — every allocation is a real ``cudaMalloc``: it charges
+#:   host time *and* drains the engines (the driver's implicit sync), and
+#:   every free is a ``cudaFree``.
+#: * ``"pool"``  — a :class:`~repro.gpu.memory.PoolAllocator` sits in
+#:   front of the memory manager: freelist hits cost only host
+#:   bookkeeping; misses pay the full ``cudaMalloc`` path.
+ALLOCATOR_KINDS = ("null", "malloc", "pool")
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic fault-injection state (``Device.inject_faults``).
+
+    Countdown semantics: ``oom_after`` / ``transfer_fault_after`` fire on
+    the N-th *subsequent* call (0 = the very next one), then clear — so a
+    retry after the fault succeeds, which is exactly what the recovery
+    paths need to be testable.  ``oom_at_bytes`` is persistent: it caps
+    usable capacity until :meth:`Device.clear_faults`.
+    """
+
+    oom_after: Optional[int] = None
+    oom_at_bytes: Optional[int] = None
+    transfer_fault_after: Optional[int] = None
+    transfer_direction: str = "any"  # "h2d" | "d2h" | "any"
+
+
 class Device:
     """A simulated GPU instance.
 
@@ -144,10 +183,21 @@ class Device:
         spec: DeviceSpec = GTX_1080TI,
         *,
         profile_events: bool = True,
+        allocator: str = "null",
     ) -> None:
+        if allocator not in ALLOCATOR_KINDS:
+            known = ", ".join(ALLOCATOR_KINDS)
+            raise ValueError(f"unknown allocator {allocator!r}; known: {known}")
         self.spec = spec
         self.clock = SimulatedClock()
         self.memory = MemoryManager(spec.memory_bytes)
+        self.allocator_kind = allocator
+        #: Pooling sub-allocator (``allocator="pool"`` only), else None.
+        self.pool: Optional[PoolAllocator] = (
+            PoolAllocator(self.memory) if allocator == "pool" else None
+        )
+        self._faults = FaultPlan()
+        self._transfer_count = 0
         self.profiler = prof.Profiler(enabled=profile_events)
         #: Bumped on every reset; streams/events from older epochs are stale.
         self.epoch = 0
@@ -302,6 +352,21 @@ class Device:
 
     # -- transfers --------------------------------------------------------
 
+    def _check_transfer_fault(self, direction: str, label: str) -> None:
+        """Fire a pending injected transfer fault if its countdown hits 0."""
+        index = self._transfer_count
+        self._transfer_count += 1
+        plan = self._faults
+        if plan.transfer_fault_after is None:
+            return
+        if plan.transfer_direction not in ("any", direction):
+            return
+        if plan.transfer_fault_after > 0:
+            plan.transfer_fault_after -= 1
+            return
+        plan.transfer_fault_after = None
+        raise TransferError(direction=direction, index=index, label=label)
+
     def transfer_to_device(
         self,
         nbytes: int,
@@ -309,6 +374,7 @@ class Device:
         stream: Optional[Stream] = None,
     ) -> float:
         """Host → device copy of ``nbytes`` (async when on a stream)."""
+        self._check_transfer_fault("h2d", label)
         duration = self.spec.link.transfer_time(nbytes)
         start, _end, stream_id = self._schedule(
             ENGINE_H2D, duration, self._resolve_stream(stream)
@@ -326,6 +392,7 @@ class Device:
         stream: Optional[Stream] = None,
     ) -> float:
         """Device → host copy of ``nbytes`` (async when on a stream)."""
+        self._check_transfer_fault("d2h", label)
         duration = self.spec.link.transfer_time(nbytes)
         start, _end, stream_id = self._schedule(
             ENGINE_D2H, duration, self._resolve_stream(stream)
@@ -360,28 +427,153 @@ class Device:
         self.profiler.record(prof.COMPILE, name, start, cost_seconds)
         return cost_seconds
 
+    # -- fault injection ---------------------------------------------------
+
+    def inject_faults(
+        self,
+        *,
+        oom_at_alloc: Optional[int] = None,
+        oom_at_bytes: Optional[int] = None,
+        transfer_fault_at: Optional[int] = None,
+        transfer_direction: str = "any",
+    ) -> None:
+        """Arm deterministic failures so every error path is testable.
+
+        * ``oom_at_alloc=N`` — the N-th subsequent allocation (0 = the
+          next one) raises :class:`DeviceMemoryError`, then the fault
+          clears (a retry allocates normally).
+        * ``oom_at_bytes=B`` — usable capacity is capped at ``B`` bytes
+          until :meth:`clear_faults`; allocations over the cap fail after
+          pressure callbacks (pool trim, cache eviction) have run.
+        * ``transfer_fault_at=N`` — the N-th subsequent transfer matching
+          ``transfer_direction`` (``"h2d"``/``"d2h"``/``"any"``) raises
+          :class:`~repro.errors.TransferError`, then the fault clears.
+        """
+        if oom_at_alloc is not None and oom_at_alloc < 0:
+            raise ValueError(f"oom_at_alloc cannot be negative: {oom_at_alloc}")
+        if transfer_fault_at is not None and transfer_fault_at < 0:
+            raise ValueError(
+                f"transfer_fault_at cannot be negative: {transfer_fault_at}"
+            )
+        if transfer_direction not in ("any", "h2d", "d2h"):
+            raise ValueError(
+                f"transfer_direction must be any/h2d/d2h: {transfer_direction!r}"
+            )
+        if oom_at_alloc is not None:
+            self._faults.oom_after = oom_at_alloc
+        if oom_at_bytes is not None:
+            self._faults.oom_at_bytes = oom_at_bytes
+            self.memory.set_soft_limit(oom_at_bytes)
+        if transfer_fault_at is not None:
+            self._faults.transfer_fault_after = transfer_fault_at
+            self._faults.transfer_direction = transfer_direction
+
+    def clear_faults(self) -> None:
+        """Disarm all injected faults (including the byte-capacity cap)."""
+        self._faults = FaultPlan()
+        self.memory.set_soft_limit(None)
+
+    def _check_alloc_fault(self, nbytes: int) -> None:
+        plan = self._faults
+        if plan.oom_after is None:
+            return
+        if plan.oom_after > 0:
+            plan.oom_after -= 1
+            return
+        plan.oom_after = None
+        raise DeviceMemoryError(
+            requested=align_size(nbytes),
+            available=self.memory.free_bytes,
+            pool_stats=self.pool.stats() if self.pool is not None else None,
+            injected=True,
+        )
+
     # -- memory -----------------------------------------------------------
 
+    def _host_block(self, duration: float, drain_engines: bool) -> float:
+        """Charge blocking host/driver time (cudaMalloc, cudaFree).
+
+        Returns the start time.  ``drain_engines`` models the driver's
+        implicit device synchronization: the call waits for every engine,
+        exactly why a mid-pipeline ``cudaMalloc`` kills stream overlap.
+        """
+        start = self.clock.now
+        if self._barrier > start:
+            start = self._barrier
+        if drain_engines:
+            for engine in self._engines.values():
+                if engine.busy_until > start:
+                    start = engine.busy_until
+        end = start + duration
+        self._barrier = end
+        self.clock.advance_to(end)
+        return start
+
     def allocate(self, nbytes: int, label: str = "buffer") -> DeviceBuffer:
-        """Allocate device memory and record the event (allocation itself is
-        priced at zero time: CUDA allocations are host-side and the paper's
-        benchmarks pre-allocate)."""
+        """Allocate device memory, charge the allocator's modelled cost,
+        and record the event.
+
+        With the legacy ``"null"`` allocator the charge is zero (the
+        paper's benchmarks pre-allocate); ``"malloc"`` charges a full
+        ``cudaMalloc`` (host latency + engine drain) per call; ``"pool"``
+        charges the cheap freelist path on hits and ``cudaMalloc`` only
+        on misses.
+        """
+        self._check_alloc_fault(nbytes)
+        if self.pool is not None:
+            buffer, hit = self.pool.allocate(nbytes, label)
+            duration = POOL_HIT_LATENCY if hit else CUDA_MALLOC_LATENCY
+            start = self._host_block(duration, drain_engines=not hit)
+            self.profiler.record(
+                prof.ALLOC, label, start, duration,
+                nbytes=nbytes, pool="hit" if hit else "miss",
+            )
+            return buffer
         buffer = self.memory.allocate(nbytes, label)
-        self.profiler.record(
-            prof.ALLOC, label, self.clock.now, 0.0, nbytes=nbytes
-        )
+        if self.allocator_kind == "malloc":
+            start = self._host_block(CUDA_MALLOC_LATENCY, drain_engines=True)
+            self.profiler.record(
+                prof.ALLOC, label, start, CUDA_MALLOC_LATENCY, nbytes=nbytes
+            )
+        else:
+            self.profiler.record(
+                prof.ALLOC, label, self.clock.now, 0.0, nbytes=nbytes
+            )
         return buffer
 
     def free(self, buffer: DeviceBuffer) -> None:
-        """Free device memory and record the event."""
+        """Free device memory (to the pool's freelist when pooled) and
+        record the event."""
+        if self.pool is not None:
+            self.pool.free(buffer)
+            start = self._host_block(POOL_HIT_LATENCY, drain_engines=False)
+            self.profiler.record(
+                prof.FREE, buffer.label, start, POOL_HIT_LATENCY,
+                nbytes=buffer.nbytes, pool="hit",
+            )
+            return
         self.memory.free(buffer)
-        self.profiler.record(
-            prof.FREE, buffer.label, self.clock.now, 0.0, nbytes=buffer.nbytes
-        )
+        if self.allocator_kind == "malloc":
+            start = self._host_block(CUDA_FREE_LATENCY, drain_engines=True)
+            self.profiler.record(
+                prof.FREE, buffer.label, start, CUDA_FREE_LATENCY,
+                nbytes=buffer.nbytes,
+            )
+        else:
+            self.profiler.record(
+                prof.FREE, buffer.label, self.clock.now, 0.0, nbytes=buffer.nbytes
+            )
 
     def alloc_for_array(self, array: np.ndarray, label: str) -> DeviceBuffer:
         """Allocate a buffer sized for ``array``."""
         return self.allocate(int(array.nbytes), label)
+
+    def trim_pool(self) -> int:
+        """Release the pool's cached freelist blocks back to the memory
+        manager (no-op without a pool); returns the bytes released."""
+        if self.pool is None:
+            return 0
+        return self.pool.trim()
 
     # -- bookkeeping -------------------------------------------------------
 

@@ -54,6 +54,13 @@ class ProfileSummary:
     compile_time: float
     bytes_h2d: int
     bytes_d2h: int
+    #: Host time spent in the allocator (cudaMalloc/cudaFree/pool paths);
+    #: zero under the legacy free-allocation model.
+    alloc_time: float = 0.0
+    #: Allocations served from / missing the device's pool (pooled devices
+    #: only; both zero otherwise).
+    pool_hits: int = 0
+    pool_misses: int = 0
 
     def fraction(self, kind: str) -> float:
         """Fraction of total event time spent in ``kind`` (0 if no time)."""
@@ -121,6 +128,8 @@ class Profiler:
         count_by_kind: Counter = Counter()
         bytes_h2d = 0
         bytes_d2h = 0
+        pool_hits = 0
+        pool_misses = 0
         for event in events:
             time_by_kind[event.kind] += event.duration
             count_by_kind[event.kind] += 1
@@ -128,6 +137,12 @@ class Profiler:
                 bytes_h2d += int(event.payload.get("nbytes", 0))
             elif event.kind == TRANSFER_D2H:
                 bytes_d2h += int(event.payload.get("nbytes", 0))
+            elif event.kind == ALLOC:
+                pool = event.payload.get("pool")
+                if pool == "hit":
+                    pool_hits += 1
+                elif pool == "miss":
+                    pool_misses += 1
         total = sum(time_by_kind.values())
         return ProfileSummary(
             total_time=total,
@@ -142,6 +157,11 @@ class Profiler:
             compile_time=time_by_kind.get(COMPILE, 0.0),
             bytes_h2d=bytes_h2d,
             bytes_d2h=bytes_d2h,
+            alloc_time=(
+                time_by_kind.get(ALLOC, 0.0) + time_by_kind.get(FREE, 0.0)
+            ),
+            pool_hits=pool_hits,
+            pool_misses=pool_misses,
         )
 
     def kernel_histogram(self, since: int = 0) -> Dict[str, int]:
@@ -181,6 +201,11 @@ ENGINE_TRACKS = {
 #: Track for events that carry no engine (host/driver compiles).
 _COMPILE_TRACK = 4
 
+#: Track for allocator time (cudaMalloc / cudaFree / pool bookkeeping).
+#: Only priced allocations land here — the legacy zero-cost alloc/free
+#: bookkeeping events are still skipped, so pre-pool traces are unchanged.
+_ALLOCATOR_TRACK = 5
+
 #: Fallback tracks for events recorded without engine payloads (traces
 #: produced before the stream subsystem, or hand-built events).
 _TRACE_TRACKS = {
@@ -188,6 +213,8 @@ _TRACE_TRACKS = {
     TRANSFER_H2D: 2,
     TRANSFER_D2H: 3,
     COMPILE: _COMPILE_TRACK,
+    ALLOC: _ALLOCATOR_TRACK,
+    FREE: _ALLOCATOR_TRACK,
 }
 
 #: Human-readable row names emitted as Chrome-trace thread metadata.
@@ -196,6 +223,7 @@ _TRACK_NAMES = {
     2: "copy engine H2D",
     3: "copy engine D2H",
     _COMPILE_TRACK: "driver (compile)",
+    _ALLOCATOR_TRACK: "driver (allocator)",
 }
 
 
@@ -205,7 +233,9 @@ def to_chrome_trace(events: Sequence[Event]) -> List[Dict[str, Any]]:
 
     One row (tid) per hardware engine, so transfer/compute overlap across
     streams shows up as concurrent bars; the stream id rides along in
-    ``args``.  Zero-duration bookkeeping events (alloc/free) are skipped.
+    ``args``.  Zero-duration bookkeeping events (alloc/free under the
+    legacy free-allocation model) are skipped; priced allocator calls
+    (cudaMalloc/pool paths) render on their own driver row.
     Prefer :func:`chrome_trace_json` when writing a file — it prepends
     the row-name metadata and has a stable field ordering.
     """
@@ -213,6 +243,8 @@ def to_chrome_trace(events: Sequence[Event]) -> List[Dict[str, Any]]:
     for event in events:
         if event.kind not in _TRACE_TRACKS:
             continue
+        if event.kind in (ALLOC, FREE) and event.duration <= 0.0:
+            continue  # zero-cost bookkeeping under the legacy allocator
         engine = event.payload.get("engine")
         tid = ENGINE_TRACKS.get(engine, _TRACE_TRACKS[event.kind])
         trace.append({
@@ -271,12 +303,16 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
     count_by_kind: Counter = Counter()
     bytes_h2d = 0
     bytes_d2h = 0
+    pool_hits = 0
+    pool_misses = 0
     for s in summaries:
         for kind, duration in s.time_by_kind.items():
             time_by_kind[kind] += duration
         count_by_kind.update(s.count_by_kind)
         bytes_h2d += s.bytes_h2d
         bytes_d2h += s.bytes_d2h
+        pool_hits += s.pool_hits
+        pool_misses += s.pool_misses
     total = sum(time_by_kind.values())
     return ProfileSummary(
         total_time=total,
@@ -290,4 +326,9 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
         compile_time=time_by_kind.get(COMPILE, 0.0),
         bytes_h2d=bytes_h2d,
         bytes_d2h=bytes_d2h,
+        alloc_time=(
+            time_by_kind.get(ALLOC, 0.0) + time_by_kind.get(FREE, 0.0)
+        ),
+        pool_hits=pool_hits,
+        pool_misses=pool_misses,
     )

@@ -105,6 +105,34 @@ class ArrayFireRuntime(LibraryRuntime):
         self.set_stream(stream)
         return stream
 
+    # -- memory manager ------------------------------------------------------
+    #
+    # ArrayFire ships its own pooling device-memory manager; these mirror
+    # the two user-facing hooks.
+
+    def device_mem_info(self) -> dict:
+        """``af::deviceMemInfo`` — allocated vs. locked bytes/buffers.
+
+        "alloc" covers everything ArrayFire holds from the driver
+        (including pool-cached blocks); "lock" covers buffers currently
+        handed out to live arrays.
+        """
+        memory = self.device.memory
+        pool = self.device.pool
+        cached_bytes = pool.cached_bytes if pool is not None else 0
+        cached_blocks = pool.cached_blocks if pool is not None else 0
+        return {
+            "alloc_bytes": memory.used_bytes,
+            "alloc_buffers": memory.live_buffer_count,
+            "lock_bytes": memory.used_bytes - cached_bytes,
+            "lock_buffers": memory.live_buffer_count - cached_blocks,
+        }
+
+    def device_gc(self) -> int:
+        """``af::deviceGC`` — release unlocked (pool-cached) buffers back
+        to the driver; returns the bytes released."""
+        return self.trim_device_pool()
+
 
 class Array:
     """A lazy ArrayFire array (1-D, matching the paper's columnar usage)."""

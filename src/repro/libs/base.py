@@ -160,6 +160,24 @@ class LibraryRuntime:
             return stream.synchronize()
         return self.device.synchronize()
 
+    # -- device memory pool --------------------------------------------------
+
+    @property
+    def memory_pool(self):
+        """The device's pooling sub-allocator, or None when the device
+        runs the legacy or plain-``cudaMalloc`` allocator."""
+        return self.device.pool
+
+    def pool_stats(self):
+        """A :class:`~repro.gpu.memory.PoolStats` snapshot, or None when
+        the device is not pooled."""
+        pool = self.device.pool
+        return pool.stats() if pool is not None else None
+
+    def trim_device_pool(self) -> int:
+        """Release cached pool blocks back to the device; returns bytes."""
+        return self.device.trim_pool()
+
     # -- pricing helpers ----------------------------------------------------
 
     def _charge(

@@ -171,3 +171,10 @@ class BoostComputeRuntime(LibraryRuntime):
     def ensure_program(self, signature: str, complexity: int = 1) -> float:
         """Compile-or-hit a kernel program before launching it."""
         return self.program_cache.ensure(signature, complexity)
+
+    def buffer_pool_stats(self):
+        """Pool counters when the device runs a pooling allocator, else
+        None.  Boost.Compute has no built-in pool — applications wrap
+        ``clCreateBuffer`` in their own caching layer — so this simply
+        surfaces the device-level pool the session may have installed."""
+        return self.pool_stats()

@@ -80,6 +80,14 @@ class ThrustRuntime(LibraryRuntime):
         every algorithm call inside it onto ``stream``."""
         return self.device.stream_scope(stream)
 
+    def caching_allocator_stats(self):
+        """Pool counters when the device runs a caching allocator, else
+        None — models ``thrust::mr::disjoint_unsynchronized_pool_resource``
+        (or the legacy ``thrust::system::cuda::detail::cached_allocator``
+        recipe), which Thrust programs plug in precisely to avoid the
+        per-call ``cudaMalloc`` the paper's chained compositions incur."""
+        return self.pool_stats()
+
     def empty(self, n: int, dtype: Union[str, np.dtype]) -> device_vector:
         """Construct an uninitialised device vector of ``n`` elements
         (device-side allocation only: no transfer, no fill kernel)."""

@@ -8,31 +8,59 @@ set of asynchronous streams: chunk ``k+1``'s H2D copy overlaps chunk
 ``k``'s kernels (and its D2H result copy), driving the makespan toward the
 ``max(T, C)`` bound — the classic CUDA streams pattern.
 
+Chunking is also the *graceful degradation* path for memory pressure:
+when a whole-table plan raises :class:`~repro.errors.DeviceMemoryError`,
+:meth:`QueryExecutor.execute` retries here with a chunk count sized from
+the device's remaining free bytes, so each chunk's working set fits.
+
 Eligibility is deliberately narrow, because chunks must be combinable on
 the host without changing query semantics:
 
 * the plan is a ``Scan`` followed by any chain of row-local ``Filter`` /
-  ``Project`` nodes (each output row depends on exactly one input row), and
-* optionally one *global* aggregate on top whose kinds all combine
-  associatively (``sum``/``count``/``min``/``max``; ``avg`` only when a
-  single chunk makes combination the identity).
+  ``Project`` nodes (each output row depends on exactly one input row);
+* optionally one aggregation on top:
 
-Anything else — joins, keyed group-bys, sorts, limits — falls back to the
+  - a *global* aggregate whose kinds all combine associatively
+    (``sum``/``count``/``min``/``max``; ``avg`` only when a single chunk
+    makes combination the identity), or
+  - a *keyed* group-by with the same combinable kinds — here ``avg`` is
+    always allowed, recombined as a count-weighted mean (a helper
+    ``count(*)`` is injected into the per-chunk plan when the query does
+    not already carry one);
+
+* ``OrderBy``/``Limit`` wrappers are admitted only above a keyed
+  group-by: group outputs are small, so re-sorting the combined result on
+  the host matches the whole-table semantics without re-pricing a sort of
+  the full input.
+
+Anything else — joins, sorts over base tables — falls back to the
 ordinary whole-table execution.  With ``scan_chunks=1`` the sub-plan, the
 catalog slice, and therefore the exact operator sequence are identical to
 the un-chunked path, which is what makes the serial-equivalence tests
-bit-exact.
+bit-exact; keyed group-by plans therefore only take the chunked path when
+more than one chunk is requested.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.query.plan import Filter, GroupBy, PlanNode, Project, Scan
+from repro.query.plan import (
+    Aggregate,
+    Filter,
+    GroupBy,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+)
 from repro.relational.column import Column
 from repro.relational.table import Table, concat_tables
+from repro.relational.types import ColumnType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.query.executor import ExecutionResult, QueryExecutor
@@ -40,21 +68,42 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: Aggregate kinds whose per-chunk partials combine associatively.
 COMBINABLE_AGGREGATES = frozenset({"sum", "count", "min", "max"})
 
+#: Name of the helper ``count(*)`` injected into per-chunk group-bys so
+#: ``avg`` partials can be recombined as a count-weighted mean.  Stripped
+#: from the combined output.
+CHUNK_COUNT_HELPER = "__chunk_rows"
+
+
+def _peel_wrappers(plan: PlanNode) -> Tuple[PlanNode, List[PlanNode]]:
+    """Strip leading OrderBy/Limit nodes; returns (inner, wrappers).
+
+    Wrappers come back outermost-first; re-apply them in reverse.
+    """
+    wrappers: List[PlanNode] = []
+    node = plan
+    while isinstance(node, (OrderBy, Limit)):
+        wrappers.append(node)
+        node = node.child
+    return node, wrappers
+
 
 def chunkable_table(plan: PlanNode, allow_avg: bool = False) -> Optional[str]:
     """Name of the scanned table if ``plan`` is chunk-eligible, else None.
 
-    ``allow_avg`` admits ``avg`` aggregates (valid only when a single
-    chunk makes the combine step the identity).
+    ``allow_avg`` admits ``avg`` aggregates in *global* aggregations
+    (valid only when a single chunk makes the combine step the identity);
+    keyed group-bys may always carry ``avg``.
     """
-    node = plan
+    node, wrappers = _peel_wrappers(plan)
+    if wrappers and not (isinstance(node, GroupBy) and node.keys):
+        # Host re-sorting is only sound for small grouped outputs.
+        return None
     if isinstance(node, GroupBy):
-        if node.keys:
-            return None
+        keyed = bool(node.keys)
         for aggregate in node.aggregates:
             if aggregate.kind in COMBINABLE_AGGREGATES:
                 continue
-            if aggregate.kind == "avg" and allow_avg:
+            if aggregate.kind == "avg" and (keyed or allow_avg):
                 continue
             return None
         node = node.child
@@ -98,24 +147,55 @@ def slice_table(table: Table, lo: int, hi: int) -> Table:
     return Table(table.name, columns)
 
 
+def _chunk_plan(inner: PlanNode) -> PlanNode:
+    """The plan each chunk actually runs.
+
+    Equal to ``inner`` except when a keyed group-by carries ``avg``
+    without a plain ``count(*)``: then a helper count is appended so the
+    combine step can weight the per-chunk means.
+    """
+    if not (isinstance(inner, GroupBy) and inner.keys):
+        return inner
+    has_avg = any(a.kind == "avg" for a in inner.aggregates)
+    has_count = any(
+        a.kind == "count" and a.expr is None for a in inner.aggregates
+    )
+    if not has_avg or has_count:
+        return inner
+    helper = Aggregate(name=CHUNK_COUNT_HELPER, kind="count", expr=None)
+    return replace(inner, aggregates=inner.aggregates + (helper,))
+
+
 def try_execute_chunked(
-    executor: "QueryExecutor", plan: PlanNode, result_name: str
+    executor: "QueryExecutor",
+    plan: PlanNode,
+    result_name: str,
+    chunks: Optional[int] = None,
 ) -> Optional["ExecutionResult"]:
     """Run ``plan`` chunk-by-chunk on rotating streams, or return None.
 
     Returns None when the plan shape is not eligible (the caller then
-    falls back to whole-table execution).  The cost report covers the
-    whole pipelined execution: its ``simulated_seconds`` is the makespan
-    across all engines, which is where the overlap win shows up.
+    falls back to whole-table execution).  ``chunks`` overrides the
+    executor's configured ``scan_chunks`` — the OOM-recovery path uses it
+    to size chunks from the device's free bytes.  The cost report covers
+    the whole pipelined execution: its ``simulated_seconds`` is the
+    makespan across all engines, which is where the overlap win shows up.
     """
     from repro.query.executor import ExecutionReport, ExecutionResult, QueryExecutor
 
-    requested = executor.scan_chunks or 1
+    requested = chunks if chunks is not None else (executor.scan_chunks or 1)
     table_name = chunkable_table(plan, allow_avg=requested == 1)
     if table_name is None or table_name not in executor.catalog:
         return None
+    inner, wrappers = _peel_wrappers(plan)
+    keyed = isinstance(inner, GroupBy) and bool(inner.keys)
+    if keyed and requested == 1:
+        # scan_chunks=1 promises the exact un-chunked operator sequence;
+        # the keyed path re-sorts on the host, so it needs >= 2 chunks.
+        return None
     table = executor.catalog[table_name]
     bounds = chunk_bounds(table.num_rows, requested)
+    sub_plan = _chunk_plan(inner) if keyed else plan
 
     device = executor.backend.device
     cursor = device.profiler.mark()
@@ -134,13 +214,17 @@ def try_execute_chunked(
             executor.backend, catalog, join_strategy=executor.join_strategy
         )
         with device.stream_scope(streams[i % num_streams]):
-            relation = sub._execute(plan, needed=None)
+            relation = sub._execute(sub_plan, needed=None)
             chunk_tables.append(
                 sub._materialise(relation, f"{result_name}.chunk{i}")
             )
     device.synchronize()
 
-    combined = _combine_chunks(plan, chunk_tables, result_name)
+    if keyed:
+        combined = _combine_keyed_groups(inner, chunk_tables, result_name)
+        combined = _apply_wrappers(combined, wrappers, result_name)
+    else:
+        combined = _combine_chunks(plan, chunk_tables, result_name)
     report = ExecutionReport(
         backend=executor.backend.name,
         simulated_seconds=device.clock.elapsed_since(t0),
@@ -184,3 +268,88 @@ def _combine_aggregates(
         data = np.asarray([value], dtype=parts[0].data.dtype)
         columns.append(Column(aggregate.name, parts[0].ctype, data))
     return Table(result_name, columns)
+
+
+def _combine_keyed_groups(
+    plan: GroupBy, tables: List[Table], result_name: str
+) -> Table:
+    """Merge per-chunk keyed group-by outputs into one grouped table.
+
+    Groups are matched by key tuple across chunks and emitted in
+    ascending key order — the same order the whole-table path produces
+    (``np.unique`` over the composite key is ascending, and the composite
+    encoding is monotone in the key tuple).  ``avg`` partials recombine
+    as a count-weighted mean, so the result matches the whole-table value
+    up to float round-off.
+    """
+    keys = list(plan.keys)
+    count_name = next(
+        (
+            a.name for a in plan.aggregates
+            if a.kind == "count" and a.expr is None
+        ),
+        CHUNK_COUNT_HELPER,
+    )
+    concat = concat_tables(result_name, tables)
+    key_data = [concat.column(k).data for k in keys]
+    counts = concat.column(count_name).data.astype(np.int64)
+
+    # Group chunk rows by key tuple; order[i] is the i-th distinct tuple
+    # in ascending order.
+    row_keys = list(zip(*(arr.tolist() for arr in key_data)))
+    order = sorted(set(row_keys))
+    index = {key: i for i, key in enumerate(order)}
+    inverse = np.asarray([index[key] for key in row_keys], dtype=np.int64)
+    k = len(order)
+    group_counts = np.bincount(inverse, weights=counts, minlength=k)
+
+    columns: List[Column] = []
+    for name, arr in zip(keys, key_data):
+        source = concat.column(name)
+        first_rows = np.asarray(
+            [row_keys.index(key) for key in order], dtype=np.int64
+        )
+        columns.append(
+            Column(name, source.ctype, arr[first_rows], source.dictionary)
+        )
+    for aggregate in plan.aggregates:
+        if aggregate.name == CHUNK_COUNT_HELPER:
+            continue
+        part = concat.column(aggregate.name)
+        values = part.data
+        if aggregate.kind in ("sum", "count"):
+            data = np.bincount(
+                inverse, weights=values.astype(np.float64), minlength=k
+            ).astype(part.data.dtype)
+        elif aggregate.kind == "avg":
+            weighted = np.bincount(
+                inverse, weights=values * counts, minlength=k
+            )
+            data = weighted / np.maximum(group_counts, 1)
+        elif aggregate.kind == "min":
+            data = np.full(k, np.inf)
+            np.minimum.at(data, inverse, values)
+            data = data.astype(part.data.dtype)
+        else:  # max
+            data = np.full(k, -np.inf)
+            np.maximum.at(data, inverse, values)
+            data = data.astype(part.data.dtype)
+        ctype = ColumnType.INT64 if aggregate.kind == "count" else part.ctype
+        columns.append(Column(aggregate.name, ctype, data))
+    return Table(result_name, columns)
+
+
+def _apply_wrappers(
+    table: Table, wrappers: List[PlanNode], result_name: str
+) -> Table:
+    """Re-apply peeled OrderBy/Limit nodes to the combined host table."""
+    for wrapper in reversed(wrappers):
+        if isinstance(wrapper, OrderBy):
+            order = np.argsort(table.column(wrapper.key).data, kind="stable")
+            if wrapper.descending:
+                order = order[::-1]
+            table = table.take(order)
+        else:  # Limit
+            n = min(wrapper.n, table.num_rows)  # type: ignore[union-attr]
+            table = table.take(np.arange(n))
+    return table.rename(result_name)

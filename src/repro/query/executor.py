@@ -10,14 +10,16 @@ handle; the only downloads are scalar counts and the final result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import gc
+import math
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.backend import Handle, Operator, OperatorBackend, SupportLevel
 from repro.core.expr import ColRef, Expr, Lit
-from repro.errors import PlanError, UnsupportedOperatorError
+from repro.errors import DeviceMemoryError, PlanError, UnsupportedOperatorError
 from repro.gpu.profiler import ProfileSummary
 from repro.query.optimizer import choose_join_algorithm
 from repro.query.plan import (
@@ -75,6 +77,9 @@ class ExecutionReport:
     simulated_seconds: float
     summary: ProfileSummary
     peak_device_bytes: int
+    #: Chunk count the OOM-recovery retry settled on, or None when the
+    #: query completed on its first (whole-table or configured) attempt.
+    oom_recovery_chunks: Optional[int] = None
 
     @property
     def simulated_ms(self) -> float:
@@ -139,13 +144,38 @@ class QueryExecutor:
     # -- public API --------------------------------------------------------------
 
     def execute(self, plan: PlanNode, result_name: str = "result") -> ExecutionResult:
-        """Execute ``plan`` and return the result with its cost report."""
+        """Execute ``plan`` and return the result with its cost report.
+
+        When the device runs out of memory mid-plan (including injected
+        faults), chunk-eligible plans are retried through the chunked
+        path with a chunk count sized from the remaining free bytes —
+        graceful degradation instead of a hard failure.  The retry's
+        report carries the chunk count in ``oom_recovery_chunks``.
+        """
+        oom: Optional[DeviceMemoryError] = None
         if self.scan_chunks is not None:
             from repro.query.chunked import try_execute_chunked
 
-            chunked = try_execute_chunked(self, plan, result_name)
+            try:
+                chunked = try_execute_chunked(self, plan, result_name)
+            except DeviceMemoryError as exc:
+                # Even the configured chunk count can OOM on a small
+                # device; escalate through the recovery path.
+                oom = exc.with_traceback(None)
+                return self._retry_chunked(plan, result_name, oom)
             if chunked is not None:
                 return chunked
+        try:
+            return self._execute_whole(plan, result_name)
+        except DeviceMemoryError as exc:
+            # Drop the traceback before leaving the handler: its frames
+            # pin the failed attempt's intermediate device arrays, which
+            # the retry needs the collector to release.
+            oom = exc.with_traceback(None)
+        return self._retry_chunked(plan, result_name, oom)
+
+    def _execute_whole(self, plan: PlanNode, result_name: str) -> ExecutionResult:
+        """One whole-table execution attempt with its cost report."""
         device = self.backend.device
         cursor = device.profiler.mark()
         t0 = device.clock.now
@@ -159,6 +189,57 @@ class QueryExecutor:
             peak_device_bytes=device.memory.peak_bytes,
         )
         return ExecutionResult(table=table, report=report)
+
+    def _recovery_chunks(self, table_bytes: int, num_rows: int) -> int:
+        """First chunk count to try after an OOM.
+
+        Sized so one chunk's scan columns plus intermediates (roughly 4x
+        the chunk's input bytes: filtered copies, derived columns, result
+        buffers) fit in the device's current free bytes.
+        """
+        device = self.backend.device
+        free = device.memory.free_bytes
+        if device.pool is not None:
+            # Freed blocks parked in the pool's freelists are reusable
+            # capacity even though the manager still counts them as used.
+            free += device.pool.cached_bytes
+        chunks = math.ceil(4 * max(table_bytes, 1) / max(free, 1))
+        return max(2, min(chunks, max(num_rows, 2)))
+
+    def _retry_chunked(
+        self,
+        plan: PlanNode,
+        result_name: str,
+        oom: DeviceMemoryError,
+    ) -> ExecutionResult:
+        """Re-run an OOM'd plan through the chunked path, escalating the
+        chunk count (doubling) while chunks themselves still OOM."""
+        from repro.query.chunked import chunkable_table, try_execute_chunked
+
+        table_name = chunkable_table(plan)
+        if table_name is None or table_name not in self.catalog:
+            raise oom
+        gc.collect()  # release the failed attempt's intermediates
+        table = self.catalog[table_name]
+        max_chunks = max(table.num_rows, 2)
+        chunks = self._recovery_chunks(table.nbytes, table.num_rows)
+        while True:
+            retry_oom: Optional[DeviceMemoryError] = None
+            try:
+                result = try_execute_chunked(
+                    self, plan, result_name, chunks=chunks
+                )
+            except DeviceMemoryError as exc:
+                retry_oom = exc.with_traceback(None)
+            if retry_oom is None:
+                if result is None:
+                    raise oom
+                report = replace(result.report, oom_recovery_chunks=chunks)
+                return ExecutionResult(table=result.table, report=report)
+            gc.collect()
+            if chunks >= max_chunks:
+                raise retry_oom
+            chunks = min(chunks * 2, max_chunks)
 
     # -- static analysis -----------------------------------------------------------
 

@@ -7,13 +7,20 @@ memory and pay the PCIe cost once.  :class:`GpuSession` adds that cache:
 the first query touching a column uploads it, later queries reuse the
 device handle.
 
-The cache holds handles per (table, column) and survives for the session's
-lifetime; :meth:`GpuSession.evict` frees device memory explicitly.
+The cache is LRU-ordered and *pressure-aware*: the session registers a
+callback with the device's :class:`~repro.gpu.memory.MemoryManager`, so
+when an allocation would fail, resident columns are evicted — least
+recently used first, columns pinned by the in-flight query excluded —
+until the allocation fits.  Evicted columns simply re-upload on their
+next touch.  :meth:`GpuSession.evict` frees device memory explicitly and
+:meth:`GpuSession.close` (or a ``with`` block) releases everything the
+session holds, including the device pool's cached blocks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -24,17 +31,23 @@ from repro.relational.table import Table
 
 
 class _CachingExecutor(QueryExecutor):
-    """Executor whose scans consult the session's column cache."""
+    """Executor whose scans consult the session's column cache.
+
+    ``_active`` holds the cache keys the in-flight query has touched:
+    those handles are reachable from the query's intermediate relations,
+    so the session's pressure eviction must not free them mid-plan.
+    """
 
     def __init__(
         self,
         backend: OperatorBackend,
         catalog: Dict[str, Table],
-        cache: Dict[Tuple[str, str], Handle],
+        cache: "OrderedDict[Tuple[str, str], Handle]",
         join_strategy: Optional[str] = None,
     ) -> None:
         super().__init__(backend, catalog, join_strategy=join_strategy)
         self._cache = cache
+        self._active: Set[Tuple[str, str]] = set()
 
     def _upload_column(self, table_name: str, column_name: str,
                        data: np.ndarray) -> Handle:
@@ -45,6 +58,9 @@ class _CachingExecutor(QueryExecutor):
                 data, label=f"{table_name}.{column_name}"
             )
             self._cache[key] = handle
+        else:
+            self._cache.move_to_end(key)  # most recently used last
+        self._active.add(key)
         return handle
 
 
@@ -53,9 +69,9 @@ class GpuSession:
 
     Example::
 
-        session = GpuSession(backend, catalog)
-        session.execute(q6.plan())   # uploads lineitem columns
-        session.execute(q6.plan())   # reuses them: no transfer time
+        with GpuSession(backend, catalog) as session:
+            session.execute(q6.plan())   # uploads lineitem columns
+            session.execute(q6.plan())   # reuses them: no transfer time
     """
 
     def __init__(
@@ -66,9 +82,15 @@ class GpuSession:
     ) -> None:
         self.backend = backend
         self.catalog = dict(catalog)
-        self._cache: Dict[Tuple[str, str], Handle] = {}
+        self._cache: "OrderedDict[Tuple[str, str], Handle]" = OrderedDict()
         self._executor = _CachingExecutor(
             backend, self.catalog, self._cache, join_strategy=join_strategy
+        )
+        self._closed = False
+        #: Columns evicted by memory pressure over the session's lifetime.
+        self.pressure_evictions = 0
+        backend.device.memory.register_pressure_callback(
+            self._relieve_pressure
         )
 
     @property
@@ -78,7 +100,13 @@ class GpuSession:
 
     def execute(self, plan: PlanNode, result_name: str = "result") -> ExecutionResult:
         """Execute a plan, reusing resident columns."""
-        return self._executor.execute(plan, result_name)
+        if self._closed:
+            raise RuntimeError("session is closed")
+        self._executor._active.clear()
+        try:
+            return self._executor.execute(plan, result_name)
+        finally:
+            self._executor._active.clear()
 
     @property
     def resident_columns(self) -> Tuple[Tuple[str, str], ...]:
@@ -102,6 +130,41 @@ class GpuSession:
             handle = self._cache.pop(key)
             _free_handle(handle)
         return len(keys)
+
+    def _relieve_pressure(self, needed: int) -> int:
+        """Memory-pressure callback: evict LRU columns until ``needed``
+        bytes are freed (or nothing evictable remains); returns the bytes
+        released.  Columns the in-flight query holds are pinned."""
+        freed = 0
+        for key in list(self._cache):
+            if freed >= needed:
+                break
+            if key in self._executor._active:
+                continue
+            handle = self._cache.pop(key)
+            freed += _handle_nbytes(handle)
+            _free_handle(handle)
+            self.pressure_evictions += 1
+        return freed
+
+    def close(self) -> None:
+        """Release everything the session holds: evict all resident
+        columns, detach the pressure callback, and return the device
+        pool's cached blocks.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.evict()
+        self.backend.device.memory.unregister_pressure_callback(
+            self._relieve_pressure
+        )
+        self.backend.device.trim_pool()
+
+    def __enter__(self) -> "GpuSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,186 @@
+"""Deterministic fault injection: OOM and transfer failures per backend.
+
+``Device.inject_faults`` arms countdowns that fire a typed error at a
+precise allocation or transfer, on every backend.  These tests pin down
+three things:
+
+* the error is *typed* and carries diagnostics (``DeviceMemoryError``
+  with a pool-stats snapshot and ``injected=True``; ``TransferError``
+  with direction and index);
+* one-shot faults clear after firing, so a retry succeeds — the hook the
+  query layer's chunked OOM recovery builds on;
+* recovered query results are still bit-correct against the NumPy
+  oracle (or allclose where chunking re-associates float sums).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import default_framework
+from repro.errors import DeviceMemoryError, TransferError
+from repro.gpu import GTX_1080TI, Device
+from repro.query import QueryExecutor
+from repro.tpch import TpchGenerator, q1, q6
+
+GPU_BACKEND_NAMES = ("thrust", "boost.compute", "arrayfire", "handwritten")
+
+SCALE_FACTOR = 0.002
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return TpchGenerator(scale_factor=SCALE_FACTOR, seed=11).generate()
+
+
+def _backend(name, spec=GTX_1080TI, allocator="pool"):
+    return default_framework().create(
+        name, device=Device(spec, allocator=allocator)
+    )
+
+
+def _assert_matches_oracle(result, reference, rtol=1e-9):
+    for column, expected in reference.items():
+        got = np.asarray(result.table.column(column).data, dtype=np.float64)
+        expected = np.asarray(expected, dtype=np.float64)
+        assert np.allclose(got, expected, rtol=rtol), column
+
+
+class TestOomAtAllocation:
+    @pytest.mark.parametrize("name", GPU_BACKEND_NAMES)
+    def test_typed_error_with_diagnostics(self, name):
+        backend = _backend(name)
+        backend.device.inject_faults(oom_at_alloc=0)
+        with pytest.raises(DeviceMemoryError) as excinfo:
+            backend.upload(np.arange(1024, dtype=np.int64))
+        assert excinfo.value.injected
+        assert excinfo.value.pool_stats is not None
+
+    @pytest.mark.parametrize("name", GPU_BACKEND_NAMES)
+    def test_one_shot_fault_clears_and_retry_succeeds(self, name):
+        backend = _backend(name)
+        backend.device.inject_faults(oom_at_alloc=0)
+        with pytest.raises(DeviceMemoryError):
+            backend.upload(np.arange(64, dtype=np.int64))
+        handle = backend.upload(np.arange(64, dtype=np.int64))
+        assert np.array_equal(
+            backend.download(handle), np.arange(64, dtype=np.int64)
+        )
+
+    @pytest.mark.parametrize("name", GPU_BACKEND_NAMES)
+    def test_query_recovers_via_chunked_retry(self, name, catalog):
+        backend = _backend(name)
+        backend.device.inject_faults(oom_at_alloc=4)
+        result = QueryExecutor(backend, catalog).execute(q6.plan())
+        assert result.report.oom_recovery_chunks is not None
+        _assert_matches_oracle(result, q6.reference(catalog))
+
+    def test_unrecoverable_plan_reraises_with_stats(self, catalog):
+        """A join is not chunk-eligible: the OOM propagates, typed."""
+        from repro.query.builder import scan
+
+        plan = (
+            scan("orders")
+            .join(scan("customer"), left_on="o_custkey", right_on="c_custkey")
+            .build()
+        )
+        backend = _backend("thrust")
+        backend.device.inject_faults(oom_at_alloc=2)
+        with pytest.raises(DeviceMemoryError) as excinfo:
+            QueryExecutor(backend, catalog).execute(plan)
+        assert excinfo.value.injected
+        assert excinfo.value.pool_stats is not None
+
+
+class TestOomAtByteThreshold:
+    @pytest.mark.parametrize("name", GPU_BACKEND_NAMES)
+    def test_soft_limit_caps_allocations(self, name):
+        backend = _backend(name)
+        backend.device.inject_faults(oom_at_bytes=64 << 10)
+        with pytest.raises(DeviceMemoryError):
+            backend.upload(np.zeros(1 << 16, dtype=np.float64))  # 512 KiB
+        # Small uploads still fit under the cap.
+        small = backend.upload(np.arange(16, dtype=np.int64))
+        assert len(backend.download(small)) == 16
+
+    @pytest.mark.parametrize("name", GPU_BACKEND_NAMES)
+    def test_query_recovers_under_persistent_pressure(self, name, catalog):
+        """A byte cap persists (unlike the one-shot countdown), so the
+        recovery must come from chunk sizing, not from the fault
+        clearing."""
+        lineitem_bytes = catalog["lineitem"].nbytes
+        backend = _backend(name)
+        backend.device.inject_faults(oom_at_bytes=lineitem_bytes // 2)
+        result = QueryExecutor(backend, catalog).execute(q6.plan())
+        assert result.report.oom_recovery_chunks is not None
+        _assert_matches_oracle(result, q6.reference(catalog))
+
+    def test_q1_recovers_on_undersized_device(self, catalog):
+        """Q1's keyed group-by + avg + order-by runs chunked after OOM."""
+        lineitem_bytes = catalog["lineitem"].nbytes
+        spec = dataclasses.replace(
+            GTX_1080TI, memory_bytes=lineitem_bytes // 2
+        )
+        backend = _backend("thrust", spec=spec)
+        result = QueryExecutor(backend, catalog).execute(q1.plan())
+        assert result.report.oom_recovery_chunks is not None
+        _assert_matches_oracle(result, q1.reference(catalog))
+
+    def test_clear_faults_removes_the_cap(self):
+        backend = _backend("thrust")
+        backend.device.inject_faults(oom_at_bytes=4096)
+        with pytest.raises(DeviceMemoryError):
+            backend.upload(np.zeros(4096, dtype=np.float64))
+        backend.device.clear_faults()
+        handle = backend.upload(np.zeros(4096, dtype=np.float64))
+        assert len(backend.download(handle)) == 4096
+
+
+class TestTransferFaults:
+    @pytest.mark.parametrize("name", GPU_BACKEND_NAMES)
+    def test_h2d_fault_is_typed_and_indexed(self, name):
+        backend = _backend(name)
+        backend.device.inject_faults(
+            transfer_fault_at=0, transfer_direction="h2d"
+        )
+        with pytest.raises(TransferError) as excinfo:
+            backend.upload(np.arange(32, dtype=np.int64))
+        assert excinfo.value.direction == "h2d"
+        assert excinfo.value.index == 0
+
+    @pytest.mark.parametrize("name", GPU_BACKEND_NAMES)
+    def test_d2h_fault_spares_uploads(self, name):
+        backend = _backend(name)
+        handle = backend.upload(np.arange(32, dtype=np.int64))
+        backend.device.inject_faults(
+            transfer_fault_at=0, transfer_direction="d2h"
+        )
+        with pytest.raises(TransferError) as excinfo:
+            backend.download(handle)
+        assert excinfo.value.direction == "d2h"
+
+    @pytest.mark.parametrize("name", GPU_BACKEND_NAMES)
+    def test_one_shot_transfer_fault_clears(self, name):
+        backend = _backend(name)
+        backend.device.inject_faults(transfer_fault_at=0)
+        with pytest.raises(TransferError):
+            backend.upload(np.arange(8, dtype=np.int64))
+        handle = backend.upload(np.arange(8, dtype=np.int64))
+        assert np.array_equal(
+            backend.download(handle), np.arange(8, dtype=np.int64)
+        )
+
+    def test_results_unaffected_after_recovery(self, catalog):
+        """A failed-and-retried upload must not corrupt query results."""
+        backend = _backend("thrust")
+        executor = QueryExecutor(backend, catalog)
+        backend.device.inject_faults(
+            transfer_fault_at=2, transfer_direction="h2d"
+        )
+        with pytest.raises(TransferError):
+            executor.execute(q6.plan())
+        result = executor.execute(q6.plan())
+        _assert_matches_oracle(result, q6.reference(catalog))

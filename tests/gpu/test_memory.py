@@ -6,8 +6,10 @@ from repro.errors import DeviceMemoryError, InvalidBufferError
 from repro.gpu.memory import (
     ALLOCATION_ALIGNMENT,
     MemoryManager,
+    PoolAllocator,
     ScopedAllocation,
     align_size,
+    pool_class_size,
 )
 
 
@@ -128,3 +130,129 @@ class TestScopedAllocation:
             with ScopedAllocation(manager, 100, "scratch"):
                 raise RuntimeError("boom")
         assert manager.used_bytes == 0
+
+
+class TestAlignmentAccounting:
+    """Regressions for free_bytes/eviction accounting under alignment.
+
+    Every buffer occupies ``align_size(nbytes)`` device bytes — a 0-byte
+    or unaligned request still consumes whole alignment units, and every
+    accounting surface (``free_bytes``, soft limits, pressure callbacks,
+    pool freelists) must agree on the *aligned* figure.
+    """
+
+    def test_zero_byte_allocation_consumes_one_unit(self):
+        manager = MemoryManager(10_000)
+        buffer = manager.allocate(0, "empty")
+        assert buffer.nbytes == 0
+        assert buffer.aligned_nbytes == ALLOCATION_ALIGNMENT
+        assert manager.used_bytes == ALLOCATION_ALIGNMENT
+        assert manager.free_bytes == 10_000 - ALLOCATION_ALIGNMENT
+        manager.free(buffer)
+        assert manager.used_bytes == 0
+        assert manager.free_bytes == 10_000
+
+    def test_zero_byte_allocation_through_the_pool(self):
+        manager = MemoryManager(10_000)
+        pool = PoolAllocator(manager)
+        buffer, hit = pool.allocate(0, "empty")
+        assert not hit
+        assert buffer.aligned_nbytes == pool_class_size(0) == ALLOCATION_ALIGNMENT
+        assert pool.in_use_bytes == ALLOCATION_ALIGNMENT
+        pool.free(buffer)
+        assert pool.cached_bytes == ALLOCATION_ALIGNMENT
+        again, hit = pool.allocate(0, "empty2")
+        assert hit  # 0-byte requests share the smallest size class
+        pool.free(again)
+        pool.close()
+        assert manager.used_bytes == 0
+
+    def test_unaligned_sizes_round_consistently_everywhere(self):
+        manager = MemoryManager(1 << 20)
+        pool = PoolAllocator(manager)
+        sizes = [1, 255, 257, 1000, 4097]
+        buffers = [pool.allocate(n)[0] for n in sizes]
+        expected = sum(pool_class_size(n) for n in sizes)
+        assert pool.in_use_bytes == expected
+        assert manager.used_bytes == expected
+        assert manager.free_bytes == (1 << 20) - expected
+        for buffer in buffers:
+            pool.free(buffer)
+        assert pool.cached_bytes == expected
+        assert manager.free_bytes == (1 << 20) - expected  # parked, not freed
+        assert pool.trim() == expected
+        assert manager.free_bytes == 1 << 20
+        pool.close()
+
+    def test_free_bytes_respects_soft_limit(self):
+        manager = MemoryManager(4096)
+        manager.set_soft_limit(1024)
+        assert manager.effective_capacity == 1024
+        assert manager.free_bytes == 1024
+        buffer = manager.allocate(100)  # occupies 256 aligned bytes
+        assert manager.free_bytes == 1024 - ALLOCATION_ALIGNMENT
+        with pytest.raises(DeviceMemoryError) as excinfo:
+            manager.allocate(1024)
+        assert excinfo.value.available == 1024 - ALLOCATION_ALIGNMENT
+        manager.set_soft_limit(None)
+        assert manager.free_bytes == 4096 - ALLOCATION_ALIGNMENT
+        manager.free(buffer)
+
+    def test_pressure_callback_sees_aligned_request(self):
+        """The callback receives the aligned deficit and its reported
+        freed bytes must reconcile with free_bytes afterwards."""
+        manager = MemoryManager(1024)
+        held = [manager.allocate(200) for _ in range(4)]  # full: 4 x 256
+        seen = []
+
+        def evict(needed: int) -> int:
+            seen.append(needed)
+            freed = 0
+            while held and freed < needed:
+                buffer = held.pop()
+                freed += buffer.aligned_nbytes
+                manager.free(buffer)
+            return freed
+
+        manager.register_pressure_callback(evict)
+        buffer = manager.allocate(300)  # needs 512 aligned -> evict two
+        assert seen and seen[0] >= align_size(300)
+        assert manager.used_bytes == (len(held) + 1) * ALLOCATION_ALIGNMENT + (
+            align_size(300) - ALLOCATION_ALIGNMENT
+        )
+        assert manager.free_bytes == 1024 - manager.used_bytes
+        manager.unregister_pressure_callback(evict)
+        manager.free(buffer)
+        for leftover in held:
+            manager.free(leftover)
+        assert manager.free_bytes == 1024
+
+    def test_eviction_accounting_matches_pool_view(self):
+        """Session-style eviction into pool freelists keeps three views
+        consistent: manager used, pool in-use + cached, free_bytes."""
+        manager = MemoryManager(8192)
+        pool = PoolAllocator(manager)
+        resident = {}
+
+        def evict(needed: int) -> int:
+            freed = 0
+            while resident and freed < needed:
+                _key, buffer = resident.popitem()
+                freed += buffer.aligned_nbytes
+                pool.free(buffer)
+            return freed
+
+        manager.register_pressure_callback(evict)
+        for i in range(7):  # 7 KiB of 8 KiB in resident columns
+            resident[i] = pool.allocate(1024, f"col{i}")[0]
+        big, hit = pool.allocate(2048, "scratch")  # forces eviction
+        assert not hit
+        assert manager.used_bytes == pool.in_use_bytes + pool.cached_bytes
+        assert manager.free_bytes == 8192 - manager.used_bytes
+        pool.free(big)
+        for buffer in resident.values():
+            pool.free(buffer)
+        manager.unregister_pressure_callback(evict)
+        pool.close()
+        assert manager.used_bytes == 0
+        assert manager.free_bytes == 8192

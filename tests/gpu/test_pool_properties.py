@@ -1,0 +1,175 @@
+"""Property tests for the pooling sub-allocator.
+
+Random alloc/free sequences are replayed against both the
+:class:`~repro.gpu.memory.PoolAllocator` and a naive reference model (a
+plain :class:`~repro.gpu.memory.MemoryManager` that allocates and frees
+directly).  The pool must never hand the same block out twice, its
+accounting must always reconcile with the manager's, and its counters
+must grow monotonically.  Power-of-two binning bounds internal
+fragmentation at 2x the naive model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.errors import DeviceMemoryError, InvalidBufferError  # noqa: E402
+from repro.gpu.memory import (  # noqa: E402
+    ALLOCATION_ALIGNMENT,
+    MemoryManager,
+    PoolAllocator,
+    align_size,
+    pool_class_size,
+)
+
+CAPACITY = 1 << 20
+
+#: An operation is ("alloc", nbytes) or ("free", index-into-live-list).
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=0, max_value=1 << 16)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=1 << 10)),
+    ),
+    max_size=200,
+)
+
+
+@given(ops=_OPS)
+@settings(max_examples=150, deadline=None)
+def test_random_sequences_hold_pool_invariants(ops):
+    manager = MemoryManager(CAPACITY)
+    pool = PoolAllocator(manager)
+    naive = MemoryManager(CAPACITY)
+
+    live = []        # (pool buffer, naive buffer, requested size)
+    seen_ids = set() # every id the pool ever handed out while live
+    prev = pool.stats()
+    attempted = succeeded = 0
+
+    for kind, arg in ops:
+        if kind == "alloc":
+            attempted += 1
+            try:
+                buffer, hit = pool.allocate(arg)
+            except DeviceMemoryError as exc:
+                # OOM carries a stats snapshot for diagnostics.
+                assert exc.pool_stats is not None
+                continue
+            succeeded += 1
+            # No double hand-out: the block is not already live.
+            assert buffer.buffer_id not in seen_ids
+            seen_ids.add(buffer.buffer_id)
+            assert buffer.aligned_nbytes == pool_class_size(arg)
+            assert buffer.nbytes == arg
+            naive_buffer = naive.allocate(arg)
+            live.append((buffer, naive_buffer, arg))
+        else:
+            if not live:
+                continue
+            buffer, naive_buffer, _size = live.pop(arg % len(live))
+            seen_ids.discard(buffer.buffer_id)
+            pool.free(buffer)
+            naive.free(naive_buffer)
+            with pytest.raises(InvalidBufferError):
+                pool.free(buffer)  # freelist blocks reject double frees
+
+        stats = pool.stats()
+        # Manager/pool accounting reconciles exactly at every step.
+        assert manager.used_bytes == pool.in_use_bytes + pool.cached_bytes
+        assert manager.used_bytes <= CAPACITY
+        assert pool.in_use_blocks == len(live)
+        assert pool.cached_bytes >= 0
+        # Counters are monotone.
+        assert stats.hits >= prev.hits
+        assert stats.misses >= prev.misses
+        assert stats.frees >= prev.frees
+        assert stats.trims >= prev.trims
+        assert stats.trimmed_bytes >= prev.trimmed_bytes
+        prev = stats
+
+    # Every successful allocation was a hit or a miss, never both/neither.
+    assert prev.hits + prev.misses == succeeded
+    assert succeeded <= attempted
+
+    # Power-of-two binning costs at most 2x the naive aligned footprint.
+    naive_used = sum(align_size(size) for _b, _nb, size in live)
+    assert naive.used_bytes == naive_used
+    assert pool.in_use_bytes >= naive_used
+    if live:
+        assert pool.in_use_bytes < 2 * naive_used
+
+    # Drain: freeing everything and trimming returns the device to zero.
+    for buffer, naive_buffer, _size in live:
+        pool.free(buffer)
+        naive.free(naive_buffer)
+    cached_before_trim = pool.cached_bytes
+    released = pool.trim()
+    assert released == cached_before_trim
+    assert pool.cached_bytes == 0
+    assert pool.cached_blocks == 0
+    assert pool.in_use_blocks == 0
+    assert manager.used_bytes == 0
+    assert naive.used_bytes == 0
+
+
+@given(nbytes=st.integers(min_value=0, max_value=1 << 24))
+@settings(max_examples=200, deadline=None)
+def test_pool_class_size_is_power_of_two_above_aligned_size(nbytes):
+    cls = pool_class_size(nbytes)
+    assert cls >= ALLOCATION_ALIGNMENT
+    assert cls & (cls - 1) == 0  # power of two
+    assert cls >= align_size(nbytes)
+    assert cls < 2 * align_size(nbytes) or cls == ALLOCATION_ALIGNMENT
+
+
+def test_free_then_alloc_same_class_is_a_hit():
+    manager = MemoryManager(CAPACITY)
+    pool = PoolAllocator(manager)
+    first, hit = pool.allocate(1000, "a")
+    assert not hit
+    pool.free(first)
+    second, hit = pool.allocate(900, "b")  # same 1024-byte class
+    assert hit
+    assert second.buffer_id == first.buffer_id
+    assert second.nbytes == 900
+    assert second.label == "b"
+    assert pool.stats().hits == 1
+
+
+def test_foreign_buffer_rejected():
+    manager = MemoryManager(CAPACITY)
+    pool = PoolAllocator(manager)
+    foreign = manager.allocate(512, "direct")
+    with pytest.raises(InvalidBufferError):
+        pool.free(foreign)
+
+
+def test_pressure_trim_lets_a_tight_allocation_succeed():
+    """Cached freelist bytes are never the reason an allocation fails."""
+    manager = MemoryManager(4096)
+    pool = PoolAllocator(manager)
+    blocks = [pool.allocate(1024)[0] for _ in range(4)]  # device now full
+    for block in blocks:
+        pool.free(block)
+    assert manager.used_bytes == 4096  # all parked, none returned
+    big, hit = pool.allocate(2048)  # needs a trim to fit
+    assert not hit
+    assert pool.stats().trims >= 1
+    assert manager.used_bytes == pool.in_use_bytes + pool.cached_bytes
+    pool.free(big)
+
+
+def test_close_trims_and_detaches():
+    manager = MemoryManager(CAPACITY)
+    pool = PoolAllocator(manager)
+    buffer, _hit = pool.allocate(4096)
+    pool.free(buffer)
+    assert manager.used_bytes > 0
+    pool.close()
+    assert manager.used_bytes == 0
+    assert pool.cached_blocks == 0

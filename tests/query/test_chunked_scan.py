@@ -75,6 +75,26 @@ def _executor(catalog, **kwargs) -> QueryExecutor:
     return QueryExecutor(default_framework().create("thrust"), catalog, **kwargs)
 
 
+def _keyed_plan():
+    """Keyed group-by with every combinable kind, wrapped in an OrderBy."""
+    return (
+        scan("lineitem")
+        .filter(col_lt("l_quantity", 40.0))
+        .group_by(
+            ["l_quantity"],
+            [
+                ("total", "sum", "l_extendedprice"),
+                ("avg_disc", "avg", "l_discount"),
+                ("lo", "min", "l_extendedprice"),
+                ("hi", "max", "l_extendedprice"),
+                ("n", "count", None),
+            ],
+        )
+        .order_by("l_quantity")
+        .build()
+    )
+
+
 class TestSerialEquivalence:
     def test_one_chunk_one_stream_is_bit_exact(self):
         """The acceptance criterion: scan_chunks=1 reproduces the pre-PR
@@ -148,11 +168,10 @@ class TestFallback:
             ),
             pytest.param(
                 lambda: scan("lineitem")
-                .group_by(
-                    ["l_quantity"], [("n", "count", None)]
-                )
+                .join(scan("nation"), left_on="l_quantity", right_on="n_key")
+                .group_by(["n_key"], [("n", "count", None)])
                 .build(),
-                id="keyed_group_by",
+                id="keyed_group_by_over_join",
             ),
             pytest.param(
                 lambda: scan("lineitem").limit(10).build(),
@@ -174,6 +193,20 @@ class TestFallback:
         # Fallback *is* the normal path: identical rows and identical cost.
         assert chunked.report.simulated_seconds == serial.report.simulated_seconds
         assert chunked.table.column_names == serial.table.column_names
+        for name in serial.table.column_names:
+            assert np.array_equal(
+                chunked.table.column(name).data,
+                serial.table.column(name).data,
+            )
+
+    def test_keyed_group_by_falls_back_at_one_chunk(self):
+        """scan_chunks=1 promises the exact un-chunked operator sequence,
+        which the keyed host-combine path cannot honour — so it defers."""
+        catalog = _catalog(n=2_000)
+        plan = _keyed_plan()
+        serial = _executor(catalog).execute(plan)
+        chunked = _executor(catalog, scan_chunks=1).execute(plan)
+        assert chunked.report.simulated_seconds == serial.report.simulated_seconds
         for name in serial.table.column_names:
             assert np.array_equal(
                 chunked.table.column(name).data,
@@ -236,13 +269,91 @@ class TestChunkHelpers:
         assert chunkable_table(_selection_plan()) == "lineitem"
         assert chunkable_table(_q6_plan()) == "lineitem"
 
-    def test_chunkable_table_rejects_keyed_group_by(self):
+    def test_chunkable_table_accepts_keyed_group_by_with_wrappers(self):
         plan = (
             scan("lineitem")
             .group_by(["l_quantity"], [("n", "count", None)])
+            .order_by("l_quantity")
+            .limit(5)
+            .build()
+        )
+        assert chunkable_table(plan) == "lineitem"
+
+    def test_chunkable_table_rejects_wrappers_over_non_grouped_plans(self):
+        assert chunkable_table(
+            scan("lineitem").order_by("l_quantity").build()
+        ) is None
+        assert chunkable_table(scan("lineitem").limit(10).build()) is None
+
+    def test_chunkable_table_rejects_keyed_group_by_over_join(self):
+        plan = (
+            scan("lineitem")
+            .join(scan("nation"), left_on="l_quantity", right_on="n_key")
+            .group_by(["n_key"], [("n", "count", None)])
             .build()
         )
         assert chunkable_table(plan) is None
+
+
+class TestKeyedGroupByChunks:
+    """Keyed group-bys chunk via the host combine step (>= 2 chunks)."""
+
+    @pytest.mark.parametrize("chunks", [2, 5])
+    def test_rows_match_serial_to_float_tolerance(self, chunks):
+        catalog = _catalog(n=10_000)
+        serial = _executor(catalog).execute(_keyed_plan())
+        chunked = _executor(catalog, scan_chunks=chunks).execute(_keyed_plan())
+        assert chunked.table.column_names == serial.table.column_names
+        # Keys, counts, and min/max are exact; sums and avgs re-associate.
+        for name in ("l_quantity", "n", "lo", "hi"):
+            assert np.array_equal(
+                chunked.table.column(name).data,
+                serial.table.column(name).data,
+            )
+        for name in ("total", "avg_disc"):
+            assert np.allclose(
+                chunked.table.column(name).data,
+                serial.table.column(name).data,
+                rtol=1e-12,
+            )
+
+    def test_avg_without_count_strips_the_helper_column(self):
+        catalog = _catalog(n=4_000)
+        plan = (
+            scan("lineitem")
+            .group_by(["l_quantity"], [("avg_price", "avg", "l_extendedprice")])
+            .build()
+        )
+        serial = _executor(catalog).execute(plan)
+        chunked = _executor(catalog, scan_chunks=3).execute(plan)
+        assert chunked.table.column_names == serial.table.column_names
+        assert np.array_equal(
+            chunked.table.column("l_quantity").data,
+            serial.table.column("l_quantity").data,
+        )
+        assert np.allclose(
+            chunked.table.column("avg_price").data,
+            serial.table.column("avg_price").data,
+            rtol=1e-12,
+        )
+
+    def test_limit_applies_after_the_combined_sort(self):
+        catalog = _catalog(n=4_000)
+        plan = (
+            scan("lineitem")
+            .group_by(["l_quantity"], [("n", "count", None)])
+            .order_by("l_quantity", descending=True)
+            .limit(3)
+            .build()
+        )
+        serial = _executor(catalog).execute(plan)
+        chunked = _executor(catalog, scan_chunks=4).execute(plan)
+        assert chunked.table.num_rows == serial.table.num_rows == 3
+        for name in serial.table.column_names:
+            assert np.array_equal(
+                chunked.table.column(name).data,
+                serial.table.column(name).data,
+            )
 
 
 class TestRepeatability:

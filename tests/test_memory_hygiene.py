@@ -2,14 +2,16 @@
 what they cache, and repeated query workloads do not leak."""
 
 import gc
+import inspect
 
 import numpy as np
 import pytest
 
 from repro.core import col_lt
+from repro.gpu import GTX_1080TI, Device
 from repro.query import GpuSession, QueryExecutor, scan
 from repro.relational import Column, Table
-from repro.tpch import TpchGenerator, q1, q6
+from repro.tpch import ALL_QUERIES, TpchGenerator, q1, q6
 
 
 @pytest.fixture
@@ -90,6 +92,27 @@ class TestSessionPinning:
         gc.collect()
         assert backend.device.memory.used_bytes == 0
 
+    def test_close_releases_everything_and_is_idempotent(self, framework):
+        catalog = TpchGenerator(scale_factor=0.003, seed=23).generate()
+        backend = framework.create("thrust")
+        session = GpuSession(backend, catalog)
+        session.execute(q6.plan())
+        session.close()
+        session.close()  # idempotent
+        gc.collect()
+        assert backend.device.memory.used_bytes == 0
+        with pytest.raises(RuntimeError):
+            session.execute(q6.plan())
+
+    def test_context_manager_closes_the_session(self, framework):
+        catalog = TpchGenerator(scale_factor=0.003, seed=23).generate()
+        backend = framework.create("thrust")
+        with GpuSession(backend, catalog) as session:
+            session.execute(q6.plan())
+            assert session.resident_bytes > 0
+        gc.collect()
+        assert backend.device.memory.used_bytes == 0
+
     def test_peak_memory_reported_per_query(self, framework):
         catalog = TpchGenerator(scale_factor=0.003, seed=23).generate()
         backend = framework.create("thrust")
@@ -105,3 +128,49 @@ class TestSessionPinning:
                       "l_shipdate")
         )
         assert report.peak_device_bytes >= needed
+
+
+class TestPooledDeviceHygiene:
+    """The full TPC-H suite on a pooled device leaks nothing.
+
+    Pool blocks parked in freelists are *cached*, not leaked — but after
+    ``session.close()`` (evict + trim) the device must be back to zero
+    used bytes with zero live buffers, and the pool must hold nothing.
+    """
+
+    @pytest.mark.parametrize("backend_name", ["thrust", "handwritten"])
+    def test_full_suite_leaves_no_pool_blocks(self, framework, backend_name):
+        catalog = TpchGenerator(scale_factor=0.003, seed=23).generate()
+        device = Device(GTX_1080TI, allocator="pool")
+        backend = framework.create(backend_name, device=device)
+        session = GpuSession(backend, catalog)
+        for module in ALL_QUERIES.values():
+            if "catalog" in inspect.signature(module.plan).parameters:
+                plan = module.plan(catalog)
+            else:
+                plan = module.plan()
+            result = session.execute(plan)
+            assert result.table.num_rows >= 0
+        del result
+        session.close()
+        gc.collect()
+        device.trim_pool()  # anything finalizers returned post-close
+        assert device.pool.in_use_blocks == 0
+        assert device.pool.cached_blocks == 0
+        assert device.memory.used_bytes == 0
+        assert device.memory.live_buffer_count == 0
+        assert device.memory.leaked_buffers() == ()
+
+    def test_pool_reuses_blocks_across_queries(self, framework):
+        catalog = TpchGenerator(scale_factor=0.003, seed=23).generate()
+        device = Device(GTX_1080TI, allocator="pool")
+        backend = framework.create("thrust", device=device)
+        executor = QueryExecutor(backend, catalog)
+        executor.execute(q6.plan())
+        gc.collect()
+        first = device.pool.stats()
+        executor.execute(q6.plan())
+        gc.collect()
+        second = device.pool.stats()
+        # The repeat run is served mostly from freelists.
+        assert second.hits - first.hits > second.misses - first.misses

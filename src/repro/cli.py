@@ -5,7 +5,9 @@ Commands:
 * ``tables`` — print Table I (survey) and Table II (support matrix);
 * ``operators`` — run one operator sweep across backends;
 * ``calibration`` — print the cost-model calibration report;
-* ``tpch`` — run one TPC-H query on every backend and compare.
+* ``tpch`` — run one TPC-H query on every backend and compare;
+* ``serve`` — replay a multi-tenant query stream through the serving
+  layer and report throughput / latency percentiles / cache hit rates.
 """
 
 from __future__ import annotations
@@ -185,6 +187,105 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_specs(names: Sequence[str], catalog) -> list:
+    """Resolve query names ("Q6,Q1") into serving QuerySpecs."""
+    import inspect
+
+    from repro.serve import QuerySpec
+
+    specs = []
+    for raw in names:
+        name = raw.strip().upper()
+        try:
+            module = ALL_QUERIES[name]
+        except KeyError:
+            known = ", ".join(sorted(ALL_QUERIES))
+            raise SystemExit(f"unknown query {raw!r}; known: {known}")
+        if "catalog" in inspect.signature(module.plan).parameters:
+            plan = module.plan(catalog)
+        else:
+            plan = module.plan()
+        specs.append(QuerySpec(name, plan))
+    return specs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        ClosedLoopWorkload,
+        OpenLoopWorkload,
+        QueryServer,
+        ServerConfig,
+        format_metrics,
+        metrics_report,
+    )
+
+    print(f"Generating TPC-H data (scale factor {args.scale_factor})...")
+    catalog = TpchGenerator(scale_factor=args.scale_factor).generate()
+    specs = _query_specs(args.queries.split(","), catalog)
+    if args.clients is not None:
+        workload = ClosedLoopWorkload(
+            specs,
+            num_clients=args.clients,
+            requests_per_client=args.requests,
+            think_seconds=args.think,
+            seed=args.seed,
+        )
+        regime = f"closed loop, {args.clients} clients"
+    else:
+        workload = OpenLoopWorkload(
+            specs,
+            rate=args.arrival_rate,
+            num_requests=args.requests,
+            tenants=tuple(f"tenant-{i}" for i in range(args.tenants)),
+            seed=args.seed,
+        )
+        regime = f"open loop, {args.arrival_rate:g} req/s"
+    device = _make_device(args)
+    backend = default_framework().create(args.backend, device)
+    config = ServerConfig(
+        policy=args.policy,
+        num_streams=args.streams,
+        plan_cache=args.cache in ("both", "plan"),
+        result_cache=args.cache in ("both", "result"),
+    )
+    print(
+        f"Serving {workload.num_requests} requests "
+        f"({regime}; policy={args.policy}, streams={args.streams}, "
+        f"cache={args.cache}, backend={args.backend})"
+    )
+    with QueryServer(backend, catalog, config) as server:
+        report = server.run(workload)
+    print()
+    for line in format_metrics(report.metrics):
+        print(line)
+    print(
+        "stream dispatches  "
+        + " | ".join(
+            f"{stream.name}: {count}"
+            for stream, count in zip(
+                server.pool.streams, report.stream_dispatches
+            )
+        )
+    )
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(metrics_report(report.metrics, report.records),
+                      handle, indent=1)
+            handle.write("\n")
+        print(f"wrote metrics to {args.json}")
+    if args.trace is not None:
+        from repro.gpu import write_chrome_trace
+
+        write_chrome_trace(args.trace, device.profiler.events)
+        print(
+            f"wrote {len(device.profiler.events)} events to {args.trace} "
+            f"(open at chrome://tracing or ui.perfetto.dev)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -263,6 +364,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="which backend's timeline --trace captures",
     )
     tpch.set_defaults(handler=_cmd_tpch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="replay a multi-tenant query stream through the serving layer",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="closed-loop mode: this many clients, one outstanding "
+        "request each (default: open-loop Poisson arrivals)",
+    )
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=200.0,
+        help="open-loop arrival rate in requests per simulated second",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        help="open loop: total requests; closed loop: requests per client",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=2,
+        help="open-loop tenant count (requests are assigned round-robin)",
+    )
+    serve.add_argument(
+        "--think",
+        type=float,
+        default=0.0,
+        help="closed-loop mean think time between requests (seconds)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("fifo", "sjf", "fair"),
+        default="fifo",
+        help="scheduling policy for queued requests",
+    )
+    serve.add_argument(
+        "--cache",
+        choices=("both", "plan", "result", "none"),
+        default="both",
+        help="which serving caches to enable",
+    )
+    serve.add_argument(
+        "--streams",
+        type=int,
+        default=2,
+        help="size of the device stream pool (concurrent request slots)",
+    )
+    serve.add_argument(
+        "--queries",
+        default="Q6,Q1",
+        help="comma-separated TPC-H query mix "
+        "(" + ", ".join(sorted(ALL_QUERIES)) + ")",
+    )
+    serve.add_argument("--backend", default="thrust",
+                       help="library backend to serve on")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload seed (same seed = same run, bit-exact)")
+    serve.add_argument("--scale-factor", type=float, default=0.003)
+    serve.add_argument(
+        "--pool",
+        action="store_true",
+        help="use the pooling device allocator",
+    )
+    serve.add_argument(
+        "--device-mem",
+        type=parse_mem_size,
+        default=None,
+        metavar="SIZE",
+        help="override device memory capacity (e.g. 512K, 64M, 2G)",
+    )
+    serve.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the metrics + per-request records as JSON",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome-trace JSON with per-request spans",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

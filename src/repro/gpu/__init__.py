@@ -57,6 +57,7 @@ from repro.gpu.stream import (
     EngineTimeline,
     Stream,
     StreamEvent,
+    StreamPool,
     StreamStats,
     engine_stats,
 )
@@ -109,6 +110,7 @@ __all__ = [
     "EngineTimeline",
     "Stream",
     "StreamEvent",
+    "StreamPool",
     "StreamStats",
     "engine_stats",
     "LinkSpec",

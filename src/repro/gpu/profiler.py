@@ -21,8 +21,12 @@ TRANSFER_D2H = "transfer_d2h"
 COMPILE = "compile"
 ALLOC = "alloc"
 FREE = "free"
+#: Annotation spanning one serving-layer request (arrival → completion).
+#: Spans carry no device time of their own — the kernels/transfers they
+#: cover are recorded separately — so summaries skip them.
+SPAN = "span"
 
-_ALL_KINDS = (KERNEL, TRANSFER_H2D, TRANSFER_D2H, COMPILE, ALLOC, FREE)
+_ALL_KINDS = (KERNEL, TRANSFER_H2D, TRANSFER_D2H, COMPILE, ALLOC, FREE, SPAN)
 
 
 @dataclass(frozen=True)
@@ -131,6 +135,8 @@ class Profiler:
         pool_hits = 0
         pool_misses = 0
         for event in events:
+            if event.kind == SPAN:
+                continue  # annotation over already-recorded device work
             time_by_kind[event.kind] += event.duration
             count_by_kind[event.kind] += 1
             if event.kind == TRANSFER_H2D:
@@ -206,6 +212,11 @@ _COMPILE_TRACK = 4
 #: bookkeeping events are still skipped, so pre-pool traces are unchanged.
 _ALLOCATOR_TRACK = 5
 
+#: Track for serving-layer request spans (arrival → completion).  Its
+#: metadata row is emitted only when span events are present, so traces
+#: from non-serving runs keep their historical byte-exact format.
+_REQUEST_TRACK = 6
+
 #: Fallback tracks for events recorded without engine payloads (traces
 #: produced before the stream subsystem, or hand-built events).
 _TRACE_TRACKS = {
@@ -215,6 +226,7 @@ _TRACE_TRACKS = {
     COMPILE: _COMPILE_TRACK,
     ALLOC: _ALLOCATOR_TRACK,
     FREE: _ALLOCATOR_TRACK,
+    SPAN: _REQUEST_TRACK,
 }
 
 #: Human-readable row names emitted as Chrome-trace thread metadata.
@@ -271,6 +283,9 @@ def chrome_trace_json(events: Sequence[Event], indent: int = 1) -> str:
     """
     import json
 
+    track_names = dict(_TRACK_NAMES)
+    if any(event.kind == SPAN for event in events):
+        track_names[_REQUEST_TRACK] = "requests"
     metadata: List[Dict[str, Any]] = [
         {
             "name": "thread_name",
@@ -279,7 +294,7 @@ def chrome_trace_json(events: Sequence[Event], indent: int = 1) -> str:
             "tid": tid,
             "args": {"name": track_name},
         }
-        for tid, track_name in sorted(_TRACK_NAMES.items())
+        for tid, track_name in sorted(track_names.items())
     ]
     document = {
         "traceEvents": metadata + to_chrome_trace(events),

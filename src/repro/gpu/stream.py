@@ -162,6 +162,17 @@ class Stream:
             )
         self._cursor = max(self._cursor, event.timestamp)
 
+    def raise_floor(self, timestamp: float) -> None:
+        """Bar work enqueued later on this stream from starting before
+        ``timestamp`` (monotonic; past timestamps are no-ops).
+
+        The serving layer uses this to anchor a request's first work item
+        at its dispatch time: a query arriving at t must not be priced as
+        if it had been submitted at stream creation."""
+        self._check_epoch()
+        if timestamp > self._cursor:
+            self._cursor = timestamp
+
     # -- synchronisation ---------------------------------------------------
 
     def synchronize(self) -> float:
@@ -180,6 +191,45 @@ class Stream:
             f"Stream(id={self.stream_id}, name={self.name!r}, "
             f"cursor={self._cursor * 1e3:.3f}ms)"
         )
+
+
+class StreamPool:
+    """A fixed set of streams shared by concurrent queries.
+
+    The multi-query serving layer dispatches each admitted request onto
+    the pool stream that frees up earliest (ties broken by stream id, so
+    scheduling is deterministic).  Per-stream dispatch counts and busy
+    time are tracked for the serving metrics: they show how evenly the
+    scheduler spreads requests across the device's queues.
+    """
+
+    def __init__(self, device: "Device", size: int, name: str = "serve") -> None:
+        if size < 1:
+            raise ValueError(f"stream pool needs at least one stream: {size}")
+        self.streams: List[Stream] = [
+            device.create_stream(f"{name}-{i}") for i in range(size)
+        ]
+        #: Requests dispatched per stream (index-aligned with ``streams``).
+        self.dispatch_counts: List[int] = [0] * size
+        #: Simulated seconds each stream spent occupied by its requests.
+        self.busy_seconds: List[float] = [0.0] * size
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def earliest_available(self) -> float:
+        """The soonest time any pool stream can accept new work."""
+        return min(stream.cursor for stream in self.streams)
+
+    def acquire(self) -> Stream:
+        """The stream that frees up earliest (lowest id on ties)."""
+        return min(self.streams, key=lambda s: (s.cursor, s.stream_id))
+
+    def account(self, stream: Stream, busy: float) -> None:
+        """Charge one dispatched request's occupancy to ``stream``."""
+        index = self.streams.index(stream)
+        self.dispatch_counts[index] += 1
+        self.busy_seconds[index] += max(busy, 0.0)
 
 
 @dataclass

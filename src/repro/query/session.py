@@ -87,6 +87,9 @@ class GpuSession:
             backend, self.catalog, self._cache, join_strategy=join_strategy
         )
         self._closed = False
+        #: Re-entrancy depth of :meth:`execute` — positive while a query
+        #: is in flight, so eviction paths know which pins are live.
+        self._depth = 0
         #: Columns evicted by memory pressure over the session's lifetime.
         self.pressure_evictions = 0
         backend.device.memory.register_pressure_callback(
@@ -99,14 +102,28 @@ class GpuSession:
         return self._executor.join_strategy
 
     def execute(self, plan: PlanNode, result_name: str = "result") -> ExecutionResult:
-        """Execute a plan, reusing resident columns."""
+        """Execute a plan, reusing resident columns.
+
+        Re-entrant: a nested :meth:`execute` (sessions interleaved by the
+        serving layer, or a query issued from inside another's callback)
+        restores the outer query's pins when it finishes instead of
+        clearing them — so memory pressure during the inner query can
+        never evict columns the outer query still references.
+        """
         if self._closed:
             raise RuntimeError("session is closed")
-        self._executor._active.clear()
+        saved = set(self._executor._active)
+        self._depth += 1
         try:
             return self._executor.execute(plan, result_name)
         finally:
-            self._executor._active.clear()
+            self._depth -= 1
+            self._executor._active = saved if self._depth > 0 else set()
+
+    @property
+    def in_flight(self) -> bool:
+        """True while a query (possibly nested) is executing."""
+        return self._depth > 0
 
     @property
     def resident_columns(self) -> Tuple[Tuple[str, str], ...]:
@@ -121,15 +138,37 @@ class GpuSession:
         )
 
     def evict(self, table: Optional[str] = None) -> int:
-        """Free resident columns (all, or one table's); returns how many."""
+        """Free resident columns (all, or one table's); returns how many.
+
+        Columns pinned by an in-flight query are skipped: their handles
+        are reachable from the query's intermediate relations, so freeing
+        them mid-plan would corrupt the running execution.
+        """
+        pinned = self._executor._active if self._depth > 0 else frozenset()
         keys = [
             key for key in self._cache
-            if table is None or key[0] == table
+            if (table is None or key[0] == table) and key not in pinned
         ]
         for key in keys:
             handle = self._cache.pop(key)
             _free_handle(handle)
         return len(keys)
+
+    def replace_table(self, name: str, table: Table) -> None:
+        """Swap in a new version of a base table.
+
+        Updates the session's catalog and evicts the table's resident
+        columns so the next query re-uploads fresh data.  Refused while a
+        query is in flight — a mid-plan swap would let one query read a
+        mix of old and new column versions.
+        """
+        if self._depth > 0:
+            raise RuntimeError(
+                "cannot replace a table while a query is in flight"
+            )
+        self.catalog[name] = table
+        self._executor.catalog[name] = table
+        self.evict(name)
 
     def _relieve_pressure(self, needed: int) -> int:
         """Memory-pressure callback: evict LRU columns until ``needed``

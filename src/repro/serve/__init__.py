@@ -1,0 +1,79 @@
+"""repro.serve — concurrent multi-query serving on the simulated GPU.
+
+The paper's benchmarks run one query at a time; this package asks the
+production question instead: what happens when many tenants submit
+queries concurrently against one device?  It provides seeded workload
+drivers (open-loop Poisson and closed-loop clients), a scheduling policy
+layer (FIFO / shortest-job-first / weighted-fair), admission control
+against device memory, plan and result caches, and SLO-style metrics
+(throughput, p50/p95/p99 latency, queue-wait vs device-time breakdown).
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    WORKING_SET_FACTOR,
+    estimate_working_set,
+)
+from repro.serve.cache import (
+    PlanCache,
+    ResultCache,
+    plan_fingerprint,
+    result_key,
+    scanned_tables,
+)
+from repro.serve.metrics import (
+    ServeMetrics,
+    compute_metrics,
+    format_metrics,
+    metrics_report,
+    percentile,
+)
+from repro.serve.request import COMPLETED, SHED, QueryRequest, RequestRecord
+from repro.serve.scheduler import (
+    POLICIES,
+    FifoPolicy,
+    SjfPolicy,
+    WeightedFairPolicy,
+    estimate_plan_cost,
+    make_policy,
+)
+from repro.serve.server import QueryServer, ServeReport, ServerConfig
+from repro.serve.workload import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    QuerySpec,
+    repeated_workload,
+)
+
+__all__ = [
+    "AdmissionController",
+    "WORKING_SET_FACTOR",
+    "estimate_working_set",
+    "PlanCache",
+    "ResultCache",
+    "plan_fingerprint",
+    "result_key",
+    "scanned_tables",
+    "ServeMetrics",
+    "compute_metrics",
+    "format_metrics",
+    "metrics_report",
+    "percentile",
+    "COMPLETED",
+    "SHED",
+    "QueryRequest",
+    "RequestRecord",
+    "POLICIES",
+    "FifoPolicy",
+    "SjfPolicy",
+    "WeightedFairPolicy",
+    "estimate_plan_cost",
+    "make_policy",
+    "QueryServer",
+    "ServeReport",
+    "ServerConfig",
+    "ClosedLoopWorkload",
+    "OpenLoopWorkload",
+    "QuerySpec",
+    "repeated_workload",
+]

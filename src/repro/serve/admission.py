@@ -1,0 +1,83 @@
+"""Admission control: keep the device out of thrashing territory.
+
+Before a request is dispatched the server estimates its **working set**
+— the bytes of every base-table column the plan reads, inflated by a
+headroom factor for intermediates — and compares it against the device
+budget minus what in-flight requests are already estimated to hold:
+
+* fits → **admit** (dispatch now);
+* would fit on an idle device but not next to the current in-flight set
+  → **wait** (requeue until an in-flight request completes);
+* larger than the whole budget → **shed** (reject immediately: queueing
+  can never make it fit).
+
+Working-set estimation is deliberately static (host metadata only): the
+admission decision must be cheap relative to the queries it is guarding,
+exactly like the memory-based admission throttles in production GPU
+DBMSes the paper's survey covers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.query.plan import PlanNode, Scan, walk
+from repro.relational.table import Table
+
+#: Headroom multiplier over raw input-column bytes: selection masks,
+#: gathered intermediates, and join outputs all carve from the same pool.
+WORKING_SET_FACTOR = 1.5
+
+ADMIT = "admit"
+WAIT = "wait"
+SHED = "shed"
+
+
+def estimate_working_set(
+    plan: PlanNode,
+    catalog: Dict[str, Table],
+    factor: float = WORKING_SET_FACTOR,
+) -> int:
+    """Estimated device bytes a plan needs: the referenced columns of
+    every scanned table (whole tables when the plan reads everything),
+    times the intermediate-headroom ``factor``."""
+    needed = set()
+    for node in walk(plan):
+        needed |= node.required_columns()
+    total = 0
+    for node in walk(plan):
+        if not isinstance(node, Scan):
+            continue
+        table = catalog.get(node.table)
+        if table is None:
+            continue
+        touched = [
+            name for name in table.column_names if name in needed
+        ] or table.column_names
+        total += sum(table.column(name).nbytes for name in touched)
+    return int(total * factor)
+
+
+class AdmissionController:
+    """Budget-based admit/wait/shed decisions with counters."""
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes < 1:
+            raise ValueError(
+                f"admission budget must be positive: {budget_bytes}"
+            )
+        self.budget_bytes = int(budget_bytes)
+        self.admitted = 0
+        self.waited = 0
+        self.shed = 0
+
+    def decide(self, estimated_bytes: int, inflight_bytes: int) -> str:
+        """One admission decision (counts it); see the module docstring."""
+        if estimated_bytes > self.budget_bytes:
+            self.shed += 1
+            return SHED
+        if inflight_bytes + estimated_bytes > self.budget_bytes:
+            self.waited += 1
+            return WAIT
+        self.admitted += 1
+        return ADMIT

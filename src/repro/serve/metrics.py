@@ -1,0 +1,192 @@
+"""Serving metrics: throughput, latency percentiles, SLO breakdowns.
+
+Aggregates a run's :class:`~repro.serve.request.RequestRecord` list into
+the numbers a serving benchmark reports: throughput over the makespan,
+p50/p95/p99 latency, the queue-wait vs device-time split that says
+*where* latency comes from, cache hit rates, and shed counts.  Everything
+is computed with deterministic arithmetic (nearest-rank percentiles over
+sorted values) so seeded runs produce bit-identical metric files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.serve.request import RequestRecord
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic; 0.0 on empty input)."""
+    if not values:
+        return 0.0
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in (0, 1]: {fraction}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * fraction // 1))  # ceil without floats-only
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class ServeMetrics:
+    """Aggregated outcome of one serving run."""
+
+    total_requests: int
+    completed: int
+    shed: int
+    #: Simulated seconds from first arrival to last completion.
+    makespan: float
+    #: Completed requests per simulated second over the makespan.
+    throughput: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_latency: float
+    max_latency: float
+    #: Mean arrival→dispatch wait (queueing + admission stalls).
+    mean_queue_wait: float
+    #: Mean dispatch→completion time (planning + device service).
+    mean_service: float
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    result_cache_invalidations: int = 0
+    #: Device seconds by event kind, summed over completed requests.
+    device_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Per-tenant completed counts and mean latency.
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        total = self.result_cache_hits + self.result_cache_misses
+        return self.result_cache_hits / total if total else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "total_requests": self.total_requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "makespan_s": self.makespan,
+            "throughput_qps": self.throughput,
+            "latency_s": {
+                "p50": self.p50_latency,
+                "p95": self.p95_latency,
+                "p99": self.p99_latency,
+                "mean": self.mean_latency,
+                "max": self.max_latency,
+            },
+            "mean_queue_wait_s": self.mean_queue_wait,
+            "mean_service_s": self.mean_service,
+            "plan_cache": {
+                "hits": self.plan_cache_hits,
+                "misses": self.plan_cache_misses,
+                "hit_rate": self.plan_cache_hit_rate,
+            },
+            "result_cache": {
+                "hits": self.result_cache_hits,
+                "misses": self.result_cache_misses,
+                "invalidations": self.result_cache_invalidations,
+                "hit_rate": self.result_cache_hit_rate,
+            },
+            "device_breakdown_s": dict(sorted(self.device_breakdown.items())),
+            "tenants": {k: self.tenants[k] for k in sorted(self.tenants)},
+        }
+
+
+def compute_metrics(
+    records: Sequence[RequestRecord],
+    plan_cache_hits: int = 0,
+    plan_cache_misses: int = 0,
+    result_cache_hits: int = 0,
+    result_cache_misses: int = 0,
+    result_cache_invalidations: int = 0,
+) -> ServeMetrics:
+    """Fold a run's request records into a :class:`ServeMetrics`."""
+    done = [r for r in records if r.completed]
+    latencies = [r.latency for r in done]
+    makespan = 0.0
+    if done:
+        makespan = max(r.finished for r in done) - min(r.arrival for r in done)
+    breakdown: Dict[str, float] = {}
+    for record in done:
+        for kind, seconds in record.device_breakdown.items():
+            breakdown[kind] = breakdown.get(kind, 0.0) + seconds
+    tenants: Dict[str, Dict[str, float]] = {}
+    for record in done:
+        stats = tenants.setdefault(
+            record.tenant, {"completed": 0, "mean_latency_s": 0.0}
+        )
+        stats["completed"] += 1
+        stats["mean_latency_s"] += record.latency
+    for stats in tenants.values():
+        stats["mean_latency_s"] /= stats["completed"]
+    return ServeMetrics(
+        total_requests=len(records),
+        completed=len(done),
+        shed=sum(1 for r in records if not r.completed),
+        makespan=makespan,
+        throughput=len(done) / makespan if makespan > 0.0 else 0.0,
+        p50_latency=percentile(latencies, 0.50),
+        p95_latency=percentile(latencies, 0.95),
+        p99_latency=percentile(latencies, 0.99),
+        mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        max_latency=max(latencies) if latencies else 0.0,
+        mean_queue_wait=(
+            sum(r.queue_wait for r in done) / len(done) if done else 0.0
+        ),
+        mean_service=(
+            sum(r.service_seconds for r in done) / len(done) if done else 0.0
+        ),
+        plan_cache_hits=plan_cache_hits,
+        plan_cache_misses=plan_cache_misses,
+        result_cache_hits=result_cache_hits,
+        result_cache_misses=result_cache_misses,
+        result_cache_invalidations=result_cache_invalidations,
+        device_breakdown=breakdown,
+        tenants=tenants,
+    )
+
+
+def metrics_report(
+    metrics: ServeMetrics, records: Sequence[RequestRecord]
+) -> Dict[str, Any]:
+    """Full JSON artifact: aggregate metrics plus per-request rows."""
+    return {
+        "metrics": metrics.to_json(),
+        "requests": [r.to_json() for r in records],
+    }
+
+
+def format_metrics(metrics: ServeMetrics) -> List[str]:
+    """Human-readable lines for the CLI."""
+    lines = [
+        f"requests      {metrics.total_requests} "
+        f"({metrics.completed} completed, {metrics.shed} shed)",
+        f"makespan      {metrics.makespan * 1e3:.3f} ms",
+        f"throughput    {metrics.throughput:.1f} q/s",
+        f"latency       p50 {metrics.p50_latency * 1e3:.3f} ms | "
+        f"p95 {metrics.p95_latency * 1e3:.3f} ms | "
+        f"p99 {metrics.p99_latency * 1e3:.3f} ms",
+        f"breakdown     queue-wait {metrics.mean_queue_wait * 1e3:.3f} ms | "
+        f"service {metrics.mean_service * 1e3:.3f} ms (mean)",
+        f"plan cache    {metrics.plan_cache_hits} hits / "
+        f"{metrics.plan_cache_misses} misses "
+        f"({metrics.plan_cache_hit_rate:.0%})",
+        f"result cache  {metrics.result_cache_hits} hits / "
+        f"{metrics.result_cache_misses} misses "
+        f"({metrics.result_cache_hit_rate:.0%}, "
+        f"{metrics.result_cache_invalidations} invalidated)",
+    ]
+    for tenant in sorted(metrics.tenants):
+        stats = metrics.tenants[tenant]
+        lines.append(
+            f"  {tenant:<12} {int(stats['completed'])} done, "
+            f"mean {stats['mean_latency_s'] * 1e3:.3f} ms"
+        )
+    return lines

@@ -1,0 +1,109 @@
+"""Requests and per-request records for the serving layer.
+
+A :class:`QueryRequest` is one query submission: a tenant, a named
+logical plan, and an arrival time on the simulated clock.  The server
+turns each request into a :class:`RequestRecord` carrying the full
+latency breakdown (queue wait, planning, device service) plus cache and
+admission outcomes — the raw material for the serving metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+
+#: Request outcomes.
+COMPLETED = "completed"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query submission to the server."""
+
+    seq: int
+    tenant: str
+    name: str
+    plan: PlanNode
+    arrival: float
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0.0:
+            raise ValueError(f"arrival time cannot be negative: {self.arrival}")
+
+
+@dataclass
+class RequestRecord:
+    """Outcome and timing breakdown of one served (or shed) request."""
+
+    seq: int
+    tenant: str
+    name: str
+    status: str
+    arrival: float
+    #: Time the scheduler picked the request off the queue.
+    dispatched: float = 0.0
+    #: Completion time (equal to ``dispatched`` for shed requests).
+    finished: float = 0.0
+    #: Host-side planning/optimization charge (zero on a plan-cache hit).
+    planning_seconds: float = 0.0
+    #: Stream the request ran on (-1: shed or served from the result cache).
+    stream_id: int = -1
+    #: Admission controller's working-set estimate in bytes.
+    estimated_bytes: int = 0
+    plan_cache_hit: bool = False
+    result_cache_hit: bool = False
+    result_rows: int = 0
+    #: Device seconds by cost category for this request's event slice.
+    device_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Result table, kept only when the server runs with keep_results=True.
+    table: Optional[Table] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status == COMPLETED
+
+    @property
+    def latency(self) -> float:
+        """Arrival → completion in simulated seconds (0 for shed)."""
+        if not self.completed:
+            return 0.0
+        return self.finished - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        """Arrival → dispatch: time spent waiting for a slot / memory."""
+        if not self.completed:
+            return 0.0
+        return self.dispatched - self.arrival
+
+    @property
+    def service_seconds(self) -> float:
+        """Dispatch → completion: planning plus device time."""
+        if not self.completed:
+            return 0.0
+        return self.finished - self.dispatched
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-friendly flat dict (used by metrics artifacts)."""
+        return {
+            "seq": self.seq,
+            "tenant": self.tenant,
+            "name": self.name,
+            "status": self.status,
+            "arrival": self.arrival,
+            "dispatched": self.dispatched,
+            "finished": self.finished,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "service": self.service_seconds,
+            "planning": self.planning_seconds,
+            "stream": self.stream_id,
+            "estimated_bytes": self.estimated_bytes,
+            "plan_cache_hit": self.plan_cache_hit,
+            "result_cache_hit": self.result_cache_hit,
+            "result_rows": self.result_rows,
+        }

@@ -1,0 +1,219 @@
+"""Workload drivers: who submits queries, and when.
+
+Two classic load-generation regimes, both seeded and deterministic on
+the simulated clock:
+
+* **open loop** (:class:`OpenLoopWorkload`) — requests arrive on a
+  Poisson process at a fixed rate, regardless of how fast the server
+  drains them.  This is the regime that exposes queueing collapse: when
+  the arrival rate exceeds the service rate, queues (and tail latency)
+  grow without bound.
+* **closed loop** (:class:`ClosedLoopWorkload`) — a fixed set of clients
+  each keeps exactly one request outstanding: submit, wait for the
+  result, think, repeat.  Offered load self-regulates, which is how
+  interactive dashboards actually behave.
+
+Both sample a query *mix* from weighted :class:`QuerySpec` entries with
+a ``numpy`` generator seeded from a single integer, so the same seed
+always produces the same request sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.serve.request import QueryRequest, RequestRecord
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A named plan with its sampling weight in the workload mix."""
+
+    name: str
+    plan: PlanNode
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise ValueError(f"query weight must be positive: {self.weight}")
+
+
+def _mix_probabilities(specs: Sequence[QuerySpec]) -> np.ndarray:
+    weights = np.asarray([spec.weight for spec in specs], dtype=np.float64)
+    return weights / weights.sum()
+
+
+class OpenLoopWorkload:
+    """Poisson arrivals at ``rate`` requests/second.
+
+    Tenants are assigned round-robin over ``tenants`` so per-tenant
+    fairness policies see interleaved traffic; the query mix is sampled
+    per request from the spec weights.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[QuerySpec],
+        rate: float,
+        num_requests: int,
+        tenants: Sequence[str] = ("tenant-0",),
+        seed: int = 0,
+    ) -> None:
+        if not specs:
+            raise ValueError("workload needs at least one query spec")
+        if rate <= 0.0:
+            raise ValueError(f"arrival rate must be positive: {rate}")
+        if num_requests < 1:
+            raise ValueError(f"need at least one request: {num_requests}")
+        if not tenants:
+            raise ValueError("workload needs at least one tenant")
+        self.specs = tuple(specs)
+        self.rate = float(rate)
+        self.num_requests = int(num_requests)
+        self.tenants = tuple(tenants)
+        self.seed = int(seed)
+
+    def arrivals(self) -> List[QueryRequest]:
+        """The full seeded request sequence (recomputable at will)."""
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.rate, self.num_requests)
+        times = np.cumsum(gaps)
+        choices = rng.choice(
+            len(self.specs), size=self.num_requests, p=_mix_probabilities(self.specs)
+        )
+        requests = []
+        for seq in range(self.num_requests):
+            spec = self.specs[int(choices[seq])]
+            requests.append(QueryRequest(
+                seq=seq,
+                tenant=self.tenants[seq % len(self.tenants)],
+                name=spec.name,
+                plan=spec.plan,
+                arrival=float(times[seq]),
+            ))
+        return requests
+
+    def on_complete(self, record: RequestRecord) -> Optional[QueryRequest]:
+        """Open loop: completions never trigger new arrivals."""
+        return None
+
+
+class ClosedLoopWorkload:
+    """``num_clients`` clients, one outstanding request each.
+
+    Each client issues ``requests_per_client`` queries; after each
+    completion it thinks for an exponential time with mean
+    ``think_seconds`` (zero = immediate resubmission) before the next
+    request.  Client ``i`` is tenant ``client-i``.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[QuerySpec],
+        num_clients: int,
+        requests_per_client: int,
+        think_seconds: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not specs:
+            raise ValueError("workload needs at least one query spec")
+        if num_clients < 1:
+            raise ValueError(f"need at least one client: {num_clients}")
+        if requests_per_client < 1:
+            raise ValueError(
+                f"need at least one request per client: {requests_per_client}"
+            )
+        if think_seconds < 0.0:
+            raise ValueError(f"think time cannot be negative: {think_seconds}")
+        self.specs = tuple(specs)
+        self.num_clients = int(num_clients)
+        self.requests_per_client = int(requests_per_client)
+        self.think_seconds = float(think_seconds)
+        self.seed = int(seed)
+        self._rng: Optional[np.random.Generator] = None
+        self._issued: dict = {}
+        self._next_seq = 0
+
+    @property
+    def num_requests(self) -> int:
+        return self.num_clients * self.requests_per_client
+
+    def _think(self) -> float:
+        if self.think_seconds == 0.0:
+            return 0.0
+        assert self._rng is not None
+        return float(self._rng.exponential(self.think_seconds))
+
+    def _make_request(self, client: int, arrival: float) -> QueryRequest:
+        assert self._rng is not None
+        choice = int(self._rng.choice(
+            len(self.specs), p=_mix_probabilities(self.specs)
+        ))
+        spec = self.specs[choice]
+        seq = self._next_seq
+        self._next_seq += 1
+        self._issued[f"client-{client}"] = self._issued.get(
+            f"client-{client}", 0
+        ) + 1
+        return QueryRequest(
+            seq=seq,
+            tenant=f"client-{client}",
+            name=spec.name,
+            plan=spec.plan,
+            arrival=arrival,
+        )
+
+    def arrivals(self) -> List[QueryRequest]:
+        """The first request of every client (resets driver state)."""
+        self._rng = np.random.default_rng(self.seed)
+        self._issued = {}
+        self._next_seq = 0
+        return [
+            self._make_request(client, self._think())
+            for client in range(self.num_clients)
+        ]
+
+    def on_complete(self, record: RequestRecord) -> Optional[QueryRequest]:
+        """The completing client's next request, or None when done."""
+        issued = self._issued.get(record.tenant, 0)
+        if issued >= self.requests_per_client:
+            return None
+        client = int(record.tenant.split("-", 1)[1])
+        return self._make_request(client, record.finished + self._think())
+
+
+def repeated_workload(
+    specs: Sequence[QuerySpec],
+    rate: float,
+    repeats: int,
+    seed: int = 0,
+    tenants: Sequence[str] = ("tenant-0",),
+) -> OpenLoopWorkload:
+    """An open-loop workload cycling deterministically over ``specs``.
+
+    Unlike the sampled mix, every spec appears exactly ``repeats`` times
+    — the shape the result-cache ablation needs (hit rate is then exactly
+    ``1 - len(specs)/total`` once the cache is warm).
+    """
+
+    class _Cycled(OpenLoopWorkload):
+        def arrivals(self) -> List[QueryRequest]:
+            requests = super().arrivals()
+            return [
+                QueryRequest(
+                    seq=r.seq,
+                    tenant=r.tenant,
+                    name=self.specs[r.seq % len(self.specs)].name,
+                    plan=self.specs[r.seq % len(self.specs)].plan,
+                    arrival=r.arrival,
+                )
+                for r in requests
+            ]
+
+    return _Cycled(
+        specs, rate, repeats * len(specs), tenants=tenants, seed=seed
+    )

@@ -13,6 +13,7 @@ factor) always yields the same database.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List
 
 import numpy as np
@@ -32,9 +33,15 @@ class TpchGenerator:
         self.seed = seed
 
     def _rng(self, table: str) -> np.random.Generator:
-        """Per-table RNG so tables can regenerate independently."""
+        """Per-table RNG so tables can regenerate independently.
+
+        The per-table component must be a *stable* digest: ``hash(str)``
+        is randomized per process by ``PYTHONHASHSEED``, which made two
+        runs of the "deterministic" generator disagree across processes.
+        ``zlib.crc32`` depends only on the table name's bytes.
+        """
         return np.random.default_rng(
-            np.random.SeedSequence([self.seed, hash(table) & 0x7FFFFFFF])
+            np.random.SeedSequence([self.seed, zlib.crc32(table.encode("ascii"))])
         )
 
     # -- small dimension tables -------------------------------------------------

@@ -400,3 +400,95 @@ class TestRepeatability:
         first = _executor(catalog, scan_chunks=4).execute(_selection_plan())
         second = _executor(catalog, scan_chunks=4).execute(_selection_plan())
         assert first.report.simulated_seconds == second.report.simulated_seconds
+
+
+class TestKeyedGroupByChunkEdgeCases:
+    """Degenerate chunk shapes must recombine oracle-exact."""
+
+    def _plan(self, threshold: float = 40.0):
+        return (
+            scan("lineitem")
+            .filter(col_lt("l_quantity", threshold))
+            .group_by(
+                ["l_quantity"],
+                [
+                    ("total", "sum", "l_extendedprice"),
+                    ("n", "count", None),
+                    ("lo", "min", "l_extendedprice"),
+                ],
+            )
+            .order_by("l_quantity")
+            .build()
+        )
+
+    def _assert_matches_serial(self, catalog, plan, chunks):
+        serial = _executor(catalog).execute(plan)
+        chunked = _executor(catalog, scan_chunks=chunks).execute(plan)
+        assert chunked.table.column_names == serial.table.column_names
+        assert chunked.table.num_rows == serial.table.num_rows
+        for name in ("l_quantity", "n", "lo"):
+            assert np.array_equal(
+                chunked.table.column(name).data,
+                serial.table.column(name).data,
+            )
+        assert np.allclose(
+            chunked.table.column("total").data,
+            serial.table.column("total").data,
+            rtol=1e-12,
+        )
+        return chunked
+
+    @pytest.mark.parametrize("chunks", [2, 3])
+    def test_chunk_whose_filter_removes_every_row(self, chunks):
+        """The first chunk's rows all fail the predicate (an empty
+        partial result) — the host combine must still produce exactly
+        the surviving groups."""
+        n = 6_000
+        quantity = np.concatenate([
+            np.full(n // 2, 100.0),          # chunk 1: filtered out entirely
+            np.tile(np.arange(1.0, 31.0), n // 60),  # survivors
+        ])
+        catalog = {
+            "lineitem": Table.from_arrays("lineitem", {
+                "l_quantity": quantity,
+                "l_extendedprice": np.linspace(900.0, 1000.0, n),
+            })
+        }
+        result = self._assert_matches_serial(catalog, self._plan(), chunks)
+        assert result.table.num_rows == 30
+
+    def test_every_chunk_filtered_empty(self):
+        """No chunk survives the predicate: an empty grouped result."""
+        catalog = {
+            "lineitem": Table.from_arrays("lineitem", {
+                "l_quantity": np.full(4_000, 100.0),
+                "l_extendedprice": np.linspace(900.0, 1000.0, 4_000),
+            })
+        }
+        result = self._assert_matches_serial(catalog, self._plan(), 4)
+        assert result.table.num_rows == 0
+
+    @pytest.mark.parametrize("chunks", [1, 2, 3])
+    def test_one_row_table(self, chunks):
+        """A 1-row table: chunk_bounds clamps to a single chunk and the
+        combine path degenerates to the identity."""
+        catalog = {
+            "lineitem": Table.from_arrays("lineitem", {
+                "l_quantity": np.asarray([5.0]),
+                "l_extendedprice": np.asarray([1234.5]),
+            })
+        }
+        result = self._assert_matches_serial(catalog, self._plan(), chunks)
+        assert result.table.num_rows == 1
+        assert result.table.column("total").data[0] == pytest.approx(1234.5)
+        assert result.table.column("n").data[0] == 1
+
+    def test_one_row_table_filtered_out(self):
+        catalog = {
+            "lineitem": Table.from_arrays("lineitem", {
+                "l_quantity": np.asarray([99.0]),
+                "l_extendedprice": np.asarray([1.0]),
+            })
+        }
+        result = self._assert_matches_serial(catalog, self._plan(), 2)
+        assert result.table.num_rows == 0

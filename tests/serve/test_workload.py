@@ -1,0 +1,129 @@
+"""Workload drivers: seeded determinism and loop semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.builder import scan
+from repro.serve import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    QuerySpec,
+    RequestRecord,
+    repeated_workload,
+)
+from repro.serve.request import COMPLETED
+
+
+def _specs():
+    return [
+        QuerySpec("A", scan("alpha").build(), weight=3.0),
+        QuerySpec("B", scan("beta").build(), weight=1.0),
+    ]
+
+
+class TestOpenLoop:
+    def test_arrivals_are_deterministic_and_recomputable(self):
+        workload = OpenLoopWorkload(_specs(), rate=100.0, num_requests=50,
+                                    tenants=("t0", "t1"), seed=42)
+        first = workload.arrivals()
+        second = workload.arrivals()
+        assert [(r.seq, r.name, r.tenant, r.arrival) for r in first] == \
+               [(r.seq, r.name, r.tenant, r.arrival) for r in second]
+
+    def test_different_seeds_differ(self):
+        base = OpenLoopWorkload(_specs(), 100.0, 50, seed=1).arrivals()
+        other = OpenLoopWorkload(_specs(), 100.0, 50, seed=2).arrivals()
+        assert [r.arrival for r in base] != [r.arrival for r in other]
+
+    def test_arrivals_increase_and_tenants_round_robin(self):
+        workload = OpenLoopWorkload(_specs(), rate=10.0, num_requests=20,
+                                    tenants=("t0", "t1", "t2"), seed=0)
+        requests = workload.arrivals()
+        times = [r.arrival for r in requests]
+        assert times == sorted(times)
+        assert [r.tenant for r in requests[:6]] == \
+               ["t0", "t1", "t2", "t0", "t1", "t2"]
+
+    def test_mix_respects_weights_roughly(self):
+        workload = OpenLoopWorkload(_specs(), rate=10.0, num_requests=400,
+                                    seed=3)
+        names = [r.name for r in workload.arrivals()]
+        # A has 3x B's weight: expect ~300 of 400.
+        assert 250 < names.count("A") < 350
+
+    def test_completions_do_not_spawn_requests(self):
+        workload = OpenLoopWorkload(_specs(), 10.0, 5)
+        record = RequestRecord(seq=0, tenant="t0", name="A",
+                               status=COMPLETED, arrival=0.0, finished=1.0)
+        assert workload.on_complete(record) is None
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(rate=0.0, num_requests=1),
+        dict(rate=10.0, num_requests=0),
+        dict(rate=10.0, num_requests=1, tenants=()),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            OpenLoopWorkload(_specs(), **kwargs)
+
+    def test_spec_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QuerySpec("A", scan("alpha").build(), weight=0.0)
+
+
+class TestClosedLoop:
+    def test_one_initial_request_per_client(self):
+        workload = ClosedLoopWorkload(_specs(), num_clients=4,
+                                      requests_per_client=3, seed=0)
+        initial = workload.arrivals()
+        assert len(initial) == 4
+        assert sorted(r.tenant for r in initial) == \
+               ["client-0", "client-1", "client-2", "client-3"]
+
+    def test_completion_chains_until_quota(self):
+        workload = ClosedLoopWorkload(_specs(), num_clients=1,
+                                      requests_per_client=3, seed=0)
+        request = workload.arrivals()[0]
+        served = 0
+        finished = 0.0
+        while request is not None:
+            served += 1
+            finished += 1.0
+            record = RequestRecord(
+                seq=request.seq, tenant=request.tenant, name=request.name,
+                status=COMPLETED, arrival=request.arrival, finished=finished,
+            )
+            request = workload.on_complete(record)
+        assert served == workload.num_requests == 3
+
+    def test_next_request_arrives_after_completion(self):
+        workload = ClosedLoopWorkload(_specs(), num_clients=1,
+                                      requests_per_client=2,
+                                      think_seconds=0.5, seed=9)
+        first = workload.arrivals()[0]
+        record = RequestRecord(seq=first.seq, tenant=first.tenant,
+                               name=first.name, status=COMPLETED,
+                               arrival=first.arrival, finished=7.5)
+        follow = workload.on_complete(record)
+        assert follow is not None
+        assert follow.arrival >= 7.5
+
+    def test_arrivals_reset_driver_state(self):
+        workload = ClosedLoopWorkload(_specs(), num_clients=2,
+                                      requests_per_client=2,
+                                      think_seconds=0.1, seed=5)
+        first = [(r.seq, r.name, r.arrival) for r in workload.arrivals()]
+        second = [(r.seq, r.name, r.arrival) for r in workload.arrivals()]
+        assert first == second
+
+
+class TestRepeatedWorkload:
+    def test_cycles_specs_exactly(self):
+        workload = repeated_workload(_specs(), rate=50.0, repeats=4, seed=0)
+        names = [r.name for r in workload.arrivals()]
+        assert names == ["A", "B"] * 4
+
+    def test_total_request_count(self):
+        workload = repeated_workload(_specs(), rate=50.0, repeats=7)
+        assert workload.num_requests == 14

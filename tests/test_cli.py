@@ -60,3 +60,48 @@ class TestCommands:
     def test_tpch_unknown_query(self):
         with pytest.raises(SystemExit):
             main(["tpch", "--query", "Q99"])
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.clients is None
+        assert args.arrival_rate == 200.0
+        assert args.policy == "fifo"
+        assert args.cache == "both"
+        assert args.streams == 2
+        assert args.queries == "Q6,Q1"
+
+    def test_open_loop_with_json_and_trace(self, capsys, tmp_path):
+        json_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "serve", "--requests", "8", "--arrival-rate", "500",
+            "--scale-factor", "0.002", "--policy", "sjf",
+            "--json", str(json_path), "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "open loop" in out
+        assert "completed" in out
+        assert "stream dispatches" in out
+        import json
+
+        metrics = json.loads(json_path.read_text())
+        assert metrics["metrics"]["completed"] == 8
+        assert len(metrics["requests"]) == 8
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_closed_loop_without_caches(self, capsys):
+        assert main([
+            "serve", "--clients", "2", "--requests", "3",
+            "--scale-factor", "0.002", "--cache", "none",
+            "--policy", "fair", "--queries", "Q6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "closed loop, 2 clients" in out
+        assert "result cache" in out
+
+    def test_serve_unknown_query(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--queries", "Q99", "--scale-factor", "0.002"])

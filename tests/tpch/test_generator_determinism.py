@@ -1,0 +1,87 @@
+"""Cross-run determinism of the TPC-H generator.
+
+Regression: table-specific RNG streams used to be derived with Python's
+``hash(table_name)``, which ``PYTHONHASHSEED`` randomises per process —
+so "the same" dataset differed between interpreter runs, silently
+breaking golden numbers and the serving layer's bit-deterministic
+replays.  The streams now derive from ``zlib.crc32`` (a stable digest),
+which this file pins down by generating the catalog in subprocesses with
+explicitly different hash seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.tpch import TpchGenerator
+
+_DIGEST_SCRIPT = r"""
+import hashlib
+import numpy as np
+from repro.tpch import TpchGenerator
+
+catalog = TpchGenerator(scale_factor=0.002, seed=123).generate()
+digest = hashlib.sha256()
+for name in sorted(catalog):
+    table = catalog[name]
+    for column in sorted(table.column_names):
+        data = np.ascontiguousarray(table.column(column).data)
+        digest.update(name.encode())
+        digest.update(column.encode())
+        digest.update(data.tobytes())
+print(digest.hexdigest())
+"""
+
+
+def _digest_in_subprocess(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    result = subprocess.run(
+        [sys.executable, "-c", _DIGEST_SCRIPT],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return result.stdout.strip()
+
+
+class TestCrossRunDeterminism:
+    def test_catalog_is_identical_across_hash_seeds(self):
+        digests = {
+            seed: _digest_in_subprocess(seed) for seed in ("0", "1", "4242")
+        }
+        assert len(set(digests.values())) == 1, (
+            "TPC-H generation depends on PYTHONHASHSEED: " + repr(digests)
+        )
+
+    def test_same_seed_same_tables_in_process(self):
+        first = TpchGenerator(scale_factor=0.002, seed=9).generate()
+        second = TpchGenerator(scale_factor=0.002, seed=9).generate()
+        assert sorted(first) == sorted(second)
+        for name in first:
+            for column in first[name].column_names:
+                assert np.array_equal(
+                    first[name].column(column).data,
+                    second[name].column(column).data,
+                )
+
+    def test_different_seeds_differ(self):
+        first = TpchGenerator(scale_factor=0.002, seed=1).generate()
+        second = TpchGenerator(scale_factor=0.002, seed=2).generate()
+        assert not np.array_equal(
+            first["lineitem"].column("l_extendedprice").data,
+            second["lineitem"].column("l_extendedprice").data,
+        )
+
+    def test_tables_get_distinct_streams(self):
+        """Different tables must not share an RNG stream (the crc32 salt
+        separates them even under one seed)."""
+        catalog = TpchGenerator(scale_factor=0.002, seed=5).generate()
+        orders = catalog["orders"].column("o_totalprice").data
+        lineitem = catalog["lineitem"].column("l_extendedprice").data
+        n = min(len(orders), len(lineitem))
+        assert not np.array_equal(orders[:n], lineitem[:n])

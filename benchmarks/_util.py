@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
-#: Where rendered benchmark reports land, regardless of the process cwd.
+#: Default report directory, regardless of the process cwd.  The
+#: ``REPRO_BENCH_OUT`` environment variable overrides it at run time (CI
+#: lanes point it at per-job artifact directories).
 OUT_DIR = Path(__file__).resolve().parent / "out"
 
 #: The three studied libraries, in Table II column order.
@@ -18,9 +21,14 @@ SCALE_FACTORS = (0.002, 0.005, 0.01, 0.02)
 
 
 def out_dir() -> Path:
-    """The report directory, created (with parents) on first use."""
-    OUT_DIR.mkdir(parents=True, exist_ok=True)
-    return OUT_DIR
+    """The report directory, created (with parents) on first use.
+
+    Honours ``REPRO_BENCH_OUT`` at call time, so a lane (or a test) can
+    redirect every report without touching the checkout.
+    """
+    path = Path(os.environ.get("REPRO_BENCH_OUT") or OUT_DIR)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 def run_once(benchmark, fn):

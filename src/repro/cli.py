@@ -128,6 +128,80 @@ def _make_device(args: argparse.Namespace) -> Device:
     return Device(spec, allocator=allocator)
 
 
+def _make_group(args: argparse.Namespace):
+    """A device group honouring --devices / --interconnect / --pool."""
+    import dataclasses
+
+    from repro.gpu import GTX_1080TI, NVLINK_P2P, PCIE_HOST_BRIDGE, DeviceGroup
+
+    spec = GTX_1080TI
+    if args.device_mem is not None:
+        spec = dataclasses.replace(spec, memory_bytes=args.device_mem)
+    interconnect = (
+        NVLINK_P2P if args.interconnect == "nvlink" else PCIE_HOST_BRIDGE
+    )
+    return DeviceGroup.of_size(
+        args.devices,
+        spec,
+        interconnect=interconnect,
+        allocator="pool" if args.pool else "null",
+    )
+
+
+def _tpch_distributed(args: argparse.Namespace, catalog, plan) -> int:
+    """Partition-parallel tpch run: one device group per backend."""
+    from repro.distributed import DistributedExecutor
+
+    framework = default_framework()
+    print(
+        f"\n{'backend':>16}  {'cold ms':>10}  {'warm ms':>10}  "
+        f"{'strategy':>18}  {'rows':>6}"
+    )
+    trace_group = None
+    for name in DEFAULT_BACKENDS:
+        group = _make_group(args)
+        executor = DistributedExecutor(
+            group,
+            name,
+            catalog,
+            args.partition,
+            framework=framework,
+            scan_chunks=args.chunks,
+        )
+        cold = executor.execute(plan)
+        warm = executor.execute(plan)
+        if args.trace is not None and name == args.trace_backend:
+            trace_group = group
+        report = warm.report
+        note = ""
+        if report.strategy == "single_device" and report.reason:
+            note = f"  [fallback: {report.reason}]"
+        elif report.exchange_bytes:
+            note = f"  [reshard {report.exchange_bytes >> 10} KiB]"
+        print(
+            f"{name:>16}  {cold.report.simulated_ms:10.3f}  "
+            f"{report.simulated_ms:10.3f}  "
+            f"{report.strategy:>18}  "
+            f"{warm.table.num_rows:6d}{note}"
+        )
+    if args.trace is not None:
+        from repro.distributed import write_group_chrome_trace
+
+        if trace_group is None:
+            known = ", ".join(DEFAULT_BACKENDS)
+            raise SystemExit(
+                f"unknown trace backend {args.trace_backend!r}; known: {known}"
+            )
+        write_group_chrome_trace(args.trace, trace_group)
+        events = sum(len(d.profiler.events) for d in trace_group)
+        print(
+            f"\nwrote {events} events across {len(trace_group)} device "
+            f"rows to {args.trace} (open at chrome://tracing or "
+            "ui.perfetto.dev)"
+        )
+    return 0
+
+
 def _cmd_tpch(args: argparse.Namespace) -> int:
     query_name = args.query.upper()
     try:
@@ -144,6 +218,8 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
         plan = module.plan(catalog)
     else:
         plan = module.plan()
+    if args.devices > 1:
+        return _tpch_distributed(args, catalog, plan)
     framework = default_framework()
     print(
         f"\n{'backend':>16}  {'cold ms':>10}  {'warm ms':>10}  "
@@ -209,6 +285,42 @@ def _query_specs(names: Sequence[str], catalog) -> list:
     return specs
 
 
+def _serve_group(args: argparse.Namespace, catalog, workload, config) -> int:
+    """Serve the workload on one replica server per device."""
+    from repro.distributed import GroupServer, write_group_chrome_trace
+    from repro.serve import format_metrics, metrics_report
+
+    group = _make_group(args)
+    with GroupServer(group, args.backend, catalog, config) as server:
+        report = server.run(workload)
+    print()
+    for line in format_metrics(report.metrics):
+        print(line)
+    print(
+        "device placement   "
+        + " | ".join(
+            f"gpu{i}: {sum(1 for r in report.records if report.assignment[r.tenant] == i)} reqs"
+            for i in range(len(group))
+        )
+    )
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(metrics_report(report.metrics, report.records),
+                      handle, indent=1)
+            handle.write("\n")
+        print(f"wrote metrics to {args.json}")
+    if args.trace is not None:
+        write_group_chrome_trace(args.trace, group)
+        events = sum(len(d.profiler.events) for d in group)
+        print(
+            f"wrote {events} events across {len(group)} device rows to "
+            f"{args.trace} (open at chrome://tracing or ui.perfetto.dev)"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         ClosedLoopWorkload,
@@ -240,8 +352,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         regime = f"open loop, {args.arrival_rate:g} req/s"
-    device = _make_device(args)
-    backend = default_framework().create(args.backend, device)
     config = ServerConfig(
         policy=args.policy,
         num_streams=args.streams,
@@ -251,8 +361,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"Serving {workload.num_requests} requests "
         f"({regime}; policy={args.policy}, streams={args.streams}, "
-        f"cache={args.cache}, backend={args.backend})"
+        f"cache={args.cache}, backend={args.backend}, "
+        f"devices={args.devices})"
     )
+    if args.devices > 1:
+        return _serve_group(args, catalog, workload, config)
+    device = _make_device(args)
+    backend = default_framework().create(args.backend, device)
     with QueryServer(backend, catalog, config) as server:
         report = server.run(workload)
     print()
@@ -284,6 +399,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(open at chrome://tracing or ui.perfetto.dev)"
         )
     return 0
+
+
+def _add_group_flags(command: argparse.ArgumentParser) -> None:
+    """Register the multi-GPU flags shared by tpch and serve."""
+    command.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="simulated GPU count; >1 runs partition-parallel on a "
+        "device group (tpch) or one server replica per device (serve)",
+    )
+    command.add_argument(
+        "--partition",
+        default="round_robin",
+        metavar="SPEC",
+        help="how the largest (or named-column) table is sharded across "
+        "devices: hash:<col>, range:<col>, or round_robin",
+    )
+    command.add_argument(
+        "--interconnect",
+        choices=("nvlink", "pcie"),
+        default="nvlink",
+        help="peer link model: nvlink = direct P2P DMA, pcie = two-leg "
+        "host bounce over the PCIe root complex",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -363,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="thrust",
         help="which backend's timeline --trace captures",
     )
+    _add_group_flags(tpch)
     tpch.set_defaults(handler=_cmd_tpch)
 
     serve = commands.add_parser(
@@ -453,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome-trace JSON with per-request spans",
     )
+    _add_group_flags(serve)
     serve.set_defaults(handler=_cmd_serve)
     return parser
 

@@ -1,0 +1,83 @@
+"""Multi-GPU execution: partitioning, exchange, and group execution.
+
+This package scales the single-device stack out to a simulated
+:class:`~repro.gpu.topology.DeviceGroup`.  Base tables are split into
+per-device shards (:mod:`partition`), data movement between devices is
+priced by exchange operators over the cost-modelled interconnect
+(:mod:`exchange`), plan eligibility is decided by a small analyzer
+(:mod:`planner`), and :class:`DistributedExecutor` ties it together:
+partition-parallel scans with partial-aggregate merge for Q1/Q6-style
+plans, broadcast or shuffle hash joins for Q3/Q4-style plans, chosen by
+cost.  :class:`GroupServer` replicates the serving layer per device, and
+:mod:`trace` merges per-device timelines into one Chrome trace with a
+process row per GPU.
+"""
+
+from repro.distributed.exchange import (
+    EXCHANGE_MODES,
+    AllReduce,
+    Broadcast,
+    ExchangeChoice,
+    Gather,
+    Shuffle,
+    choose_exchange,
+    movement_matrix,
+)
+from repro.distributed.executor import (
+    EXCHANGE_POLICIES,
+    MERGE_MODES,
+    STRATEGIES,
+    DistributedExecutor,
+    DistributedReport,
+    DistributedResult,
+    ShardReport,
+)
+from repro.distributed.partition import (
+    PARTITIONER_KINDS,
+    PartitionSpec,
+    ShardCatalog,
+    parse_partition_spec,
+    partition_indices,
+    partition_table,
+)
+from repro.distributed.planner import (
+    DistributedDecision,
+    JoinExchangePlan,
+    analyze,
+)
+from repro.distributed.serve import GroupServeReport, GroupServer
+from repro.distributed.trace import (
+    group_chrome_trace_json,
+    write_group_chrome_trace,
+)
+
+__all__ = [
+    "AllReduce",
+    "Broadcast",
+    "ExchangeChoice",
+    "EXCHANGE_MODES",
+    "EXCHANGE_POLICIES",
+    "Gather",
+    "MERGE_MODES",
+    "STRATEGIES",
+    "Shuffle",
+    "choose_exchange",
+    "movement_matrix",
+    "DistributedDecision",
+    "DistributedExecutor",
+    "DistributedReport",
+    "DistributedResult",
+    "GroupServeReport",
+    "GroupServer",
+    "JoinExchangePlan",
+    "PARTITIONER_KINDS",
+    "PartitionSpec",
+    "ShardCatalog",
+    "ShardReport",
+    "analyze",
+    "group_chrome_trace_json",
+    "parse_partition_spec",
+    "partition_indices",
+    "partition_table",
+    "write_group_chrome_trace",
+]

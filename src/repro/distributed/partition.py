@@ -1,0 +1,187 @@
+"""Column partitioning of tables into per-device shards.
+
+Three partitioners cover the placement strategies the multi-GPU exchange
+layer needs:
+
+* **hash** — multiplicative hashing of one column; equal keys colocate,
+  which is what makes per-shard joins and group-bys on that column
+  complete without a merge (the co-partitioning property shuffle joins
+  rely on).
+* **range** — value ranges from equi-depth boundaries over the column;
+  equal values colocate here too, and shards are contiguous in key space
+  (the layout a sort-based pipeline would produce).
+* **round_robin** — rows dealt out ``row % n``; perfectly balanced but
+  colocates nothing, so only merge-at-the-top plans are sound on it.
+
+All three are pure functions of (values, shard count): partitioning the
+same table twice — or on two runs of a seeded benchmark — yields the
+same shards, which the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.relational.table import Table
+
+#: Known partitioner kinds (the ``kind:`` prefix of a CLI partition spec).
+PARTITIONER_KINDS = ("hash", "range", "round_robin")
+
+#: Fibonacci multiplier for multiplicative hashing (2^64 / golden ratio):
+#: cheap, stateless, and spreads consecutive keys across shards.
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How one table is split across the device group."""
+
+    kind: str
+    column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARTITIONER_KINDS:
+            raise PlanError(
+                f"unknown partitioner {self.kind!r}; "
+                f"known: {', '.join(PARTITIONER_KINDS)}"
+            )
+        if self.kind in ("hash", "range") and not self.column:
+            raise PlanError(f"{self.kind} partitioning needs a column")
+        if self.kind == "round_robin" and self.column:
+            raise PlanError("round_robin partitioning takes no column")
+
+    @property
+    def colocates_equal_keys(self) -> bool:
+        """True when equal partition-column values land on one shard."""
+        return self.kind in ("hash", "range")
+
+    def __str__(self) -> str:
+        if self.column:
+            return f"{self.kind}:{self.column}"
+        return self.kind
+
+
+def parse_partition_spec(text: str) -> PartitionSpec:
+    """Parse a CLI spec: ``hash:<col>``, ``range:<col>``, ``round_robin``."""
+    kind, _, column = text.partition(":")
+    return PartitionSpec(kind=kind, column=column or None)
+
+
+def _hash_values(values: np.ndarray) -> np.ndarray:
+    """Deterministic 64-bit hash of a column's physical values."""
+    if values.dtype.kind == "f":
+        # Hash the bit pattern: exact, and distinguishes -0.0 from 0.0
+        # the same way on every run.
+        bits = np.ascontiguousarray(values, dtype=np.float64).view(np.uint64)
+    else:
+        bits = values.astype(np.uint64)  # int64 wraps, which is fine
+    return (bits * _HASH_MULTIPLIER) >> np.uint64(32)
+
+
+def partition_indices(
+    table: Table, spec: PartitionSpec, num_shards: int
+) -> List[np.ndarray]:
+    """Row-index arrays, one per shard, covering the table exactly.
+
+    Within each shard the indices stay ascending, so shard-local row
+    order matches the original table order.
+    """
+    if num_shards < 1:
+        raise PlanError(f"shard count must be >= 1: {num_shards}")
+    n = table.num_rows
+    if spec.kind == "round_robin":
+        assignment = np.arange(n, dtype=np.int64) % num_shards
+    else:
+        assert spec.column is not None
+        values = table.column(spec.column).data
+        if spec.kind == "hash":
+            assignment = (
+                _hash_values(values) % np.uint64(num_shards)
+            ).astype(np.int64)
+        else:  # range: equi-depth boundaries from the sorted values
+            if n == 0:
+                assignment = np.zeros(0, dtype=np.int64)
+            else:
+                ordered = np.sort(values, kind="stable")
+                cuts = [(i * n) // num_shards for i in range(1, num_shards)]
+                boundaries = ordered[cuts]
+                assignment = np.searchsorted(
+                    boundaries, values, side="right"
+                ).astype(np.int64)
+    return [
+        np.flatnonzero(assignment == shard).astype(np.int64)
+        for shard in range(num_shards)
+    ]
+
+
+def partition_table(
+    table: Table, spec: PartitionSpec, num_shards: int
+) -> List[Table]:
+    """Split ``table`` into ``num_shards`` shard tables (possibly empty)."""
+    return [
+        table.take(indices)
+        for indices in partition_indices(table, spec, num_shards)
+    ]
+
+
+class ShardCatalog:
+    """Per-device views over a base catalog.
+
+    Tables registered through :meth:`shard` are physically partitioned;
+    every other table is *replicated* — each device's catalog maps it to
+    the same host table object, so replication costs nothing on the host
+    and is priced only when the exchange layer moves it or a device scan
+    uploads it.
+    """
+
+    def __init__(self, catalog: Dict[str, Table], num_shards: int) -> None:
+        if num_shards < 1:
+            raise PlanError(f"shard count must be >= 1: {num_shards}")
+        self.base = dict(catalog)
+        self.num_shards = num_shards
+        self._shards: Dict[str, List[Table]] = {}
+        self._specs: Dict[str, PartitionSpec] = {}
+        self._indices: Dict[str, List[np.ndarray]] = {}
+
+    def shard(self, name: str, spec: PartitionSpec) -> None:
+        """Partition base table ``name`` by ``spec`` across all shards."""
+        if name not in self.base:
+            known = ", ".join(sorted(self.base))
+            raise PlanError(f"unknown table {name!r}; catalog has: {known}")
+        indices = partition_indices(self.base[name], spec, self.num_shards)
+        self._indices[name] = indices
+        self._shards[name] = [self.base[name].take(ix) for ix in indices]
+        self._specs[name] = spec
+
+    def is_sharded(self, name: str) -> bool:
+        return name in self._shards
+
+    def spec_for(self, name: str) -> PartitionSpec:
+        return self._specs[name]
+
+    def shard_table(self, name: str, shard: int) -> Table:
+        return self._shards[name][shard]
+
+    def shard_rows(self, name: str) -> List[int]:
+        """Row count per shard of a sharded table."""
+        return [t.num_rows for t in self._shards[name]]
+
+    def shard_indices(self, name: str) -> List[np.ndarray]:
+        """Original-table row indices per shard (for movement accounting)."""
+        return self._indices[name]
+
+    def device_catalog(self, shard: int) -> Dict[str, Table]:
+        """The catalog device ``shard`` executes against: its shard of
+        every sharded table, the shared host table for everything else."""
+        if not 0 <= shard < self.num_shards:
+            raise IndexError(
+                f"shard {shard} out of range for {self.num_shards} shards"
+            )
+        catalog = dict(self.base)
+        for name, shards in self._shards.items():
+            catalog[name] = shards[shard]
+        return catalog

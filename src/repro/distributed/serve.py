@@ -1,0 +1,126 @@
+"""Multi-device query serving: tenant-partitioned replica groups.
+
+The serving layer's multi-GPU story is the simplest one that matches
+practice for read-mostly analytics: every device holds a full replica of
+the catalog and runs its own :class:`~repro.serve.server.QueryServer`
+(scheduler, admission controller, caches, stream pool); tenants are
+assigned to devices round-robin in order of first appearance, so one
+tenant's requests — including closed-loop follow-ups, which inherit the
+tenant — always land on the same device and keep hitting its warm plan
+and result caches.
+
+Each sub-server runs on its device's own simulated clock, so the group
+report's latencies reflect per-device queueing, not a global serial
+order.  The merged record stream and aggregate metrics come out of the
+same :func:`~repro.serve.metrics.compute_metrics` fold the single-device
+server uses, with cache counters summed across replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.framework import GpuOperatorFramework, default_framework
+from repro.gpu.topology import DeviceGroup
+from repro.relational.table import Table
+from repro.serve.metrics import ServeMetrics, compute_metrics
+from repro.serve.request import QueryRequest, RequestRecord
+from repro.serve.server import QueryServer, ServeReport, ServerConfig
+
+
+class _TenantSlice:
+    """A fixed arrival list that forwards completions to the real
+    workload (closed-loop follow-ups stay on the owning device)."""
+
+    def __init__(self, requests: List[QueryRequest], parent) -> None:
+        self._requests = requests
+        self._parent = parent
+
+    def arrivals(self) -> List[QueryRequest]:
+        return list(self._requests)
+
+    def on_complete(self, record: RequestRecord) -> Optional[QueryRequest]:
+        return self._parent.on_complete(record)
+
+
+@dataclass
+class GroupServeReport:
+    """Outcome of one :meth:`GroupServer.run` across all replicas."""
+
+    records: List[RequestRecord]
+    metrics: ServeMetrics
+    #: Per-device sub-reports, index = device position in the group.
+    per_device: Tuple[ServeReport, ...]
+    #: Tenant -> device index placement this run used.
+    assignment: Dict[str, int]
+
+
+class GroupServer:
+    """Serves a workload on a replica per device of a group."""
+
+    def __init__(
+        self,
+        group: DeviceGroup,
+        backend_name: str,
+        catalog: Dict[str, Table],
+        config: Optional[ServerConfig] = None,
+        *,
+        framework: Optional[GpuOperatorFramework] = None,
+    ) -> None:
+        framework = framework if framework is not None else default_framework()
+        self.group = group
+        self.backend_name = backend_name
+        self.servers = [
+            QueryServer(
+                framework.create(backend_name, device), catalog, config
+            )
+            for device in group
+        ]
+
+    def run(self, workload) -> GroupServeReport:
+        """Partition the workload by tenant and serve each slice."""
+        requests = list(workload.arrivals())
+        assignment: Dict[str, int] = {}
+        for request in requests:
+            if request.tenant not in assignment:
+                assignment[request.tenant] = len(assignment) % len(self.group)
+        slices: List[List[QueryRequest]] = [[] for _ in self.group]
+        for request in requests:
+            slices[assignment[request.tenant]].append(request)
+
+        reports: List[ServeReport] = []
+        records: List[RequestRecord] = []
+        for server, owned in zip(self.servers, slices):
+            report = server.run(_TenantSlice(owned, workload))
+            reports.append(report)
+            records.extend(report.records)
+        records.sort(key=lambda record: record.seq)
+        metrics = compute_metrics(
+            records,
+            plan_cache_hits=sum(s.plan_cache.hits for s in self.servers),
+            plan_cache_misses=sum(s.plan_cache.misses for s in self.servers),
+            result_cache_hits=sum(s.result_cache.hits for s in self.servers),
+            result_cache_misses=sum(
+                s.result_cache.misses for s in self.servers
+            ),
+            result_cache_invalidations=sum(
+                s.result_cache.invalidations for s in self.servers
+            ),
+        )
+        return GroupServeReport(
+            records=records,
+            metrics=metrics,
+            per_device=tuple(reports),
+            assignment=assignment,
+        )
+
+    def close(self) -> None:
+        for server in self.servers:
+            server.close()
+
+    def __enter__(self) -> "GroupServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

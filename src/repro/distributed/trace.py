@@ -1,0 +1,49 @@
+"""Chrome-trace export for a whole device group.
+
+Single-device traces put every track under one implicit process (pid 0).
+A multi-GPU run maps naturally onto Chrome's process/thread hierarchy
+instead: each device becomes its own *process* row (``pid`` = device
+index, named ``gpu<i> (<spec>)``), with the usual engine tracks as
+threads beneath it and peer copies (D2D) on their own track.  Loading
+the merged file at ``chrome://tracing`` or https://ui.perfetto.dev shows
+the per-device timelines stacked, which is where scan overlap across
+devices and exchange serialisation become visible.
+
+Output is deterministic for a given group state: devices in group order,
+metadata rows before events, fixed field order — so merged traces can be
+diffed across runs (the determinism tests rely on this).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.gpu.profiler import to_chrome_trace, track_metadata
+from repro.gpu.topology import DeviceGroup
+
+
+def group_chrome_trace_json(group: DeviceGroup, indent: int = 1) -> str:
+    """Render every device's events as one merged Chrome-trace document."""
+    rows = []
+    for pid, device in enumerate(group):
+        events = device.profiler.events
+        rows.extend(
+            track_metadata(
+                events,
+                pid=pid,
+                process_name=f"gpu{pid} ({device.spec.name})",
+            )
+        )
+        rows.extend(to_chrome_trace(events, pid=pid))
+    document = {
+        "traceEvents": rows,
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(document, indent=indent)
+
+
+def write_group_chrome_trace(path: str, group: DeviceGroup) -> None:
+    """Write :func:`group_chrome_trace_json` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(group_chrome_trace_json(group))
+        handle.write("\n")

@@ -46,6 +46,7 @@ from repro.gpu.profiler import (
     chrome_trace_json,
     merge_summaries,
     to_chrome_trace,
+    track_metadata,
     write_chrome_trace,
 )
 from repro.gpu.stream import (
@@ -61,7 +62,16 @@ from repro.gpu.stream import (
     StreamStats,
     engine_stats,
 )
+from repro.gpu.topology import (
+    INTERCONNECTS,
+    NVLINK_P2P,
+    PCIE_HOST_BRIDGE,
+    DeviceGroup,
+    InterconnectSpec,
+    LinkChannel,
+)
 from repro.gpu.transfer import (
+    NVLINK2,
     PCIE3_X16,
     PCIE4_X16,
     SHARED_MEMORY_LINK,
@@ -101,6 +111,7 @@ __all__ = [
     "chrome_trace_json",
     "merge_summaries",
     "to_chrome_trace",
+    "track_metadata",
     "write_chrome_trace",
     "DEFAULT_STREAM_ID",
     "ENGINE_COMPUTE",
@@ -114,7 +125,14 @@ __all__ = [
     "StreamStats",
     "engine_stats",
     "LinkSpec",
+    "NVLINK2",
     "PCIE3_X16",
     "PCIE4_X16",
     "SHARED_MEMORY_LINK",
+    "DeviceGroup",
+    "InterconnectSpec",
+    "LinkChannel",
+    "INTERCONNECTS",
+    "NVLINK_P2P",
+    "PCIE_HOST_BRIDGE",
 ]

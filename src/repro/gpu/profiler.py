@@ -18,6 +18,9 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 KERNEL = "kernel"
 TRANSFER_H2D = "transfer_h2d"
 TRANSFER_D2H = "transfer_d2h"
+#: Peer (device-to-device) copy leg within a DeviceGroup; recorded on both
+#: endpoint devices (``role`` payload says which end this event covers).
+TRANSFER_D2D = "transfer_d2d"
 COMPILE = "compile"
 ALLOC = "alloc"
 FREE = "free"
@@ -26,7 +29,10 @@ FREE = "free"
 #: cover are recorded separately — so summaries skip them.
 SPAN = "span"
 
-_ALL_KINDS = (KERNEL, TRANSFER_H2D, TRANSFER_D2H, COMPILE, ALLOC, FREE, SPAN)
+_ALL_KINDS = (
+    KERNEL, TRANSFER_H2D, TRANSFER_D2H, TRANSFER_D2D,
+    COMPILE, ALLOC, FREE, SPAN,
+)
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,9 @@ class ProfileSummary:
     #: only; both zero otherwise).
     pool_hits: int = 0
     pool_misses: int = 0
+    #: Bytes moved in peer (device-to-device) copy legs recorded on this
+    #: device; zero outside multi-device runs.
+    bytes_d2d: int = 0
 
     def fraction(self, kind: str) -> float:
         """Fraction of total event time spent in ``kind`` (0 if no time)."""
@@ -132,6 +141,7 @@ class Profiler:
         count_by_kind: Counter = Counter()
         bytes_h2d = 0
         bytes_d2h = 0
+        bytes_d2d = 0
         pool_hits = 0
         pool_misses = 0
         for event in events:
@@ -143,6 +153,8 @@ class Profiler:
                 bytes_h2d += int(event.payload.get("nbytes", 0))
             elif event.kind == TRANSFER_D2H:
                 bytes_d2h += int(event.payload.get("nbytes", 0))
+            elif event.kind == TRANSFER_D2D:
+                bytes_d2d += int(event.payload.get("nbytes", 0))
             elif event.kind == ALLOC:
                 pool = event.payload.get("pool")
                 if pool == "hit":
@@ -159,6 +171,7 @@ class Profiler:
             transfer_time=(
                 time_by_kind.get(TRANSFER_H2D, 0.0)
                 + time_by_kind.get(TRANSFER_D2H, 0.0)
+                + time_by_kind.get(TRANSFER_D2D, 0.0)
             ),
             compile_time=time_by_kind.get(COMPILE, 0.0),
             bytes_h2d=bytes_h2d,
@@ -168,6 +181,7 @@ class Profiler:
             ),
             pool_hits=pool_hits,
             pool_misses=pool_misses,
+            bytes_d2d=bytes_d2d,
         )
 
     def kernel_histogram(self, since: int = 0) -> Dict[str, int]:
@@ -217,12 +231,17 @@ _ALLOCATOR_TRACK = 5
 #: from non-serving runs keep their historical byte-exact format.
 _REQUEST_TRACK = 6
 
+#: Track for peer (device-to-device) copy legs within a device group.
+#: Conditional like the request track: single-device traces are unchanged.
+_PEER_TRACK = 7
+
 #: Fallback tracks for events recorded without engine payloads (traces
 #: produced before the stream subsystem, or hand-built events).
 _TRACE_TRACKS = {
     KERNEL: 1,
     TRANSFER_H2D: 2,
     TRANSFER_D2H: 3,
+    TRANSFER_D2D: _PEER_TRACK,
     COMPILE: _COMPILE_TRACK,
     ALLOC: _ALLOCATOR_TRACK,
     FREE: _ALLOCATOR_TRACK,
@@ -239,7 +258,9 @@ _TRACK_NAMES = {
 }
 
 
-def to_chrome_trace(events: Sequence[Event]) -> List[Dict[str, Any]]:
+def to_chrome_trace(
+    events: Sequence[Event], pid: int = 0
+) -> List[Dict[str, Any]]:
     """Convert events into Chrome tracing format (``chrome://tracing`` /
     Perfetto): a list of "X" (complete) events in microseconds.
 
@@ -248,6 +269,8 @@ def to_chrome_trace(events: Sequence[Event]) -> List[Dict[str, Any]]:
     ``args``.  Zero-duration bookkeeping events (alloc/free under the
     legacy free-allocation model) are skipped; priced allocator calls
     (cudaMalloc/pool paths) render on their own driver row.
+    ``pid`` labels the process row — multi-device traces pass each
+    device's group index so devices render as separate process groups.
     Prefer :func:`chrome_trace_json` when writing a file — it prepends
     the row-name metadata and has a stable field ordering.
     """
@@ -265,11 +288,46 @@ def to_chrome_trace(events: Sequence[Event]) -> List[Dict[str, Any]]:
             "ph": "X",
             "ts": event.start * 1e6,
             "dur": event.duration * 1e6,
-            "pid": 0,
+            "pid": pid,
             "tid": tid,
             "args": dict(event.payload),
         })
     return trace
+
+
+def track_metadata(
+    events: Sequence[Event], pid: int = 0, process_name: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Metadata rows (thread/process names) for one device's events.
+
+    Emits the engine-track thread names (plus the conditional request and
+    peer-copy tracks) under ``pid``, and — when ``process_name`` is given
+    — a ``process_name`` row so multi-device traces label each device.
+    """
+    track_names = dict(_TRACK_NAMES)
+    if any(event.kind == SPAN for event in events):
+        track_names[_REQUEST_TRACK] = "requests"
+    if any(event.kind == TRANSFER_D2D for event in events):
+        track_names[_PEER_TRACK] = "peer copies (D2D)"
+    metadata: List[Dict[str, Any]] = []
+    if process_name is not None:
+        metadata.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": process_name},
+        })
+    metadata.extend(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": track_name},
+        }
+        for tid, track_name in sorted(track_names.items())
+    )
+    return metadata
 
 
 def chrome_trace_json(events: Sequence[Event], indent: int = 1) -> str:
@@ -286,6 +344,8 @@ def chrome_trace_json(events: Sequence[Event], indent: int = 1) -> str:
     track_names = dict(_TRACK_NAMES)
     if any(event.kind == SPAN for event in events):
         track_names[_REQUEST_TRACK] = "requests"
+    if any(event.kind == TRANSFER_D2D for event in events):
+        track_names[_PEER_TRACK] = "peer copies (D2D)"
     metadata: List[Dict[str, Any]] = [
         {
             "name": "thread_name",
@@ -318,6 +378,7 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
     count_by_kind: Counter = Counter()
     bytes_h2d = 0
     bytes_d2h = 0
+    bytes_d2d = 0
     pool_hits = 0
     pool_misses = 0
     for s in summaries:
@@ -326,6 +387,7 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
         count_by_kind.update(s.count_by_kind)
         bytes_h2d += s.bytes_h2d
         bytes_d2h += s.bytes_d2h
+        bytes_d2d += s.bytes_d2d
         pool_hits += s.pool_hits
         pool_misses += s.pool_misses
     total = sum(time_by_kind.values())
@@ -336,7 +398,9 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
         kernel_count=count_by_kind.get(KERNEL, 0),
         kernel_time=time_by_kind.get(KERNEL, 0.0),
         transfer_time=(
-            time_by_kind.get(TRANSFER_H2D, 0.0) + time_by_kind.get(TRANSFER_D2H, 0.0)
+            time_by_kind.get(TRANSFER_H2D, 0.0)
+            + time_by_kind.get(TRANSFER_D2H, 0.0)
+            + time_by_kind.get(TRANSFER_D2D, 0.0)
         ),
         compile_time=time_by_kind.get(COMPILE, 0.0),
         bytes_h2d=bytes_h2d,
@@ -346,4 +410,5 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
         ),
         pool_hits=pool_hits,
         pool_misses=pool_misses,
+        bytes_d2d=bytes_d2d,
     )

@@ -1,0 +1,348 @@
+"""Simulated multi-GPU topology: device groups and peer interconnects.
+
+A :class:`DeviceGroup` holds N independent :class:`~repro.gpu.device.Device`
+instances — each with its own clock, memory manager, streams, pool
+allocator, and fault-injection surface — and connects every ordered device
+pair with a :class:`LinkChannel`, the occupancy timeline of that pair's
+interconnect.  Peer copies (``copy_d2d``) are priced exactly like the
+existing h2d/d2h transfers (latency + bandwidth on a
+:class:`~repro.gpu.transfer.LinkSpec`) and contend for three resources at
+once: the source's D2H copy engine, the destination's H2D copy engine, and
+the pair's channel.  Contention is charged on the devices' virtual clocks
+— a copy starts no earlier than the latest of all three resources' free
+times plus both devices' submission floors.
+
+Two interconnect classes model the deployments the multi-GPU literature
+distinguishes:
+
+* **NVLink peer-to-peer** — the DMA engines talk directly over the NVLink
+  fabric; one leg at NVLink bandwidth occupies both engines and the
+  channel for its whole duration.
+* **PCIe host bridge** — no P2P: the copy bounces through host memory as
+  a D2H leg on the source link followed by an H2D leg on the destination
+  link, serialized (the second leg cannot begin before the first ends).
+  The channel is occupied for the full bounce span, so concurrent copies
+  between the same pair still serialize.
+
+Clocks across the group stay independent — that is what makes partition
+parallelism free to simulate — so the group provides :meth:`align`
+(advance every clock to the group maximum, establishing a common t0) and
+:meth:`synchronize` (drain every device, then align) for measuring the
+makespan of distributed work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.gpu import profiler as prof
+from repro.gpu.device import GTX_1080TI, Device, DeviceSpec
+from repro.gpu.stream import ENGINE_D2H, ENGINE_H2D
+from repro.gpu.transfer import NVLINK2, PCIE3_X16, LinkSpec
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """How the devices of a group talk to each other.
+
+    ``link`` prices one leg of a peer copy; ``peer_to_peer`` selects the
+    single-leg DMA path (NVLink-class fabrics) versus the two-leg host
+    bounce (PCIe without P2P enabled, the common commodity topology).
+    """
+
+    name: str
+    link: LinkSpec
+    peer_to_peer: bool
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("interconnect needs a name")
+
+
+#: NVLink 2.0 fabric with peer-to-peer DMA enabled: direct device-to-device
+#: copies at NVLink bandwidth, no host involvement.
+NVLINK_P2P = InterconnectSpec(name="nvlink-p2p", link=NVLINK2, peer_to_peer=True)
+
+#: Commodity PCIe topology without P2P: every peer copy bounces through
+#: host memory (d2h on the source's link, then h2d on the destination's).
+#: ``link`` only prices channel accounting labels here — the actual legs
+#: use each endpoint device's own ``spec.link``.
+PCIE_HOST_BRIDGE = InterconnectSpec(
+    name="pcie-host-bridge", link=PCIE3_X16, peer_to_peer=False
+)
+
+INTERCONNECTS: Dict[str, InterconnectSpec] = {
+    spec.name: spec for spec in (NVLINK_P2P, PCIE_HOST_BRIDGE)
+}
+
+
+class LinkChannel:
+    """Occupancy timeline of one ordered device pair's interconnect.
+
+    Like an :class:`~repro.gpu.stream.EngineTimeline`, but owned by the
+    group rather than a device, so it must survive either endpoint being
+    reset: the channel snapshots both endpoints' epochs and lazily clears
+    its busy state when either epoch changes — the same pattern
+    :class:`~repro.gpu.stream.Stream` uses.  Without this, resetting one
+    device of a group would leave stale channel occupancy that delays the
+    sibling's future copies (the shared-state leak the reset-isolation
+    regression test pins down).
+    """
+
+    def __init__(self, src: Device, dst: Device, name: str) -> None:
+        self.src = src
+        self.dst = dst
+        self.name = name
+        self.busy_until = 0.0
+        self.busy_seconds = 0.0
+        self.item_count = 0
+        self._epochs = (src.epoch, dst.epoch)
+
+    def _check_epoch(self) -> None:
+        epochs = (self.src.epoch, self.dst.epoch)
+        if epochs != self._epochs:
+            # An endpoint was reset after the channel's last use; its
+            # timeline restarted from zero, so stale occupancy must not
+            # leak into the fresh epoch.
+            self._epochs = epochs
+            self.busy_until = 0.0
+            self.busy_seconds = 0.0
+            self.item_count = 0
+
+    def schedule(self, earliest: float, duration: float) -> Tuple[float, float]:
+        """Place one copy on the channel (mutual exclusion per pair)."""
+        if duration < 0.0:
+            raise ValueError(f"copy duration cannot be negative: {duration}")
+        self._check_epoch()
+        start = max(earliest, self.busy_until)
+        end = start + duration
+        self.busy_until = end
+        self.busy_seconds += duration
+        self.item_count += 1
+        return start, end
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkChannel({self.name!r}, busy_until="
+            f"{self.busy_until * 1e3:.3f}ms, items={self.item_count})"
+        )
+
+
+DeviceRef = Union[int, Device]
+
+
+class DeviceGroup:
+    """N simulated devices plus the interconnect between them.
+
+    Construct from existing devices, or use :meth:`of_size` to build a
+    homogeneous group from one spec.  Devices keep fully independent
+    state; the group adds peer copies, clock alignment, and per-pair
+    channels.  Indexing (``group[i]``), iteration, and ``len`` expose the
+    member devices.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        interconnect: InterconnectSpec = NVLINK_P2P,
+    ) -> None:
+        if not devices:
+            raise ValueError("a device group needs at least one device")
+        if len(set(id(d) for d in devices)) != len(devices):
+            raise ValueError("a device cannot appear twice in a group")
+        self.devices: List[Device] = list(devices)
+        self.interconnect = interconnect
+        self._channels: Dict[Tuple[int, int], LinkChannel] = {}
+
+    @classmethod
+    def of_size(
+        cls,
+        num_devices: int,
+        spec: DeviceSpec = GTX_1080TI,
+        *,
+        interconnect: InterconnectSpec = NVLINK_P2P,
+        allocator: str = "null",
+        profile_events: bool = True,
+    ) -> "DeviceGroup":
+        """A homogeneous group of ``num_devices`` fresh devices."""
+        if num_devices < 1:
+            raise ValueError(f"device count must be positive: {num_devices}")
+        devices = [
+            Device(spec, allocator=allocator, profile_events=profile_events)
+            for _ in range(num_devices)
+        ]
+        return cls(devices, interconnect=interconnect)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self.devices)
+
+    def __getitem__(self, index: int) -> Device:
+        return self.devices[index]
+
+    def index_of(self, device: DeviceRef) -> int:
+        """Resolve a device reference (index or instance) to its index."""
+        if isinstance(device, Device):
+            for i, candidate in enumerate(self.devices):
+                if candidate is device:
+                    return i
+            raise ValueError(f"device {device!r} is not a member of this group")
+        index = int(device)
+        if not 0 <= index < len(self.devices):
+            raise IndexError(
+                f"device index {index} out of range for group of "
+                f"{len(self.devices)}"
+            )
+        return index
+
+    def channel(self, src: DeviceRef, dst: DeviceRef) -> LinkChannel:
+        """The (lazily created) channel for the ordered pair src → dst."""
+        s, d = self.index_of(src), self.index_of(dst)
+        if s == d:
+            raise ValueError(f"no channel from a device to itself: {s}")
+        key = (s, d)
+        if key not in self._channels:
+            self._channels[key] = LinkChannel(
+                self.devices[s], self.devices[d], name=f"gpu{s}->gpu{d}"
+            )
+        return self._channels[key]
+
+    # -- peer copies -------------------------------------------------------
+
+    def copy_d2d(
+        self,
+        src: DeviceRef,
+        dst: DeviceRef,
+        nbytes: int,
+        label: str = "d2d",
+    ) -> float:
+        """Price one peer copy of ``nbytes`` from ``src`` to ``dst``.
+
+        Returns the occupied span in simulated seconds (first leg start to
+        last leg end).  Both devices' clocks advance to the copy's end and
+        both submission floors rise — the host observes the copy complete,
+        so later work on either device cannot be scheduled before it.
+
+        Injected transfer faults on the endpoints fire here too: the
+        source's ``d2h``-direction countdown covers the send side and the
+        destination's ``h2d`` countdown the receive side (``"any"``
+        matches both), so per-shard fault tests exercise exchange legs
+        exactly like plain transfers.
+        """
+        if nbytes < 0:
+            raise ValueError(f"transfer size cannot be negative: {nbytes}")
+        s, d = self.index_of(src), self.index_of(dst)
+        src_dev, dst_dev = self.devices[s], self.devices[d]
+        channel = self.channel(s, d)
+        channel._check_epoch()
+        src_dev._check_transfer_fault("d2h", label)
+        dst_dev._check_transfer_fault("h2d", label)
+        send_engine = src_dev.engine_timeline(ENGINE_D2H)
+        recv_engine = dst_dev.engine_timeline(ENGINE_H2D)
+        if self.interconnect.peer_to_peer:
+            duration = self.interconnect.link.transfer_time(nbytes)
+            earliest = max(
+                src_dev._barrier,
+                dst_dev._barrier,
+                send_engine.busy_until,
+                recv_engine.busy_until,
+            )
+            start, end = channel.schedule(earliest, duration)
+            send_engine.schedule(start, duration)
+            recv_engine.schedule(start, duration)
+            src_dev.profiler.record(
+                prof.TRANSFER_D2D, label, start, duration,
+                nbytes=nbytes, peer=d, role="send", channel=channel.name,
+            )
+            dst_dev.profiler.record(
+                prof.TRANSFER_D2D, label, start, duration,
+                nbytes=nbytes, peer=s, role="recv", channel=channel.name,
+            )
+        else:
+            # Host bounce: d2h on the source's own link, then h2d on the
+            # destination's, strictly serialized.  The channel is held for
+            # the whole span so same-pair copies never pipeline the host
+            # staging buffer.
+            leg1 = src_dev.spec.link.transfer_time(nbytes)
+            leg2 = dst_dev.spec.link.transfer_time(nbytes)
+            earliest = max(
+                src_dev._barrier, send_engine.busy_until, channel.busy_until
+            )
+            start, mid = send_engine.schedule(earliest, leg1)
+            earliest2 = max(mid, dst_dev._barrier, recv_engine.busy_until)
+            start2, end = recv_engine.schedule(earliest2, leg2)
+            channel.schedule(start, end - start)
+            src_dev.profiler.record(
+                prof.TRANSFER_D2D, label, start, leg1,
+                nbytes=nbytes, peer=d, role="send", channel=channel.name,
+                via="host",
+            )
+            dst_dev.profiler.record(
+                prof.TRANSFER_D2D, label, start2, leg2,
+                nbytes=nbytes, peer=s, role="recv", channel=channel.name,
+                via="host",
+            )
+        for dev in (src_dev, dst_dev):
+            dev._raise_submit_floor(end)
+            dev.clock.advance_to(end)
+        return end - start
+
+    def d2d_time(self, nbytes: int) -> float:
+        """Modelled seconds for one uncontended peer copy of ``nbytes``
+        (the exchange cost model's building block — no state is touched).
+        """
+        if self.interconnect.peer_to_peer:
+            return self.interconnect.link.transfer_time(nbytes)
+        # Host bounce: the two legs serialize.
+        legs = [d.spec.link for d in self.devices[:2]]
+        if len(legs) == 1:  # single-device group: degenerate but defined
+            legs.append(legs[0])
+        return legs[0].transfer_time(nbytes) + legs[1].transfer_time(nbytes)
+
+    # -- group-wide clock management ---------------------------------------
+
+    def now(self) -> float:
+        """The group's frontier: the latest clock across all devices."""
+        return max(device.clock.now for device in self.devices)
+
+    def align(self) -> float:
+        """Advance every device's clock and submission floor to the group
+        maximum, establishing a common t0 for makespan measurements.
+        Returns the aligned time."""
+        latest = max(
+            max(device.clock.now, device._barrier) for device in self.devices
+        )
+        for device in self.devices:
+            device._raise_submit_floor(latest)
+            device.clock.advance_to(latest)
+        return latest
+
+    def synchronize(self) -> float:
+        """Drain every device (``cudaDeviceSynchronize`` on each), then
+        align the clocks.  Returns the common post-sync time."""
+        for device in self.devices:
+            device.synchronize()
+        return self.align()
+
+    def reset(self, device: Optional[DeviceRef] = None) -> None:
+        """Reset one device (by reference) or, with no argument, every
+        device in the group.
+
+        Per-pair channel state clears lazily via the epoch check on next
+        use, so resetting one member never disturbs a sibling's clock,
+        engines, or in-flight stream cursors.
+        """
+        if device is None:
+            for member in self.devices:
+                member.reset()
+        else:
+            self.devices[self.index_of(device)].reset()
+
+    def __repr__(self) -> str:
+        names = ", ".join(device.spec.name for device in self.devices)
+        return (
+            f"DeviceGroup([{names}], interconnect={self.interconnect.name!r})"
+        )

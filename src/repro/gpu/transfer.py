@@ -36,6 +36,12 @@ class LinkSpec:
 #: PCIe 3.0 x16: 15.75 GB/s raw, ~12 GB/s achievable with pinned memory.
 PCIE3_X16 = LinkSpec(name="pcie3-x16", bandwidth=12.0e9, latency=10.0e-6)
 
+#: NVLink 2.0, one direction of one brick pair: 25 GB/s raw per direction
+#: per link, ~45 GB/s achievable over the two links a V100 pair shares.
+#: Peer copies skip the host entirely, so the setup latency is the DMA
+#: engine's alone (no driver bounce-buffer staging).
+NVLINK2 = LinkSpec(name="nvlink2", bandwidth=45.0e9, latency=3.0e-6)
+
 #: PCIe 4.0 x16: ~24 GB/s achievable.
 PCIE4_X16 = LinkSpec(name="pcie4-x16", bandwidth=24.0e9, latency=8.0e-6)
 

@@ -283,16 +283,21 @@ def _combine_keyed_groups(
     up to float round-off.
     """
     keys = list(plan.keys)
-    count_name = next(
-        (
-            a.name for a in plan.aggregates
-            if a.kind == "count" and a.expr is None
-        ),
-        CHUNK_COUNT_HELPER,
-    )
     concat = concat_tables(result_name, tables)
     key_data = [concat.column(k).data for k in keys]
-    counts = concat.column(count_name).data.astype(np.int64)
+    # Per-group row counts exist only to weight avg partials; plans
+    # without avg need no count column at all.
+    has_avg = any(a.kind == "avg" for a in plan.aggregates)
+    counts = np.zeros(concat.num_rows, dtype=np.int64)
+    if has_avg:
+        count_name = next(
+            (
+                a.name for a in plan.aggregates
+                if a.kind == "count" and a.expr is None
+            ),
+            CHUNK_COUNT_HELPER,
+        )
+        counts = concat.column(count_name).data.astype(np.int64)
 
     # Group chunk rows by key tuple; order[i] is the i-th distinct tuple
     # in ascending order.

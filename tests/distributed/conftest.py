@@ -1,0 +1,30 @@
+"""Shared fixtures for the distributed (multi-GPU) test package.
+
+The TPC-H catalog is generated once per session — it is immutable and
+every executor copies the dict — while device groups are always built
+fresh per test, mirroring the leakage rules in the top-level conftest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import default_framework
+from repro.tpch import TpchGenerator
+
+#: Small enough to keep the full differential matrix fast, big enough
+#: that every TPC-H query produces multi-group, multi-shard results.
+SCALE_FACTOR = 0.01
+CATALOG_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def tpch_catalog():
+    return TpchGenerator(
+        scale_factor=SCALE_FACTOR, seed=CATALOG_SEED
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def framework():
+    return default_framework()

@@ -1,0 +1,56 @@
+"""Two seeded runs of the same multi-device plan are indistinguishable.
+
+The simulator has no hidden state: device clocks, engine timelines, and
+channel occupancy are all derived from the (seeded) catalog and the plan.
+Repeating a run on a fresh group must therefore reproduce the per-device
+timelines event for event, and the merged Chrome trace byte for byte.
+"""
+
+from __future__ import annotations
+
+from repro.distributed import DistributedExecutor, group_chrome_trace_json
+from repro.gpu import DeviceGroup
+from repro.gpu.stream import ENGINE_COMPUTE, ENGINE_D2H, ENGINE_H2D
+from repro.tpch.queries import q1, q3
+
+DEVICES = 4
+PARTITION = "hash:l_orderkey"
+
+
+def _run(framework, catalog, plan):
+    group = DeviceGroup.of_size(DEVICES)
+    executor = DistributedExecutor(
+        group, "thrust", catalog, PARTITION, framework=framework
+    )
+    result = executor.execute(plan)
+    return group, result
+
+
+def test_repeated_runs_reproduce_per_device_timelines(
+    framework, tpch_catalog
+):
+    plan = q3.plan(tpch_catalog)
+    first_group, first = _run(framework, tpch_catalog, plan)
+    second_group, second = _run(framework, tpch_catalog, plan)
+
+    assert first.table.equals(second.table)
+    assert first.report.makespan_seconds == second.report.makespan_seconds
+    assert first.report.exchange_seconds == second.report.exchange_seconds
+    for a, b in zip(first_group, second_group):
+        assert tuple(a.profiler.events) == tuple(b.profiler.events)
+        for engine in (ENGINE_COMPUTE, ENGINE_H2D, ENGINE_D2H):
+            assert a.engine_timeline(engine).busy_seconds == (
+                b.engine_timeline(engine).busy_seconds
+            )
+        assert a.clock.now == b.clock.now
+
+
+def test_repeated_runs_produce_identical_merged_traces(
+    framework, tpch_catalog
+):
+    plan = q1.plan()
+    first_group, _ = _run(framework, tpch_catalog, plan)
+    second_group, _ = _run(framework, tpch_catalog, plan)
+    assert group_chrome_trace_json(first_group) == (
+        group_chrome_trace_json(second_group)
+    )

@@ -1,0 +1,168 @@
+"""Partitioners and the shard catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    PARTITIONER_KINDS,
+    PartitionSpec,
+    ShardCatalog,
+    parse_partition_spec,
+    partition_indices,
+    partition_table,
+)
+from repro.errors import PlanError
+from repro.relational.column import Column
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+
+
+def _table(num_rows: int = 100, seed: int = 3) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table("t", [
+        Column("k", ColumnType.INT64,
+               rng.integers(0, 20, num_rows).astype(np.int64)),
+        Column("v", ColumnType.FLOAT64, rng.random(num_rows)),
+    ])
+
+
+class TestSpec:
+    def test_parse_round_trips(self):
+        for text in ("hash:k", "range:k", "round_robin"):
+            assert str(parse_partition_spec(text)) == text
+
+    def test_hash_and_range_need_a_column(self):
+        for kind in ("hash", "range"):
+            with pytest.raises(PlanError):
+                PartitionSpec(kind)
+
+    def test_round_robin_takes_no_column(self):
+        with pytest.raises(PlanError):
+            PartitionSpec("round_robin", "k")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError):
+            parse_partition_spec("modulo:k")
+
+    def test_colocation_property(self):
+        assert PartitionSpec("hash", "k").colocates_equal_keys
+        assert PartitionSpec("range", "k").colocates_equal_keys
+        assert not PartitionSpec("round_robin").colocates_equal_keys
+
+
+class TestPartitionIndices:
+    @pytest.mark.parametrize("kind", PARTITIONER_KINDS)
+    @pytest.mark.parametrize("shards", (1, 2, 4, 7))
+    def test_shards_cover_the_table_exactly(self, kind, shards):
+        table = _table()
+        column = None if kind == "round_robin" else "k"
+        indices = partition_indices(
+            table, PartitionSpec(kind, column), shards
+        )
+        assert len(indices) == shards
+        merged = np.concatenate(indices)
+        assert sorted(merged.tolist()) == list(range(table.num_rows))
+        # Shard-local order preserves original row order.
+        for shard in indices:
+            assert (np.diff(shard) > 0).all() or len(shard) <= 1
+
+    def test_round_robin_balances_within_one_row(self):
+        sizes = [len(ix) for ix in partition_indices(
+            _table(101), PartitionSpec("round_robin"), 4
+        )]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_hash_colocates_equal_keys(self):
+        table = _table(500)
+        keys = table.column("k").data
+        indices = partition_indices(table, PartitionSpec("hash", "k"), 4)
+        owner = {}
+        for shard, ix in enumerate(indices):
+            for key in np.unique(keys[ix]):
+                assert owner.setdefault(int(key), shard) == shard
+
+    def test_range_shards_are_contiguous_in_key_space(self):
+        table = _table(500)
+        keys = table.column("k").data
+        indices = partition_indices(table, PartitionSpec("range", "k"), 4)
+        previous_max = None
+        for ix in indices:
+            if len(ix) == 0:
+                continue
+            if previous_max is not None:
+                assert keys[ix].min() > previous_max
+            previous_max = keys[ix].max()
+
+    def test_partitioning_is_deterministic(self):
+        table = _table()
+        for kind, column in (("hash", "k"), ("range", "k"),
+                             ("round_robin", None)):
+            spec = PartitionSpec(kind, column)
+            first = partition_indices(table, spec, 4)
+            second = partition_indices(table, spec, 4)
+            for a, b in zip(first, second):
+                assert (a == b).all()
+
+    def test_float_keys_hash_on_bit_patterns(self):
+        table = Table("t", [Column(
+            "x", ColumnType.FLOAT64, np.asarray([1.5, 1.5, 2.5, -0.0, 0.0])
+        )])
+        indices = partition_indices(table, PartitionSpec("hash", "x"), 3)
+        # Equal float keys colocate (rows 0 and 1 are both 1.5).
+        assignment = np.zeros(5, dtype=int)
+        for shard, ix in enumerate(indices):
+            assignment[ix] = shard
+        assert assignment[0] == assignment[1]
+
+    def test_empty_table_partitions_to_empty_shards(self):
+        table = _table(0)
+        for spec in (PartitionSpec("hash", "k"), PartitionSpec("range", "k"),
+                     PartitionSpec("round_robin")):
+            shards = partition_table(table, spec, 3)
+            assert [s.num_rows for s in shards] == [0, 0, 0]
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(PlanError):
+            partition_indices(_table(), PartitionSpec("round_robin"), 0)
+
+    def test_skewed_keys_land_on_one_shard(self):
+        # 100% of rows share one key: hash partitioning puts the whole
+        # table on a single shard, the others stay empty.
+        table = Table("t", [Column(
+            "k", ColumnType.INT64, np.full(50, 7, dtype=np.int64)
+        )])
+        sizes = [len(ix) for ix in partition_indices(
+            table, PartitionSpec("hash", "k"), 4
+        )]
+        assert sorted(sizes) == [0, 0, 0, 50]
+
+
+class TestShardCatalog:
+    def test_device_catalog_replaces_only_sharded_tables(self):
+        table = _table()
+        other = _table(10, seed=9)
+        catalog = ShardCatalog({"t": table, "u": other}, 2)
+        catalog.shard("t", PartitionSpec("round_robin"))
+        for shard in range(2):
+            view = catalog.device_catalog(shard)
+            assert view["u"] is other
+            assert view["t"].num_rows == 50
+        assert catalog.is_sharded("t") and not catalog.is_sharded("u")
+        assert sum(catalog.shard_rows("t")) == table.num_rows
+        assert str(catalog.spec_for("t")) == "round_robin"
+
+    def test_unknown_table_rejected(self):
+        catalog = ShardCatalog({"t": _table()}, 2)
+        with pytest.raises(PlanError):
+            catalog.shard("missing", PartitionSpec("round_robin"))
+
+    def test_out_of_range_shard_rejected(self):
+        catalog = ShardCatalog({"t": _table()}, 2)
+        with pytest.raises(IndexError):
+            catalog.device_catalog(2)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(PlanError):
+            ShardCatalog({"t": _table()}, 0)

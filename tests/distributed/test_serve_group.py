@@ -1,0 +1,103 @@
+"""Tenant-partitioned serving across a device group."""
+
+from __future__ import annotations
+
+from repro.distributed import GroupServer
+from repro.gpu import DeviceGroup
+from repro.serve.workload import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    QuerySpec,
+)
+from repro.tpch.queries import q1, q6
+
+TENANTS = ("t0", "t1", "t2", "t3")
+
+
+def _specs():
+    return [
+        QuerySpec("Q6", q6.plan(), weight=3.0),
+        QuerySpec("Q1", q1.plan(), weight=1.0),
+    ]
+
+
+def _workload(num_requests=24, seed=5):
+    return OpenLoopWorkload(
+        _specs(), rate=400.0, num_requests=num_requests,
+        tenants=TENANTS, seed=seed,
+    )
+
+
+def _group_server(framework, catalog, devices):
+    group = DeviceGroup.of_size(devices, allocator="pool")
+    return GroupServer(group, "thrust", catalog, framework=framework)
+
+
+class TestPlacement:
+    def test_tenants_assign_round_robin_by_first_appearance(
+        self, framework, tpch_catalog
+    ):
+        with _group_server(framework, tpch_catalog, 2) as server:
+            report = server.run(_workload())
+        assert report.assignment == {
+            "t0": 0, "t1": 1, "t2": 0, "t3": 1,
+        }
+
+    def test_each_tenant_sticks_to_one_device(self, framework, tpch_catalog):
+        with _group_server(framework, tpch_catalog, 2) as server:
+            report = server.run(_workload())
+        for device, sub in enumerate(report.per_device):
+            for record in sub.records:
+                assert report.assignment[record.tenant] == device
+
+    def test_closed_loop_followups_stay_on_the_owning_device(
+        self, framework, tpch_catalog
+    ):
+        workload = ClosedLoopWorkload(
+            _specs(), num_clients=4, requests_per_client=3, seed=3
+        )
+        with _group_server(framework, tpch_catalog, 2) as server:
+            report = server.run(workload)
+        assert len(report.records) == workload.num_requests
+        for device, sub in enumerate(report.per_device):
+            tenants = {record.tenant for record in sub.records}
+            assert all(
+                report.assignment[tenant] == device for tenant in tenants
+            )
+
+
+class TestMergedReport:
+    def test_all_requests_complete_in_seq_order(
+        self, framework, tpch_catalog
+    ):
+        with _group_server(framework, tpch_catalog, 2) as server:
+            report = server.run(_workload())
+        assert len(report.records) == 24
+        assert [r.seq for r in report.records] == list(range(24))
+        assert all(r.status == "completed" for r in report.records)
+        assert report.metrics.completed == 24
+
+    def test_metrics_aggregate_cache_counters_across_replicas(
+        self, framework, tpch_catalog
+    ):
+        with _group_server(framework, tpch_catalog, 2) as server:
+            report = server.run(_workload())
+            expected_hits = sum(
+                s.result_cache.hits for s in server.servers
+            )
+            expected_misses = sum(
+                s.result_cache.misses for s in server.servers
+            )
+        assert report.metrics.result_cache_hits == expected_hits
+        assert report.metrics.result_cache_misses == expected_misses
+        # Each replica misses its own cold cache once per distinct plan.
+        assert expected_misses >= 2
+
+    def test_single_replica_group_matches_request_count(
+        self, framework, tpch_catalog
+    ):
+        with _group_server(framework, tpch_catalog, 1) as server:
+            report = server.run(_workload(num_requests=8))
+        assert len(report.per_device) == 1
+        assert len(report.records) == 8
+        assert set(report.assignment.values()) == {0}

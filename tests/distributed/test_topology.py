@@ -1,0 +1,190 @@
+"""Device groups, peer interconnects, and reset isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransferError
+from repro.gpu import (
+    GTX_1080TI,
+    INTERCONNECTS,
+    NVLINK2,
+    NVLINK_P2P,
+    PCIE_HOST_BRIDGE,
+    Device,
+    DeviceGroup,
+    InterconnectSpec,
+)
+from repro.gpu.profiler import TRANSFER_D2D
+from repro.gpu.stream import ENGINE_D2H, ENGINE_H2D
+
+MIB = 1 << 20
+
+
+class TestGroupBasics:
+    def test_of_size_builds_independent_devices(self):
+        group = DeviceGroup.of_size(3)
+        assert len(group) == 3
+        assert len({id(d) for d in group}) == 3
+        assert group[1] is list(group)[1]
+
+    def test_of_size_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError):
+            DeviceGroup.of_size(0)
+
+    def test_duplicate_devices_rejected(self):
+        device = Device(GTX_1080TI)
+        with pytest.raises(ValueError):
+            DeviceGroup([device, device])
+
+    def test_index_of_accepts_instance_and_index(self):
+        group = DeviceGroup.of_size(2)
+        assert group.index_of(group[1]) == 1
+        assert group.index_of(0) == 0
+        with pytest.raises(ValueError):
+            group.index_of(Device(GTX_1080TI))
+        with pytest.raises(IndexError):
+            group.index_of(5)
+
+    def test_channel_is_per_ordered_pair(self):
+        group = DeviceGroup.of_size(2)
+        forward = group.channel(0, 1)
+        backward = group.channel(1, 0)
+        assert forward is not backward
+        assert forward is group.channel(0, 1)
+        assert forward.name == "gpu0->gpu1"
+        with pytest.raises(ValueError):
+            group.channel(1, 1)
+
+    def test_interconnect_registry(self):
+        assert INTERCONNECTS["nvlink-p2p"] is NVLINK_P2P
+        assert INTERCONNECTS["pcie-host-bridge"] is PCIE_HOST_BRIDGE
+        with pytest.raises(ValueError):
+            InterconnectSpec(name="", link=NVLINK2, peer_to_peer=True)
+
+
+class TestPeerCopies:
+    def test_p2p_copy_priced_on_nvlink(self):
+        group = DeviceGroup.of_size(2, interconnect=NVLINK_P2P)
+        span = group.copy_d2d(0, 1, MIB)
+        assert span == pytest.approx(NVLINK2.transfer_time(MIB))
+        # Both endpoints observed the copy: clocks advanced together.
+        assert group[0].clock.now == pytest.approx(span)
+        assert group[1].clock.now == pytest.approx(span)
+
+    def test_p2p_copy_occupies_both_copy_engines(self):
+        group = DeviceGroup.of_size(2)
+        span = group.copy_d2d(0, 1, MIB)
+        assert group[0].engine_timeline(ENGINE_D2H).busy_seconds == (
+            pytest.approx(span)
+        )
+        assert group[1].engine_timeline(ENGINE_H2D).busy_seconds == (
+            pytest.approx(span)
+        )
+
+    def test_p2p_records_send_and_recv_events(self):
+        group = DeviceGroup.of_size(2)
+        group.copy_d2d(0, 1, MIB, label="shard")
+        send = [e for e in group[0].profiler.events if e.kind == TRANSFER_D2D]
+        recv = [e for e in group[1].profiler.events if e.kind == TRANSFER_D2D]
+        assert len(send) == 1 and len(recv) == 1
+        assert send[0].payload["role"] == "send"
+        assert send[0].payload["peer"] == 1
+        assert recv[0].payload["role"] == "recv"
+        assert recv[0].payload["channel"] == "gpu0->gpu1"
+
+    def test_host_bounce_serializes_two_legs(self):
+        pcie = DeviceGroup.of_size(2, interconnect=PCIE_HOST_BRIDGE)
+        link = pcie[0].spec.link
+        span = pcie.copy_d2d(0, 1, MIB)
+        assert span == pytest.approx(2 * link.transfer_time(MIB))
+        assert span == pytest.approx(pcie.d2d_time(MIB))
+        # And the bounce is strictly slower than the NVLink path.
+        assert span > NVLINK2.transfer_time(MIB)
+
+    def test_same_pair_copies_contend_on_the_channel(self):
+        group = DeviceGroup.of_size(2)
+        one = group.copy_d2d(0, 1, MIB)
+        group.copy_d2d(0, 1, MIB)
+        assert group[1].clock.now == pytest.approx(2 * one)
+
+    def test_disjoint_pairs_overlap(self):
+        group = DeviceGroup.of_size(4)
+        group.copy_d2d(0, 1, MIB)
+        group.copy_d2d(2, 3, MIB)
+        # The second pair's copy did not queue behind the first pair's.
+        assert group.now() == pytest.approx(NVLINK2.transfer_time(MIB))
+
+    def test_negative_size_rejected(self):
+        group = DeviceGroup.of_size(2)
+        with pytest.raises(ValueError):
+            group.copy_d2d(0, 1, -1)
+
+    def test_endpoint_transfer_faults_fire_on_peer_copies(self):
+        group = DeviceGroup.of_size(2)
+        group[0].inject_faults(transfer_fault_at=0, transfer_direction="d2h")
+        with pytest.raises(TransferError):
+            group.copy_d2d(0, 1, MIB)
+
+
+class TestClockManagement:
+    def test_align_advances_everyone_to_the_frontier(self):
+        group = DeviceGroup.of_size(3)
+        group[0].clock.advance(5e-3)
+        aligned = group.align()
+        assert aligned == pytest.approx(5e-3)
+        assert all(d.clock.now == pytest.approx(5e-3) for d in group)
+
+    def test_synchronize_drains_then_aligns(self):
+        group = DeviceGroup.of_size(2)
+        group.copy_d2d(0, 1, MIB)
+        end = group.synchronize()
+        assert all(d.clock.now == pytest.approx(end) for d in group)
+
+
+class TestResetIsolation:
+    """Resetting one member must not disturb its siblings (regression)."""
+
+    def test_reset_one_device_leaves_sibling_clock_alone(self):
+        group = DeviceGroup.of_size(2)
+        group.copy_d2d(0, 1, MIB)
+        sibling_now = group[1].clock.now
+        assert sibling_now > 0.0
+        group.reset(0)
+        assert group[0].clock.now == 0.0
+        assert group[0].epoch == 1
+        assert group[1].clock.now == pytest.approx(sibling_now)
+        assert group[1].epoch == 0
+
+    def test_channel_state_clears_on_endpoint_reset(self):
+        group = DeviceGroup.of_size(2)
+        group.copy_d2d(0, 1, MIB)
+        channel = group.channel(0, 1)
+        assert channel.busy_until > 0.0
+        group.reset(0)
+        # Stale occupancy must not delay the fresh epoch's first copy.
+        span = NVLINK2.transfer_time(MIB)
+        start, end = channel.schedule(0.0, span)
+        assert start == 0.0
+        assert channel.item_count == 1
+
+    def test_reset_all_restores_every_member(self):
+        group = DeviceGroup.of_size(3)
+        group.copy_d2d(0, 1, MIB)
+        group.copy_d2d(1, 2, MIB)
+        group.reset()
+        assert all(d.clock.now == 0.0 for d in group)
+        assert group.now() == 0.0
+
+    def test_copy_after_single_reset_starts_from_zero(self):
+        group = DeviceGroup.of_size(2)
+        group.copy_d2d(0, 1, 4 * MIB)
+        group.reset(0)
+        group.reset(1)
+        span = group.copy_d2d(0, 1, MIB)
+        assert group[1].clock.now == pytest.approx(span)
+
+    def test_channel_schedule_rejects_negative_duration(self):
+        group = DeviceGroup.of_size(2)
+        with pytest.raises(ValueError):
+            group.channel(0, 1).schedule(0.0, -1.0)

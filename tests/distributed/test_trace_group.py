@@ -1,0 +1,84 @@
+"""Merged Chrome traces: one process row per device."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.distributed import (
+    DistributedExecutor,
+    group_chrome_trace_json,
+    write_group_chrome_trace,
+)
+from repro.gpu import DeviceGroup
+from repro.tpch.queries import q3
+
+DEVICES = 4
+
+
+@pytest.fixture(scope="module")
+def traced_group(framework, tpch_catalog):
+    group = DeviceGroup.of_size(DEVICES)
+    DistributedExecutor(
+        group, "thrust", tpch_catalog, "round_robin", framework=framework
+    ).execute(q3.plan(tpch_catalog))
+    return group
+
+
+def _rows(group):
+    return json.loads(group_chrome_trace_json(group))["traceEvents"]
+
+
+def test_every_device_gets_its_own_process_row(traced_group):
+    rows = _rows(traced_group)
+    names = {
+        row["pid"]: row["args"]["name"]
+        for row in rows if row.get("name") == "process_name"
+    }
+    assert sorted(names) == list(range(DEVICES))
+    assert names[0] == "gpu0 (gtx-1080ti)"
+    assert names[3] == "gpu3 (gtx-1080ti)"
+
+
+def test_engine_threads_are_labelled_per_device(traced_group):
+    rows = _rows(traced_group)
+    threads = {
+        (row["pid"], row["args"]["name"])
+        for row in rows if row.get("name") == "thread_name"
+    }
+    for pid in range(DEVICES):
+        labels = {name for p, name in threads if p == pid}
+        assert any("compute" in label for label in labels), labels
+
+
+def test_peer_copies_sit_on_their_own_track(traced_group):
+    rows = _rows(traced_group)
+    d2d = [
+        row for row in rows
+        if row.get("ph") == "X" and "d2d" in row.get("cat", "")
+    ]
+    assert d2d, "expected peer-copy slices in the merged trace"
+    track_labels = {
+        (row["pid"], row["tid"]): row["args"]["name"]
+        for row in rows if row.get("name") == "thread_name"
+    }
+    for row in d2d:
+        assert track_labels[(row["pid"], row["tid"])] == "peer copies (D2D)"
+
+
+def test_events_span_multiple_devices(traced_group):
+    pids = {
+        row["pid"] for row in _rows(traced_group) if row.get("ph") == "X"
+    }
+    assert pids == set(range(DEVICES))
+
+
+def test_write_group_chrome_trace_round_trips(traced_group, tmp_path):
+    path = tmp_path / "group.json"
+    write_group_chrome_trace(path, traced_group)
+    text = path.read_text(encoding="utf-8")
+    assert text.endswith("\n")
+    document = json.loads(text)
+    assert document["displayTimeUnit"] == "ms"
+    assert document["traceEvents"]

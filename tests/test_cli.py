@@ -105,3 +105,47 @@ class TestServe:
     def test_serve_unknown_query(self):
         with pytest.raises(SystemExit):
             main(["serve", "--queries", "Q99", "--scale-factor", "0.002"])
+
+
+class TestDistributed:
+    def test_parser_defaults(self):
+        for command in ("tpch", "serve"):
+            args = build_parser().parse_args([command])
+            assert args.devices == 1
+            assert args.partition == "round_robin"
+            assert args.interconnect == "nvlink"
+
+    def test_tpch_multi_device_with_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "group.json"
+        assert main([
+            "tpch", "--query", "Q6", "--scale-factor", "0.002",
+            "--devices", "2", "--partition", "hash:l_orderkey",
+            "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+        assert "partition_parallel" in out
+        import json
+
+        trace = json.loads(trace_path.read_text())
+        pids = {row["pid"] for row in trace["traceEvents"]}
+        assert pids == {0, 1}
+
+    def test_tpch_join_over_pcie(self, capsys):
+        assert main([
+            "tpch", "--query", "Q3", "--scale-factor", "0.002",
+            "--devices", "2", "--partition", "hash:l_orderkey",
+            "--interconnect", "pcie",
+        ]) == 0
+        assert "shuffle_join" in capsys.readouterr().out
+
+    def test_serve_multi_device_placement(self, capsys):
+        assert main([
+            "serve", "--requests", "6", "--arrival-rate", "500",
+            "--scale-factor", "0.002", "--devices", "2",
+            "--tenants", "4", "--queries", "Q6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "devices=2" in out
+        assert "device placement" in out
+        assert "gpu0:" in out and "gpu1:" in out

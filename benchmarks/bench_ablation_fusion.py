@@ -5,6 +5,16 @@ Runs the same conjunctive selection with (a) fusion on, (b) fusion off
 compares against Thrust.  DESIGN.md calls this design choice out as the
 mechanism behind ArrayFire's Table II "full support" column for
 selections.
+
+Scope note: this measures ArrayFire's **element-wise JIT fusion** — the
+lazy evaluation that collapses a chain of map-style ops (the predicate
+arithmetic of one selection) into one generated kernel.  It fuses only
+within an operator's expression; the pipeline still materialises between
+operators.  **Whole-pipeline fusion** — scan → filter → probe →
+partial-aggregate as one kernel, the ``compiled`` backend — is a
+different, larger mechanism, ablated separately in
+``bench_fig_fused_pipeline.py``.  Don't read this figure as the ceiling
+on fusion.
 """
 
 import numpy as np
@@ -54,7 +64,7 @@ def test_ablation_jit_fusion(benchmark):
     edge_with = thrust / fused
     edge_without = thrust / unfused
     text = "\n".join([
-        f"== Ablation 1: ArrayFire JIT fusion "
+        f"== Ablation 1: ArrayFire element-wise JIT fusion "
         f"({PREDICATES}-predicate conjunction, n={N}, warm) ==",
         f"  arrayfire, fusion ON   (1 fused kernel): {fused:10.4f} ms",
         f"  arrayfire, fusion OFF  (eager per-op):   {unfused:10.4f} ms",
@@ -64,9 +74,11 @@ def test_ablation_jit_fusion(benchmark):
         f"without: {edge_without:.2f}x",
         "  (the residual unfused edge comes from ArrayFire's 1-byte bool"
         " intermediates vs the chain's int32 flags)",
+        "  (element-wise JIT fusion only; whole-pipeline fusion is"
+        " ablated in bench_fig_fused_pipeline.py)",
     ])
     print("\n" + text)
-    write_report("ablation_fusion", text, directory=out_dir())
+    write_report("ablation_jit_fusion", text, directory=out_dir())
 
     # Fusion is worth a material factor on multi-predicate selections...
     assert unfused / fused > 1.4
@@ -75,7 +87,7 @@ def test_ablation_jit_fusion(benchmark):
     assert (edge_with - 1.0) > 1.5 * (edge_without - 1.0)
 
 
-def test_ablation_fusion_preserves_results(benchmark):
+def test_ablation_jit_fusion_preserves_results(benchmark):
     data = uniform_ints(N // 16, seed=301)
     predicate = col_gt("c0", 500_000)
 

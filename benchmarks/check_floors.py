@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Benchmark-floor gate: fail CI when a smoke artifact regresses.
+
+The fast lanes each save a small metrics JSON (``fig_serve_smoke.json``,
+``fig_scaleout_smoke.json``, ``fig_fused_smoke.json``).  Before this
+gate, the performance floors lived only inside the *full* benchmark
+runs, which CI does not execute — a regression would sail through as
+long as the smoke finished.  This script parses the uploaded artifacts
+and enforces the floors:
+
+* **fused** — warm kernel-time speedup of the compiled backend over the
+  handwritten baseline, per query, against the floor recorded in the
+  artifact itself (2x by default, matching
+  ``bench_fig_fused_pipeline.py``);
+* **scaleout** — Q6 multi-GPU speedup against a device-count-dependent
+  floor (2.5x at >= 4 devices, the full benchmark's assertion; 1.2x for
+  the 2-device smoke), and every query faster than 1 device;
+* **serve** — every request completed, nothing shed, non-zero
+  throughput.
+
+Usage::
+
+    python benchmarks/check_floors.py ARTIFACT_DIR [MORE_PATHS...]
+    python benchmarks/check_floors.py --require fused out/fig_fused_smoke.json
+
+Paths may be files or directories (searched recursively for the known
+artifact names).  ``--require`` names the artifacts that must be present
+(default: all three); a missing required artifact fails the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+#: Fallback when an artifact predates the embedded "floor" field.
+FUSED_DEFAULT_FLOOR = 2.0
+
+#: Q6 scale-out floors keyed by minimum device count.  The full
+#: ``bench_fig_scaleout.py`` run asserts 2.5x at 4 devices; the 2-device
+#: CI smoke measures ~1.35x, gated at 1.2x.
+SCALEOUT_Q6_FLOORS = ((4, 2.5), (2, 1.2))
+
+
+def _scaleout_q6_floor(devices: int) -> float:
+    for min_devices, floor in SCALEOUT_Q6_FLOORS:
+        if devices >= min_devices:
+            return floor
+    return 1.0
+
+
+def check_fused(payload: Dict) -> List[str]:
+    failures = []
+    floor = float(payload.get("floor", FUSED_DEFAULT_FLOOR))
+    queries = payload.get("queries", {})
+    if not queries:
+        return ["fused: artifact has no queries"]
+    for name, row in sorted(queries.items()):
+        speedup = float(row["kernel_speedup"])
+        if speedup < floor:
+            failures.append(
+                f"fused: {name} kernel speedup {speedup:.2f}x is below "
+                f"the {floor:.1f}x floor"
+            )
+    return failures
+
+
+def check_scaleout(payload: Dict) -> List[str]:
+    failures = []
+    if not payload:
+        return ["scaleout: artifact has no queries"]
+    for name, row in sorted(payload.items()):
+        devices = int(row["devices"])
+        speedup = float(row["speedup"])
+        floor = _scaleout_q6_floor(devices) if name == "Q6" else 1.0
+        if speedup < floor:
+            failures.append(
+                f"scaleout: {name} speedup {speedup:.2f}x at {devices} "
+                f"devices is below the {floor:.1f}x floor"
+            )
+    return failures
+
+
+def check_serve(payload: Dict) -> List[str]:
+    metrics = payload.get("metrics", {})
+    if not metrics:
+        return ["serve: artifact has no metrics"]
+    failures = []
+    completed = int(metrics.get("completed", 0))
+    total = int(metrics.get("total_requests", 0))
+    shed = int(metrics.get("shed", 0))
+    if completed != total:
+        failures.append(
+            f"serve: only {completed}/{total} requests completed"
+        )
+    if shed:
+        failures.append(f"serve: {shed} requests shed under smoke load")
+    if float(metrics.get("throughput_qps", 0.0)) <= 0.0:
+        failures.append("serve: zero throughput")
+    return failures
+
+
+#: Known artifact file names -> (short name, checker).
+CHECKS = {
+    "fig_fused_smoke.json": ("fused", check_fused),
+    "fig_scaleout_smoke.json": ("scaleout", check_scaleout),
+    "fig_serve_smoke.json": ("serve", check_serve),
+}
+
+
+def _collect(paths: Sequence[str]) -> Dict[str, Path]:
+    """Map short artifact names to the files found under ``paths``."""
+    found: Dict[str, Path] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = [
+                hit for name in CHECKS for hit in sorted(path.rglob(name))
+            ]
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            entry = CHECKS.get(candidate.name)
+            if entry is not None and candidate.is_file():
+                found.setdefault(entry[0], candidate)
+    return found
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate CI on the smoke artifacts' performance floors."
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="smoke JSON files, or directories to search recursively",
+    )
+    parser.add_argument(
+        "--require", default="serve,scaleout,fused",
+        help="comma-separated artifacts that must be present "
+             "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    required = [
+        name.strip() for name in args.require.split(",") if name.strip()
+    ]
+    known = {short for short, _check in CHECKS.values()}
+    unknown = sorted(set(required) - known)
+    if unknown:
+        parser.error(
+            f"unknown artifact(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+
+    found = _collect(args.paths)
+    failures: List[str] = []
+    for short in required:
+        if short not in found:
+            failures.append(f"{short}: required artifact not found")
+    for _name, (short, check) in CHECKS.items():
+        path = found.get(short)
+        if path is None:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(f"{short}: cannot parse {path}: {exc}")
+            continue
+        result = check(payload)
+        failures.extend(result)
+        status = "FAIL" if result else "ok"
+        print(f"[{status:>4}] {short:<9} {path}")
+    if failures:
+        print("\nfloor gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nfloor gate passed: "
+          f"{', '.join(sorted(found))} within their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

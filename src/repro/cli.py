@@ -148,17 +148,26 @@ def _make_group(args: argparse.Namespace):
     )
 
 
+def _tpch_backends(args: argparse.Namespace) -> tuple:
+    """Backend list for the tpch command: ``--backend a,b`` or defaults."""
+    raw = getattr(args, "backend", None)
+    if not raw:
+        return DEFAULT_BACKENDS
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
 def _tpch_distributed(args: argparse.Namespace, catalog, plan) -> int:
     """Partition-parallel tpch run: one device group per backend."""
     from repro.distributed import DistributedExecutor
 
+    backends = _tpch_backends(args)
     framework = default_framework()
     print(
         f"\n{'backend':>16}  {'cold ms':>10}  {'warm ms':>10}  "
         f"{'strategy':>18}  {'rows':>6}"
     )
     trace_group = None
-    for name in DEFAULT_BACKENDS:
+    for name in backends:
         group = _make_group(args)
         executor = DistributedExecutor(
             group,
@@ -188,7 +197,7 @@ def _tpch_distributed(args: argparse.Namespace, catalog, plan) -> int:
         from repro.distributed import write_group_chrome_trace
 
         if trace_group is None:
-            known = ", ".join(DEFAULT_BACKENDS)
+            known = ", ".join(backends)
             raise SystemExit(
                 f"unknown trace backend {args.trace_backend!r}; known: {known}"
             )
@@ -220,13 +229,14 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
         plan = module.plan()
     if args.devices > 1:
         return _tpch_distributed(args, catalog, plan)
+    backends = _tpch_backends(args)
     framework = default_framework()
     print(
         f"\n{'backend':>16}  {'cold ms':>10}  {'warm ms':>10}  "
         f"{'kernels':>8}  {'rows':>6}"
     )
     trace_device = None
-    for name in DEFAULT_BACKENDS:
+    for name in backends:
         device = _make_device(args)
         executor = QueryExecutor(
             framework.create(name, device),
@@ -251,7 +261,7 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
         from repro.gpu import write_chrome_trace
 
         if trace_device is None:
-            known = ", ".join(DEFAULT_BACKENDS)
+            known = ", ".join(backends)
             raise SystemExit(
                 f"unknown trace backend {args.trace_backend!r}; known: {known}"
             )
@@ -470,6 +480,13 @@ def build_parser() -> argparse.ArgumentParser:
     tpch.add_argument("--query", default="Q6",
                       help="one of " + ", ".join(sorted(ALL_QUERIES)))
     tpch.add_argument("--scale-factor", type=float, default=0.01)
+    tpch.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated backends to run (e.g. 'compiled,handwritten'; "
+        "default: " + ",".join(DEFAULT_BACKENDS) + ")",
+    )
     tpch.add_argument(
         "--chunks",
         type=int,

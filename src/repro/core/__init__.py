@@ -21,6 +21,7 @@ from repro.core.backend import (
     join_reference,
 )
 from repro.core.boost_backend import BoostComputeBackend
+from repro.core.compiled_backend import FUSION_MODES, CompiledBackend
 from repro.core.cpu_backend import CpuReferenceBackend
 from repro.core.cudf_backend import CudfLikeBackend
 from repro.core.framework import (
@@ -83,6 +84,8 @@ __all__ = [
     "BoostComputeBackend",
     "ArrayFireBackend",
     "HandwrittenBackend",
+    "CompiledBackend",
+    "FUSION_MODES",
     "CpuReferenceBackend",
     "CudfLikeBackend",
     "ThrustHashBackend",

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 from repro.core.arrayfire_backend import ArrayFireBackend
 from repro.core.backend import OperatorBackend
 from repro.core.boost_backend import BoostComputeBackend
+from repro.core.compiled_backend import CompiledBackend
 from repro.core.cpu_backend import CpuReferenceBackend
 from repro.core.cudf_backend import CudfLikeBackend
 from repro.core.handwritten_backend import HandwrittenBackend
@@ -35,6 +36,9 @@ class GpuOperatorFramework:
             self.register("boost.compute", BoostComputeBackend)
             self.register("arrayfire", ArrayFireBackend)
             self.register("handwritten", HandwrittenBackend)
+            # Whole-pipeline JIT compilation over the tuned operator set
+            # (ROADMAP item 2; Eiger-style fused segments).
+            self.register("compiled", CompiledBackend)
             self.register("cpu-reference", CpuReferenceBackend)
             # Extensions beyond the paper: a cuDF-class library with
             # hashing, and each studied library plus the hash join it

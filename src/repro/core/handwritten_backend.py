@@ -72,10 +72,70 @@ def _predicate_cost(predicate: Predicate) -> Tuple[float, int]:
     raise TypeError(f"unsupported predicate node {predicate!r}")
 
 
+def grouped_aggregate_host(
+    key_data: np.ndarray, value_data: np.ndarray, agg: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Host (NumPy-oracle) semantics of a keyed aggregation.
+
+    Shared by the eager hash-aggregate kernel below and the compiled
+    backend's fused group-by, so both produce bit-identical groups:
+    keys from ``np.unique`` (ascending), float64 accumulation, count as
+    int64.
+    """
+    unique_keys, inverse = np.unique(key_data, return_inverse=True)
+    groups = len(unique_keys)
+    if agg == "sum":
+        out = np.bincount(
+            inverse, weights=value_data.astype(np.float64), minlength=groups
+        )
+    elif agg == "count":
+        out = np.bincount(inverse, minlength=groups).astype(np.float64)
+    elif agg == "avg":
+        sums = np.bincount(
+            inverse, weights=value_data.astype(np.float64), minlength=groups
+        )
+        counts = np.bincount(inverse, minlength=groups)
+        out = sums / np.maximum(counts, 1)
+    elif agg == "min":
+        out = np.full(groups, np.inf)
+        np.minimum.at(out, inverse, value_data.astype(np.float64))
+    else:
+        out = np.full(groups, -np.inf)
+        np.maximum.at(out, inverse, value_data.astype(np.float64))
+    out_values = out if agg == "avg" else out.astype(
+        np.float64 if agg != "count" else np.int64, copy=False
+    )
+    return unique_keys, np.asarray(out_values)
+
+
+def reduction_host(data: np.ndarray, agg: str) -> float:
+    """Host (NumPy-oracle) semantics of a global reduction.
+
+    Mirrors the eager ``reduction`` operator exactly: float64
+    accumulation for sum/avg, empty sums are 0.0, empty min/max/avg
+    raise.
+    """
+    if len(data) == 0:
+        if agg == "sum":
+            return 0.0
+        raise ValueError(f"reduction {agg!r} of an empty column")
+    if agg == "sum":
+        return float(data.sum(dtype=np.float64))
+    if agg == "avg":
+        return float(data.mean(dtype=np.float64))
+    if agg == "min":
+        return float(data.min())
+    return float(data.max())
+
+
 class HandwrittenBackend(OperatorBackend):
     """Expert-tuned custom kernels for every operator."""
 
     name = "handwritten"
+
+    #: Runtime class instantiated per device; the compiled backend swaps
+    #: in its own subclass so its events carry a distinct library name.
+    runtime_class = HandwrittenRuntime
 
     #: Open-addressing hash tables are sized at 2x the key count to keep
     #: probe chains short (load factor 0.5).
@@ -85,7 +145,7 @@ class HandwrittenBackend(OperatorBackend):
 
     def __init__(self, device: Device) -> None:
         super().__init__(device)
-        self.runtime = HandwrittenRuntime(device)
+        self.runtime = self.runtime_class(device)
         self._hash_joiner = SimulatedHashJoin(
             device,
             profile=self.runtime.profile,
@@ -218,26 +278,10 @@ class HandwrittenBackend(OperatorBackend):
                 f"grouped_aggregation: {len(keys)} keys vs {len(values)} values"
             )
         key_data, value_data = keys.peek(), values.peek()
-        unique_keys, inverse = np.unique(key_data, return_inverse=True)
+        unique_keys, out_values = grouped_aggregate_host(
+            key_data, value_data, agg
+        )
         groups = len(unique_keys)
-        if agg == "sum":
-            out = np.bincount(
-                inverse, weights=value_data.astype(np.float64), minlength=groups
-            )
-        elif agg == "count":
-            out = np.bincount(inverse, minlength=groups).astype(np.float64)
-        elif agg == "avg":
-            sums = np.bincount(
-                inverse, weights=value_data.astype(np.float64), minlength=groups
-            )
-            counts = np.bincount(inverse, minlength=groups)
-            out = sums / np.maximum(counts, 1)
-        elif agg == "min":
-            out = np.full(groups, np.inf)
-            np.minimum.at(out, inverse, value_data.astype(np.float64))
-        else:
-            out = np.full(groups, -np.inf)
-            np.maximum.at(out, inverse, value_data.astype(np.float64))
         n = len(key_data)
         table_bytes = self.HASH_SLOT_BYTES * self.HASH_TABLE_OVERALLOC * max(
             groups, 1
@@ -255,12 +299,9 @@ class HandwrittenBackend(OperatorBackend):
             fixed_bytes=2.0 * table_bytes,  # init + final compaction
             passes=2,
         )
-        out_values = out if agg == "avg" else out.astype(
-            np.float64 if agg != "count" else np.int64, copy=False
-        )
         return (
             self._wrap(unique_keys, "hw::group_keys"),
-            self._wrap(np.asarray(out_values), "hw::group_values"),
+            self._wrap(out_values, "hw::group_values"),
         )
 
     def reduction(self, values: Handle, agg: str = "sum") -> float:
@@ -281,13 +322,7 @@ class HandwrittenBackend(OperatorBackend):
             passes=2,
         )
         self.device.transfer_to_host(8, "reduce_result")
-        if agg == "sum":
-            return float(data.sum(dtype=np.float64))
-        if agg == "avg":
-            return float(data.mean(dtype=np.float64))
-        if agg == "min":
-            return float(data.min())
-        return float(data.max())
+        return reduction_host(data, agg)
 
     # -- sorts / primitives --------------------------------------------------------------
 

@@ -214,7 +214,7 @@ def try_execute_chunked(
             executor.backend, catalog, join_strategy=executor.join_strategy
         )
         with device.stream_scope(streams[i % num_streams]):
-            relation = sub._execute(sub_plan, needed=None)
+            relation = sub._execute_root(sub_plan, needed=None)
             chunk_tables.append(
                 sub._materialise(relation, f"{result_name}.chunk{i}")
             )

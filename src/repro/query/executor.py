@@ -180,7 +180,7 @@ class QueryExecutor:
         cursor = device.profiler.mark()
         t0 = device.clock.now
         device.memory.reset_peak()
-        relation = self._execute(plan, needed=None)
+        relation = self._execute_root(plan, needed=None)
         table = self._materialise(relation, result_name)
         report = ExecutionReport(
             backend=self.backend.name,
@@ -268,6 +268,22 @@ class QueryExecutor:
 
     # -- node dispatch ----------------------------------------------------------------
 
+    def _execute_root(
+        self, plan: PlanNode, needed: Optional[Sequence[str]]
+    ) -> _Relation:
+        """Entry point for a (sub-)plan's root: picks the execution mode.
+
+        Backends advertising ``supports_fused_pipelines`` are routed
+        through the pipeline IR (:mod:`repro.query.compiled`), which fuses
+        unbroken operator segments into single kernels; everything else —
+        and fusion mode ``"off"`` — takes the eager node-by-node path.
+        """
+        if getattr(self.backend, "supports_fused_pipelines", False):
+            from repro.query.compiled import CompiledPlanRunner
+
+            return CompiledPlanRunner(self).run(plan, needed)
+        return self._execute(plan, needed)
+
     def _execute(
         self, plan: PlanNode, needed: Optional[Sequence[str]]
     ) -> _Relation:
@@ -285,12 +301,13 @@ class QueryExecutor:
             return self._execute_order_by(plan, needed)
         if isinstance(plan, Limit):
             relation = self._execute(plan.child, needed)
-            limit = plan.n if relation.row_limit is None else min(
-                plan.n, relation.row_limit
-            )
-            relation.row_limit = limit
-            return relation
+            return self._apply_limit(relation, plan.n)
         raise PlanError(f"unknown plan node {type(plan).__name__}")
+
+    def _apply_limit(self, relation: _Relation, n: int) -> _Relation:
+        limit = n if relation.row_limit is None else min(n, relation.row_limit)
+        relation.row_limit = limit
+        return relation
 
     # -- scan ----------------------------------------------------------------------------
 
@@ -336,6 +353,14 @@ class QueryExecutor:
             needed, plan.predicate.columns(), plan.child
         )
         relation = self._execute(plan.child, child_needed)
+        return self._apply_filter(relation, plan, needed)
+
+    def _apply_filter(
+        self,
+        relation: _Relation,
+        plan: Filter,
+        needed: Optional[Sequence[str]],
+    ) -> _Relation:
         predicate_columns = {
             name: relation.handle(name) for name in plan.predicate.columns()
         }
@@ -360,6 +385,9 @@ class QueryExecutor:
             None, plan.required_columns(), plan.child, restrict=True
         )
         relation = self._execute(plan.child, child_needed)
+        return self._apply_project(relation, plan)
+
+    def _apply_project(self, relation: _Relation, plan: Project) -> _Relation:
         columns: Dict[str, Handle] = {}
         meta: Dict[str, ColumnMeta] = {}
         for name, expr in plan.outputs:
@@ -401,6 +429,15 @@ class QueryExecutor:
                 right_needed.append(plan.right_on)
         left = self._execute(plan.left, left_needed)
         right = self._execute(plan.right, right_needed)
+        return self._apply_join(left, right, plan, needed)
+
+    def _apply_join(
+        self,
+        left: _Relation,
+        right: _Relation,
+        plan: Join,
+        needed: Optional[Sequence[str]],
+    ) -> _Relation:
         left_ids, right_ids = self._run_join(
             plan.algorithm,
             left.handle(plan.left_on),
@@ -468,6 +505,9 @@ class QueryExecutor:
             None, plan.required_columns(), plan.child, restrict=True
         )
         relation = self._execute(plan.child, child_needed)
+        return self._apply_group_by(relation, plan)
+
+    def _apply_group_by(self, relation: _Relation, plan: GroupBy) -> _Relation:
         if not plan.keys:
             return self._global_aggregation(plan, relation)
         key_handle, strides = self._composite_key(plan.keys, relation)
@@ -604,6 +644,9 @@ class QueryExecutor:
             needed, frozenset({plan.key}), plan.child
         )
         relation = self._execute(plan.child, child_needed)
+        return self._apply_order_by(relation, plan)
+
+    def _apply_order_by(self, relation: _Relation, plan: OrderBy) -> _Relation:
         key_handle = relation.handle(plan.key)
         if isinstance(key_handle, _HostColumn):
             # Group-by outputs are host-resident; sort them on the host.

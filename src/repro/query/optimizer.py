@@ -30,6 +30,7 @@ while the logical rules need neither.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.core.expr import ColRef
@@ -286,6 +287,91 @@ def estimate_rows(plan: PlanNode, catalog: Dict[str, object]) -> int:
     if len(children) == 1:
         return estimate_rows(children[0], catalog)
     raise TypeError(f"cannot estimate cardinality of {type(plan).__name__}")
+
+
+# -- fusion-boundary cost model ----------------------------------------------
+#
+# Whole-pipeline fusion (the `compiled` backend) replaces an eager chain
+# of per-operator kernels with ONE kernel touching DRAM once.  That is
+# not free money: the fused kernel reads *every* input column over *all*
+# rows, while the eager chain's first kernel reads only the predicate
+# columns and later kernels touch survivors only.  The model below prices
+# both shapes in seconds on the simulated device and is what the
+# compiled backend's "auto" mode consults per pipeline segment.
+#
+# When fusion loses (both covered by the unit tests):
+#
+# * **tiny inputs** — the eager chain's extra launches cost almost
+#   nothing at small ``rows``, while fusion still pays its (amortised)
+#   compile share;
+# * **low-selectivity early exits** — a narrow predicate column guarding
+#   a wide payload: eager scans 4 B/row and then touches only the few
+#   survivors, fused drags the full payload through DRAM for every row.
+
+#: Kernel-launch latency the model charges per eager kernel (matches the
+#: simulated GTX 1080 Ti's ``launch_latency_s``).
+FUSION_LAUNCH_SECONDS = 5.0e-6
+#: Effective DRAM bandwidth (484 GB/s at TUNED_PROFILE's 0.92 memory
+#: efficiency) used to turn byte counts into seconds.
+FUSION_BANDWIDTH = 484.0e9 * 0.92
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """Outcome of one per-segment fusion call."""
+
+    fuse: bool
+    fused_seconds: float
+    eager_seconds: float
+
+
+def fusion_decision(
+    rows: int,
+    fused_read_bytes_per_row: float,
+    eager_first_bytes_per_row: float,
+    survivor_bytes_per_row: float,
+    num_filters: int,
+    eager_launches: int,
+    compile_seconds: float = 0.0,
+    *,
+    launch_seconds: float = FUSION_LAUNCH_SECONDS,
+    bandwidth: float = FUSION_BANDWIDTH,
+) -> FusionDecision:
+    """Should a pipeline segment run as one fused kernel?
+
+    ``fused_read_bytes_per_row`` is every distinct column the fused
+    kernel streams (predicate + payload); ``eager_first_bytes_per_row``
+    is what the eager chain's first kernel reads (its predicate columns);
+    ``survivor_bytes_per_row`` is the carried width of a surviving row.
+    Selectivity is estimated as ``FILTER_SELECTIVITY ** num_filters`` —
+    no statistics exist, the System R guess again.  ``compile_seconds``
+    is the caller's (amortised) codegen share: 0 on a program-cache hit.
+    """
+    n = max(rows, 0)
+    selectivity = FILTER_SELECTIVITY ** max(num_filters, 0)
+    survivors = n * selectivity
+    fused_bytes = (
+        n * fused_read_bytes_per_row + survivors * survivor_bytes_per_row
+    )
+    # Eager: first kernel scans its inputs over all rows; each further
+    # kernel round-trips the surviving working set through DRAM.
+    extra_launches = max(eager_launches - 1, 0)
+    eager_bytes = (
+        n * eager_first_bytes_per_row
+        + survivors * survivor_bytes_per_row
+        + extra_launches * 2.0 * survivors * survivor_bytes_per_row
+    )
+    fused_seconds = (
+        launch_seconds + fused_bytes / bandwidth + max(compile_seconds, 0.0)
+    )
+    eager_seconds = (
+        max(eager_launches, 1) * launch_seconds + eager_bytes / bandwidth
+    )
+    return FusionDecision(
+        fuse=fused_seconds <= eager_seconds,
+        fused_seconds=fused_seconds,
+        eager_seconds=eager_seconds,
+    )
 
 
 def select_join_strategies(

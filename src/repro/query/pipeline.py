@@ -1,0 +1,432 @@
+"""Explicit pipeline IR: plans decomposed into fusable segments.
+
+Hyper-style pipeline decomposition (Neumann; Eiger and the tile-based
+model of Shanbhag et al. carry it to GPUs): a query plan splits at its
+*pipeline breakers* — operators that must see every input row before any
+output row exists.  Between breakers, rows flow through a chain of
+row-local operators (scan → filter → project → probe) that a compiling
+engine can execute as **one fused kernel over tiles**, touching DRAM once
+instead of once per operator.
+
+Breakers here, matching the executor's materialisation points:
+
+* **Join build** — the build side of a join materialises before the
+  probe streams through it; the build side becomes its own pipeline
+  ending in a :class:`BuildSink`.
+* **GroupBy merge** — per-tile partial aggregates exist inside the
+  pipeline, but merging them into final groups breaks it
+  (:class:`GroupBySink`).  Downstream operators start a new pipeline fed
+  by the merged groups.
+* **Sort** — an :class:`OrderBy` consumes everything before emitting
+  (:class:`SortSink`).
+
+The lowering pass (:func:`lower_plan`) mirrors the eager executor's
+top-down column pruning exactly — each source and stage records the same
+``needed`` column lists :class:`~repro.query.executor.QueryExecutor`
+would request — so a runner that interprets this IR (fused or eager)
+produces bit-identical relations, column order included.  The compiled
+backend's runner (:mod:`repro.query.compiled`) is that interpreter; the
+fusion-boundary cost model (:func:`repro.query.optimizer.fusion_decision`)
+chooses per pipeline whether fusing actually wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PlanError
+from repro.query.plan import (
+    Filter,
+    GroupBy,
+    Join,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+)
+
+# -- sources ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableSource:
+    """Pipeline input: a base-table scan.
+
+    ``columns`` is the pruned column list the scan uploads (None = all),
+    exactly what the eager executor's ``needed`` propagation would
+    request.
+    """
+
+    table: str
+    columns: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class PipelineSource:
+    """Pipeline input: the materialised output of an earlier pipeline."""
+
+    pid: int
+
+
+Source = Union[TableSource, PipelineSource]
+
+
+# -- stages (row-local operators, fusable) ------------------------------------
+
+
+@dataclass(frozen=True)
+class FilterStage:
+    """Predicate selection.  ``keep`` is the pruned column list the
+    surviving rows carry forward (None = all)."""
+
+    plan: Filter
+    keep: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class ProjectStage:
+    """Column projection / expression derivation."""
+
+    plan: Project
+
+
+@dataclass(frozen=True)
+class ProbeStage:
+    """Probe side of a join: stream rows against ``build_pid``'s
+    materialised build relation.  ``keep`` prunes the joined output."""
+
+    plan: Join
+    build_pid: int
+    keep: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class LimitStage:
+    """Row-limit annotation (applied at materialisation, like the eager
+    executor's ``row_limit``)."""
+
+    plan: Limit
+
+
+Stage = Union[FilterStage, ProjectStage, ProbeStage, LimitStage]
+
+
+# -- sinks (pipeline breakers / terminals) ------------------------------------
+
+
+@dataclass(frozen=True)
+class BuildSink:
+    """Materialise this pipeline's output as a join build side."""
+
+    plan: Join
+
+
+@dataclass(frozen=True)
+class GroupBySink:
+    """Merge per-tile aggregation partials into final groups."""
+
+    plan: GroupBy
+
+
+@dataclass(frozen=True)
+class SortSink:
+    """Full sort of the pipeline's output."""
+
+    plan: OrderBy
+
+
+@dataclass(frozen=True)
+class ResultSink:
+    """Terminal sink: the query result."""
+
+
+Sink = Union[BuildSink, GroupBySink, SortSink, ResultSink]
+
+
+# -- pipelines ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """One unbroken segment: source → row-local stages → sink."""
+
+    pid: int
+    source: Source
+    stages: Tuple[Stage, ...]
+    sink: Sink
+
+    @property
+    def fusable(self) -> bool:
+        """Whether this segment is a *candidate* for whole-pipeline
+        fusion: it scans a base table and contains work a fused kernel
+        could absorb (at least one row-local stage, or an aggregation
+        sink).  Segments fed by earlier pipelines stay eager — their
+        inputs are small materialised breaker outputs, where per-operator
+        launches are already cheap.  Whether a candidate actually fuses
+        is the cost model's call.
+        """
+        if not isinstance(self.source, TableSource):
+            return False
+        has_work = any(
+            isinstance(s, (FilterStage, ProjectStage, ProbeStage))
+            for s in self.stages
+        )
+        return has_work or isinstance(self.sink, GroupBySink)
+
+    @property
+    def operator_count(self) -> int:
+        """Stages plus a non-result sink: the fused kernel's op count."""
+        return len(self.stages) + (
+            0 if isinstance(self.sink, ResultSink) else 1
+        )
+
+
+@dataclass(frozen=True)
+class PipelineProgram:
+    """All pipelines of one plan, in dependency order.
+
+    Every :class:`PipelineSource`/``build_pid`` reference points at an
+    earlier pipeline, so executing ``pipelines`` front to back satisfies
+    all dependencies; ``result_pid`` names the terminal pipeline.
+    """
+
+    pipelines: Tuple[Pipeline, ...]
+    result_pid: int
+
+    def __post_init__(self) -> None:
+        for pipeline in self.pipelines:
+            if isinstance(pipeline.source, PipelineSource):
+                if pipeline.source.pid >= pipeline.pid:
+                    raise PlanError(
+                        f"pipeline {pipeline.pid} reads from a later "
+                        f"pipeline {pipeline.source.pid}"
+                    )
+            for stage in pipeline.stages:
+                if isinstance(stage, ProbeStage) and (
+                    stage.build_pid >= pipeline.pid
+                ):
+                    raise PlanError(
+                        f"pipeline {pipeline.pid} probes a later build "
+                        f"pipeline {stage.build_pid}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.pipelines)
+
+
+# -- lowering -----------------------------------------------------------------
+
+
+@dataclass
+class _Lowering:
+    """Mutable state threaded through one lowering pass."""
+
+    columns_of: Callable[[PlanNode], List[str]]
+    pipelines: List[Pipeline] = field(default_factory=list)
+
+    def close(self, source: Source, stages: List[Stage], sink: Sink) -> int:
+        pid = len(self.pipelines)
+        self.pipelines.append(Pipeline(pid, source, tuple(stages), sink))
+        return pid
+
+
+def _merge_needed(
+    state: _Lowering,
+    needed: Optional[Sequence[str]],
+    extra: frozenset,
+    child: PlanNode,
+) -> Optional[List[str]]:
+    """Mirror of ``QueryExecutor._merge_needed`` (non-restricting form)."""
+    if needed is None:
+        return None
+    merged = set(needed) | set(extra)
+    available = set(state.columns_of(child))
+    return sorted(merged & available)
+
+
+def _lower(
+    state: _Lowering, node: PlanNode, needed: Optional[Sequence[str]]
+) -> Tuple[Source, List[Stage]]:
+    """Lower ``node`` into the currently-open pipeline.
+
+    Returns the open pipeline's (source, stages); breakers close the open
+    pipeline and start a fresh one fed by its output.  The ``needed``
+    propagation replicates the eager executor's recursion case by case,
+    which is what makes an IR interpreter bit-identical to it.
+    """
+    if isinstance(node, Scan):
+        columns = tuple(needed) if needed is not None else None
+        return TableSource(node.table, columns), []
+    if isinstance(node, Filter):
+        child_needed = _merge_needed(
+            state, needed, node.predicate.columns(), node.child
+        )
+        source, stages = _lower(state, node.child, child_needed)
+        keep = tuple(needed) if needed is not None else None
+        stages.append(FilterStage(node, keep))
+        return source, stages
+    if isinstance(node, Project):
+        child_needed = sorted(node.required_columns())
+        source, stages = _lower(state, node.child, child_needed)
+        stages.append(ProjectStage(node))
+        return source, stages
+    if isinstance(node, Limit):
+        source, stages = _lower(state, node.child, needed)
+        stages.append(LimitStage(node))
+        return source, stages
+    if isinstance(node, Join):
+        left_available = state.columns_of(node.left)
+        right_available = state.columns_of(node.right)
+        overlap = set(left_available) & set(right_available)
+        if overlap:
+            raise PlanError(
+                f"join sides share column names {sorted(overlap)}; "
+                "project/rename before joining"
+            )
+        if needed is None:
+            left_needed: Optional[List[str]] = None
+            right_needed: Optional[List[str]] = None
+        else:
+            left_needed = [n for n in needed if n in left_available]
+            right_needed = [n for n in needed if n in right_available]
+            if node.left_on not in left_needed:
+                left_needed.append(node.left_on)
+            if node.right_on not in right_needed:
+                right_needed.append(node.right_on)
+        # Build side first: the probe cannot start until it exists.
+        build_source, build_stages = _lower(state, node.right, right_needed)
+        build_pid = state.close(build_source, build_stages, BuildSink(node))
+        source, stages = _lower(state, node.left, left_needed)
+        keep = tuple(needed) if needed is not None else None
+        stages.append(ProbeStage(node, build_pid, keep))
+        return source, stages
+    if isinstance(node, GroupBy):
+        child_needed = sorted(node.required_columns())
+        source, stages = _lower(state, node.child, child_needed)
+        pid = state.close(source, stages, GroupBySink(node))
+        return PipelineSource(pid), []
+    if isinstance(node, OrderBy):
+        child_needed = _merge_needed(
+            state, needed, frozenset({node.key}), node.child
+        )
+        source, stages = _lower(state, node.child, child_needed)
+        pid = state.close(source, stages, SortSink(node))
+        return PipelineSource(pid), []
+    raise PlanError(f"cannot lower plan node {type(node).__name__}")
+
+
+def _catalog_columns_of(catalog: Dict[str, object]):
+    """An ``columns_of`` callable over a host-table catalog (mirror of
+    ``QueryExecutor._output_columns``)."""
+
+    def columns_of(plan: PlanNode) -> List[str]:
+        if isinstance(plan, Scan):
+            try:
+                table = catalog[plan.table]
+            except KeyError:
+                known = ", ".join(sorted(catalog))
+                raise PlanError(
+                    f"unknown table {plan.table!r}; catalog has: {known}"
+                )
+            return list(table.column_names)  # type: ignore[attr-defined]
+        if isinstance(plan, Project):
+            return [name for name, _expr in plan.outputs]
+        if isinstance(plan, GroupBy):
+            return list(plan.keys) + [a.name for a in plan.aggregates]
+        if isinstance(plan, Join):
+            left = columns_of(plan.left)
+            right = columns_of(plan.right)
+            overlap = set(left) & set(right)
+            if overlap:
+                raise PlanError(
+                    f"join sides share column names {sorted(overlap)}; "
+                    "project/rename before joining"
+                )
+            return left + right
+        children = plan.children()
+        if len(children) == 1:
+            return columns_of(children[0])
+        raise PlanError(f"cannot derive output columns of {plan!r}")
+
+    return columns_of
+
+
+def lower_plan(
+    plan: PlanNode,
+    catalog: Optional[Dict[str, object]] = None,
+    columns_of: Optional[Callable[[PlanNode], List[str]]] = None,
+    needed: Optional[Sequence[str]] = None,
+) -> PipelineProgram:
+    """Decompose ``plan`` into its pipeline program.
+
+    Column pruning needs plan output schemas: pass either a ``catalog``
+    (table name → object with ``column_names``) or a ready ``columns_of``
+    callable (the compiled runner passes the executor's own
+    ``_output_columns`` so both agree by construction).  ``needed``
+    seeds the top-level pruning (None = materialise everything, the
+    executor's root behaviour).
+    """
+    if columns_of is None:
+        if catalog is None:
+            raise PlanError("lower_plan needs a catalog or a columns_of")
+        columns_of = _catalog_columns_of(catalog)
+    state = _Lowering(columns_of=columns_of)
+    source, stages = _lower(state, plan, needed)
+    result_pid = state.close(source, stages, ResultSink())
+    return PipelineProgram(tuple(state.pipelines), result_pid)
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _describe_source(source: Source) -> str:
+    if isinstance(source, TableSource):
+        columns = (
+            "*" if source.columns is None else ", ".join(source.columns)
+        )
+        return f"scan {source.table}[{columns}]"
+    return f"pipeline #{source.pid}"
+
+
+def _describe_stage(stage: Stage) -> str:
+    if isinstance(stage, FilterStage):
+        return f"filter {stage.plan.predicate!r}"
+    if isinstance(stage, ProjectStage):
+        outs = ", ".join(name for name, _ in stage.plan.outputs)
+        return f"project [{outs}]"
+    if isinstance(stage, ProbeStage):
+        return (
+            f"probe #{stage.build_pid} on "
+            f"{stage.plan.left_on} = {stage.plan.right_on}"
+        )
+    return f"limit {stage.plan.n}"
+
+
+def _describe_sink(sink: Sink) -> str:
+    if isinstance(sink, BuildSink):
+        return f"build[{sink.plan.right_on}]"
+    if isinstance(sink, GroupBySink):
+        keys = ", ".join(sink.plan.keys) if sink.plan.keys else "<global>"
+        return f"group-merge[{keys}]"
+    if isinstance(sink, SortSink):
+        direction = "desc" if sink.plan.descending else "asc"
+        return f"sort[{sink.plan.key} {direction}]"
+    return "result"
+
+
+def explain_pipelines(program: PipelineProgram) -> str:
+    """Indented textual rendering of a pipeline program."""
+    lines = []
+    for pipeline in program.pipelines:
+        marker = "*" if pipeline.pid == program.result_pid else " "
+        fusable = "fusable" if pipeline.fusable else "eager"
+        lines.append(
+            f"{marker}#{pipeline.pid} [{fusable}] "
+            f"{_describe_source(pipeline.source)}"
+        )
+        for stage in pipeline.stages:
+            lines.append(f"    -> {_describe_stage(stage)}")
+        lines.append(f"    => {_describe_sink(pipeline.sink)}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""The benchmark-floor gate must demonstrably fail on a regression.
+
+``benchmarks/check_floors.py`` is the CI step that parses the fast
+lanes' smoke JSONs and fails the job when an asserted floor regresses.
+These tests drive its importable ``main(argv)`` with synthetic
+artifacts: the healthy set passes, and each class of injected regression
+(fused speedup below floor, scale-out Q6 below its device-count floor,
+shed serve requests, a missing required artifact, unparsable JSON) flips
+the exit code — the ISSUE's requirement that the gate is *tested* to
+fail, not assumed to.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_floors",
+    Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "check_floors.py",
+)
+check_floors = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_floors)
+
+
+def _fused(q1=2.6, q6=3.6, floor=2.0):
+    return {
+        "floor": floor,
+        "scale_factor": 0.01,
+        "queries": {
+            "Q1": {"kernel_speedup": q1, "e2e_speedup": 1.7,
+                   "kernel_ms_eager": 1.0, "kernel_ms_fused": 1.0 / q1},
+            "Q6": {"kernel_speedup": q6, "e2e_speedup": 2.7,
+                   "kernel_ms_eager": 0.2, "kernel_ms_fused": 0.2 / q6},
+        },
+    }
+
+
+def _scaleout(q6=1.35, devices=2):
+    return {
+        name: {"devices": devices, "strategy": "partition_parallel",
+               "speedup": speedup, "makespan_ms_1": 1.0,
+               "makespan_ms_n": 1.0 / speedup}
+        for name, speedup in (("Q1", 1.38), ("Q6", q6), ("Q3", 1.22))
+    }
+
+
+def _serve(completed=16, total=16, shed=0, throughput=8800.0):
+    return {
+        "metrics": {
+            "total_requests": total,
+            "completed": completed,
+            "shed": shed,
+            "throughput_qps": throughput,
+        },
+        "requests": [],
+    }
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    def write(fused=None, scaleout=None, serve=None):
+        payloads = {
+            "fig_fused_smoke.json": fused if fused is not None else _fused(),
+            "fig_scaleout_smoke.json": (
+                scaleout if scaleout is not None else _scaleout()
+            ),
+            "fig_serve_smoke.json": serve if serve is not None else _serve(),
+        }
+        for name, payload in payloads.items():
+            (tmp_path / name).write_text(json.dumps(payload))
+        return tmp_path
+
+    return write
+
+
+class TestHealthyArtifacts:
+    def test_all_floors_met_passes(self, artifacts):
+        assert check_floors.main([str(artifacts())]) == 0
+
+    def test_nested_directories_are_searched(self, artifacts, tmp_path):
+        root = artifacts()
+        nested = tmp_path / "downloaded" / "fused-smoke-metrics"
+        nested.mkdir(parents=True)
+        (root / "fig_fused_smoke.json").rename(
+            nested / "fig_fused_smoke.json"
+        )
+        assert check_floors.main([str(tmp_path)]) == 0
+
+    def test_single_required_artifact_by_file(self, tmp_path):
+        path = tmp_path / "fig_fused_smoke.json"
+        path.write_text(json.dumps(_fused()))
+        assert check_floors.main(["--require", "fused", str(path)]) == 0
+
+    def test_four_device_scaleout_passes_the_full_floor(self, artifacts):
+        root = artifacts(scaleout=_scaleout(q6=2.7, devices=4))
+        assert check_floors.main([str(root)]) == 0
+
+
+class TestInjectedRegressions:
+    def test_fused_speedup_below_floor_fails(self, artifacts, capsys):
+        root = artifacts(fused=_fused(q6=1.4))
+        assert check_floors.main([str(root)]) == 1
+        err = capsys.readouterr().err
+        assert "Q6 kernel speedup 1.40x" in err
+
+    def test_fused_floor_comes_from_the_artifact(self, artifacts):
+        # Same measurements, stricter recorded floor: the gate tracks
+        # the benchmark's own constant, not a stale copy here.
+        root = artifacts(fused=_fused(q1=2.6, q6=3.6, floor=4.0))
+        assert check_floors.main([str(root)]) == 1
+
+    def test_scaleout_q6_below_smoke_floor_fails(self, artifacts, capsys):
+        root = artifacts(scaleout=_scaleout(q6=1.05))
+        assert check_floors.main([str(root)]) == 1
+        assert "below the 1.2x floor" in capsys.readouterr().err
+
+    def test_scaleout_q6_floor_tightens_at_four_devices(self, artifacts):
+        # 1.35x passes the 2-device smoke but regresses a 4-device run.
+        root = artifacts(scaleout=_scaleout(q6=1.35, devices=4))
+        assert check_floors.main([str(root)]) == 1
+
+    def test_serve_shed_requests_fail(self, artifacts, capsys):
+        root = artifacts(serve=_serve(completed=14, total=16, shed=2))
+        assert check_floors.main([str(root)]) == 1
+        err = capsys.readouterr().err
+        assert "14/16 requests completed" in err
+        assert "2 requests shed" in err
+
+    def test_missing_required_artifact_fails(self, artifacts, capsys):
+        root = artifacts()
+        (root / "fig_serve_smoke.json").unlink()
+        assert check_floors.main([str(root)]) == 1
+        assert "serve: required artifact not found" in (
+            capsys.readouterr().err
+        )
+
+    def test_unparsable_artifact_fails(self, artifacts):
+        root = artifacts()
+        (root / "fig_fused_smoke.json").write_text("{not json")
+        assert check_floors.main([str(root)]) == 1
+
+    def test_unknown_required_name_is_a_usage_error(self, artifacts):
+        with pytest.raises(SystemExit) as excinfo:
+            check_floors.main(
+                ["--require", "warp-speed", str(artifacts())]
+            )
+        assert excinfo.value.code == 2
+
+
+class TestCommandLine:
+    def test_runs_as_a_script(self, artifacts):
+        import subprocess
+
+        script = (
+            Path(__file__).resolve().parent.parent.parent
+            / "benchmarks"
+            / "check_floors.py"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script), str(artifacts())],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "floor gate passed" in proc.stdout

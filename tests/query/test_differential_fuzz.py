@@ -40,12 +40,14 @@ from repro.query.plan import PlanNode, explain
 from repro.relational.table import Table
 
 #: Backends under differential test: the three studied libraries, the
-#: expert baseline, the CPU oracle backend, and the hash-join extensions.
+#: expert baseline, the whole-pipeline compiler, the CPU oracle backend,
+#: and the hash-join extensions.
 FUZZ_BACKENDS = (
     "thrust",
     "boost.compute",
     "arrayfire",
     "handwritten",
+    "compiled",
     "cpu-reference",
     "thrust+hash",
     "boost.compute+hash",

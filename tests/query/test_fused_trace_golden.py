@@ -1,0 +1,88 @@
+"""Golden-file test: the compiled backend's FUSED events in a Chrome trace.
+
+A fixed, fully deterministic workload — a filter → keyed-aggregate query
+over arange data on the compiled backend with fusion forced on — is
+exported with :func:`repro.gpu.chrome_trace_json` and compared
+byte-for-byte against a checked-in golden file.  The trace is the
+user-visible proof of the fused execution model: one ``codegen`` compile
+interval, then a single ``FUSED[scan|filter|partial-agg]`` kernel where
+the eager backends would show a per-operator chain, followed by the small
+group-merge kernel and the host round-trip.
+
+Regenerate the golden after an *intentional* cost or format change with::
+
+    PYTHONPATH=src python tests/query/test_fused_trace_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CompiledBackend
+from repro.core.expr import col
+from repro.core.predicate import col_lt
+from repro.gpu import Device, chrome_trace_json
+from repro.query import QueryExecutor, scan
+from repro.relational import Column, Table
+
+GOLDEN = Path(__file__).parent / "golden" / "fused_pipeline_trace.json"
+
+
+def _fused_workload() -> Device:
+    """The pinned workload: scan → filter → partial-agg, fused."""
+    n = 4_096
+    table = Table("measurements", [
+        Column.from_values("sensor", (np.arange(n) % 16).astype(np.int32)),
+        Column.from_values("reading", np.arange(n, dtype=np.float64) * 0.5),
+    ])
+    backend = CompiledBackend(Device(), fusion="on")
+    plan = (
+        scan("measurements")
+        .filter(col_lt("reading", 1_000.0))
+        .group_by(["sensor"], [("total", "sum", col("reading")),
+                               ("n", "count", None)])
+        .build()
+    )
+    QueryExecutor(backend, {"measurements": table}).execute(plan)
+    return backend.device
+
+
+def _render() -> str:
+    return chrome_trace_json(_fused_workload().profiler.events) + "\n"
+
+
+def test_trace_matches_golden_byte_for_byte():
+    assert GOLDEN.exists(), (
+        f"golden file missing: {GOLDEN}; regenerate with "
+        "`PYTHONPATH=src python tests/query/test_fused_trace_golden.py`"
+    )
+    assert _render() == GOLDEN.read_text()
+
+
+def test_trace_contains_the_fused_execution_story():
+    events = [
+        row
+        for row in json.loads(_render())["traceEvents"]
+        if row["ph"] == "X"
+    ]
+    names = [e["name"] for e in events]
+    # One codegen interval, before the fused kernel.
+    codegen = [n for n in names if n.startswith("compiled::codegen[")]
+    assert len(codegen) == 1
+    fused = [n for n in names if n.startswith("compiled::FUSED[")]
+    assert fused == [
+        "compiled::FUSED[scan measurements|filter|partial-agg[2]]"
+    ]
+    assert names.index(codegen[0]) < names.index(fused[0])
+    # The only other kernel work is the merge; no per-operator chain.
+    assert "compiled::groupmerge[2 aggs]" in names
+    assert not any("selection" in n or "gather" in n for n in names)
+
+
+if __name__ == "__main__":  # regenerate the golden file
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(_render())
+    print(f"wrote {GOLDEN}")

@@ -78,5 +78,56 @@ class TestProjectLayout:
             "bench_fig_tpch_q1.py", "bench_fig_tpch_joins.py",
             "bench_fig_breakdown.py", "bench_fig_transfer.py",
             "bench_ablation_fusion.py", "bench_ablation_compile_cache.py",
+            "bench_fig_fused_pipeline.py",
         }
         assert required <= benches
+
+
+class TestCiWorkflow:
+    """Text-level lint of .github/workflows/ci.yml (no YAML dependency):
+    the ISSUE-6 CI invariants — zero duplicated setup blocks, a
+    concurrency group, the fused fast lane, and the floor gate."""
+
+    @pytest.fixture
+    def ci_text(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        return (root / ".github" / "workflows" / "ci.yml").read_text()
+
+    def test_setup_boilerplate_lives_in_the_composite_action(self, ci_text):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        action = root / ".github" / "actions" / "setup-repro" / "action.yml"
+        assert action.exists()
+        action_text = action.read_text()
+        assert "actions/setup-python" in action_text
+        assert 'pip install -e ".[test]"' in action_text
+        # The workflow itself carries ZERO copies of the boilerplate...
+        assert "actions/setup-python" not in ci_text
+        assert "pip install -e" not in ci_text
+        # ...every job goes through the composite instead (checkout must
+        # stay per-job: a local action only resolves after checkout).
+        jobs = ci_text.count("runs-on:")
+        assert ci_text.count("./.github/actions/setup-repro") == jobs
+        assert ci_text.count("actions/checkout") == jobs
+
+    def test_concurrency_cancels_superseded_runs(self, ci_text):
+        assert "\nconcurrency:" in ci_text
+        assert "cancel-in-progress: true" in ci_text
+
+    def test_fused_fast_lane(self, ci_text):
+        assert "tests/query/test_pipeline.py" in ci_text
+        assert "tests/query/test_compiled_backend.py" in ci_text
+        assert "bench_fig_fused_pipeline.py" in ci_text
+        assert "fused-smoke-metrics" in ci_text
+
+    def test_smoke_lanes_write_outside_the_checkout(self, ci_text):
+        # Every benchmark smoke redirects through REPRO_BENCH_OUT; no
+        # lane uploads smoke JSON from the checkout's benchmarks/out.
+        for lane in ("serve", "scaleout", "fused"):
+            assert f'REPRO_BENCH_OUT="$RUNNER_TEMP/{lane}"' in ci_text
+            assert f"runner.temp }}}}/{lane}/fig_" in ci_text
+        assert "benchmarks/out/fig_" not in ci_text
+
+    def test_floor_gate_runs_after_the_smoke_lanes(self, ci_text):
+        assert "benchmarks/check_floors.py" in ci_text
+        assert "needs: [serve, distributed, fused]" in ci_text
+        assert "actions/download-artifact" in ci_text

@@ -16,7 +16,12 @@ and enforces the floors:
   floor (2.5x at >= 4 devices, the full benchmark's assertion; 1.2x for
   the 2-device smoke), and every query faster than 1 device;
 * **serve** — every request completed, nothing shed, non-zero
-  throughput.
+  throughput;
+* **tpch** — the whole-suite smoke (``fig_tpch_suite_smoke.json``):
+  every query matches its NumPy oracle, warm runtime stays under the
+  per-query ceiling recorded in the artifact, and the compiled backend
+  never falls behind the eager baseline.  Not required by default —
+  pass it explicitly via ``--require ...,tpch`` in lanes that upload it.
 
 Usage::
 
@@ -103,11 +108,45 @@ def check_serve(payload: Dict) -> List[str]:
     return failures
 
 
+#: A smoke artifact with fewer queries than this has silently lost
+#: suite coverage, whatever its per-query numbers say.
+TPCH_MIN_QUERIES = 10
+
+
+def check_tpch(payload: Dict) -> List[str]:
+    failures = []
+    queries = payload.get("queries", {})
+    if len(queries) < TPCH_MIN_QUERIES:
+        failures.append(
+            f"tpch: only {len(queries)} queries in the artifact "
+            f"(expected >= {TPCH_MIN_QUERIES})"
+        )
+    ratio_ceiling = float(payload.get("ratio_ceiling", 1.0))
+    for name, row in sorted(queries.items()):
+        if not row.get("oracle_match", False):
+            failures.append(f"tpch: {name} result diverged from the oracle")
+        warm_ms = float(row["warm_ms"])
+        ceiling_ms = float(row["ceiling_ms"])
+        if warm_ms > ceiling_ms:
+            failures.append(
+                f"tpch: {name} warm {warm_ms:.3f} ms is above its "
+                f"{ceiling_ms:.2f} ms ceiling"
+            )
+        ratio = float(row["ratio"])
+        if ratio > ratio_ceiling:
+            failures.append(
+                f"tpch: {name} compiled/eager ratio {ratio:.2f} exceeds "
+                f"{ratio_ceiling:.2f} (fusion regression)"
+            )
+    return failures
+
+
 #: Known artifact file names -> (short name, checker).
 CHECKS = {
     "fig_fused_smoke.json": ("fused", check_fused),
     "fig_scaleout_smoke.json": ("scaleout", check_scaleout),
     "fig_serve_smoke.json": ("serve", check_serve),
+    "fig_tpch_suite_smoke.json": ("tpch", check_tpch),
 }
 
 

@@ -212,21 +212,32 @@ def _tpch_distributed(args: argparse.Namespace, catalog, plan) -> int:
 
 
 def _cmd_tpch(args: argparse.Namespace) -> int:
-    query_name = args.query.upper()
-    try:
-        module = ALL_QUERIES[query_name]
-    except KeyError:
-        known = ", ".join(sorted(ALL_QUERIES))
-        raise SystemExit(f"unknown query {args.query!r}; known: {known}")
+    module = None
+    if args.sql is None:
+        query_name = args.query.upper()
+        try:
+            module = ALL_QUERIES[query_name]
+        except KeyError:
+            known = ", ".join(sorted(ALL_QUERIES))
+            raise SystemExit(f"unknown query {args.query!r}; known: {known}")
     print(f"Generating TPC-H data (scale factor {args.scale_factor})...")
     catalog = TpchGenerator(scale_factor=args.scale_factor).generate()
-    # Q3/Q5/Q10 plans need the catalog (for dictionary codes).
-    import inspect
+    if args.sql is not None:
+        from repro.sql import SqlError, sql_to_plan
 
-    if "catalog" in inspect.signature(module.plan).parameters:
-        plan = module.plan(catalog)
+        try:
+            plan = sql_to_plan(args.sql, catalog)
+        except SqlError as error:
+            raise SystemExit(f"SQL error: {error}")
     else:
-        plan = module.plan()
+        # Catalog-aware plans (SQL-frontend queries, Q3/Q5/Q10) need the
+        # generated tables for dictionary codes and schema lookups.
+        import inspect
+
+        if "catalog" in inspect.signature(module.plan).parameters:
+            plan = module.plan(catalog)
+        else:
+            plan = module.plan()
     if args.devices > 1:
         return _tpch_distributed(args, catalog, plan)
     backends = _tpch_backends(args)
@@ -344,6 +355,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"Generating TPC-H data (scale factor {args.scale_factor})...")
     catalog = TpchGenerator(scale_factor=args.scale_factor).generate()
     specs = _query_specs(args.queries.split(","), catalog)
+    if args.sql is not None:
+        from repro.serve import QuerySpec
+        from repro.sql import SqlError, sql_to_plan
+
+        try:
+            specs.append(QuerySpec("ADHOC", sql_to_plan(args.sql, catalog)))
+        except SqlError as error:
+            raise SystemExit(f"SQL error: {error}")
+        print("ad-hoc SQL added to the mix as 'ADHOC'")
     if args.clients is not None:
         workload = ClosedLoopWorkload(
             specs,
@@ -479,6 +499,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tpch.add_argument("--query", default="Q6",
                       help="one of " + ", ".join(sorted(ALL_QUERIES)))
+    tpch.add_argument(
+        "--sql",
+        metavar="QUERY",
+        default=None,
+        help="run ad-hoc SQL text through the frontend instead of a "
+        "named query (e.g. \"SELECT COUNT(*) AS n FROM orders\")",
+    )
     tpch.add_argument("--scale-factor", type=float, default=0.01)
     tpch.add_argument(
         "--backend",
@@ -581,6 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="Q6,Q1",
         help="comma-separated TPC-H query mix "
         "(" + ", ".join(sorted(ALL_QUERIES)) + ")",
+    )
+    serve.add_argument(
+        "--sql",
+        metavar="QUERY",
+        default=None,
+        help="add one ad-hoc SQL query (served as tenant mix entry "
+        "'ADHOC') alongside --queries",
     )
     serve.add_argument("--backend", default="thrust",
                        help="library backend to serve on")

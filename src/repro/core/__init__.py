@@ -43,6 +43,7 @@ from repro.core.predicate import (
     Between,
     Compare,
     CompareCols,
+    InSet,
     Not,
     Or,
     Predicate,
@@ -51,6 +52,7 @@ from repro.core.predicate import (
     col_eq,
     col_ge,
     col_gt,
+    col_in,
     col_le,
     col_lt,
     col_ne,
@@ -97,9 +99,11 @@ __all__ = [
     "Compare",
     "CompareCols",
     "Between",
+    "InSet",
     "And",
     "Or",
     "Not",
+    "col_in",
     "col_lt",
     "col_le",
     "col_gt",

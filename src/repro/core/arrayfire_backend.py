@@ -27,12 +27,21 @@ from repro.core.backend import (
     SupportLevel,
     join_reference,
 )
-from repro.core.expr import ARITH_OPS, BinOp, ColRef, Expr, Lit
+from repro.core.expr import (
+    ARITH_OPS,
+    BinOp,
+    CaseWhen,
+    ColRef,
+    Expr,
+    ExtractYear,
+    Lit,
+)
 from repro.core.predicate import (
     And,
     Between,
     Compare,
     CompareCols,
+    InSet,
     Not,
     Or,
     Predicate,
@@ -112,6 +121,14 @@ class ArrayFireBackend(OperatorBackend):
             mask = self._mask(columns, predicate.parts[0])
             for part in predicate.parts[1:]:
                 mask = mask | self._mask(columns, part)
+            return mask
+        if isinstance(predicate, InSet):
+            # No native isin: a chain of == comparisons OR-ed together,
+            # all of it one lazy tree the JIT fuses into a single kernel.
+            column = columns[predicate.column]
+            mask = column == predicate.values[0]
+            for value in predicate.values[1:]:
+                mask = mask | (column == value)
             return mask
         if isinstance(predicate, Not):
             return ~self._mask(columns, predicate.part)
@@ -291,6 +308,22 @@ class ArrayFireBackend(OperatorBackend):
                              "mul": "__rmul__", "div": "__rtruediv__"}[expr.op]
                 return getattr(right, reflected)(left)
             return getattr(left, operator)(right)
+        if isinstance(expr, ExtractYear):
+            child = self._lazy_expr(columns, expr.child)
+            if isinstance(child, float):
+                return 1992.0 + float(np.floor_divide(4 * int(child), 1461))
+            # No native floordiv: (q - q mod 1461) / 1461 is exact in
+            # float64 (the numerator is a multiple of 1461) and stays one
+            # lazy JIT tree.
+            quad = child.cast(np.float64) * 4.0
+            return ((quad - (quad % 1461.0)) / 1461.0) + 1992.0
+        if isinstance(expr, CaseWhen):
+            # Branch-free select: blend both arms with the 0/1 mask —
+            # arms, mask, and blend all fuse into the same JIT kernel.
+            keep = self._mask(columns, expr.condition).cast(np.float64)
+            then = self._lazy_expr(columns, expr.then)
+            otherwise = self._lazy_expr(columns, expr.otherwise)
+            return keep * then + (1.0 - keep) * otherwise
         raise TypeError(f"unsupported expression node {expr!r}")
 
     def iota(self, n: int) -> Handle:

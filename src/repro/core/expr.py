@@ -17,6 +17,7 @@ from typing import Dict, FrozenSet, Tuple, Union
 import numpy as np
 
 from repro.errors import ExpressionError
+from repro.core.predicate import Predicate
 
 #: op -> (numpy ufunc, per-element flops)
 ARITH_OPS = {
@@ -144,6 +145,108 @@ class BinOp(Expr):
         return f"({self.left!r} {symbol} {self.right!r})"
 
 
+#: Civil-calendar anchor of the engine's day-number encoding.
+EPOCH_YEAR = 1992
+
+#: Days in the 4-year leap cycle starting at the epoch (1992 is a leap
+#: year, so the cycle is 366+365+365+365).
+_LEAP_CYCLE_DAYS = 1461
+
+
+@dataclass(frozen=True)
+class ExtractYear(Expr):
+    """``EXTRACT(YEAR FROM column)`` over epoch-day date columns.
+
+    Dates are stored as int32 days since 1992-01-01.  Because 1992 opens
+    a 4-year leap cycle, ``year = 1992 + (4*days) // 1461`` is exact for
+    every day in [1992-01-01, 2099-12-31] — a single multiply and an
+    integer divide, which is also how a real kernel would price it.
+    """
+
+    child: Expr
+
+    def columns(self) -> FrozenSet[str]:
+        return self.child.columns()
+
+    def evaluate(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        days = self.child.evaluate(columns)
+        return EPOCH_YEAR + np.floor_divide(
+            4 * days.astype(np.int64), _LEAP_CYCLE_DAYS
+        ).astype(np.float64)
+
+    @property
+    def node_count(self) -> int:
+        return 1 + self.child.node_count
+
+    @property
+    def flops(self) -> float:
+        # one multiply + one integer divide (priced like div) + one add
+        return 6.0 + self.child.flops
+
+    def __repr__(self) -> str:
+        return f"year({self.child!r})"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """``CASE WHEN condition THEN then ELSE otherwise END``.
+
+    The condition is a :class:`~repro.core.predicate.Predicate`; both
+    branches are expressions.  Backends evaluate it as a predicated
+    select (``np.where`` semantics): both arms are computed and blended
+    by the mask, matching how a branch-free GPU kernel would run it.
+    """
+
+    condition: Predicate
+    then: Expr
+    otherwise: Expr
+
+    def columns(self) -> FrozenSet[str]:
+        return (
+            self.condition.columns()
+            | self.then.columns()
+            | self.otherwise.columns()
+        )
+
+    def evaluate(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        mask = self.condition.evaluate(columns)
+        return np.where(
+            mask, self.then.evaluate(columns), self.otherwise.evaluate(columns)
+        ).astype(np.float64)
+
+    @property
+    def node_count(self) -> int:
+        # the select itself plus every arm node; the predicate's leaves
+        # count as one node (backends evaluate it as one flag vector).
+        return 2 + self.then.node_count + self.otherwise.node_count
+
+    @property
+    def flops(self) -> float:
+        cond_flops = sum(
+            getattr(leaf, "flops", 1.0) for leaf in _predicate_leaves(self.condition)
+        )
+        return 1.0 + cond_flops + self.then.flops + self.otherwise.flops
+
+    def __repr__(self) -> str:
+        return (
+            f"case({self.condition!r} ? {self.then!r} : {self.otherwise!r})"
+        )
+
+
+def _predicate_leaves(predicate: Predicate) -> Tuple[Predicate, ...]:
+    """Leaf comparisons of a predicate tree (for costing CASE conditions)."""
+    parts = getattr(predicate, "parts", None)
+    if parts is not None:
+        out: Tuple[Predicate, ...] = ()
+        for part in parts:
+            out = out + _predicate_leaves(part)
+        return out
+    part = getattr(predicate, "part", None)
+    if part is not None:
+        return _predicate_leaves(part)
+    return (predicate,)
+
+
 ExprLike = Union[Expr, int, float, str]
 
 
@@ -168,8 +271,23 @@ def lit(value: float) -> Lit:
     return Lit(float(value))
 
 
+def year_of(column: ExprLike) -> ExtractYear:
+    """Shorthand ``EXTRACT(YEAR FROM column)`` constructor."""
+    return ExtractYear(as_expr(column))
+
+
+def case_when(condition: Predicate, then: ExprLike,
+              otherwise: ExprLike) -> CaseWhen:
+    """Shorthand ``CASE WHEN ... THEN ... ELSE ... END`` constructor."""
+    return CaseWhen(condition, as_expr(then), as_expr(otherwise))
+
+
 def flatten(expr: Expr) -> Tuple[Expr, ...]:
     """Post-order traversal of the tree's nodes (used by eager backends)."""
     if isinstance(expr, BinOp):
         return flatten(expr.left) + flatten(expr.right) + (expr,)
+    if isinstance(expr, ExtractYear):
+        return flatten(expr.child) + (expr,)
+    if isinstance(expr, CaseWhen):
+        return flatten(expr.then) + flatten(expr.otherwise) + (expr,)
     return (expr,)

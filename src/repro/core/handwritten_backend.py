@@ -35,6 +35,7 @@ from repro.core.predicate import (
     Between,
     Compare,
     CompareCols,
+    InSet,
     Not,
     Or,
     Predicate,
@@ -56,7 +57,7 @@ class HandwrittenRuntime(LibraryRuntime):
 
 def _predicate_cost(predicate: Predicate) -> Tuple[float, int]:
     """(flops per element, distinct columns read) for a fused predicate."""
-    if isinstance(predicate, (Compare, Between)):
+    if isinstance(predicate, (Compare, Between, InSet)):
         return predicate.flops, 1
     if isinstance(predicate, CompareCols):
         return predicate.flops, 2

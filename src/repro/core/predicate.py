@@ -146,6 +146,41 @@ class Between(Predicate):
 
 
 @dataclass(frozen=True)
+class InSet(Predicate):
+    """Membership test ``column IN (v0, v1, ...)`` (SQL IN-list).
+
+    String IN-lists reach this node already lowered to dictionary codes,
+    and resolved uncorrelated IN subqueries are spliced in as literal
+    value tuples, so every backend only ever sees numeric membership.
+    """
+
+    column: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ExpressionError(f"IN-list for {self.column!r} is empty")
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.column})
+
+    def evaluate(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+        data = _column(columns, self.column)
+        return np.isin(data, np.asarray(self.values))
+
+    @property
+    def flops(self) -> float:
+        """Binary-search probe into the sorted value set."""
+        return 1.0 + float(np.log2(max(len(self.values), 2)))
+
+    def __repr__(self) -> str:
+        if len(self.values) <= 4:
+            shown = ", ".join(repr(v) for v in self.values)
+            return f"({self.column} IN ({shown}))"
+        return f"({self.column} IN ({len(self.values)} values))"
+
+
+@dataclass(frozen=True)
 class And(Predicate):
     """Conjunction of two or more predicates."""
 
@@ -242,6 +277,11 @@ def col_ne(column: str, value: float) -> Compare:
 def col_between(column: str, low: float, high: float) -> Between:
     """``low <= column <= high``."""
     return Between(column, low, high)
+
+
+def col_in(column: str, values: Sequence[float]) -> InSet:
+    """``column IN (values...)`` with a deduplicated, sorted value list."""
+    return InSet(column, tuple(sorted(set(float(v) for v in values))))
 
 
 def col_cmp(left: str, op: str, right: str) -> CompareCols:

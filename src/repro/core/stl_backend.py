@@ -33,12 +33,21 @@ from repro.core.backend import (
     SupportLevel,
     join_reference,
 )
-from repro.core.expr import ARITH_OPS, BinOp, ColRef, Expr, Lit
+from repro.core.expr import (
+    ARITH_OPS,
+    BinOp,
+    CaseWhen,
+    ColRef,
+    Expr,
+    ExtractYear,
+    Lit,
+)
 from repro.core.predicate import (
     And,
     Between,
     Compare,
     CompareCols,
+    InSet,
     Not,
     Or,
     Predicate,
@@ -80,6 +89,20 @@ def _predicate_functor(predicate: Predicate) -> Functor:
 
         return Functor(
             f"flags{predicate!r}", apply_between, arity=1,
+            flops=predicate.flops + 0.5,
+        )
+    if isinstance(predicate, InSet):
+        reference_in = predicate
+
+        def apply_in(x: np.ndarray) -> np.ndarray:
+            return reference_in.evaluate(
+                {reference_in.column: x}
+            ).astype(np.int32)
+
+        # One binary search per element into the device-resident sorted
+        # value set (the set rides in constant memory, so no extra read).
+        return Functor(
+            f"flags{predicate!r}", apply_in, arity=1,
             flops=predicate.flops + 0.5,
         )
     raise TypeError(f"not a leaf predicate: {predicate!r}")
@@ -143,7 +166,7 @@ class StlStyleBackend(OperatorBackend):
 
     def _flags(self, columns: Dict[str, Handle], predicate: Predicate) -> Handle:
         """Flag vector (int32 0/1) for an arbitrary predicate tree."""
-        if isinstance(predicate, (Compare, Between)):
+        if isinstance(predicate, (Compare, Between, InSet)):
             column = columns[next(iter(predicate.columns()))]
             return self._lib.transform(column, _predicate_functor(predicate))
         if isinstance(predicate, CompareCols):
@@ -433,7 +456,55 @@ class StlStyleBackend(OperatorBackend):
                 return self._lib.transform(right, bound)
             binary = Functor(expr.op, ufunc, arity=2, flops=flops)
             return self._lib.transform(left, binary, right)
+        if isinstance(expr, ExtractYear):
+            child = self._compute_node(columns, expr.child)
+            if isinstance(child, float):
+                return 1992.0 + float(np.floor_divide(4 * int(child), 1461))
+            year = Functor(
+                "extract_year",
+                lambda x: (
+                    1992 + np.floor_divide(4 * x.astype(np.int64), 1461)
+                ).astype(np.float64),
+                arity=1, flops=6.0,
+            )
+            return self._lib.transform(child, year)
+        if isinstance(expr, CaseWhen):
+            # Branch-free eager composition: flags, then blend the two
+            # arms with multiply/add transforms (one launch per node —
+            # the chaining the paper attributes to STL composition).
+            flags = self._flags(columns, expr.condition)
+            then_term = self._case_arm(columns, expr.then, flags, invert=False)
+            other_term = self._case_arm(
+                columns, expr.otherwise, flags, invert=True
+            )
+            blend = Functor("case_blend", np.add, arity=2, flops=1.0)
+            return self._lib.transform(then_term, blend, other_term)
         raise TypeError(f"unsupported expression node {expr!r}")
+
+    def _case_arm(self, columns: Dict[str, Handle], arm: Expr,
+                  flags: Handle, invert: bool):
+        """One CASE arm masked by the (possibly inverted) flag vector."""
+        value = self._compute_node(columns, arm)
+        if isinstance(value, float):
+            constant = value
+
+            def apply_const(f: np.ndarray) -> np.ndarray:
+                keep = (1 - f) if invert else f
+                return (constant * keep).astype(np.float64)
+
+            name = "case_else_const" if invert else "case_then_const"
+            return self._lib.transform(
+                flags, Functor(name, apply_const, arity=1, flops=2.0)
+            )
+
+        def apply(v: np.ndarray, f: np.ndarray) -> np.ndarray:
+            keep = (1 - f) if invert else f
+            return (v * keep).astype(np.float64)
+
+        name = "case_else_mask" if invert else "case_then_mask"
+        return self._lib.transform(
+            value, Functor(name, apply, arity=2, flops=2.0), flags
+        )
 
     def iota(self, n: int) -> Handle:
         return self._iota_vector(n)

@@ -40,14 +40,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.core.predicate import And, Not, Or, Predicate
 from repro.query.chunked import COMBINABLE_AGGREGATES, _peel_wrappers
 from repro.query.plan import (
     Filter,
     GroupBy,
+    InSubquery,
     Join,
     PlanNode,
     Project,
     Scan,
+    ScalarCompare,
+    SemiJoin,
     walk,
 )
 from repro.relational.table import Table
@@ -58,6 +62,17 @@ def _contains_scan(node: PlanNode, table: str) -> bool:
     return any(
         isinstance(n, Scan) and n.table == table for n in walk(node)
     )
+
+
+def _has_subquery(predicate: Predicate) -> bool:
+    """True when a filter predicate still carries an unresolved subquery."""
+    if isinstance(predicate, (InSubquery, ScalarCompare)):
+        return True
+    if isinstance(predicate, (And, Or)):
+        return any(_has_subquery(part) for part in predicate.parts)
+    if isinstance(predicate, Not):
+        return _has_subquery(predicate.part)
+    return False
 
 
 def _scan_tables(node: PlanNode) -> List[str]:
@@ -146,6 +161,15 @@ def analyze(
             "partial form here"
         )
 
+    for node in walk(inner):
+        if isinstance(node, Filter) and _has_subquery(node.predicate):
+            # Per-device resolution would run the subquery against a
+            # *shard* of its tables, changing the membership set.
+            return _ineligible(
+                "plan carries an unresolved subquery predicate; it must "
+                "be resolved against the whole catalog first"
+            )
+
     tables = _scan_tables(inner)
     missing = sorted({t for t in tables if t not in catalog})
     if missing:
@@ -174,6 +198,14 @@ def analyze(
             f"table {sharded!r} is scanned more than once; sharding it "
             "would need multi-occurrence placement"
         )
+    for node in walk(inner):
+        if isinstance(node, SemiJoin) and _contains_scan(node.right, sharded):
+            # A semi/anti membership set built from one shard is
+            # incomplete: semi keeps too few rows, anti keeps too many.
+            return _ineligible(
+                f"a semi/anti join builds its key set from sharded table "
+                f"{sharded!r}; the membership test needs the whole table"
+            )
 
     inner_group_keys = tuple(
         frozenset(node.keys)

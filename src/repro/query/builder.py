@@ -26,6 +26,8 @@ from repro.query.plan import (
     PlanNode,
     Project,
     Scan,
+    SemiJoin,
+    TopK,
 )
 
 AggregateSpec = Tuple[str, str, Optional[Union[Expr, str]]]
@@ -75,6 +77,30 @@ class QueryBuilder:
             Join(self._plan, other._plan, left_on, right_on, algorithm)
         )
 
+    def semi_join(
+        self,
+        other: "QueryBuilder",
+        left_on: str,
+        right_on: str,
+        algorithm: str = "auto",
+    ) -> "QueryBuilder":
+        """Keep rows with at least one key match in ``other`` (SQL IN/EXISTS)."""
+        return QueryBuilder(
+            SemiJoin(self._plan, other._plan, left_on, right_on, False, algorithm)
+        )
+
+    def anti_join(
+        self,
+        other: "QueryBuilder",
+        left_on: str,
+        right_on: str,
+        algorithm: str = "auto",
+    ) -> "QueryBuilder":
+        """Keep rows with no key match in ``other`` (SQL NOT IN/NOT EXISTS)."""
+        return QueryBuilder(
+            SemiJoin(self._plan, other._plan, left_on, right_on, True, algorithm)
+        )
+
     def group_by(
         self,
         keys: Sequence[str],
@@ -106,6 +132,12 @@ class QueryBuilder:
     def limit(self, n: int) -> "QueryBuilder":
         """Append a Limit node."""
         return QueryBuilder(Limit(self._plan, n))
+
+    def top_k(
+        self, key: str, n: int, descending: bool = False
+    ) -> "QueryBuilder":
+        """Append a TopK node (ORDER BY + LIMIT in one operator)."""
+        return QueryBuilder(TopK(self._plan, key, n, descending))
 
     def __repr__(self) -> str:
         return f"QueryBuilder({self._plan!r})"

@@ -57,6 +57,7 @@ from repro.query.plan import (
     PlanNode,
     Project,
     Scan,
+    TopK,
 )
 from repro.relational.column import Column
 from repro.relational.table import Table, concat_tables
@@ -75,13 +76,15 @@ CHUNK_COUNT_HELPER = "__chunk_rows"
 
 
 def _peel_wrappers(plan: PlanNode) -> Tuple[PlanNode, List[PlanNode]]:
-    """Strip leading OrderBy/Limit nodes; returns (inner, wrappers).
+    """Strip leading OrderBy/Limit/TopK nodes; returns (inner, wrappers).
 
-    Wrappers come back outermost-first; re-apply them in reverse.
+    Wrappers come back outermost-first; re-apply them in reverse.  A
+    ``TopK`` peels like the OrderBy→Limit pair it fuses: the host
+    re-sort plus head slice reproduce its semantics exactly.
     """
     wrappers: List[PlanNode] = []
     node = plan
-    while isinstance(node, (OrderBy, Limit)):
+    while isinstance(node, (OrderBy, Limit, TopK)):
         wrappers.append(node)
         node = node.child
     return node, wrappers
@@ -347,12 +350,14 @@ def _combine_keyed_groups(
 def _apply_wrappers(
     table: Table, wrappers: List[PlanNode], result_name: str
 ) -> Table:
-    """Re-apply peeled OrderBy/Limit nodes to the combined host table."""
+    """Re-apply peeled OrderBy/Limit/TopK nodes to the combined table."""
     for wrapper in reversed(wrappers):
-        if isinstance(wrapper, OrderBy):
+        if isinstance(wrapper, (OrderBy, TopK)):
             order = np.argsort(table.column(wrapper.key).data, kind="stable")
             if wrapper.descending:
                 order = order[::-1]
+            if isinstance(wrapper, TopK):
+                order = order[: min(wrapper.n, table.num_rows)]
             table = table.take(order)
         else:  # Limit
             n = min(wrapper.n, table.num_rows)  # type: ignore[union-attr]

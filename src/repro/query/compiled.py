@@ -49,10 +49,12 @@ from repro.query.pipeline import (
     Pipeline,
     ProbeStage,
     ProjectStage,
+    SemiProbeStage,
     Sink,
     SortSink,
     Source,
     TableSource,
+    TopKSink,
     lower_plan,
 )
 from repro.query.plan import GroupBy, PlanNode, Scan
@@ -146,6 +148,9 @@ class CompiledPlanRunner:
                     len(stage.keep) if stage.keep is not None else len(names) + 1
                 )
                 launches += 2 + kept  # build + probe + output gathers
+            elif isinstance(stage, SemiProbeStage):
+                kept = len(stage.keep) if stage.keep is not None else len(names)
+                launches += 2 + kept  # build + membership + left gathers
         if isinstance(pipeline.sink, GroupBySink):
             aggregates = len(pipeline.sink.plan.aggregates)
             if pipeline.sink.plan.keys:
@@ -192,6 +197,10 @@ class CompiledPlanRunner:
                 relation = ex._apply_join(
                     relation, outputs[stage.build_pid], stage.plan, stage.keep
                 )
+            elif isinstance(stage, SemiProbeStage):
+                relation = ex._apply_semi_join(
+                    relation, outputs[stage.build_pid], stage.plan, stage.keep
+                )
             else:
                 relation = ex._apply_limit(relation, stage.plan.n)
         return self._apply_sink(relation, pipeline.sink)
@@ -201,6 +210,8 @@ class CompiledPlanRunner:
             return self.executor._apply_group_by(relation, sink.plan)
         if isinstance(sink, SortSink):
             return self.executor._apply_order_by(relation, sink.plan)
+        if isinstance(sink, TopKSink):
+            return self.executor._apply_top_k(relation, sink.plan)
         return relation  # Build/Result sinks: already materialised
 
     # -- fused segment ------------------------------------------------------------
@@ -302,6 +313,46 @@ class CompiledPlanRunner:
                     )
                 )
                 ops.append(f"probe[{plan.left_on}={plan.right_on}]")
+            elif isinstance(stage, SemiProbeStage):
+                plan = stage.plan
+                build = outputs[stage.build_pid]
+                key_handle = build.handle(plan.right_on)
+                build_keys = (
+                    key_handle.data
+                    if isinstance(key_handle, _HostColumn)
+                    else key_handle.peek()
+                )
+                mask = np.isin(host[plan.left_on], build_keys)
+                if plan.anti:
+                    mask = ~mask
+                # Ascending row ids: the same order the eager path's
+                # unique/setdiff1d over matched ids produces.
+                ids = np.flatnonzero(mask).astype(np.int64)
+                needed = stage.keep
+                new_host, new_meta = {}, {}
+                for name in host:
+                    if needed is not None and name not in needed:
+                        continue
+                    new_host[name] = host[name][ids]
+                    new_meta[name] = meta[name]
+                host, meta = new_host, new_meta
+                num_rows = len(ids)
+                row_limit = None  # joins drop the annotation, like eager
+                table_bytes = (
+                    backend.HASH_SLOT_BYTES
+                    * backend.HASH_TABLE_OVERALLOC
+                    * max(build.num_rows, 1)
+                )
+                flops += 6.0  # hash + membership chain per streamed row
+                fixed_flops += 10.0 * build.num_rows  # table build
+                fixed_bytes += 2.0 * table_bytes + float(
+                    sum(
+                        handle.itemsize * len(handle)
+                        for handle in build.columns.values()
+                    )
+                )
+                kind = "anti" if plan.anti else "semi"
+                ops.append(f"{kind}[{plan.left_on}={plan.right_on}]")
             else:  # LimitStage
                 n = stage.plan.n
                 row_limit = n if row_limit is None else min(n, row_limit)
@@ -342,6 +393,8 @@ class CompiledPlanRunner:
         )
         if isinstance(sink, SortSink):
             return ex._apply_order_by(relation, sink.plan)
+        if isinstance(sink, TopKSink):
+            return ex._apply_top_k(relation, sink.plan)
         return relation
 
     # -- fused aggregation --------------------------------------------------------

@@ -19,6 +19,15 @@ import numpy as np
 
 from repro.core.backend import Handle, Operator, OperatorBackend, SupportLevel
 from repro.core.expr import ColRef, Expr, Lit
+from repro.core.predicate import (
+    And,
+    Compare,
+    CompareCols,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+)
 from repro.errors import DeviceMemoryError, PlanError, UnsupportedOperatorError
 from repro.gpu.profiler import ProfileSummary
 from repro.query.optimizer import choose_join_algorithm
@@ -27,12 +36,16 @@ from repro.query.plan import (
     Aggregate,
     Filter,
     GroupBy,
+    InSubquery,
     Join,
     Limit,
     OrderBy,
     PlanNode,
     Project,
+    ScalarCompare,
     Scan,
+    SemiJoin,
+    TopK,
 )
 from repro.relational.column import Column
 from repro.relational.table import Table
@@ -152,6 +165,7 @@ class QueryExecutor:
         graceful degradation instead of a hard failure.  The retry's
         report carries the chunk count in ``oom_recovery_chunks``.
         """
+        plan = self._resolve_subqueries(plan)
         oom: Optional[DeviceMemoryError] = None
         if self.scan_chunks is not None:
             from repro.query.chunked import try_execute_chunked
@@ -241,6 +255,80 @@ class QueryExecutor:
                 raise retry_oom
             chunks = min(chunks * 2, max_chunks)
 
+    # -- subquery resolution ---------------------------------------------------------
+
+    def _resolve_subqueries(self, plan: PlanNode) -> PlanNode:
+        """Replace subquery predicates with literal predicates.
+
+        Uncorrelated IN and scalar subqueries are executed bottom-up
+        (each through a full ordinary execution, including upload and
+        download charges) and spliced into the outer plan as
+        :class:`~repro.core.predicate.InSet` / ``Compare`` literals, so
+        every downstream layer — backends, the compiled pipeline, the
+        chunked and distributed paths — only ever sees flattened plans.
+        The inner executions happen before the outer report's
+        measurement window opens; their cost is reported per subquery
+        run, not folded into the outer query's report.
+        """
+        if isinstance(plan, Filter):
+            return Filter(
+                self._resolve_subqueries(plan.child),
+                self._resolve_predicate(plan.predicate),
+            )
+        if isinstance(plan, (Join, SemiJoin)):
+            return replace(
+                plan,
+                left=self._resolve_subqueries(plan.left),
+                right=self._resolve_subqueries(plan.right),
+            )
+        if isinstance(plan, (Project, GroupBy, OrderBy, Limit, TopK)):
+            return replace(plan, child=self._resolve_subqueries(plan.child))
+        return plan
+
+    def _resolve_predicate(self, predicate: Predicate) -> Predicate:
+        if isinstance(predicate, (And, Or)):
+            return type(predicate)(
+                tuple(self._resolve_predicate(p) for p in predicate.parts)
+            )
+        if isinstance(predicate, Not):
+            return Not(self._resolve_predicate(predicate.part))
+        if isinstance(predicate, InSubquery):
+            values = self._run_subquery(predicate.subplan, predicate.output)
+            if len(values) == 0:
+                # IN () is vacuously false, NOT IN () vacuously true.
+                always_false = CompareCols(
+                    predicate.column, "ne", predicate.column
+                )
+                return Not(always_false) if predicate.negated else always_false
+            in_set = InSet(
+                predicate.column,
+                tuple(float(v) for v in np.unique(values)),
+            )
+            return Not(in_set) if predicate.negated else in_set
+        if isinstance(predicate, ScalarCompare):
+            values = self._run_subquery(predicate.subplan, predicate.output)
+            if len(values) != 1:
+                raise PlanError(
+                    f"scalar subquery for {predicate.column!r} returned "
+                    f"{len(values)} rows (expected exactly 1)"
+                )
+            return Compare(predicate.column, predicate.op, float(values[0]))
+        return predicate
+
+    def _run_subquery(self, subplan: PlanNode, output: str) -> np.ndarray:
+        """Execute an inner plan and return its ``output`` column's
+        physical values (dictionary columns yield their codes)."""
+        resolved = self._resolve_subqueries(subplan)
+        result = self._execute_whole(resolved, "subquery")
+        try:
+            column = result.table.column(output)
+        except Exception:
+            raise PlanError(
+                f"subquery does not produce column {output!r} "
+                f"(has: {', '.join(result.table.column_names)})"
+            )
+        return np.asarray(column.data)
+
     # -- static analysis -----------------------------------------------------------
 
     def _output_columns(self, plan: PlanNode) -> List[str]:
@@ -261,6 +349,9 @@ class QueryExecutor:
                     "project/rename before joining"
                 )
             return left + right
+        if isinstance(plan, SemiJoin):
+            # Right columns never escape a semi/anti join.
+            return self._output_columns(plan.left)
         children = plan.children()
         if len(children) == 1:
             return self._output_columns(children[0])
@@ -295,10 +386,14 @@ class QueryExecutor:
             return self._execute_project(plan)
         if isinstance(plan, Join):
             return self._execute_join(plan, needed)
+        if isinstance(plan, SemiJoin):
+            return self._execute_semi_join(plan, needed)
         if isinstance(plan, GroupBy):
             return self._execute_group_by(plan)
         if isinstance(plan, OrderBy):
             return self._execute_order_by(plan, needed)
+        if isinstance(plan, TopK):
+            return self._execute_top_k(plan, needed)
         if isinstance(plan, Limit):
             relation = self._execute(plan.child, needed)
             return self._apply_limit(relation, plan.n)
@@ -394,6 +489,22 @@ class QueryExecutor:
             if isinstance(expr, ColRef):
                 columns[name] = relation.handle(expr.name)
                 meta[name] = relation.meta[expr.name]
+            elif any(
+                isinstance(relation.columns[ref], _HostColumn)
+                for ref in expr.columns()
+            ):
+                # Aggregate outputs (e.g. global SUMs feeding a ratio
+                # projection) are host-resident; evaluate on the host.
+                host = {
+                    ref: relation.columns[ref].data
+                    if isinstance(relation.columns[ref], _HostColumn)
+                    else self.backend.download(relation.columns[ref])
+                    for ref in expr.columns()
+                }
+                columns[name] = _HostColumn(
+                    np.asarray(expr.evaluate(host), dtype=np.float64)
+                )
+                meta[name] = ColumnMeta(ctype=ColumnType.FLOAT64)
             else:
                 columns[name] = self.backend.compute(relation.columns, expr)
                 meta[name] = ColumnMeta(ctype=ColumnType.FLOAT64)
@@ -457,6 +568,72 @@ class QueryExecutor:
             columns[name] = self.backend.gather(handle, right_ids)
             meta[name] = right.meta[name]
         return _Relation(columns=columns, meta=meta, num_rows=matches)
+
+    # -- semi / anti join ---------------------------------------------------------------
+
+    def _execute_semi_join(
+        self, plan: SemiJoin, needed: Optional[Sequence[str]]
+    ) -> _Relation:
+        left_available = self._output_columns(plan.left)
+        if needed is None:
+            left_needed: Optional[List[str]] = None
+        else:
+            left_needed = [n for n in needed if n in left_available]
+            if plan.left_on not in left_needed:
+                left_needed.append(plan.left_on)
+        left = self._execute(plan.left, left_needed)
+        right = self._execute(
+            plan.right,
+            self._merge_needed(
+                None, frozenset({plan.right_on}), plan.right, restrict=True
+            ),
+        )
+        return self._apply_semi_join(left, right, plan, needed)
+
+    def _apply_semi_join(
+        self,
+        left: _Relation,
+        right: _Relation,
+        plan: SemiJoin,
+        needed: Optional[Sequence[str]],
+    ) -> _Relation:
+        """Join for the match ids, then keep (semi) or drop (anti) the
+        matched left rows.
+
+        The surviving-row-id set is deduplicated on the host (ascending
+        row ids — the same order a flag-vector filter would produce) and
+        re-uploaded, mirroring the group-by key round-trip: the studied
+        libraries ship no distinct-by-key primitive either.
+        """
+        left_ids, _right_ids = self._run_join(
+            plan.algorithm,
+            left.handle(plan.left_on),
+            right.handle(plan.right_on),
+        )
+        matched = np.unique(
+            self.backend.download(left_ids).astype(np.int64)
+        )
+        if plan.anti:
+            keep_ids = np.setdiff1d(
+                np.arange(left.num_rows, dtype=np.int64), matched,
+                assume_unique=True,
+            )
+        else:
+            keep_ids = matched
+        ids = self.backend.upload(keep_ids, label="semijoin.keep_ids")
+        keep = [
+            name for name in left.columns
+            if needed is None or name in needed
+        ]
+        columns = {
+            name: self.backend.gather(left.handle(name), ids)
+            for name in keep
+        }
+        return _Relation(
+            columns=columns,
+            meta={name: left.meta[name] for name in keep},
+            num_rows=len(keep_ids),
+        )
 
     def _run_join(
         self, algorithm: str, left_keys: Handle, right_keys: Handle
@@ -681,6 +858,51 @@ class QueryExecutor:
             num_rows=relation.num_rows,
             row_limit=relation.row_limit,
         )
+
+    # -- top-k --------------------------------------------------------------------------
+
+    def _execute_top_k(
+        self, plan: TopK, needed: Optional[Sequence[str]]
+    ) -> _Relation:
+        child_needed = self._merge_needed(
+            needed, frozenset({plan.key}), plan.child
+        )
+        relation = self._execute(plan.child, child_needed)
+        return self._apply_top_k(relation, plan)
+
+    def _apply_top_k(self, relation: _Relation, plan: TopK) -> _Relation:
+        """Full device sort, but only the head ``n`` row ids are gathered
+        per payload column — bit-identical to OrderBy→Limit (same
+        backend sort produces the same id order) with k-row gathers and
+        a k-row download instead of full-width materialisation."""
+        k = min(plan.n, relation.num_rows)
+        key_handle = relation.handle(plan.key)
+        if isinstance(key_handle, _HostColumn):
+            order = np.argsort(key_handle.data, kind="stable")
+            if plan.descending:
+                order = order[::-1]
+            order = order[:k]
+            columns = {
+                name: _reorder_host(handle, order, self.backend)
+                for name, handle in relation.columns.items()
+            }
+            return _Relation(
+                columns=columns, meta=relation.meta, num_rows=k
+            )
+        rowids = self.backend.iota(relation.num_rows)
+        _sorted_keys, sorted_ids = self.backend.sort_by_key(
+            key_handle, rowids, descending=plan.descending
+        )
+        head_ids = self.backend.gather(sorted_ids, self.backend.iota(k))
+        columns = {
+            name: self.backend.gather(handle, head_ids)
+            if not isinstance(handle, _HostColumn)
+            else _HostColumn(
+                handle.data[self.backend.download(head_ids).astype(np.int64)]
+            )
+            for name, handle in relation.columns.items()
+        }
+        return _Relation(columns=columns, meta=relation.meta, num_rows=k)
 
     # -- materialisation ----------------------------------------------------------------
 

@@ -33,12 +33,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from dataclasses import replace
+
 from repro.core.expr import ColRef
 from repro.core.predicate import (
     And,
     Between,
     Compare,
     CompareCols,
+    InSet,
     Not,
     Or,
     Predicate,
@@ -46,12 +49,16 @@ from repro.core.predicate import (
 from repro.query.plan import (
     Filter,
     GroupBy,
+    InSubquery,
     Join,
     Limit,
     OrderBy,
     PlanNode,
     Project,
+    ScalarCompare,
     Scan,
+    SemiJoin,
+    TopK,
 )
 
 #: Join algorithms the cost model can choose between, in preference order
@@ -104,6 +111,16 @@ def rename_predicate(
             mapping.get(predicate.left, predicate.left),
             predicate.op,
             mapping.get(predicate.right, predicate.right),
+        )
+    if isinstance(predicate, InSet):
+        return InSet(
+            mapping.get(predicate.column, predicate.column), predicate.values
+        )
+    if isinstance(predicate, (InSubquery, ScalarCompare)):
+        # The subplan is a closed scope; only the outer column renames.
+        return replace(
+            predicate,
+            column=mapping.get(predicate.column, predicate.column),
         )
     if isinstance(predicate, And):
         return And(tuple(rename_predicate(p, mapping) for p in predicate.parts))
@@ -211,10 +228,51 @@ def _optimize_once(plan: PlanNode) -> Optional[PlanNode]:
                 return node
             changed = True
             return Limit(child, node.n)
+        if isinstance(node, SemiJoin):
+            left = rebuild(node.left)
+            right = rebuild(node.right)
+            if left is node.left and right is node.right:
+                return node
+            changed = True
+            return replace(node, left=left, right=right)
+        if isinstance(node, TopK):
+            child = rebuild(node.child)
+            if child is node.child:
+                return node
+            changed = True
+            return replace(node, child=child)
         raise TypeError(f"unknown plan node {type(node).__name__}")
 
     result = rebuild(plan)
     return result if changed else None
+
+
+def push_down_top_k(plan: PlanNode) -> PlanNode:
+    """Fuse ``Limit(OrderBy(x))`` pairs into :class:`TopK` nodes.
+
+    Opt-in (not part of :func:`optimize`): the rewrite changes the
+    physical materialisation strategy — sort once, gather only the head
+    ``n`` ids per column — while keeping results bit-identical, so the
+    binder applies it to SQL plans with a top-level ORDER BY + LIMIT.
+    """
+    if isinstance(plan, Limit) and isinstance(plan.child, OrderBy):
+        inner = plan.child
+        return TopK(
+            push_down_top_k(inner.child), inner.key, plan.n, inner.descending
+        )
+    if isinstance(plan, (Join, SemiJoin)):
+        left = push_down_top_k(plan.left)
+        right = push_down_top_k(plan.right)
+        if left is plan.left and right is plan.right:
+            return plan
+        return replace(plan, left=left, right=right)
+    children = plan.children()
+    if len(children) == 1:
+        child = push_down_top_k(children[0])
+        if child is children[0]:
+            return plan
+        return replace(plan, child=child)
+    return plan
 
 
 # -- cost-based join selection ----------------------------------------------
@@ -276,12 +334,20 @@ def estimate_rows(plan: PlanNode, catalog: Dict[str, object]) -> int:
         right = estimate_rows(plan.right, catalog)
         # FK joins keep each row of the referencing (larger) side once.
         return max(left, right)
+    if isinstance(plan, SemiJoin):
+        # A semi/anti join can only shrink its left side; reuse the
+        # filter guess for the kept fraction.
+        return max(
+            1, int(estimate_rows(plan.left, catalog) * FILTER_SELECTIVITY)
+        )
     if isinstance(plan, GroupBy):
         if not plan.keys:
             return 1
         # Distinct-group guess: sqrt of the input (Cardenas-style shrink).
         return max(1, math.isqrt(estimate_rows(plan.child, catalog)))
     if isinstance(plan, Limit):
+        return min(plan.n, estimate_rows(plan.child, catalog))
+    if isinstance(plan, TopK):
         return min(plan.n, estimate_rows(plan.child, catalog))
     children = plan.children()
     if len(children) == 1:
@@ -424,6 +490,26 @@ def select_join_strategies(
         if isinstance(node, Limit):
             child = rebuild(node.child)
             return node if child is node.child else Limit(child, node.n)
+        if isinstance(node, SemiJoin):
+            left = rebuild(node.left)
+            right = rebuild(node.right)
+            algorithm = node.algorithm
+            if algorithm in ("auto", "cost"):
+                algorithm = choose_join_algorithm(
+                    estimate_rows(node.left, catalog),
+                    estimate_rows(node.right, catalog),
+                    supported,
+                )
+            if (
+                left is node.left
+                and right is node.right
+                and algorithm == node.algorithm
+            ):
+                return node
+            return replace(node, left=left, right=right, algorithm=algorithm)
+        if isinstance(node, TopK):
+            child = rebuild(node.child)
+            return node if child is node.child else replace(node, child=child)
         raise TypeError(f"unknown plan node {type(node).__name__}")
 
     return rebuild(plan)

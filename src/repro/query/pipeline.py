@@ -45,6 +45,8 @@ from repro.query.plan import (
     PlanNode,
     Project,
     Scan,
+    SemiJoin,
+    TopK,
 )
 
 # -- sources ------------------------------------------------------------------
@@ -103,6 +105,18 @@ class ProbeStage:
 
 
 @dataclass(frozen=True)
+class SemiProbeStage:
+    """Probe side of a semi/anti join: stream rows against
+    ``build_pid``'s materialised key set, keeping (semi) or dropping
+    (anti) matching rows.  Only left columns survive; ``keep`` prunes
+    them."""
+
+    plan: SemiJoin
+    build_pid: int
+    keep: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
 class LimitStage:
     """Row-limit annotation (applied at materialisation, like the eager
     executor's ``row_limit``)."""
@@ -110,7 +124,7 @@ class LimitStage:
     plan: Limit
 
 
-Stage = Union[FilterStage, ProjectStage, ProbeStage, LimitStage]
+Stage = Union[FilterStage, ProjectStage, ProbeStage, SemiProbeStage, LimitStage]
 
 
 # -- sinks (pipeline breakers / terminals) ------------------------------------
@@ -120,7 +134,7 @@ Stage = Union[FilterStage, ProjectStage, ProbeStage, LimitStage]
 class BuildSink:
     """Materialise this pipeline's output as a join build side."""
 
-    plan: Join
+    plan: Union[Join, SemiJoin]
 
 
 @dataclass(frozen=True)
@@ -138,11 +152,18 @@ class SortSink:
 
 
 @dataclass(frozen=True)
+class TopKSink:
+    """Sort the pipeline's output and keep the head ``n`` rows."""
+
+    plan: TopK
+
+
+@dataclass(frozen=True)
 class ResultSink:
     """Terminal sink: the query result."""
 
 
-Sink = Union[BuildSink, GroupBySink, SortSink, ResultSink]
+Sink = Union[BuildSink, GroupBySink, SortSink, TopKSink, ResultSink]
 
 
 # -- pipelines ----------------------------------------------------------------
@@ -170,7 +191,8 @@ class Pipeline:
         if not isinstance(self.source, TableSource):
             return False
         has_work = any(
-            isinstance(s, (FilterStage, ProjectStage, ProbeStage))
+            isinstance(s, (FilterStage, ProjectStage, ProbeStage,
+                           SemiProbeStage))
             for s in self.stages
         )
         return has_work or isinstance(self.sink, GroupBySink)
@@ -204,7 +226,7 @@ class PipelineProgram:
                         f"pipeline {pipeline.source.pid}"
                     )
             for stage in pipeline.stages:
-                if isinstance(stage, ProbeStage) and (
+                if isinstance(stage, (ProbeStage, SemiProbeStage)) and (
                     stage.build_pid >= pipeline.pid
                 ):
                     raise PlanError(
@@ -302,6 +324,30 @@ def _lower(
         keep = tuple(needed) if needed is not None else None
         stages.append(ProbeStage(node, build_pid, keep))
         return source, stages
+    if isinstance(node, SemiJoin):
+        left_available = state.columns_of(node.left)
+        if needed is None:
+            left_needed: Optional[List[str]] = None
+        else:
+            left_needed = [n for n in needed if n in left_available]
+            if node.left_on not in left_needed:
+                left_needed.append(node.left_on)
+        # Only the key column of the right side is ever consulted.
+        build_source, build_stages = _lower(
+            state, node.right, [node.right_on]
+        )
+        build_pid = state.close(build_source, build_stages, BuildSink(node))
+        source, stages = _lower(state, node.left, left_needed)
+        keep = tuple(needed) if needed is not None else None
+        stages.append(SemiProbeStage(node, build_pid, keep))
+        return source, stages
+    if isinstance(node, TopK):
+        child_needed = _merge_needed(
+            state, needed, frozenset({node.key}), node.child
+        )
+        source, stages = _lower(state, node.child, child_needed)
+        pid = state.close(source, stages, TopKSink(node))
+        return PipelineSource(pid), []
     if isinstance(node, GroupBy):
         child_needed = sorted(node.required_columns())
         source, stages = _lower(state, node.child, child_needed)
@@ -345,6 +391,8 @@ def _catalog_columns_of(catalog: Dict[str, object]):
                     "project/rename before joining"
                 )
             return left + right
+        if isinstance(plan, SemiJoin):
+            return columns_of(plan.left)
         children = plan.children()
         if len(children) == 1:
             return columns_of(children[0])
@@ -401,6 +449,12 @@ def _describe_stage(stage: Stage) -> str:
             f"probe #{stage.build_pid} on "
             f"{stage.plan.left_on} = {stage.plan.right_on}"
         )
+    if isinstance(stage, SemiProbeStage):
+        kind = "anti-probe" if stage.plan.anti else "semi-probe"
+        return (
+            f"{kind} #{stage.build_pid} on "
+            f"{stage.plan.left_on} = {stage.plan.right_on}"
+        )
     return f"limit {stage.plan.n}"
 
 
@@ -413,6 +467,9 @@ def _describe_sink(sink: Sink) -> str:
     if isinstance(sink, SortSink):
         direction = "desc" if sink.plan.descending else "asc"
         return f"sort[{sink.plan.key} {direction}]"
+    if isinstance(sink, TopKSink):
+        direction = "desc" if sink.plan.descending else "asc"
+        return f"top-k[{sink.plan.key} {direction}, n={sink.plan.n}]"
     return "result"
 
 

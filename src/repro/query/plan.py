@@ -113,6 +113,42 @@ class Join(PlanNode):
 
 
 @dataclass(frozen=True)
+class SemiJoin(PlanNode):
+    """Semi (``anti=False``) or anti (``anti=True``) equi-join.
+
+    Keeps left rows with at least one (semi) or no (anti) key match on
+    the right; right columns never appear in the output — the relational
+    shape of SQL ``IN``/``EXISTS`` (and ``NOT IN``/``NOT EXISTS``)
+    against another table.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_on: str
+    right_on: str
+    anti: bool = False
+    algorithm: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in JOIN_ALGORITHMS:
+            raise PlanError(
+                f"unknown join algorithm {self.algorithm!r}; "
+                f"known: {', '.join(JOIN_ALGORITHMS)}"
+            )
+
+    @property
+    def join_strategy(self) -> str:
+        """Alias for :attr:`algorithm` (the executor-facing name)."""
+        return self.algorithm
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def required_columns(self) -> FrozenSet[str]:
+        return frozenset({self.left_on, self.right_on})
+
+
+@dataclass(frozen=True)
 class Aggregate(PlanNode):
     """One output aggregate: name, kind, and the value expression."""
 
@@ -187,6 +223,86 @@ class Limit(PlanNode):
         return (self.child,)
 
 
+@dataclass(frozen=True)
+class TopK(PlanNode):
+    """ORDER BY + LIMIT fused: the ``n`` extreme rows by one key.
+
+    Produced by :func:`repro.query.optimizer.push_down_top_k`; the
+    executor still sorts on the device but gathers only the head ``n``
+    row ids per payload column, so the result is bit-identical to the
+    OrderBy→Limit pair it replaces while materialising far fewer rows.
+    """
+
+    child: PlanNode
+    key: str
+    n: int
+    descending: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise PlanError(f"TopK must keep a non-negative count, got {self.n}")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def required_columns(self) -> FrozenSet[str]:
+        return frozenset({self.key})
+
+
+@dataclass(frozen=True)
+class InSubquery(Predicate):
+    """``column IN (subplan)`` — an uncorrelated IN subquery.
+
+    Carries the inner plan; the executor resolves it to a literal
+    :class:`~repro.core.predicate.InSet` before any backend sees the
+    predicate, so ``evaluate`` is deliberately unreachable.
+    """
+
+    column: str
+    subplan: PlanNode
+    output: str
+    negated: bool = False
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.column})
+
+    def evaluate(self, columns) -> "np.ndarray":  # noqa: F821 - doc type
+        raise PlanError(
+            f"unresolved IN subquery on {self.column!r}: subqueries must "
+            "be resolved by the executor before evaluation"
+        )
+
+    def __repr__(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        return f"({self.column} {word} <subquery:{self.output}>)"
+
+
+@dataclass(frozen=True)
+class ScalarCompare(Predicate):
+    """``column <op> (subplan)`` — an uncorrelated scalar subquery.
+
+    The inner plan must yield exactly one row; the executor splices the
+    scalar into a literal :class:`~repro.core.predicate.Compare`.
+    """
+
+    column: str
+    op: str
+    subplan: PlanNode
+    output: str
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.column})
+
+    def evaluate(self, columns) -> "np.ndarray":  # noqa: F821 - doc type
+        raise PlanError(
+            f"unresolved scalar subquery on {self.column!r}: subqueries "
+            "must be resolved by the executor before evaluation"
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op} <subquery:{self.output}>)"
+
+
 def walk(plan: PlanNode):
     """Pre-order traversal of a plan tree."""
     yield plan
@@ -209,6 +325,12 @@ def explain(plan: PlanNode, indent: int = 0) -> str:
             f"{pad}Join({plan.left_on} = {plan.right_on}, "
             f"algorithm={plan.algorithm})"
         )
+    elif isinstance(plan, SemiJoin):
+        kind = "AntiJoin" if plan.anti else "SemiJoin"
+        line = (
+            f"{pad}{kind}({plan.left_on} = {plan.right_on}, "
+            f"algorithm={plan.algorithm})"
+        )
     elif isinstance(plan, GroupBy):
         aggs = ", ".join(
             f"{a.name}={a.kind}({a.expr!r})" for a in plan.aggregates
@@ -220,6 +342,9 @@ def explain(plan: PlanNode, indent: int = 0) -> str:
         line = f"{pad}OrderBy({plan.key} {direction})"
     elif isinstance(plan, Limit):
         line = f"{pad}Limit({plan.n})"
+    elif isinstance(plan, TopK):
+        direction = "desc" if plan.descending else "asc"
+        line = f"{pad}TopK({plan.key} {direction}, n={plan.n})"
     else:
         line = f"{pad}{type(plan).__name__}"
     lines = [line]

@@ -1,0 +1,21 @@
+"""SQL frontend: tokenizer, recursive-descent parser, and catalog binder.
+
+``sql_to_plan(text, catalog)`` is the one-call entry point: it parses a
+single-block SELECT statement and lowers it onto the
+:mod:`repro.query.plan` algebra, so SQL text runs through exactly the
+same executor/backends/compiler/distribution stack as hand-built plans.
+"""
+
+from repro.sql.binder import bind, sql_to_plan
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse
+from repro.sql.tokenizer import Token, tokenize
+
+__all__ = [
+    "bind",
+    "parse",
+    "sql_to_plan",
+    "tokenize",
+    "SqlError",
+    "Token",
+]

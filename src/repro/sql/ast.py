@@ -1,0 +1,253 @@
+"""SQL abstract syntax tree.
+
+Plain frozen dataclasses produced by :mod:`repro.sql.parser` and consumed
+by :mod:`repro.sql.binder`.  Every node carries the ``(line, column)`` of
+its first token so binder errors point back into the SQL text.  The tree
+is deliberately small: single-SELECT statements with explicit JOINs,
+which is exactly the shape of the TPC-H queries this engine runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+Pos = Tuple[int, int]
+
+
+class SqlNode:
+    """Base class of all SQL AST nodes."""
+
+
+# -- scalar expressions -------------------------------------------------------
+
+
+class SqlExpr(SqlNode):
+    """Base class of scalar expression nodes."""
+
+
+@dataclass(frozen=True)
+class NumberLit(SqlExpr):
+    """A numeric literal."""
+
+    value: float
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class StringLit(SqlExpr):
+    """A single-quoted string literal."""
+
+    value: str
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class DateLit(SqlExpr):
+    """A ``DATE 'yyyy-mm-dd'`` literal (kept as text until binding)."""
+
+    value: str
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """A possibly-qualified column reference (``qualifier`` may be None)."""
+
+    qualifier: Optional[str]
+    name: str
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class BinaryOp(SqlExpr):
+    """Arithmetic node; ``op`` is one of ``+ - * /``."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class FuncCall(SqlExpr):
+    """An aggregate call: SUM/COUNT/MIN/MAX/AVG; ``star`` marks COUNT(*)."""
+
+    name: str
+    arg: Optional[SqlExpr]
+    star: bool = False
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class ExtractYearExpr(SqlExpr):
+    """``EXTRACT(YEAR FROM expr)``."""
+
+    arg: SqlExpr
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class SubstringExpr(SqlExpr):
+    """``SUBSTRING(expr FROM start FOR length)`` (1-based start)."""
+
+    arg: SqlExpr
+    start: int
+    length: int
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class CaseExpr(SqlExpr):
+    """``CASE WHEN cond THEN then ... ELSE otherwise END``."""
+
+    whens: Tuple[Tuple["SqlPred", SqlExpr], ...]
+    otherwise: SqlExpr
+    pos: Pos = (0, 0)
+
+
+# -- predicates ---------------------------------------------------------------
+
+
+class SqlPred(SqlNode):
+    """Base class of predicate nodes."""
+
+
+@dataclass(frozen=True)
+class Comparison(SqlPred):
+    """``left <op> right`` where right may be a scalar subquery."""
+
+    left: SqlExpr
+    op: str  # eq | ne | lt | le | gt | ge
+    right: "SqlExpr | SelectStmt"
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class BetweenPred(SqlPred):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class InListPred(SqlPred):
+    """``expr [NOT] IN (literal, ...)``."""
+
+    expr: SqlExpr
+    values: Tuple[SqlExpr, ...]
+    negated: bool = False
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class InSelectPred(SqlPred):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    expr: SqlExpr
+    select: "SelectStmt"
+    negated: bool = False
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class LikePred(SqlPred):
+    """``expr [NOT] LIKE 'pattern'`` with ``%``/``_`` wildcards."""
+
+    expr: SqlExpr
+    pattern: str
+    negated: bool = False
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class ExistsPred(SqlPred):
+    """``[NOT] EXISTS (SELECT ...)`` — a correlated membership test."""
+
+    select: "SelectStmt"
+    negated: bool = False
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class AndPred(SqlPred):
+    """Conjunction."""
+
+    parts: Tuple[SqlPred, ...]
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class OrPred(SqlPred):
+    """Disjunction."""
+
+    parts: Tuple[SqlPred, ...]
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class NotPred(SqlPred):
+    """Negation."""
+
+    part: SqlPred
+    pos: Pos = (0, 0)
+
+
+# -- statement structure ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlNode):
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: SqlExpr
+    alias: Optional[str]
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class TableRef(SqlNode):
+    """A FROM/JOIN table with an optional alias."""
+
+    table: str
+    alias: Optional[str]
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class JoinClause(SqlNode):
+    """``JOIN table ON l = r [AND l2 = r2 ...]``."""
+
+    ref: TableRef
+    conditions: Tuple[Tuple[ColumnRef, ColumnRef], ...]
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class OrderItem(SqlNode):
+    """``ORDER BY name [ASC|DESC]``."""
+
+    name: str
+    descending: bool = False
+    pos: Pos = (0, 0)
+
+
+@dataclass(frozen=True)
+class SelectStmt(SqlNode):
+    """A full single-block SELECT statement."""
+
+    items: Tuple[SelectItem, ...]
+    star: bool
+    table: TableRef
+    joins: Tuple[JoinClause, ...] = ()
+    where: Optional[SqlPred] = None
+    group_by: Tuple[str, ...] = ()
+    having: Optional[SqlPred] = None
+    order_by: Optional[OrderItem] = None
+    limit: Optional[int] = None
+    pos: Pos = (0, 0)
+    distinct: bool = field(default=False)

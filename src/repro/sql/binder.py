@@ -1,0 +1,944 @@
+"""Binder: lowers a SQL AST onto the logical plan algebra.
+
+The binder resolves column references against a catalog of
+:class:`~repro.relational.table.Table` objects and produces the same
+:mod:`repro.query.plan` trees the fluent builder makes, so bound SQL runs
+unchanged through every execution layer (handwritten backends, the
+compiled pipeline runner, chunked OOM recovery, the distributed planner).
+
+Lowering decisions worth knowing about:
+
+* String comparisons, IN-lists, ``LIKE`` patterns, and
+  ``SUBSTRING(...)`` tests are resolved against the column's dictionary
+  *at bind time* and become numeric :class:`~repro.core.predicate.InSet`
+  / :class:`~repro.core.predicate.Compare` predicates — backends only
+  ever see codes.
+* ``[NOT] EXISTS`` with one correlated equality is rewritten into a
+  semi/anti join; ``IN (SELECT ...)`` and scalar subqueries become
+  :class:`~repro.query.plan.InSubquery` /
+  :class:`~repro.query.plan.ScalarCompare` predicates the executor
+  resolves before backends run.
+* An aliased FROM table is wrapped in a renaming projection
+  (``alias.column``), which is how the same table can be joined twice
+  (TPC-H Q7's two nation roles).
+* A multi-equality ``ON a1 = b1 AND a2 = b2`` is lowered as a join on
+  the first pair plus a column-to-column filter for the rest.
+* ``ORDER BY`` + ``LIMIT`` is fused into a :class:`~repro.query.plan.TopK`
+  via :func:`~repro.query.optimizer.push_down_top_k`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.expr import CaseWhen, ColRef, Expr, ExtractYear, Lit
+from repro.core.predicate import (
+    Between,
+    Compare,
+    CompareCols,
+    InSet,
+    Not,
+    Predicate,
+    conjunction,
+    disjunction,
+)
+from repro.query.optimizer import optimize, push_down_top_k
+from repro.query.plan import (
+    Aggregate,
+    Filter,
+    GroupBy,
+    InSubquery,
+    Join,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    ScalarCompare,
+    Scan,
+    SemiJoin,
+)
+from repro.errors import ExpressionError, PlanError
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+from repro.sql import ast
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse
+
+#: SQL arithmetic spellings -> core expression ops.
+_ARITH = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+
+#: op -> mirrored op, for ``literal <op> column`` comparisons.
+_FLIPPED = {"eq": "eq", "ne": "ne", "lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}
+
+Catalog = Dict[str, Table]
+
+
+def sql_to_plan(
+    text: str, catalog: Catalog, *, optimize_plan: bool = True
+) -> PlanNode:
+    """Parse and bind SQL ``text`` against ``catalog`` in one step."""
+    return bind(parse(text), catalog, optimize_plan=optimize_plan)
+
+
+def bind(
+    stmt: ast.SelectStmt, catalog: Catalog, *, optimize_plan: bool = True
+) -> PlanNode:
+    """Lower a parsed SELECT onto the plan algebra.
+
+    With ``optimize_plan`` (the default) the bound tree is run through
+    :func:`~repro.query.optimizer.optimize` and the ORDER BY + LIMIT
+    fusion, which is what callers executing the plan want; pass False to
+    inspect the raw lowering.
+    """
+    try:
+        plan = _SelectBinder(catalog).bind(stmt)
+    except (PlanError, ExpressionError) as error:
+        # Semantic errors surfaced by plan-node validation (duplicate
+        # output names, empty IN lists, ...) stay typed SQL errors.
+        raise SqlError(str(error))
+    if optimize_plan:
+        plan = push_down_top_k(optimize(plan))
+    return plan
+
+
+class _FromItem:
+    """One FROM/JOIN table with its visible-column mapping."""
+
+    def __init__(self, table: str, alias: Optional[str],
+                 columns: Dict[str, str]) -> None:
+        self.table = table
+        self.alias = alias
+        #: base column name -> internal plan column name
+        self.columns = columns
+
+    @property
+    def label(self) -> str:
+        """The name this item answers to as a qualifier."""
+        return self.alias or self.table
+
+
+class _SelectBinder:
+    """Binds one SELECT block (subqueries get their own binder)."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.items: List[_FromItem] = []
+        #: internal column name -> (base table, base column)
+        self.origins: Dict[str, Tuple[str, str]] = {}
+        #: structural aggregate key -> output name (dedup across items/HAVING)
+        self._agg_cache: Dict[Tuple[str, str], str] = {}
+        self._aggregates: List[Aggregate] = []
+        self._hidden_counter = 0
+        self._output_aliases: set = set()
+        #: Output column names of the bound SELECT, set by :meth:`bind`.
+        self.output_names: List[str] = []
+
+    # -- scope ----------------------------------------------------------------
+
+    def try_resolve(self, ref: ast.ColumnRef) -> Optional[str]:
+        """The internal name for ``ref``, or None when it does not resolve
+        (including ambiguous unqualified names)."""
+        if ref.qualifier is not None:
+            for item in self.items:
+                if item.label == ref.qualifier:
+                    return item.columns.get(ref.name)
+            return None
+        matches = [
+            item.columns[ref.name]
+            for item in self.items
+            if ref.name in item.columns
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def resolve(self, ref: ast.ColumnRef) -> str:
+        """The internal name for ``ref``; raises a positioned SqlError."""
+        resolved = self.try_resolve(ref)
+        if resolved is not None:
+            return resolved
+        shown = f"{ref.qualifier}.{ref.name}" if ref.qualifier else ref.name
+        count = sum(1 for item in self.items if ref.name in item.columns)
+        if ref.qualifier is None and count > 1:
+            raise SqlError(
+                f"column {shown!r} is ambiguous; qualify it with a table "
+                "name or alias", *ref.pos
+            )
+        raise SqlError(f"unknown column {shown!r}", *ref.pos)
+
+    def _dictionary_of(self, internal: str, pos: ast.Pos) -> List[str]:
+        """The dictionary of a stored string column (positioned error if not)."""
+        origin = self.origins.get(internal)
+        if origin is not None:
+            table, base = origin
+            column = self.catalog[table].column(base)
+            if column.dictionary is not None:
+                return column.dictionary
+        raise SqlError(
+            f"column {internal!r} is not a dictionary-encoded string "
+            "column", *pos
+        )
+
+    # -- FROM -----------------------------------------------------------------
+
+    def _item_plan(self, ref: ast.TableRef) -> PlanNode:
+        """Scan (plus a renaming projection for aliased tables) for ``ref``."""
+        if ref.table not in self.catalog:
+            known = ", ".join(sorted(self.catalog))
+            raise SqlError(
+                f"unknown table {ref.table!r}; catalog has: {known}", *ref.pos
+            )
+        table = self.catalog[ref.table]
+        plan: PlanNode = Scan(ref.table)
+        columns: Dict[str, str] = {}
+        if ref.alias is not None:
+            outputs = tuple(
+                (f"{ref.alias}.{name}", ColRef(name))
+                for name in table.column_names
+            )
+            plan = Project(plan, outputs)
+            columns = {name: f"{ref.alias}.{name}" for name in table.column_names}
+        else:
+            columns = {name: name for name in table.column_names}
+        visible = {
+            internal for item in self.items for internal in item.columns.values()
+        }
+        clash = sorted(visible & set(columns.values()))
+        if clash:
+            raise SqlError(
+                f"table {ref.table!r} brings in duplicate column names "
+                f"({', '.join(clash[:3])}...); alias one occurrence", *ref.pos
+            )
+        for base, internal in columns.items():
+            self.origins[internal] = (ref.table, base)
+        self.items.append(_FromItem(ref.table, ref.alias, columns))
+        return plan
+
+    def _bind_from(self, stmt: ast.SelectStmt) -> PlanNode:
+        """Left-deep join tree over the FROM table and JOIN clauses."""
+        plan = self._item_plan(stmt.table)
+        for clause in stmt.joins:
+            before = len(self.items)
+            right_plan = self._item_plan(clause.ref)
+            new_item = self.items[before]
+            resolved: List[Tuple[str, str]] = []
+            for left_ref, right_ref in clause.conditions:
+                sides = []
+                for ref in (left_ref, right_ref):
+                    if (
+                        ref.qualifier is not None
+                        and ref.qualifier == new_item.label
+                    ) or (
+                        ref.qualifier is None and ref.name in new_item.columns
+                        and self._resolve_outside(ref, before) is None
+                    ):
+                        sides.append(("right", new_item.columns[ref.name]))
+                    else:
+                        internal = self._resolve_outside(ref, before)
+                        if internal is None:
+                            shown = (
+                                f"{ref.qualifier}.{ref.name}"
+                                if ref.qualifier else ref.name
+                            )
+                            raise SqlError(
+                                f"join condition column {shown!r} does not "
+                                "resolve", *ref.pos
+                            )
+                        sides.append(("left", internal))
+                kinds = {side for side, _name in sides}
+                if kinds != {"left", "right"}:
+                    raise SqlError(
+                        "each ON equality must relate the joined table to "
+                        "an earlier table", *clause.pos
+                    )
+                pair = dict(sides)
+                resolved.append((pair["left"], pair["right"]))
+            left_on, right_on = resolved[0]
+            plan = Join(plan, right_plan, left_on, right_on)
+            extras = [
+                CompareCols(l, "eq", r) for l, r in resolved[1:]
+            ]
+            if extras:
+                plan = Filter(plan, conjunction(extras))
+        return plan
+
+    def _resolve_outside(
+        self, ref: ast.ColumnRef, item_count: int
+    ) -> Optional[str]:
+        """Resolve ``ref`` against only the first ``item_count`` items."""
+        saved = self.items
+        self.items = saved[:item_count]
+        try:
+            return self.try_resolve(ref)
+        finally:
+            self.items = saved
+
+    # -- scalar expressions ---------------------------------------------------
+
+    def _lower_expr(self, expr: ast.SqlExpr) -> Expr:
+        """SQL scalar AST -> core :class:`~repro.core.expr.Expr`."""
+        if isinstance(expr, ast.NumberLit):
+            return Lit(expr.value)
+        if isinstance(expr, ast.DateLit):
+            return Lit(float(_date_days(expr)))
+        if isinstance(expr, ast.ColumnRef):
+            return ColRef(self.resolve(expr))
+        if isinstance(expr, ast.BinaryOp):
+            return _binop(
+                expr.op, self._lower_expr(expr.left),
+                self._lower_expr(expr.right)
+            )
+        if isinstance(expr, ast.ExtractYearExpr):
+            return ExtractYear(self._lower_expr(expr.arg))
+        if isinstance(expr, ast.CaseExpr):
+            lowered: Expr = self._lower_expr(expr.otherwise)
+            for condition, then in reversed(expr.whens):
+                lowered = CaseWhen(
+                    self._lower_predicate(condition),
+                    self._lower_expr(then),
+                    lowered,
+                )
+            return lowered
+        if isinstance(expr, ast.StringLit):
+            raise SqlError(
+                "string literals are only supported in comparisons, "
+                "IN lists, and LIKE patterns", *expr.pos
+            )
+        if isinstance(expr, ast.SubstringExpr):
+            raise SqlError(
+                "SUBSTRING is only supported in comparisons, IN lists, "
+                "LIKE, and GROUP BY keys", *expr.pos
+            )
+        if isinstance(expr, ast.FuncCall):
+            raise SqlError(
+                f"aggregate {expr.name}() is not allowed here", *expr.pos
+            )
+        raise SqlError(f"unsupported expression {type(expr).__name__}")
+
+    def _lower_key_expr(self, expr: ast.SqlExpr) -> Expr:
+        """Group-key lowering; SUBSTRING keys become a CASE chain mapping
+        dictionary codes to the (numeric) substring values."""
+        if not isinstance(expr, ast.SubstringExpr):
+            return self._lower_expr(expr)
+        internal, transform = self._string_term(expr)
+        dictionary = self._dictionary_of(internal, expr.pos)
+        groups: Dict[str, List[float]] = {}
+        for code, value in enumerate(dictionary):
+            groups.setdefault(transform(value), []).append(float(code))
+        try:
+            ordered = sorted(groups, key=float)
+        except ValueError:
+            raise SqlError(
+                "SUBSTRING group keys need numeric substring values "
+                f"(got {next(iter(groups))!r})", *expr.pos
+            )
+        lowered: Expr = Lit(float(ordered[-1]))
+        for value in reversed(ordered[:-1]):
+            lowered = CaseWhen(
+                InSet(internal, tuple(sorted(groups[value]))),
+                Lit(float(value)),
+                lowered,
+            )
+        return lowered
+
+    # -- string terms ---------------------------------------------------------
+
+    def _string_term(
+        self, expr: ast.SqlExpr
+    ) -> Tuple[str, Callable[[str], str]]:
+        """A (column, value-transform) pair for string predicates: either a
+        plain column reference or SUBSTRING over one."""
+        if isinstance(expr, ast.ColumnRef):
+            return self.resolve(expr), lambda value: value
+        if isinstance(expr, ast.SubstringExpr) and isinstance(
+            expr.arg, ast.ColumnRef
+        ):
+            start, length = expr.start - 1, expr.length
+            return (
+                self.resolve(expr.arg),
+                lambda value: value[start:start + length],
+            )
+        pos = getattr(expr, "pos", (0, 0))
+        raise SqlError(
+            "string predicates need a column or SUBSTRING(column ...) "
+            "on one side", *pos
+        )
+
+    def _membership(
+        self, column: str, codes: Sequence[float], negated: bool
+    ) -> Predicate:
+        """IN-set over dictionary codes, degrading gracefully when the
+        match set is empty (codes are non-negative, so ``< 0`` is the
+        always-false predicate and ``>= 0`` the always-true one)."""
+        if not codes:
+            return Compare(column, "ge" if negated else "lt", 0.0)
+        predicate: Predicate = InSet(
+            column, tuple(sorted(float(c) for c in codes))
+        )
+        return Not(predicate) if negated else predicate
+
+    # -- predicates -----------------------------------------------------------
+
+    def _lower_predicate(self, pred: ast.SqlPred) -> Predicate:
+        """SQL predicate AST -> core :class:`~repro.core.predicate.Predicate`."""
+        if isinstance(pred, ast.AndPred):
+            return conjunction(
+                [self._lower_predicate(p) for p in pred.parts]
+            )
+        if isinstance(pred, ast.OrPred):
+            return disjunction(
+                [self._lower_predicate(p) for p in pred.parts]
+            )
+        if isinstance(pred, ast.NotPred):
+            return Not(self._lower_predicate(pred.part))
+        if isinstance(pred, ast.Comparison):
+            return self._lower_comparison(pred)
+        if isinstance(pred, ast.BetweenPred):
+            return self._lower_between(pred)
+        if isinstance(pred, ast.InListPred):
+            return self._lower_in_list(pred)
+        if isinstance(pred, ast.InSelectPred):
+            if not isinstance(pred.expr, ast.ColumnRef):
+                raise SqlError(
+                    "IN (SELECT ...) needs a plain column on the left",
+                    *pred.pos,
+                )
+            subplan, output = self._bind_subquery(pred.select)
+            return InSubquery(
+                self.resolve(pred.expr), subplan, output, pred.negated
+            )
+        if isinstance(pred, ast.LikePred):
+            internal, transform = self._string_term(pred.expr)
+            dictionary = self._dictionary_of(
+                internal, getattr(pred.expr, "pos", pred.pos)
+            )
+            regex = _like_regex(pred.pattern)
+            codes = [
+                float(code)
+                for code, value in enumerate(dictionary)
+                if regex.fullmatch(transform(value))
+            ]
+            return self._membership(internal, codes, pred.negated)
+        if isinstance(pred, ast.ExistsPred):
+            raise SqlError(
+                "EXISTS is only supported as a top-level AND conjunct of "
+                "WHERE", *pred.pos
+            )
+        raise SqlError(f"unsupported predicate {type(pred).__name__}")
+
+    def _lower_comparison(self, pred: ast.Comparison) -> Predicate:
+        """Lower ``left <op> right`` in its many shapes."""
+        left, op, right = pred.left, pred.op, pred.right
+        if isinstance(right, ast.SelectStmt):
+            if not isinstance(left, ast.ColumnRef):
+                raise SqlError(
+                    "a scalar subquery comparison needs a plain column on "
+                    "the left", *pred.pos
+                )
+            subplan, output = self._bind_subquery(right, scalar=True)
+            return ScalarCompare(self.resolve(left), op, subplan, output)
+        if isinstance(left, (ast.NumberLit, ast.DateLit)) and isinstance(
+            right, ast.ColumnRef
+        ):
+            left, right, op = right, left, _FLIPPED[op]
+        if isinstance(right, ast.StringLit) or isinstance(
+            left, (ast.StringLit, ast.SubstringExpr)
+        ):
+            return self._lower_string_compare(pred, left, op, right)
+        if isinstance(left, ast.ColumnRef) and isinstance(
+            right, ast.ColumnRef
+        ):
+            return CompareCols(self.resolve(left), op, self.resolve(right))
+        if isinstance(left, ast.ColumnRef) and isinstance(
+            right, (ast.NumberLit, ast.DateLit)
+        ):
+            return Compare(self.resolve(left), op, _literal_value(right))
+        raise SqlError(
+            "unsupported comparison shape (need column vs literal, column "
+            "vs column, or column vs scalar subquery)", *pred.pos
+        )
+
+    def _lower_string_compare(
+        self,
+        pred: ast.Comparison,
+        left: ast.SqlExpr,
+        op: str,
+        right: "ast.SqlExpr | ast.SelectStmt",
+    ) -> Predicate:
+        """``column = 'literal'`` (and friends) via dictionary codes."""
+        if isinstance(left, ast.StringLit):
+            left, right, op = right, left, _FLIPPED[op]
+        if not isinstance(right, ast.StringLit):
+            raise SqlError(
+                "string comparisons need a string literal on one side",
+                *pred.pos,
+            )
+        if op not in ("eq", "ne"):
+            raise SqlError(
+                "only = and <> are supported for string comparisons",
+                *pred.pos,
+            )
+        internal, transform = self._string_term(left)
+        dictionary = self._dictionary_of(
+            internal, getattr(left, "pos", pred.pos)
+        )
+        codes = [
+            float(code)
+            for code, value in enumerate(dictionary)
+            if transform(value) == right.value
+        ]
+        return self._membership(internal, codes, negated=(op == "ne"))
+
+    def _lower_between(self, pred: ast.BetweenPred) -> Predicate:
+        """``expr [NOT] BETWEEN low AND high`` over numeric/date bounds."""
+        if not isinstance(pred.expr, ast.ColumnRef):
+            raise SqlError(
+                "BETWEEN needs a plain column on the left", *pred.pos
+            )
+        low = _literal_value(pred.low, "BETWEEN bounds")
+        high = _literal_value(pred.high, "BETWEEN bounds")
+        lowered: Predicate = Between(self.resolve(pred.expr), low, high)
+        return Not(lowered) if pred.negated else lowered
+
+    def _lower_in_list(self, pred: ast.InListPred) -> Predicate:
+        """``expr [NOT] IN (literals)`` for numeric, date, and string lists."""
+        strings = [v for v in pred.values if isinstance(v, ast.StringLit)]
+        if strings:
+            if len(strings) != len(pred.values):
+                raise SqlError(
+                    "IN lists cannot mix strings and numbers", *pred.pos
+                )
+            internal, transform = self._string_term(pred.expr)
+            dictionary = self._dictionary_of(
+                internal, getattr(pred.expr, "pos", pred.pos)
+            )
+            wanted = {s.value for s in strings}
+            codes = [
+                float(code)
+                for code, value in enumerate(dictionary)
+                if transform(value) in wanted
+            ]
+            return self._membership(internal, codes, pred.negated)
+        if not isinstance(pred.expr, ast.ColumnRef):
+            raise SqlError(
+                "IN needs a plain column on the left", *pred.pos
+            )
+        values = tuple(
+            sorted({_literal_value(v, "IN-list values") for v in pred.values})
+        )
+        return self._membership(self.resolve(pred.expr), values, pred.negated)
+
+    # -- subqueries -----------------------------------------------------------
+
+    def _bind_subquery(
+        self, select: ast.SelectStmt, scalar: bool = False
+    ) -> Tuple[PlanNode, str]:
+        """Bind an uncorrelated IN/scalar subquery: (plan, output column)."""
+        if len(select.items) != 1 or select.star:
+            raise SqlError(
+                "a subquery must select exactly one column", *select.pos
+            )
+        inner = _SelectBinder(self.catalog)
+        plan = inner.bind(select, subquery_default_alias="__scalar")
+        output = inner.output_names[0]
+        return optimize(plan), output
+
+    def _bind_exists(
+        self, pred: ast.ExistsPred, plan: PlanNode
+    ) -> PlanNode:
+        """Rewrite ``[NOT] EXISTS`` into a semi/anti join on ``plan``."""
+        select = pred.select
+        if select.group_by or select.having or select.order_by or (
+            select.limit is not None
+        ):
+            raise SqlError(
+                "EXISTS subqueries support only FROM/JOIN and WHERE",
+                *pred.pos,
+            )
+        inner = _SelectBinder(self.catalog)
+        inner_plan = inner._bind_from(select)
+        correlation: Optional[Tuple[str, str]] = None
+        local: List[Predicate] = []
+        for conjunct in _flatten_and(select.where):
+            pair = self._correlated_equality(conjunct, inner)
+            if pair is not None:
+                if correlation is not None:
+                    raise SqlError(
+                        "EXISTS supports exactly one correlated equality",
+                        *conjunct.pos,
+                    )
+                correlation = pair
+                continue
+            local.append(inner._lower_predicate(conjunct))
+        if correlation is None:
+            raise SqlError(
+                "EXISTS needs one correlated equality linking the inner "
+                "and outer query", *pred.pos
+            )
+        if local:
+            inner_plan = Filter(inner_plan, conjunction(local))
+        outer_col, inner_col = correlation
+        return SemiJoin(
+            plan, optimize(inner_plan), outer_col, inner_col, pred.negated
+        )
+
+    def _correlated_equality(
+        self, conjunct: ast.SqlPred, inner: "_SelectBinder"
+    ) -> Optional[Tuple[str, str]]:
+        """(outer column, inner column) when ``conjunct`` correlates the
+        EXISTS subquery with this (outer) binder's scope; else None."""
+        if not (
+            isinstance(conjunct, ast.Comparison)
+            and conjunct.op == "eq"
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            return None
+        left, right = conjunct.left, conjunct.right
+        left_inner = inner.try_resolve(left)
+        right_inner = inner.try_resolve(right)
+        if left_inner is None and right_inner is not None:
+            outer_col = self.try_resolve(left)
+            if outer_col is not None:
+                return outer_col, right_inner
+        if right_inner is None and left_inner is not None:
+            outer_col = self.try_resolve(right)
+            if outer_col is not None:
+                return outer_col, left_inner
+        return None
+
+    # -- aggregates -----------------------------------------------------------
+
+    def _register_aggregate(self, call: ast.FuncCall) -> str:
+        """Add (or reuse) an aggregate output for ``call``; returns its name."""
+        expr = None if call.star else self._lower_expr(call.arg)
+        kind = call.name
+        if kind == "count":
+            expr = None
+        key = (kind, repr(expr))
+        cached = self._agg_cache.get(key)
+        if cached is not None:
+            return cached
+        name = f"__agg{self._hidden_counter}"
+        self._hidden_counter += 1
+        self._aggregates.append(Aggregate(name, kind, expr))
+        self._agg_cache[key] = name
+        return name
+
+    def _alias_aggregate(self, call: ast.FuncCall, alias: str) -> str:
+        """Register a select-list aggregate under its visible alias."""
+        expr = None if call.star else self._lower_expr(call.arg)
+        kind = call.name
+        if kind == "count":
+            expr = None
+        key = (kind, repr(expr))
+        cached = self._agg_cache.get(key)
+        if cached is not None:
+            return cached
+        self._aggregates.append(Aggregate(alias, kind, expr))
+        self._agg_cache[key] = alias
+        return alias
+
+    def _lower_having(self, pred: ast.SqlPred) -> Predicate:
+        """HAVING predicates compare aggregate outputs (by alias or by
+        re-stating the aggregate call) against literals or scalar
+        subqueries."""
+        if isinstance(pred, ast.AndPred):
+            return conjunction([self._lower_having(p) for p in pred.parts])
+        if isinstance(pred, ast.OrPred):
+            return disjunction([self._lower_having(p) for p in pred.parts])
+        if isinstance(pred, ast.NotPred):
+            return Not(self._lower_having(pred.part))
+        if not isinstance(pred, ast.Comparison):
+            raise SqlError(
+                "HAVING supports only comparisons (combined with AND/OR/"
+                "NOT)", *getattr(pred, "pos", (0, 0))
+            )
+        left = pred.left
+        if isinstance(left, ast.FuncCall):
+            name = self._register_aggregate(left)
+        elif isinstance(left, ast.ColumnRef) and left.qualifier is None and (
+            left.name in self._output_aliases
+        ):
+            name = left.name
+        else:
+            raise SqlError(
+                "the left side of a HAVING comparison must be an "
+                "aggregate call or a select-list alias", *pred.pos
+            )
+        right = pred.right
+        if isinstance(right, ast.SelectStmt):
+            subplan, output = self._bind_subquery(right, scalar=True)
+            return ScalarCompare(name, pred.op, subplan, output)
+        if isinstance(right, (ast.NumberLit, ast.DateLit)):
+            return Compare(name, pred.op, _literal_value(right))
+        raise SqlError(
+            "the right side of a HAVING comparison must be a literal or "
+            "a scalar subquery", *pred.pos
+        )
+
+    # -- the main lowering ----------------------------------------------------
+
+    def bind(
+        self,
+        stmt: ast.SelectStmt,
+        subquery_default_alias: Optional[str] = None,
+    ) -> PlanNode:
+        """Lower one SELECT block; ``output_names`` is set afterwards."""
+        if stmt.distinct and subquery_default_alias is None:
+            raise SqlError(
+                "SELECT DISTINCT is only supported inside IN subqueries",
+                *stmt.pos,
+            )
+        plan = self._bind_from(stmt)
+        exists_preds: List[ast.ExistsPred] = []
+        filters: List[Predicate] = []
+        for conjunct in _flatten_and(stmt.where):
+            if isinstance(conjunct, ast.ExistsPred):
+                exists_preds.append(conjunct)
+            else:
+                filters.append(self._lower_predicate(conjunct))
+        if filters:
+            plan = Filter(plan, conjunction(filters))
+        for pred in exists_preds:
+            plan = self._bind_exists(pred, plan)
+
+        grouped = bool(stmt.group_by) or stmt.having is not None or any(
+            _contains_aggregate(item.expr) for item in stmt.items
+        )
+        if grouped:
+            plan = self._bind_grouped(stmt, plan, subquery_default_alias)
+        else:
+            plan = self._bind_plain(stmt, plan, subquery_default_alias)
+
+        if stmt.order_by is not None:
+            if stmt.order_by.name not in self.output_names:
+                raise SqlError(
+                    f"ORDER BY column {stmt.order_by.name!r} is not an "
+                    "output of the query", *stmt.order_by.pos
+                )
+            plan = OrderBy(plan, stmt.order_by.name, stmt.order_by.descending)
+        if stmt.limit is not None:
+            plan = Limit(plan, stmt.limit)
+        return plan
+
+    def _item_name(
+        self, item: ast.SelectItem, default_alias: Optional[str]
+    ) -> str:
+        """Output name of a select item (alias, column name, or default)."""
+        if item.alias is not None:
+            return item.alias
+        if isinstance(item.expr, ast.ColumnRef):
+            return item.expr.name
+        if default_alias is not None:
+            return default_alias
+        raise SqlError(
+            "a computed select item needs an AS alias", *item.pos
+        )
+
+    def _bind_plain(
+        self,
+        stmt: ast.SelectStmt,
+        plan: PlanNode,
+        default_alias: Optional[str],
+    ) -> PlanNode:
+        """Non-aggregated select list: a (pruning) projection."""
+        if stmt.star:
+            self.output_names = [
+                internal
+                for item in self.items
+                for internal in item.columns.values()
+            ]
+            return plan
+        outputs: List[Tuple[str, Expr]] = []
+        for item in stmt.items:
+            name = self._item_name(item, default_alias)
+            outputs.append((name, self._lower_expr(item.expr)))
+        self.output_names = [name for name, _expr in outputs]
+        return Project(plan, tuple(outputs))
+
+    def _bind_grouped(
+        self,
+        stmt: ast.SelectStmt,
+        plan: PlanNode,
+        default_alias: Optional[str],
+    ) -> PlanNode:
+        """Aggregated select list: pre-projection, GroupBy, HAVING, and a
+        post-projection when the natural output shape differs."""
+        if stmt.star:
+            raise SqlError(
+                "SELECT * cannot be combined with aggregation", *stmt.pos
+            )
+        items_by_alias = {
+            item.alias: item for item in stmt.items if item.alias is not None
+        }
+        self._output_aliases = set(items_by_alias)
+
+        # Group keys: a select alias or a plain column name.
+        keys: List[Tuple[str, Expr]] = []
+        for group_name in stmt.group_by:
+            item = items_by_alias.get(group_name)
+            if item is not None:
+                if _contains_aggregate(item.expr):
+                    raise SqlError(
+                        f"GROUP BY key {group_name!r} refers to an "
+                        "aggregated select item", *item.pos
+                    )
+                keys.append((group_name, self._lower_key_expr(item.expr)))
+            else:
+                internal = self.resolve(
+                    ast.ColumnRef(None, group_name, stmt.pos)
+                )
+                keys.append((group_name, ColRef(internal)))
+        key_names = [name for name, _expr in keys]
+
+        # Select items: keys pass through; aggregates register outputs.
+        post_outputs: List[Tuple[str, Expr]] = []
+        for item in stmt.items:
+            name = self._item_name(item, default_alias)
+            if not _contains_aggregate(item.expr):
+                if name not in key_names:
+                    raise SqlError(
+                        f"select item {name!r} is neither aggregated nor "
+                        "a GROUP BY key", *item.pos
+                    )
+                post_outputs.append((name, ColRef(name)))
+                continue
+            if isinstance(item.expr, ast.FuncCall):
+                agg_name = self._alias_aggregate(item.expr, name)
+                post_outputs.append((name, ColRef(agg_name)))
+                continue
+            rewritten = self._replace_aggregates(item.expr)
+            post_outputs.append((name, rewritten))
+        if stmt.having is not None:
+            having = self._lower_having(stmt.having)
+        else:
+            having = None
+
+        # Pre-projection: materialise computed/renamed keys.
+        needs_pre = any(
+            not (isinstance(expr, ColRef) and expr.name == name)
+            for name, expr in keys
+        )
+        if needs_pre:
+            pre: List[Tuple[str, Expr]] = list(keys)
+            emitted = set(key_names)
+            for aggregate in self._aggregates:
+                if aggregate.expr is None:
+                    continue
+                for column in sorted(aggregate.expr.columns()):
+                    if column not in emitted:
+                        pre.append((column, ColRef(column)))
+                        emitted.add(column)
+            plan = Project(plan, tuple(pre))
+
+        plan = GroupBy(plan, tuple(key_names), tuple(self._aggregates))
+        if having is not None:
+            plan = Filter(plan, having)
+
+        natural = key_names + [a.name for a in self._aggregates]
+        desired = [name for name, _expr in post_outputs]
+        identity = desired == natural and all(
+            isinstance(expr, ColRef) and expr.name == name
+            for name, expr in post_outputs
+        )
+        self.output_names = desired
+        if identity:
+            return plan
+        return Project(plan, tuple(post_outputs))
+
+    def _replace_aggregates(self, expr: ast.SqlExpr) -> Expr:
+        """Lower an expression *over* aggregates: each aggregate call is
+        registered as a hidden output and replaced by a reference."""
+        if isinstance(expr, ast.FuncCall):
+            return ColRef(self._register_aggregate(expr))
+        if isinstance(expr, ast.BinaryOp):
+            return _binop(
+                expr.op,
+                self._replace_aggregates(expr.left),
+                self._replace_aggregates(expr.right),
+            )
+        if isinstance(expr, ast.NumberLit):
+            return Lit(expr.value)
+        raise SqlError(
+            "expressions over aggregates support only arithmetic over "
+            "aggregate calls and numbers", *getattr(expr, "pos", (0, 0))
+        )
+
+
+# -- module helpers -----------------------------------------------------------
+
+
+def _binop(op: str, left: Expr, right: Expr) -> Expr:
+    """SQL arithmetic spelling -> core BinOp."""
+    from repro.core.expr import BinOp
+
+    return BinOp(_ARITH[op], left, right)
+
+
+def _flatten_and(pred: Optional[ast.SqlPred]) -> List[ast.SqlPred]:
+    """Top-level AND conjuncts of a (possibly absent) predicate."""
+    if pred is None:
+        return []
+    if isinstance(pred, ast.AndPred):
+        out: List[ast.SqlPred] = []
+        for part in pred.parts:
+            out.extend(_flatten_and(part))
+        return out
+    return [pred]
+
+
+def _contains_aggregate(expr: ast.SqlExpr) -> bool:
+    """True when the expression tree contains an aggregate call."""
+    if isinstance(expr, ast.FuncCall):
+        return True
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(
+            expr.right
+        )
+    if isinstance(expr, ast.ExtractYearExpr):
+        return _contains_aggregate(expr.arg)
+    if isinstance(expr, ast.CaseExpr):
+        return any(
+            _contains_aggregate(then) for _cond, then in expr.whens
+        ) or _contains_aggregate(expr.otherwise)
+    return False
+
+
+def _literal_value(
+    expr: "ast.SqlExpr | ast.SelectStmt", what: str = "comparison values"
+) -> float:
+    """The float value of a numeric or date literal."""
+    if isinstance(expr, ast.NumberLit):
+        return expr.value
+    if isinstance(expr, ast.DateLit):
+        return float(_date_days(expr))
+    raise SqlError(
+        f"{what} must be numeric or DATE literals",
+        *getattr(expr, "pos", (0, 0)),
+    )
+
+
+def _date_days(lit: ast.DateLit) -> int:
+    """Epoch-day value of a DATE literal (positioned error on bad text)."""
+    try:
+        return date_to_days(lit.value)
+    except Exception:
+        raise SqlError(
+            f"invalid date literal {lit.value!r} (want 'yyyy-mm-dd')",
+            *lit.pos,
+        )
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex."""
+    out: List[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out))

@@ -1,0 +1,34 @@
+"""Typed SQL frontend errors with source positions.
+
+Every failure in the tokenizer, parser, or binder raises
+:class:`SqlError`, which carries the 1-based line and column of the
+offending token so callers (the CLI, the serve layer, tests) can report
+``line 2, column 14`` instead of a traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class SqlError(ReproError):
+    """Raised for malformed SQL text or SQL that cannot be bound.
+
+    ``line``/``column`` are 1-based source coordinates (``None`` when the
+    failure has no single position, e.g. an empty statement).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ) -> None:
+        self.bare_message = message
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)

@@ -1,0 +1,531 @@
+"""Recursive-descent SQL parser.
+
+Accepts single-block ``SELECT`` statements with explicit ``JOIN ... ON``
+clauses, ``WHERE`` (including ``IN``/``EXISTS`` subqueries, ``BETWEEN``,
+``LIKE``), ``GROUP BY``, ``HAVING``, a single-key ``ORDER BY``, and
+``LIMIT`` — the fragment the TPC-H suite needs.  All failures raise
+:class:`~repro.sql.errors.SqlError` with the line/column of the
+offending token; the parser never lets a Python exception escape for
+malformed input.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sql.ast import (
+    AndPred,
+    BetweenPred,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    DateLit,
+    ExistsPred,
+    ExtractYearExpr,
+    FuncCall,
+    InListPred,
+    InSelectPred,
+    JoinClause,
+    LikePred,
+    NotPred,
+    NumberLit,
+    OrderItem,
+    OrPred,
+    Pos,
+    SelectItem,
+    SelectStmt,
+    SqlExpr,
+    SqlPred,
+    StringLit,
+    SubstringExpr,
+    TableRef,
+)
+from repro.sql.errors import SqlError
+from repro.sql.tokenizer import Token, tokenize
+
+#: Aggregate function names the parser recognises before ``(``.
+AGGREGATE_FUNCTIONS = ("SUM", "COUNT", "MIN", "MAX", "AVG")
+
+#: Words that may never be used as bare identifiers (aliases/columns).
+RESERVED_WORDS = frozenset({
+    "SELECT", "DISTINCT", "FROM", "WHERE", "JOIN", "INNER", "ON", "AS",
+    "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AND", "OR", "NOT", "IN",
+    "EXISTS", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "EXTRACT", "DATE", "ASC", "DESC", "SUBSTRING", "FOR",
+})
+
+_COMPARE_SPELLINGS = {
+    "=": "eq", "<>": "ne", "!=": "ne",
+    "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+}
+
+
+def parse(text: str) -> SelectStmt:
+    """Parse SQL ``text`` into a :class:`~repro.sql.ast.SelectStmt`."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.select()
+    parser.accept_op(";")
+    tail = parser.peek()
+    if tail.kind != "end":
+        raise SqlError(
+            f"unexpected trailing input {tail.value!r}", tail.line, tail.column
+        )
+    return stmt
+
+
+class _Parser:
+    """Token-stream cursor with backtracking support."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- cursor helpers -------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        """The token ``ahead`` positions from the cursor."""
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.peek()
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> SqlError:
+        """Build a positioned :class:`SqlError` at ``token`` (or cursor)."""
+        token = token or self.peek()
+        return SqlError(message, token.line, token.column)
+
+    def accept_word(self, word: str) -> bool:
+        """Consume the keyword ``word`` if present."""
+        if self.peek().matches(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_word(self, word: str) -> Token:
+        """Consume the keyword ``word`` or fail."""
+        token = self.peek()
+        if not token.matches(word):
+            raise self.error(
+                f"expected {word}, found {token.value or 'end of input'!r}"
+            )
+        return self.advance()
+
+    def accept_op(self, op: str) -> bool:
+        """Consume the operator ``op`` if present."""
+        token = self.peek()
+        if token.kind == "op" and token.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> Token:
+        """Consume the operator ``op`` or fail."""
+        token = self.peek()
+        if token.kind != "op" or token.value != op:
+            raise self.error(
+                f"expected {op!r}, found {token.value or 'end of input'!r}"
+            )
+        return self.advance()
+
+    def identifier(self, what: str) -> Token:
+        """Consume a non-reserved identifier token."""
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.error(
+                f"expected {what}, found {token.value or 'end of input'!r}"
+            )
+        if token.value.upper() in RESERVED_WORDS:
+            raise self.error(
+                f"expected {what}, found reserved word {token.value!r}"
+            )
+        return self.advance()
+
+    @staticmethod
+    def pos(token: Token) -> Pos:
+        """The (line, column) of ``token``."""
+        return (token.line, token.column)
+
+    # -- statement ------------------------------------------------------------
+
+    def select(self) -> SelectStmt:
+        """select := SELECT [DISTINCT] items FROM ref join* [WHERE] ..."""
+        head = self.expect_word("SELECT")
+        distinct = self.accept_word("DISTINCT")
+        star = False
+        items: List[SelectItem] = []
+        if self.accept_op("*"):
+            star = True
+        else:
+            items.append(self.select_item())
+            while self.accept_op(","):
+                items.append(self.select_item())
+        self.expect_word("FROM")
+        table = self.table_ref()
+        joins: List[JoinClause] = []
+        while self.peek().matches("JOIN") or self.peek().matches("INNER"):
+            joins.append(self.join_clause())
+        where = self.predicate() if self.accept_word("WHERE") else None
+        group_by: Tuple[str, ...] = ()
+        if self.accept_word("GROUP"):
+            self.expect_word("BY")
+            names = [self.group_key()]
+            while self.accept_op(","):
+                names.append(self.group_key())
+            group_by = tuple(names)
+        having = self.predicate() if self.accept_word("HAVING") else None
+        order_by = None
+        if self.accept_word("ORDER"):
+            self.expect_word("BY")
+            key = self.identifier("an ORDER BY column")
+            descending = False
+            if self.accept_word("DESC"):
+                descending = True
+            elif self.accept_word("ASC"):
+                descending = False
+            order_by = OrderItem(key.value, descending, self.pos(key))
+        limit = None
+        if self.accept_word("LIMIT"):
+            token = self.peek()
+            if token.kind != "number" or "." in token.value:
+                raise self.error("LIMIT needs an integer literal")
+            self.advance()
+            limit = int(token.value)
+        return SelectStmt(
+            items=tuple(items),
+            star=star,
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            pos=self.pos(head),
+            distinct=distinct,
+        )
+
+    def select_item(self) -> SelectItem:
+        """select_item := expr [[AS] ident]"""
+        head = self.peek()
+        expr = self.expression()
+        alias = None
+        if self.accept_word("AS"):
+            alias = self.identifier("an alias after AS").value
+        elif (
+            self.peek().kind == "ident"
+            and self.peek().value.upper() not in RESERVED_WORDS
+        ):
+            alias = self.advance().value
+        return SelectItem(expr, alias, self.pos(head))
+
+    def group_key(self) -> str:
+        """A GROUP BY key: an output alias or an unqualified column name."""
+        return self.identifier("a GROUP BY column").value
+
+    def table_ref(self) -> TableRef:
+        """table_ref := table_name [[AS] alias]"""
+        name = self.identifier("a table name")
+        alias = None
+        if self.accept_word("AS"):
+            alias = self.identifier("a table alias").value
+        elif (
+            self.peek().kind == "ident"
+            and self.peek().value.upper() not in RESERVED_WORDS
+        ):
+            alias = self.advance().value
+        return TableRef(name.value, alias, self.pos(name))
+
+    def join_clause(self) -> JoinClause:
+        """join := [INNER] JOIN table_ref ON colref = colref [AND ...]"""
+        head = self.peek()
+        self.accept_word("INNER")
+        self.expect_word("JOIN")
+        ref = self.table_ref()
+        self.expect_word("ON")
+        conditions = [self.join_condition()]
+        while self.accept_word("AND"):
+            conditions.append(self.join_condition())
+        return JoinClause(ref, tuple(conditions), self.pos(head))
+
+    def join_condition(self) -> Tuple[ColumnRef, ColumnRef]:
+        """One ``a = b`` equality between column references."""
+        left = self.column_ref()
+        self.expect_op("=")
+        right = self.column_ref()
+        return (left, right)
+
+    def column_ref(self) -> ColumnRef:
+        """colref := ident | ident '.' ident"""
+        first = self.identifier("a column name")
+        if self.accept_op("."):
+            second = self.identifier("a column name after '.'")
+            return ColumnRef(first.value, second.value, self.pos(first))
+        return ColumnRef(None, first.value, self.pos(first))
+
+    # -- predicates -----------------------------------------------------------
+
+    def predicate(self) -> SqlPred:
+        """pred := and_pred (OR and_pred)*"""
+        head = self.peek()
+        parts = [self.and_predicate()]
+        while self.accept_word("OR"):
+            parts.append(self.and_predicate())
+        if len(parts) == 1:
+            return parts[0]
+        return OrPred(tuple(parts), self.pos(head))
+
+    def and_predicate(self) -> SqlPred:
+        """and_pred := unary_pred (AND unary_pred)*"""
+        head = self.peek()
+        parts = [self.unary_predicate()]
+        while self.accept_word("AND"):
+            parts.append(self.unary_predicate())
+        if len(parts) == 1:
+            return parts[0]
+        return AndPred(tuple(parts), self.pos(head))
+
+    def unary_predicate(self) -> SqlPred:
+        """unary_pred := NOT unary_pred | EXISTS (select) | (pred) | cmp"""
+        head = self.peek()
+        if self.accept_word("NOT"):
+            if self.peek().matches("EXISTS"):
+                exists = self.unary_predicate()
+                assert isinstance(exists, ExistsPred)
+                return ExistsPred(exists.select, True, self.pos(head))
+            return NotPred(self.unary_predicate(), self.pos(head))
+        if self.accept_word("EXISTS"):
+            self.expect_op("(")
+            select = self.select()
+            self.expect_op(")")
+            return ExistsPred(select, False, self.pos(head))
+        if self.peek().kind == "op" and self.peek().value == "(":
+            # Could be a parenthesised predicate or a parenthesised
+            # arithmetic expression opening a comparison; try the
+            # predicate reading first and backtrack on failure.
+            mark = self.index
+            try:
+                self.advance()
+                inner = self.predicate()
+                self.expect_op(")")
+                return inner
+            except SqlError:
+                self.index = mark
+        return self.comparison()
+
+    def comparison(self) -> SqlPred:
+        """cmp := expr (op expr | op (select) | BETWEEN | IN | LIKE)"""
+        head = self.peek()
+        left = self.expression()
+        negated = self.accept_word("NOT")
+        if self.accept_word("BETWEEN"):
+            low = self.expression()
+            self.expect_word("AND")
+            high = self.expression()
+            return BetweenPred(left, low, high, negated, self.pos(head))
+        if self.accept_word("IN"):
+            return self.in_tail(left, negated, head)
+        if self.accept_word("LIKE"):
+            token = self.peek()
+            if token.kind != "string":
+                raise self.error("LIKE needs a string pattern")
+            self.advance()
+            return LikePred(left, token.value, negated, self.pos(head))
+        if negated:
+            raise self.error("expected BETWEEN, IN, or LIKE after NOT")
+        token = self.peek()
+        if token.kind != "op" or token.value not in _COMPARE_SPELLINGS:
+            raise self.error(
+                f"expected a comparison operator, found "
+                f"{token.value or 'end of input'!r}"
+            )
+        self.advance()
+        op = _COMPARE_SPELLINGS[token.value]
+        if (
+            self.peek().kind == "op"
+            and self.peek().value == "("
+            and self.peek(1).matches("SELECT")
+        ):
+            self.advance()
+            select = self.select()
+            self.expect_op(")")
+            return Comparison(left, op, select, self.pos(head))
+        right = self.expression()
+        return Comparison(left, op, right, self.pos(head))
+
+    def in_tail(
+        self, left: SqlExpr, negated: bool, head: Token
+    ) -> SqlPred:
+        """The parenthesised tail of ``expr [NOT] IN (...)``."""
+        self.expect_op("(")
+        if self.peek().matches("SELECT"):
+            select = self.select()
+            self.expect_op(")")
+            return InSelectPred(left, select, negated, self.pos(head))
+        values = [self.literal()]
+        while self.accept_op(","):
+            values.append(self.literal())
+        self.expect_op(")")
+        return InListPred(left, tuple(values), negated, self.pos(head))
+
+    def literal(self) -> SqlExpr:
+        """A number, string, or DATE literal (IN-list elements)."""
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return NumberLit(float(token.value), self.pos(token))
+        if token.kind == "string":
+            self.advance()
+            return StringLit(token.value, self.pos(token))
+        if token.matches("DATE"):
+            return self.date_literal()
+        raise self.error(
+            f"expected a literal, found {token.value or 'end of input'!r}"
+        )
+
+    def date_literal(self) -> DateLit:
+        """``DATE 'yyyy-mm-dd'``."""
+        head = self.expect_word("DATE")
+        token = self.peek()
+        if token.kind != "string":
+            raise self.error("DATE needs a quoted 'yyyy-mm-dd' string")
+        self.advance()
+        return DateLit(token.value, self.pos(head))
+
+    # -- scalar expressions ---------------------------------------------------
+
+    def expression(self) -> SqlExpr:
+        """expr := term (('+'|'-') term)*"""
+        head = self.peek()
+        left = self.term()
+        while self.peek().kind == "op" and self.peek().value in ("+", "-"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.term(), self.pos(head))
+        return left
+
+    def term(self) -> SqlExpr:
+        """term := factor (('*'|'/') factor)*"""
+        head = self.peek()
+        left = self.factor()
+        while self.peek().kind == "op" and self.peek().value in ("*", "/"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.factor(), self.pos(head))
+        return left
+
+    def factor(self) -> SqlExpr:
+        """factor := '-' factor | primary"""
+        token = self.peek()
+        if token.kind == "op" and token.value == "-":
+            self.advance()
+            inner = self.factor()
+            if isinstance(inner, NumberLit):
+                return NumberLit(-inner.value, self.pos(token))
+            return BinaryOp(
+                "-", NumberLit(0.0, self.pos(token)), inner, self.pos(token)
+            )
+        return self.primary()
+
+    def primary(self) -> SqlExpr:
+        """primary := literal | colref | call | CASE | EXTRACT | SUBSTRING | (expr)"""
+        token = self.peek()
+        if token.kind == "number" or token.kind == "string":
+            return self.literal()
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect_op(")")
+            return inner
+        if token.matches("DATE"):
+            return self.date_literal()
+        if token.matches("CASE"):
+            return self.case_expression()
+        if token.matches("EXTRACT"):
+            return self.extract_expression()
+        if token.matches("SUBSTRING"):
+            return self.substring_expression()
+        if token.kind == "ident" and token.value.upper() in AGGREGATE_FUNCTIONS:
+            nxt = self.peek(1)
+            if nxt.kind == "op" and nxt.value == "(":
+                return self.aggregate_call()
+        if token.kind == "ident":
+            if token.value.upper() in RESERVED_WORDS:
+                raise self.error(
+                    f"unexpected reserved word {token.value!r} in expression"
+                )
+            nxt = self.peek(1)
+            if nxt.kind == "op" and nxt.value == "(":
+                raise self.error(f"unknown function {token.value!r}")
+            return self.column_ref()
+        raise self.error(
+            f"expected an expression, found {token.value or 'end of input'!r}"
+        )
+
+    def aggregate_call(self) -> FuncCall:
+        """``SUM(expr)`` / ``COUNT(*)`` / ... aggregate call."""
+        name = self.advance()
+        self.expect_op("(")
+        if name.value.upper() == "COUNT" and self.accept_op("*"):
+            self.expect_op(")")
+            return FuncCall(
+                name.value.lower(), None, star=True, pos=self.pos(name)
+            )
+        arg = self.expression()
+        self.expect_op(")")
+        return FuncCall(name.value.lower(), arg, star=False, pos=self.pos(name))
+
+    def case_expression(self) -> CaseExpr:
+        """``CASE WHEN pred THEN expr [WHEN ...] ELSE expr END``."""
+        head = self.expect_word("CASE")
+        whens: List[Tuple[SqlPred, SqlExpr]] = []
+        while self.accept_word("WHEN"):
+            condition = self.predicate()
+            self.expect_word("THEN")
+            whens.append((condition, self.expression()))
+        if not whens:
+            raise self.error("CASE needs at least one WHEN", head)
+        self.expect_word("ELSE")
+        otherwise = self.expression()
+        self.expect_word("END")
+        return CaseExpr(tuple(whens), otherwise, self.pos(head))
+
+    def extract_expression(self) -> ExtractYearExpr:
+        """``EXTRACT(YEAR FROM expr)`` (YEAR is the only supported field)."""
+        head = self.expect_word("EXTRACT")
+        self.expect_op("(")
+        field = self.peek()
+        if not field.matches("YEAR"):
+            raise self.error(
+                f"only EXTRACT(YEAR ...) is supported, found {field.value!r}"
+            )
+        self.advance()
+        self.expect_word("FROM")
+        arg = self.expression()
+        self.expect_op(")")
+        return ExtractYearExpr(arg, self.pos(head))
+
+    def substring_expression(self) -> SubstringExpr:
+        """``SUBSTRING(expr FROM start FOR length)`` with integer bounds."""
+        head = self.expect_word("SUBSTRING")
+        self.expect_op("(")
+        arg = self.expression()
+        self.expect_word("FROM")
+        start = self._small_int("SUBSTRING start")
+        self.expect_word("FOR")
+        length = self._small_int("SUBSTRING length")
+        self.expect_op(")")
+        return SubstringExpr(arg, start, length, self.pos(head))
+
+    def _small_int(self, what: str) -> int:
+        """A positive integer literal (SUBSTRING bounds)."""
+        token = self.peek()
+        if token.kind != "number" or "." in token.value:
+            raise self.error(f"{what} needs an integer literal")
+        self.advance()
+        value = int(token.value)
+        if value < 1:
+            raise self.error(f"{what} must be >= 1", token)
+        return value

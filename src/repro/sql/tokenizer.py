@@ -1,0 +1,94 @@
+"""SQL tokenizer.
+
+Splits SQL text into identifiers, numbers, single-quoted strings, and
+operator/punctuation tokens, each stamped with its 1-based line and
+column.  Keywords are not distinguished here — the parser matches
+identifier tokens case-insensitively — so column names that collide with
+minor keywords (``value``, ``year`` outside ``EXTRACT``) keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sql.errors import SqlError
+
+#: Multi-character operators first so ``<=`` wins over ``<``.
+_OPERATORS: Tuple[str, ...] = (
+    "<=", ">=", "<>", "!=", "=", "<", ">",
+    "(", ")", ",", ".", ";", "*", "/", "+", "-",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is ident | number | string | op | end."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def matches(self, word: str) -> bool:
+        """True when this is an identifier equal to ``word`` (case-insensitive)."""
+        return self.kind == "ident" and self.value.upper() == word.upper()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL ``text``; the list always ends with an ``end`` token."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise SqlError("unterminated string literal", line, column)
+            value = text[i + 1:j]
+            tokens.append(Token("string", value, line, column))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            tokens.append(Token("number", text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("ident", text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, line, column))
+                column += len(op)
+                i += len(op)
+                break
+        else:
+            raise SqlError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("end", "", line, column))
+    return tokens

@@ -97,13 +97,41 @@ class TpchGenerator:
             + (partkeys // 10) % 20001
             + 100 * (partkeys % 1000)
         ) / 100.0
+        sizes = rng.integers(1, 51, n).astype(np.int32)
+        # New columns draw after the original ones so adding them never
+        # perturbs the pre-existing data for a given (seed, SF).
+        name_codes = _cross_codes(
+            rng, n, spec.P_NAME_WORDS, spec.P_NAME_WORDS
+        )
+        type_codes = _cross_codes(
+            rng, n, spec.P_TYPE_SYLLABLE_1, spec.P_TYPE_SYLLABLE_2,
+            spec.P_TYPE_SYLLABLE_3,
+        )
+        container_codes = _cross_codes(
+            rng, n, spec.P_CONTAINER_SYLLABLE_1, spec.P_CONTAINER_SYLLABLE_2
+        )
         return Table("part", [
             Column("p_partkey", "int32", partkeys),
             Column("p_brand", "string", brand_codes, sorted(brands)),
-            Column(
-                "p_size", "int32", rng.integers(1, 51, n).astype(np.int32)
-            ),
+            Column("p_size", "int32", sizes),
             Column("p_retailprice", "float64", retail),
+            Column(
+                "p_name", "string", name_codes,
+                _cross_dictionary(spec.P_NAME_WORDS, spec.P_NAME_WORDS),
+            ),
+            Column(
+                "p_type", "string", type_codes,
+                _cross_dictionary(
+                    spec.P_TYPE_SYLLABLE_1, spec.P_TYPE_SYLLABLE_2,
+                    spec.P_TYPE_SYLLABLE_3,
+                ),
+            ),
+            Column(
+                "p_container", "string", container_codes,
+                _cross_dictionary(
+                    spec.P_CONTAINER_SYLLABLE_1, spec.P_CONTAINER_SYLLABLE_2
+                ),
+            ),
         ])
 
     def partsupp(self) -> Table:
@@ -135,20 +163,39 @@ class TpchGenerator:
         segment_codes = rng.integers(
             0, len(spec.MARKET_SEGMENTS), n
         ).astype(np.int32)
+        nationkeys = rng.integers(0, len(spec.NATIONS), n).astype(np.int32)
+        acctbal = np.round(rng.uniform(-999.99, 9999.99, n), 2)
+        # Spec 4.2.2.9: phone country code = 10 + nationkey; the local
+        # part draws from the fixed template set (new draw, after the
+        # original ones, so the pre-existing columns stay identical).
+        locals_sorted = sorted(spec.PHONE_LOCALS)
+        local_codes = rng.integers(0, len(locals_sorted), n)
+        phones = sorted(
+            f"{10 + nation}-{local}"
+            for nation in range(len(spec.NATIONS))
+            for local in locals_sorted
+        )
+        phone_index = {phone: code for code, phone in enumerate(phones)}
+        lookup = np.array(
+            [
+                [
+                    phone_index[f"{10 + nation}-{local}"]
+                    for local in locals_sorted
+                ]
+                for nation in range(len(spec.NATIONS))
+            ],
+            dtype=np.int32,
+        )
+        phone_codes = lookup[nationkeys, local_codes]
         return Table("customer", [
             Column("c_custkey", "int32", np.arange(1, n + 1, dtype=np.int32)),
-            Column(
-                "c_nationkey", "int32",
-                rng.integers(0, len(spec.NATIONS), n).astype(np.int32),
-            ),
+            Column("c_nationkey", "int32", nationkeys),
             Column(
                 "c_mktsegment", "string", segment_codes,
                 sorted(spec.MARKET_SEGMENTS),
             ),
-            Column(
-                "c_acctbal", "float64",
-                np.round(rng.uniform(-999.99, 9999.99, n), 2),
-            ),
+            Column("c_acctbal", "float64", acctbal),
+            Column("c_phone", "string", phone_codes, phones),
         ])
 
     def orders(self) -> Table:
@@ -296,6 +343,38 @@ def keys_for(names: List[str]) -> np.ndarray:
     ordered = sorted(names)
     index = {word: code for code, word in enumerate(ordered)}
     return np.array([index[w] for w in names], dtype=np.int32)
+
+
+def _cross_dictionary(*syllable_sets: tuple) -> List[str]:
+    """Sorted dictionary of all space-joined syllable combinations."""
+    combos = [""]
+    for syllables in syllable_sets:
+        combos = [
+            (prefix + " " + word if prefix else word)
+            for prefix in combos
+            for word in syllables
+        ]
+    return sorted(set(combos))
+
+
+def _cross_codes(
+    rng: np.random.Generator, n: int, *syllable_sets: tuple
+) -> np.ndarray:
+    """Codes of ``n`` uniform syllable combinations in the sorted
+    cross-product dictionary (one RNG draw per syllable position)."""
+    dictionary = _cross_dictionary(*syllable_sets)
+    index = {word: code for code, word in enumerate(dictionary)}
+    picks = [
+        rng.integers(0, len(syllables), n) for syllables in syllable_sets
+    ]
+    words: List[str] = []
+    for row in zip(*picks):
+        words.append(
+            " ".join(
+                syllable_sets[i][choice] for i, choice in enumerate(row)
+            )
+        )
+    return np.array([index[w] for w in words], dtype=np.int32)
 
 
 def _sequence_within_groups(group_sizes: np.ndarray) -> np.ndarray:

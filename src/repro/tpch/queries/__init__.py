@@ -1,6 +1,30 @@
-"""TPC-H query plans (Q1, Q3, Q4, Q5, Q6, Q10) with NumPy oracles."""
+"""TPC-H query plans with NumPy oracles.
 
-from repro.tpch.queries import q1, q3, q4, q5, q6, q10
+Q1–Q10 build their plans directly with the :mod:`repro.query.builder`
+API; the queries added with the SQL frontend (Q7 onward, except the
+original six) go through :func:`repro.sql.sql_to_plan` — their ``plan``
+functions take the catalog, which the binder needs for dictionary and
+schema lookups.
+"""
+
+from repro.tpch.queries import (
+    q1,
+    q3,
+    q4,
+    q5,
+    q6,
+    q7,
+    q8,
+    q9,
+    q10,
+    q11,
+    q12,
+    q14,
+    q16,
+    q18,
+    q19,
+    q22,
+)
 
 ALL_QUERIES = {
     "Q1": q1,
@@ -8,7 +32,43 @@ ALL_QUERIES = {
     "Q4": q4,
     "Q5": q5,
     "Q6": q6,
+    "Q7": q7,
+    "Q8": q8,
+    "Q9": q9,
     "Q10": q10,
+    "Q11": q11,
+    "Q12": q12,
+    "Q14": q14,
+    "Q16": q16,
+    "Q18": q18,
+    "Q19": q19,
+    "Q22": q22,
 }
 
-__all__ = ["q1", "q3", "q4", "q5", "q6", "q10", "ALL_QUERIES"]
+#: Queries whose plans are produced by the SQL frontend (plan(catalog, ...)).
+SQL_QUERIES = {
+    name: module
+    for name, module in ALL_QUERIES.items()
+    if name in ("Q7", "Q8", "Q9", "Q11", "Q12", "Q14", "Q16", "Q18", "Q19", "Q22")
+}
+
+__all__ = [
+    "q1",
+    "q3",
+    "q4",
+    "q5",
+    "q6",
+    "q7",
+    "q8",
+    "q9",
+    "q10",
+    "q11",
+    "q12",
+    "q14",
+    "q16",
+    "q18",
+    "q19",
+    "q22",
+    "ALL_QUERIES",
+    "SQL_QUERIES",
+]

@@ -1,0 +1,79 @@
+"""Shared NumPy helpers for the TPC-H query oracles.
+
+These mirror the executor's observable semantics exactly:
+
+* grouped results come out in ascending lexicographic key order (the
+  executor's composite group key is built most-significant-key-first);
+* ``ORDER BY ... DESC`` is a stable ascending sort followed by a
+  reversal (so ties appear in *reverse* of their pre-sort order);
+* foreign-key joins preserve the probe-side row order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def fk_rows(primary: np.ndarray, foreign: np.ndarray) -> np.ndarray:
+    """Row indices into ``primary`` for each foreign-key value.
+
+    Every value of ``foreign`` must be present in ``primary`` (a unique
+    key column), which holds for all generated TPC-H foreign keys.
+    """
+    order = np.argsort(primary, kind="stable")
+    pos = np.searchsorted(primary[order], foreign)
+    return order[pos]
+
+
+def group_rows(
+    keys: Sequence[np.ndarray],
+) -> Tuple[List[np.ndarray], np.ndarray, int]:
+    """Group rows by a tuple of key arrays.
+
+    Returns ``(unique_key_columns, inverse, num_groups)`` with groups in
+    ascending lexicographic order (first key most significant), matching
+    the executor's composite-key group order.
+    """
+    rec = np.rec.fromarrays([np.asarray(k) for k in keys])
+    uniq, inverse = np.unique(rec, return_inverse=True)
+    cols = [np.ascontiguousarray(uniq[name]) for name in uniq.dtype.names]
+    return cols, inverse.astype(np.int64), len(uniq)
+
+
+def group_sum(
+    inverse: np.ndarray, num_groups: int, values: np.ndarray
+) -> np.ndarray:
+    """Per-group float64 sum."""
+    return np.bincount(
+        inverse, weights=values.astype(np.float64), minlength=num_groups
+    )
+
+
+def group_count(inverse: np.ndarray, num_groups: int) -> np.ndarray:
+    """Per-group int64 row count."""
+    return np.bincount(inverse, minlength=num_groups).astype(np.int64)
+
+
+def group_max(
+    inverse: np.ndarray, num_groups: int, values: np.ndarray
+) -> np.ndarray:
+    """Per-group maximum."""
+    out = np.full(num_groups, -np.inf, dtype=np.float64)
+    np.maximum.at(out, inverse, values.astype(np.float64))
+    return out
+
+
+def sort_descending(values: np.ndarray) -> np.ndarray:
+    """Permutation for a descending sort with executor tie semantics.
+
+    The executor sorts ascending with a stable algorithm and reverses,
+    so tied rows appear in reverse of their incoming order.
+    """
+    return np.argsort(values, kind="stable")[::-1]
+
+
+def year_of(days: np.ndarray) -> np.ndarray:
+    """The executor's EXTRACT(YEAR) transform: epoch days -> float year."""
+    return (1992 + (4 * days.astype(np.int64)) // 1461).astype(np.float64)

@@ -1,0 +1,109 @@
+"""TPC-H Q11 — Important Stock Identification (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+    FROM partsupp
+    JOIN supplier ON ps_suppkey = s_suppkey
+    JOIN nation ON s_nationkey = n_nationkey
+    WHERE n_name = ':1'
+    HAVING value > (SELECT SUM(ps_supplycost * ps_availqty) * :2
+                    FROM partsupp
+                    JOIN supplier ON ps_suppkey = s_suppkey
+                    JOIN nation ON s_nationkey = n_nationkey
+                    WHERE n_name = ':1')
+    GROUP BY ps_partkey
+    ORDER BY value DESC
+
+The HAVING threshold is an uncorrelated scalar subquery; the binder
+lowers it to a ``ScalarCompare`` predicate whose subplan the executor
+evaluates once up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q11"
+
+
+@dataclass(frozen=True)
+class Q11Params:
+    """Substitution parameters (spec defaults: GERMANY, fraction 0.0001)."""
+
+    nation: str = "GERMANY"
+    fraction: float = 0.0001
+
+
+DEFAULT_PARAMS = Q11Params()
+
+
+def sql(params: Q11Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q11 with parameters substituted."""
+    return f"""
+        SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+        FROM partsupp
+        JOIN supplier ON ps_suppkey = s_suppkey
+        JOIN nation ON s_nationkey = n_nationkey
+        WHERE n_name = '{params.nation}'
+        GROUP BY ps_partkey
+        HAVING value > (SELECT SUM(ps_supplycost * ps_availqty)
+                               * {params.fraction!r}
+                        FROM partsupp
+                        JOIN supplier ON ps_suppkey = s_suppkey
+                        JOIN nation ON s_nationkey = n_nationkey
+                        WHERE n_name = '{params.nation}')
+        ORDER BY value DESC
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q11Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q11, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q11Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q11, sorted by stock value descending."""
+    partsupp = catalog["partsupp"]
+    supplier = catalog["supplier"]
+    nation = catalog["nation"]
+
+    supp_rows = _oracle.fk_rows(
+        supplier.column("s_suppkey").data, partsupp.column("ps_suppkey").data
+    )
+    nation_code = nation.column("n_name").data[
+        _oracle.fk_rows(
+            nation.column("n_nationkey").data,
+            supplier.column("s_nationkey").data[supp_rows],
+        )
+    ]
+    mask = nation_code == nation.column("n_name").code_for(params.nation)
+    value = (
+        partsupp.column("ps_supplycost").data[mask]
+        * partsupp.column("ps_availqty").data[mask]
+    )
+    (keys, inverse, count) = _oracle.group_rows(
+        [partsupp.column("ps_partkey").data[mask]]
+    )
+    totals = _oracle.group_sum(inverse, count, value)
+    threshold = float(value.astype(np.float64).sum()) * params.fraction
+    keep = totals > threshold
+    part_keys = keys[0][keep]
+    totals = totals[keep]
+    order = _oracle.sort_descending(totals)
+    return {
+        "ps_partkey": part_keys[order].astype(np.int32),
+        "value": totals[order],
+    }

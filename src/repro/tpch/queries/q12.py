@@ -1,0 +1,139 @@
+"""TPC-H Q12 — Shipping Modes and Order Priority (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT l_shipmode,
+           SUM(CASE WHEN o_orderpriority = '1-URGENT'
+                      OR o_orderpriority = '2-HIGH'
+                    THEN 1 ELSE 0 END) AS high_line_count,
+           SUM(CASE WHEN o_orderpriority <> '1-URGENT'
+                     AND o_orderpriority <> '2-HIGH'
+                    THEN 1 ELSE 0 END) AS low_line_count
+    FROM orders
+    JOIN lineitem ON o_orderkey = l_orderkey
+    WHERE l_shipmode IN (':1', ':2')
+      AND l_commitdate < l_receiptdate
+      AND l_shipdate < l_commitdate
+      AND l_receiptdate >= DATE ':3'
+      AND l_receiptdate < DATE ':3' + INTERVAL '1' YEAR
+    GROUP BY l_shipmode
+    ORDER BY l_shipmode
+
+The conditional counts are SUMs over CASE expressions, so they come out
+as float64 — the engine's SUM aggregate is float-typed.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q12"
+
+
+@dataclass(frozen=True)
+class Q12Params:
+    """Substitution parameters (spec defaults: MAIL/SHIP during 1994)."""
+
+    shipmode1: str = "MAIL"
+    shipmode2: str = "SHIP"
+    date: str = "1994-01-01"
+
+    @property
+    def date_lo(self) -> int:
+        """Window start in epoch days."""
+        return date_to_days(self.date)
+
+    @property
+    def date_hi(self) -> int:
+        """Window end (exclusive) in epoch days: start plus one year."""
+        start = datetime.date.fromisoformat(self.date)
+        return date_to_days(start.replace(year=start.year + 1).isoformat())
+
+    @property
+    def date_hi_text(self) -> str:
+        """Window end as ISO text for SQL substitution."""
+        start = datetime.date.fromisoformat(self.date)
+        return start.replace(year=start.year + 1).isoformat()
+
+
+DEFAULT_PARAMS = Q12Params()
+
+
+def sql(params: Q12Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q12 with parameters substituted."""
+    return f"""
+        SELECT l_shipmode,
+               SUM(CASE WHEN o_orderpriority = '1-URGENT'
+                          OR o_orderpriority = '2-HIGH'
+                        THEN 1 ELSE 0 END) AS high_line_count,
+               SUM(CASE WHEN o_orderpriority <> '1-URGENT'
+                         AND o_orderpriority <> '2-HIGH'
+                        THEN 1 ELSE 0 END) AS low_line_count
+        FROM orders
+        JOIN lineitem ON o_orderkey = l_orderkey
+        WHERE l_shipmode IN ('{params.shipmode1}', '{params.shipmode2}')
+          AND l_commitdate < l_receiptdate
+          AND l_shipdate < l_commitdate
+          AND l_receiptdate >= DATE '{params.date}'
+          AND l_receiptdate < DATE '{params.date_hi_text}'
+        GROUP BY l_shipmode
+        ORDER BY l_shipmode
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q12Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q12, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q12Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q12, sorted by ship mode code."""
+    lineitem = catalog["lineitem"]
+    orders = catalog["orders"]
+    shipmode = lineitem.column("l_shipmode")
+    codes: Tuple[int, ...] = tuple(
+        shipmode.code_for(m) for m in (params.shipmode1, params.shipmode2)
+    )
+    mask = (
+        np.isin(shipmode.data, codes)
+        & (lineitem.column("l_commitdate").data
+           < lineitem.column("l_receiptdate").data)
+        & (lineitem.column("l_shipdate").data
+           < lineitem.column("l_commitdate").data)
+        & (lineitem.column("l_receiptdate").data >= params.date_lo)
+        & (lineitem.column("l_receiptdate").data < params.date_hi)
+    )
+    order_rows = _oracle.fk_rows(
+        orders.column("o_orderkey").data,
+        lineitem.column("l_orderkey").data[mask],
+    )
+    priority = orders.column("o_orderpriority")
+    urgent = priority.code_for("1-URGENT")
+    high = priority.code_for("2-HIGH")
+    is_high = np.isin(priority.data[order_rows], (urgent, high))
+    (keys, inverse, count) = _oracle.group_rows([shipmode.data[mask]])
+    high_counts = _oracle.group_sum(
+        inverse, count, is_high.astype(np.float64)
+    )
+    low_counts = _oracle.group_sum(
+        inverse, count, (~is_high).astype(np.float64)
+    )
+    return {
+        "l_shipmode": keys[0].astype(np.int32),
+        "high_line_count": high_counts,
+        "low_line_count": low_counts,
+    }

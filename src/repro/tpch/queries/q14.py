@@ -1,0 +1,111 @@
+"""TPC-H Q14 — Promotion Effect (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT 100 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                          THEN l_extendedprice * (1 - l_discount)
+                          ELSE 0 END)
+             / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+    FROM lineitem
+    JOIN part ON l_partkey = p_partkey
+    WHERE l_shipdate >= DATE ':1'
+      AND l_shipdate < DATE ':1' + INTERVAL '1' MONTH
+
+A single-row global aggregate: the binder groups on an empty key set
+and post-projects the promo ratio from two hidden SUM columns.  The
+``LIKE 'PROMO%'`` prefix match is resolved against the ``p_type``
+dictionary at bind time.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q14"
+
+
+@dataclass(frozen=True)
+class Q14Params:
+    """Substitution parameters (spec default: September 1995)."""
+
+    date: str = "1995-09-01"
+
+    @property
+    def date_lo(self) -> int:
+        """Window start in epoch days."""
+        return date_to_days(self.date)
+
+    @property
+    def date_hi(self) -> int:
+        """Window end (exclusive) in epoch days: start plus one month."""
+        start = datetime.date.fromisoformat(self.date)
+        month = start.month % 12 + 1
+        year = start.year + (1 if month == 1 else 0)
+        return date_to_days(datetime.date(year, month, start.day).isoformat())
+
+    @property
+    def date_hi_text(self) -> str:
+        """Window end as ISO text for SQL substitution."""
+        start = datetime.date.fromisoformat(self.date)
+        month = start.month % 12 + 1
+        year = start.year + (1 if month == 1 else 0)
+        return datetime.date(year, month, start.day).isoformat()
+
+
+DEFAULT_PARAMS = Q14Params()
+
+
+def sql(params: Q14Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q14 with parameters substituted."""
+    return f"""
+        SELECT 100 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                              THEN l_extendedprice * (1 - l_discount)
+                              ELSE 0 END)
+                 / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+        FROM lineitem
+        JOIN part ON l_partkey = p_partkey
+        WHERE l_shipdate >= DATE '{params.date}'
+          AND l_shipdate < DATE '{params.date_hi_text}'
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q14Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q14, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q14Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q14: one promo-revenue percentage."""
+    lineitem = catalog["lineitem"]
+    part = catalog["part"]
+    ship = lineitem.column("l_shipdate").data
+    mask = (ship >= params.date_lo) & (ship < params.date_hi)
+    part_rows = _oracle.fk_rows(
+        part.column("p_partkey").data,
+        lineitem.column("l_partkey").data[mask],
+    )
+    type_dict = part.column("p_type").dictionary
+    promo = np.array(
+        [value.startswith("PROMO") for value in type_dict], dtype=bool
+    )
+    is_promo = promo[part.column("p_type").data[part_rows]]
+    volume = (
+        lineitem.column("l_extendedprice").data[mask]
+        * (1.0 - lineitem.column("l_discount").data[mask])
+    )
+    promo_revenue = 100.0 * np.where(is_promo, volume, 0.0).sum() / volume.sum()
+    return {"promo_revenue": np.array([promo_revenue], dtype=np.float64)}

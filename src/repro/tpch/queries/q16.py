@@ -1,0 +1,113 @@
+"""TPC-H Q16 — Parts/Supplier Relationship (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT p_brand, p_type, p_size, COUNT(*) AS supplier_cnt
+    FROM partsupp
+    JOIN part ON ps_partkey = p_partkey
+    WHERE p_brand <> ':1'
+      AND p_type NOT LIKE ':2%'
+      AND p_size IN (:3, ...)
+      AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                             WHERE s_acctbal < :4)
+    GROUP BY p_brand, p_type, p_size
+    ORDER BY supplier_cnt DESC
+
+Adaptations: ``COUNT(DISTINCT ps_suppkey)`` becomes ``COUNT(*)`` (the
+engine has no distinct aggregate — the count is of part/supplier pairs);
+the spec's supplier-complaints comment scan becomes a low-account-balance
+exclusion, since the generated supplier table carries no comment column;
+the four-column ORDER BY is collapsed to ``supplier_cnt DESC``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q16"
+
+
+@dataclass(frozen=True)
+class Q16Params:
+    """Substitution parameters (spec defaults: Brand#45, medium polished)."""
+
+    brand: str = "Brand#45"
+    type_prefix: str = "MEDIUM POLISHED"
+    sizes: Tuple[int, ...] = (49, 14, 23, 45, 19, 3, 36, 9)
+    max_excluded_balance: float = 500.0
+
+
+DEFAULT_PARAMS = Q16Params()
+
+
+def sql(params: Q16Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q16 with parameters substituted."""
+    size_list = ", ".join(str(s) for s in params.sizes)
+    return f"""
+        SELECT p_brand, p_type, p_size, COUNT(*) AS supplier_cnt
+        FROM partsupp
+        JOIN part ON ps_partkey = p_partkey
+        WHERE p_brand <> '{params.brand}'
+          AND p_type NOT LIKE '{params.type_prefix}%'
+          AND p_size IN ({size_list})
+          AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                                 WHERE s_acctbal < {params.max_excluded_balance!r})
+        GROUP BY p_brand, p_type, p_size
+        ORDER BY supplier_cnt DESC
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q16Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q16, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q16Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q16, sorted by pair count descending."""
+    partsupp = catalog["partsupp"]
+    part = catalog["part"]
+    supplier = catalog["supplier"]
+
+    part_rows = _oracle.fk_rows(
+        part.column("p_partkey").data, partsupp.column("ps_partkey").data
+    )
+    brand = part.column("p_brand").data[part_rows]
+    ptype = part.column("p_type").data[part_rows]
+    size = part.column("p_size").data[part_rows]
+    type_dict = part.column("p_type").dictionary
+    polished = np.array(
+        [value.startswith(params.type_prefix) for value in type_dict],
+        dtype=bool,
+    )
+    excluded = supplier.column("s_suppkey").data[
+        supplier.column("s_acctbal").data < params.max_excluded_balance
+    ]
+    mask = (
+        (brand != part.column("p_brand").code_for(params.brand))
+        & ~polished[ptype]
+        & np.isin(size, params.sizes)
+        & ~np.isin(partsupp.column("ps_suppkey").data, excluded)
+    )
+    (keys, inverse, count) = _oracle.group_rows(
+        [brand[mask], ptype[mask], size[mask]]
+    )
+    counts = _oracle.group_count(inverse, count)
+    order = _oracle.sort_descending(counts)
+    return {
+        "p_brand": keys[0][order].astype(np.int32),
+        "p_type": keys[1][order].astype(np.int32),
+        "p_size": keys[2][order].astype(np.int32),
+        "supplier_cnt": counts[order],
+    }

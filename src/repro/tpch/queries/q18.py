@@ -1,0 +1,104 @@
+"""TPC-H Q18 — Large Volume Customer (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT o_orderkey, o_custkey,
+           MAX(o_totalprice) AS o_totalprice,
+           SUM(l_quantity) AS sum_qty
+    FROM orders
+    JOIN lineitem ON o_orderkey = l_orderkey
+    GROUP BY o_orderkey, o_custkey
+    HAVING SUM(l_quantity) > :1
+    ORDER BY o_totalprice DESC
+    LIMIT 100
+
+Adaptations: the spec's ``IN (SELECT l_orderkey ... HAVING ...)``
+membership is expressed directly as a grouped HAVING (same rows, one
+aggregation instead of two); ``o_totalprice`` is carried through
+``MAX`` because it is functionally dependent on the order key but
+floats cannot be composite group keys; the ORDER BY is collapsed to
+``o_totalprice DESC``.  The ORDER BY + LIMIT pair is fused into a TopK
+by the binder's pushdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q18"
+
+
+@dataclass(frozen=True)
+class Q18Params:
+    """Substitution parameters (spec default: quantity over 300)."""
+
+    min_quantity: float = 300.0
+    limit: int = 100
+
+
+DEFAULT_PARAMS = Q18Params()
+
+
+def sql(params: Q18Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q18 with parameters substituted."""
+    return f"""
+        SELECT o_orderkey, o_custkey,
+               MAX(o_totalprice) AS o_totalprice,
+               SUM(l_quantity) AS sum_qty
+        FROM orders
+        JOIN lineitem ON o_orderkey = l_orderkey
+        GROUP BY o_orderkey, o_custkey
+        HAVING SUM(l_quantity) > {params.min_quantity!r}
+        ORDER BY o_totalprice DESC
+        LIMIT {params.limit}
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q18Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q18, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q18Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q18: top orders by total price."""
+    orders = catalog["orders"]
+    lineitem = catalog["lineitem"]
+    order_rows = _oracle.fk_rows(
+        orders.column("o_orderkey").data, lineitem.column("l_orderkey").data
+    )
+    (keys, inverse, count) = _oracle.group_rows(
+        [
+            orders.column("o_orderkey").data[order_rows],
+            orders.column("o_custkey").data[order_rows],
+        ]
+    )
+    total_price = _oracle.group_max(
+        inverse, count, orders.column("o_totalprice").data[order_rows]
+    )
+    sum_qty = _oracle.group_sum(
+        inverse, count, lineitem.column("l_quantity").data
+    )
+    keep = sum_qty > params.min_quantity
+    order_key = keys[0][keep]
+    cust_key = keys[1][keep]
+    total_price = total_price[keep]
+    sum_qty = sum_qty[keep]
+    order = _oracle.sort_descending(total_price)[: params.limit]
+    return {
+        "o_orderkey": order_key[order].astype(np.int32),
+        "o_custkey": cust_key[order].astype(np.int32),
+        "o_totalprice": total_price[order],
+        "sum_qty": sum_qty[order],
+    }

@@ -1,0 +1,135 @@
+"""TPC-H Q19 — Discounted Revenue (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+    FROM lineitem
+    JOIN part ON l_partkey = p_partkey
+    WHERE l_shipinstruct = 'DELIVER IN PERSON'
+      AND l_shipmode IN ('AIR', 'REG AIR')
+      AND ((p_brand = ':1' AND p_container IN (...SM...)
+            AND l_quantity BETWEEN :4 AND :4 + 10
+            AND p_size BETWEEN 1 AND 5)
+        OR (p_brand = ':2' AND p_container IN (...MED...)
+            AND l_quantity BETWEEN :5 AND :5 + 10
+            AND p_size BETWEEN 1 AND 10)
+        OR (p_brand = ':3' AND p_container IN (...LG...)
+            AND l_quantity BETWEEN :6 AND :6 + 10
+            AND p_size BETWEEN 1 AND 15))
+
+The shared ship-mode/instruction conjuncts are hoisted out of the three
+brand brackets (the spec repeats them per bracket; the predicates are
+equivalent).  The spec's ``'AIR REG'`` mode is spelled ``'REG AIR'`` to
+match the generator's dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q19"
+
+#: One OR bracket: brand, container prefix, quantity low bound, max size.
+_Bracket = Tuple[str, str, float, int]
+
+
+@dataclass(frozen=True)
+class Q19Params:
+    """Substitution parameters (spec defaults: three brand brackets)."""
+
+    brackets: Tuple[_Bracket, ...] = (
+        ("Brand#12", "SM", 1.0, 5),
+        ("Brand#23", "MED", 10.0, 10),
+        ("Brand#34", "LG", 20.0, 15),
+    )
+
+
+DEFAULT_PARAMS = Q19Params()
+
+#: Container shapes used by each bracket (spec list per size class).
+_CONTAINERS = {
+    "SM": ("SM CASE", "SM BOX", "SM PACK", "SM PKG"),
+    "MED": ("MED BAG", "MED BOX", "MED PKG", "MED PACK"),
+    "LG": ("LG CASE", "LG BOX", "LG PACK", "LG PKG"),
+}
+
+
+def sql(params: Q19Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q19 with parameters substituted."""
+    brackets = []
+    for brand, prefix, qty_lo, max_size in params.brackets:
+        containers = ", ".join(f"'{c}'" for c in _CONTAINERS[prefix])
+        brackets.append(
+            f"""(p_brand = '{brand}'
+                AND p_container IN ({containers})
+                AND l_quantity BETWEEN {qty_lo!r} AND {qty_lo + 10.0!r}
+                AND p_size BETWEEN 1 AND {max_size})"""
+        )
+    disjunction = "\n            OR ".join(brackets)
+    return f"""
+        SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem
+        JOIN part ON l_partkey = p_partkey
+        WHERE l_shipinstruct = 'DELIVER IN PERSON'
+          AND l_shipmode IN ('AIR', 'REG AIR')
+          AND ({disjunction})
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q19Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q19, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q19Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q19: one discounted-revenue total."""
+    lineitem = catalog["lineitem"]
+    part = catalog["part"]
+    part_rows = _oracle.fk_rows(
+        part.column("p_partkey").data, lineitem.column("l_partkey").data
+    )
+    brand = part.column("p_brand").data[part_rows]
+    container = part.column("p_container").data[part_rows]
+    size = part.column("p_size").data[part_rows]
+    quantity = lineitem.column("l_quantity").data
+    shipmode = lineitem.column("l_shipmode")
+    instruct = lineitem.column("l_shipinstruct")
+
+    base = (
+        instruct.data == instruct.code_for("DELIVER IN PERSON")
+    ) & np.isin(
+        shipmode.data,
+        (shipmode.code_for("AIR"), shipmode.code_for("REG AIR")),
+    )
+    bracket_mask = np.zeros(len(quantity), dtype=bool)
+    for brand_name, prefix, qty_lo, max_size in params.brackets:
+        codes = tuple(
+            part.column("p_container").code_for(c)
+            for c in _CONTAINERS[prefix]
+        )
+        bracket_mask |= (
+            (brand == part.column("p_brand").code_for(brand_name))
+            & np.isin(container, codes)
+            & (quantity >= qty_lo)
+            & (quantity <= qty_lo + 10.0)
+            & (size >= 1)
+            & (size <= max_size)
+        )
+    mask = base & bracket_mask
+    revenue = (
+        lineitem.column("l_extendedprice").data[mask]
+        * (1.0 - lineitem.column("l_discount").data[mask])
+    ).sum()
+    return {"revenue": np.array([revenue], dtype=np.float64)}

@@ -1,0 +1,114 @@
+"""TPC-H Q22 — Global Sales Opportunity (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cntrycode,
+           COUNT(*) AS numcust,
+           SUM(c_acctbal) AS totacctbal
+    FROM customer
+    WHERE SUBSTRING(c_phone FROM 1 FOR 2) IN (':1', ...)
+      AND c_acctbal > (SELECT AVG(c_acctbal) FROM customer
+                       WHERE c_acctbal > 0.00
+                         AND SUBSTRING(c_phone FROM 1 FOR 2) IN (':1', ...))
+      AND NOT EXISTS (SELECT o_orderkey FROM orders
+                      WHERE o_custkey = c_custkey
+                        AND o_orderdate >= DATE ':2')
+    GROUP BY cntrycode
+    ORDER BY cntrycode
+
+Adaptations: the country-code group key is the numeric value of the
+phone prefix (the binder lowers SUBSTRING group keys to a dictionary
+CASE chain, and keys are numeric), so ``cntrycode`` comes back as
+float64 ``13.0`` rather than the string ``'13'``.  The NOT EXISTS is
+date-restricted — it finds customers with no *recent* orders — because
+the uniform generator gives nearly every customer at least one order,
+which would make the spec's unrestricted anti-join empty at test scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q22"
+
+
+@dataclass(frozen=True)
+class Q22Params:
+    """Substitution parameters (spec defaults: seven country codes)."""
+
+    codes: Tuple[str, ...] = ("13", "31", "23", "29", "30", "18", "17")
+    order_cutoff: str = "1997-01-01"
+
+
+DEFAULT_PARAMS = Q22Params()
+
+
+def sql(params: Q22Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q22 with parameters substituted."""
+    code_list = ", ".join(f"'{c}'" for c in params.codes)
+    return f"""
+        SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cntrycode,
+               COUNT(*) AS numcust,
+               SUM(c_acctbal) AS totacctbal
+        FROM customer
+        WHERE SUBSTRING(c_phone FROM 1 FOR 2) IN ({code_list})
+          AND c_acctbal > (SELECT AVG(c_acctbal) FROM customer
+                           WHERE c_acctbal > 0.00
+                             AND SUBSTRING(c_phone FROM 1 FOR 2)
+                                 IN ({code_list}))
+          AND NOT EXISTS (SELECT o_orderkey FROM orders
+                          WHERE o_custkey = c_custkey
+                            AND o_orderdate >= DATE '{params.order_cutoff}')
+        GROUP BY cntrycode
+        ORDER BY cntrycode
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q22Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q22, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q22Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q22, sorted by country code."""
+    customer = catalog["customer"]
+    orders = catalog["orders"]
+    phone = customer.column("c_phone")
+    acctbal = customer.column("c_acctbal").data
+    prefix_of = np.array(
+        [float(value[:2]) for value in phone.dictionary], dtype=np.float64
+    )
+    prefix = prefix_of[phone.data]
+    wanted = np.isin(prefix, [float(c) for c in params.codes])
+
+    positive = wanted & (acctbal > 0.0)
+    average = acctbal[positive].astype(np.float64).mean()
+
+    recent = (
+        orders.column("o_orderdate").data
+        >= date_to_days(params.order_cutoff)
+    )
+    recent_custkeys = np.unique(orders.column("o_custkey").data[recent])
+    no_recent = ~np.isin(
+        customer.column("c_custkey").data, recent_custkeys
+    )
+    mask = wanted & (acctbal > average) & no_recent
+    (keys, inverse, count) = _oracle.group_rows([prefix[mask]])
+    return {
+        "cntrycode": keys[0],
+        "numcust": _oracle.group_count(inverse, count),
+        "totacctbal": _oracle.group_sum(inverse, count, acctbal[mask]),
+    }

@@ -1,0 +1,151 @@
+"""TPC-H Q8 — National Market Share (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+           SUM(CASE WHEN n2.n_name = ':1'
+                    THEN l_extendedprice * (1 - l_discount)
+                    ELSE 0 END)
+             / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share
+    FROM lineitem
+    JOIN part ON l_partkey = p_partkey
+    JOIN orders ON l_orderkey = o_orderkey
+    JOIN customer ON o_custkey = c_custkey
+    JOIN nation AS n1 ON c_nationkey = n1.n_nationkey
+    JOIN region ON n1.n_regionkey = r_regionkey
+    JOIN supplier ON l_suppkey = s_suppkey
+    JOIN nation AS n2 ON s_nationkey = n2.n_nationkey
+    WHERE r_name = ':2' AND p_type = ':3'
+      AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+    GROUP BY o_year
+    ORDER BY o_year
+
+The spec's derived ``all_nations`` subquery is flattened into one block;
+the market-share ratio is an expression over two aggregates, which the
+binder lowers to hidden aggregate columns plus a post-projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.relational.types import date_to_days
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q8"
+
+
+@dataclass(frozen=True)
+class Q8Params:
+    """Substitution parameters (spec defaults: BRAZIL / AMERICA / steel)."""
+
+    nation: str = "BRAZIL"
+    region: str = "AMERICA"
+    part_type: str = "ECONOMY ANODIZED STEEL"
+    date_lo: str = "1995-01-01"
+    date_hi: str = "1996-12-31"
+
+
+DEFAULT_PARAMS = Q8Params()
+
+
+def sql(params: Q8Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q8 with parameters substituted."""
+    return f"""
+        SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+               SUM(CASE WHEN n2.n_name = '{params.nation}'
+                        THEN l_extendedprice * (1 - l_discount)
+                        ELSE 0 END)
+                 / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share
+        FROM lineitem
+        JOIN part ON l_partkey = p_partkey
+        JOIN orders ON l_orderkey = o_orderkey
+        JOIN customer ON o_custkey = c_custkey
+        JOIN nation AS n1 ON c_nationkey = n1.n_nationkey
+        JOIN region ON n1.n_regionkey = r_regionkey
+        JOIN supplier ON l_suppkey = s_suppkey
+        JOIN nation AS n2 ON s_nationkey = n2.n_nationkey
+        WHERE r_name = '{params.region}'
+          AND p_type = '{params.part_type}'
+          AND o_orderdate BETWEEN DATE '{params.date_lo}'
+                              AND DATE '{params.date_hi}'
+        GROUP BY o_year
+        ORDER BY o_year
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q8Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q8, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q8Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q8, sorted by order year ascending."""
+    lineitem = catalog["lineitem"]
+    orders = catalog["orders"]
+    part = catalog["part"]
+    nation = catalog["nation"]
+
+    order_rows = _oracle.fk_rows(
+        orders.column("o_orderkey").data, lineitem.column("l_orderkey").data
+    )
+    part_rows = _oracle.fk_rows(
+        part.column("p_partkey").data, lineitem.column("l_partkey").data
+    )
+    cust_rows = _oracle.fk_rows(
+        catalog["customer"].column("c_custkey").data,
+        orders.column("o_custkey").data[order_rows],
+    )
+    supp_rows = _oracle.fk_rows(
+        catalog["supplier"].column("s_suppkey").data,
+        lineitem.column("l_suppkey").data,
+    )
+    n_key = nation.column("n_nationkey").data
+    cust_nation_rows = _oracle.fk_rows(
+        n_key, catalog["customer"].column("c_nationkey").data[cust_rows]
+    )
+    region_code = nation.column("n_regionkey").data[cust_nation_rows]
+    supp_nation = nation.column("n_name").data[
+        _oracle.fk_rows(
+            n_key, catalog["supplier"].column("s_nationkey").data[supp_rows]
+        )
+    ]
+    region = catalog["region"]
+    r_rows = _oracle.fk_rows(region.column("r_regionkey").data, region_code)
+    r_name = region.column("r_name").data[r_rows]
+
+    o_date = orders.column("o_orderdate").data[order_rows]
+    mask = (
+        (r_name == region.column("r_name").code_for(params.region))
+        & (
+            part.column("p_type").data[part_rows]
+            == part.column("p_type").code_for(params.part_type)
+        )
+        & (o_date >= date_to_days(params.date_lo))
+        & (o_date <= date_to_days(params.date_hi))
+    )
+    volume = (
+        lineitem.column("l_extendedprice").data[mask]
+        * (1.0 - lineitem.column("l_discount").data[mask])
+    )
+    national = np.where(
+        supp_nation[mask] == nation.column("n_name").code_for(params.nation),
+        volume,
+        0.0,
+    )
+    year = _oracle.year_of(o_date[mask])
+    (keys, inverse, count) = _oracle.group_rows([year])
+    share = _oracle.group_sum(inverse, count, national) / _oracle.group_sum(
+        inverse, count, volume
+    )
+    return {"o_year": keys[0], "mkt_share": share}

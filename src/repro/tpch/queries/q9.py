@@ -1,0 +1,151 @@
+"""TPC-H Q9 — Product Type Profit Measure (SQL frontend).
+
+.. code-block:: sql
+
+    SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+           n_name AS nation,
+           SUM(l_extendedprice * (1 - l_discount)
+               - ps_supplycost * l_quantity) AS sum_profit
+    FROM lineitem
+    JOIN partsupp ON l_partkey = ps_partkey AND l_suppkey = ps_suppkey
+    JOIN orders ON l_orderkey = o_orderkey
+    JOIN part ON l_partkey = p_partkey
+    JOIN supplier ON l_suppkey = s_suppkey
+    JOIN nation ON s_nationkey = n_nationkey
+    WHERE p_name LIKE '%:1%'
+    GROUP BY o_year, nation
+    ORDER BY sum_profit DESC
+
+The composite partsupp join is lowered by the binder as an equi-join on
+the first key pair plus a ``CompareCols`` filter on the second — the
+engine's joins are single-key.  The year leads the GROUP BY (derived
+keys must come first) and the spec's two-column ORDER BY is collapsed to
+``sum_profit DESC``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.query.plan import PlanNode
+from repro.relational.table import Table
+from repro.sql import sql_to_plan
+from repro.tpch.queries import _oracle
+
+QUERY_NAME = "Q9"
+
+
+@dataclass(frozen=True)
+class Q9Params:
+    """Substitution parameters (spec default: parts with 'green' names)."""
+
+    color: str = "green"
+
+
+DEFAULT_PARAMS = Q9Params()
+
+
+def sql(params: Q9Params = DEFAULT_PARAMS) -> str:
+    """SQL text for Q9 with parameters substituted."""
+    return f"""
+        SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+               n_name AS nation,
+               SUM(l_extendedprice * (1 - l_discount)
+                   - ps_supplycost * l_quantity) AS sum_profit
+        FROM lineitem
+        JOIN partsupp ON l_partkey = ps_partkey AND l_suppkey = ps_suppkey
+        JOIN orders ON l_orderkey = o_orderkey
+        JOIN part ON l_partkey = p_partkey
+        JOIN supplier ON l_suppkey = s_suppkey
+        JOIN nation ON s_nationkey = n_nationkey
+        WHERE p_name LIKE '%{params.color}%'
+        GROUP BY o_year, nation
+        ORDER BY sum_profit DESC
+    """
+
+
+def plan(
+    catalog: Dict[str, Table], params: Q9Params = DEFAULT_PARAMS
+) -> PlanNode:
+    """Logical plan for Q9, produced by the SQL frontend."""
+    return sql_to_plan(sql(params), catalog)
+
+
+def reference(
+    catalog: Dict[str, Table], params: Q9Params = DEFAULT_PARAMS
+) -> Dict[str, np.ndarray]:
+    """NumPy oracle for Q9, sorted by profit descending."""
+    lineitem = catalog["lineitem"]
+    partsupp = catalog["partsupp"]
+    orders = catalog["orders"]
+    part = catalog["part"]
+    nation = catalog["nation"]
+
+    # Composite (partkey, suppkey) lookup into partsupp.
+    stride = int(partsupp.column("ps_suppkey").data.max()) + 1
+    ps_composite = (
+        partsupp.column("ps_partkey").data.astype(np.int64) * stride
+        + partsupp.column("ps_suppkey").data.astype(np.int64)
+    )
+    li_composite = (
+        lineitem.column("l_partkey").data.astype(np.int64) * stride
+        + lineitem.column("l_suppkey").data.astype(np.int64)
+    )
+    part_rows = _oracle.fk_rows(
+        part.column("p_partkey").data, lineitem.column("l_partkey").data
+    )
+    name_dict = part.column("p_name").dictionary
+    green = np.array(
+        [params.color in value for value in name_dict], dtype=bool
+    )
+    # Inner-join semantics: lineitems whose (partkey, suppkey) pair has no
+    # partsupp row are dropped by the join + CompareCols filter, and pairs
+    # the generator duplicated match (and contribute) once per occurrence.
+    mask = green[part.column("p_name").data[part_rows]] & np.isin(
+        li_composite, ps_composite
+    )
+    order = np.argsort(ps_composite, kind="stable")
+    pair_keys, pair_counts = np.unique(
+        ps_composite[order], return_counts=True
+    )
+    starts = np.concatenate(([0], np.cumsum(pair_counts)[:-1]))
+    pair_cost = np.add.reduceat(
+        partsupp.column("ps_supplycost").data[order].astype(np.float64),
+        starts,
+    )
+    pair_idx = np.searchsorted(pair_keys, li_composite[mask])
+    multiplicity = pair_counts[pair_idx].astype(np.float64)
+    supply_cost = pair_cost[pair_idx]
+
+    order_rows = _oracle.fk_rows(
+        orders.column("o_orderkey").data,
+        lineitem.column("l_orderkey").data[mask],
+    )
+    supp_rows = _oracle.fk_rows(
+        catalog["supplier"].column("s_suppkey").data,
+        lineitem.column("l_suppkey").data[mask],
+    )
+    nation_code = nation.column("n_name").data[
+        _oracle.fk_rows(
+            nation.column("n_nationkey").data,
+            catalog["supplier"].column("s_nationkey").data[supp_rows],
+        )
+    ]
+    year = _oracle.year_of(orders.column("o_orderdate").data[order_rows])
+    profit = (
+        multiplicity
+        * lineitem.column("l_extendedprice").data[mask]
+        * (1.0 - lineitem.column("l_discount").data[mask])
+        - supply_cost * lineitem.column("l_quantity").data[mask]
+    )
+    (keys, inverse, count) = _oracle.group_rows([year, nation_code])
+    sum_profit = _oracle.group_sum(inverse, count, profit)
+    order = _oracle.sort_descending(sum_profit)
+    return {
+        "o_year": keys[0][order],
+        "nation": keys[1][order].astype(np.int32),
+        "sum_profit": sum_profit[order],
+    }

@@ -53,6 +53,48 @@ RETURN_FLAGS: Tuple[str, ...] = ("A", "N", "R")
 LINE_STATUSES: Tuple[str, ...] = ("F", "O")
 ORDER_STATUSES: Tuple[str, ...] = ("F", "O", "P")
 
+#: Colour words for ``p_name`` (spec 4.2.3 P_NAME; a two-word subset of
+#: dbgen's 92-colour palette keeps the dictionary small while preserving
+#: the substring queries — Q9's ``%green%`` among them).
+P_NAME_WORDS: Tuple[str, ...] = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque",
+    "blanched", "blue", "blush", "brown", "burlywood", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan",
+    "dark", "drab", "firebrick", "forest", "frosted", "gainsboro",
+    "ghost", "goldenrod", "green", "honeydew", "hot", "indian",
+    "ivory", "khaki", "lace", "lavender", "lemon", "light",
+    "linen", "magenta", "maroon", "medium",
+)
+
+#: ``p_type`` is Syllable1 + Syllable2 + Syllable3 (spec 4.2.2.13):
+#: 6 x 5 x 5 = 150 distinct types, e.g. "ECONOMY ANODIZED STEEL".
+P_TYPE_SYLLABLE_1: Tuple[str, ...] = (
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO",
+)
+P_TYPE_SYLLABLE_2: Tuple[str, ...] = (
+    "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED",
+)
+P_TYPE_SYLLABLE_3: Tuple[str, ...] = (
+    "TIN", "NICKEL", "BRASS", "STEEL", "COPPER",
+)
+
+#: ``p_container`` is Syllable1 + Syllable2 (spec 4.2.2.13): 5 x 8 = 40
+#: containers, e.g. "SM CASE".
+P_CONTAINER_SYLLABLE_1: Tuple[str, ...] = ("SM", "LG", "MED", "JUMBO", "WRAP")
+P_CONTAINER_SYLLABLE_2: Tuple[str, ...] = (
+    "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM",
+)
+
+#: ``c_phone`` country code is 10 + c_nationkey (spec 4.2.2.9); the
+#: local part draws from a fixed template set so the dictionary stays
+#: bounded (25 nations x len(PHONE_LOCALS) strings) while
+#: ``substring(c_phone, 1, 2)`` — Q22's country-code test — behaves
+#: exactly as in the specification.
+PHONE_LOCALS: Tuple[str, ...] = (
+    "100-1000", "234-5678", "355-9981", "467-1312",
+    "578-2468", "689-3690", "755-4821", "867-5309",
+)
+
 #: Base cardinalities at scale factor 1 (nation/region are fixed).
 BASE_ROWS: Dict[str, int] = {
     "supplier": 10_000,
@@ -83,6 +125,9 @@ SCHEMAS: Dict[str, Schema] = {
         ("p_brand", "string"),
         ("p_size", "int32"),
         ("p_retailprice", "float64"),
+        ("p_name", "string"),
+        ("p_type", "string"),
+        ("p_container", "string"),
     ]),
     "partsupp": Schema([
         ("ps_partkey", "int32"),
@@ -95,6 +140,7 @@ SCHEMAS: Dict[str, Schema] = {
         ("c_nationkey", "int32"),
         ("c_mktsegment", "string"),
         ("c_acctbal", "float64"),
+        ("c_phone", "string"),
     ]),
     "orders": Schema([
         ("o_orderkey", "int32"),

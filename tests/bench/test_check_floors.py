@@ -63,6 +63,27 @@ def _serve(completed=16, total=16, shed=0, throughput=8800.0):
     }
 
 
+def _tpch(num_queries=16, warm_ms=0.5, ceiling_ms=1.0, ratio=0.8,
+          oracle_match=True):
+    names = [f"Q{i}" for i in range(1, num_queries + 1)]
+    return {
+        "scale_factor": 0.005,
+        "ratio_ceiling": 1.0,
+        "queries": {
+            name: {
+                "warm_ms": warm_ms,
+                "compiled_ms": warm_ms * ratio,
+                "ratio": ratio,
+                "rows": 5,
+                "from_sql": True,
+                "oracle_match": oracle_match,
+                "ceiling_ms": ceiling_ms,
+            }
+            for name in names
+        },
+    }
+
+
 @pytest.fixture
 def artifacts(tmp_path):
     def write(fused=None, scaleout=None, serve=None):
@@ -101,6 +122,46 @@ class TestHealthyArtifacts:
     def test_four_device_scaleout_passes_the_full_floor(self, artifacts):
         root = artifacts(scaleout=_scaleout(q6=2.7, devices=4))
         assert check_floors.main([str(root)]) == 0
+
+
+class TestTpchSuiteFloor:
+    """The whole-suite smoke artifact gates oracle + runtime floors."""
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "fig_tpch_suite_smoke.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_healthy_suite_passes(self, tmp_path):
+        path = self._write(tmp_path, _tpch())
+        assert check_floors.main(["--require", "tpch", str(path)]) == 0
+
+    def test_tpch_is_not_required_by_default(self, artifacts):
+        # The default three-lane gate must keep passing without the
+        # suite artifact present.
+        assert check_floors.main([str(artifacts())]) == 0
+
+    def test_oracle_divergence_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _tpch(oracle_match=False))
+        assert check_floors.main(["--require", "tpch", str(path)]) == 1
+        assert "diverged from the oracle" in capsys.readouterr().err
+
+    def test_runtime_above_ceiling_fails(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, _tpch(warm_ms=1.4, ceiling_ms=1.0)
+        )
+        assert check_floors.main(["--require", "tpch", str(path)]) == 1
+        assert "above its 1.00 ms ceiling" in capsys.readouterr().err
+
+    def test_fusion_regression_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _tpch(ratio=1.3))
+        assert check_floors.main(["--require", "tpch", str(path)]) == 1
+        assert "fusion regression" in capsys.readouterr().err
+
+    def test_shrunken_suite_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _tpch(num_queries=6))
+        assert check_floors.main(["--require", "tpch", str(path)]) == 1
+        assert "only 6 queries" in capsys.readouterr().err
 
 
 class TestInjectedRegressions:

@@ -333,3 +333,221 @@ def test_differential_fuzz(seed):
             assert np.array_equal(actual, want), (
                 f"{context}\ncolumn={name}\nactual={actual}\nexpected={want}"
             )
+
+
+# -- SQL round-trip fuzzing ----------------------------------------------------
+#
+# The second half of the suite drives the same differential harness from
+# SQL *text*: a seeded generator emits a random query over the ``t``/``s``
+# catalog, the SQL frontend parses and binds it, and the resulting plan
+# runs on the expert baseline plus the compiled backend with fusion auto
+# and off.  The expected rows come from an independent NumPy reading of
+# the same query shape.
+
+from repro.core import CompiledBackend
+from repro.gpu import Device, GTX_1080TI
+from repro.sql import sql_to_plan
+
+#: Seeded SQL case count; scales with ``REPRO_SQL_FUZZ_CASES``.
+SQL_FUZZ_CASES = int(os.environ.get("REPRO_SQL_FUZZ_CASES", "120"))
+
+
+def _sql_predicate(rng: np.random.Generator, depth: int = 0):
+    """A random WHERE fragment: ``(sql_text, numpy_mask_fn)``."""
+    if depth < 2 and rng.random() < 0.4:
+        lt, lf = _sql_predicate(rng, depth + 1)
+        rt, rf = _sql_predicate(rng, depth + 1)
+        combiner = rng.choice(["AND", "OR", "NOT"])
+        if combiner == "AND":
+            return f"({lt} AND {rt})", lambda t: lf(t) & rf(t)
+        if combiner == "OR":
+            return f"({lt} OR {rt})", lambda t: lf(t) | rf(t)
+        return f"(NOT {lt})", lambda t: ~lf(t)
+    kind = rng.choice(["int_cmp", "float_cmp", "between", "in_list", "cols"])
+    if kind == "int_cmp":
+        column = str(rng.choice(["k", "a"]))
+        value = int(rng.integers(0, 20))
+        op, ufunc = [
+            ("<", np.less), ("<=", np.less_equal), (">", np.greater),
+            (">=", np.greater_equal), ("=", np.equal), ("<>", np.not_equal),
+        ][int(rng.integers(0, 6))]
+        return (
+            f"{column} {op} {value}",
+            lambda t, c=column, v=value, f=ufunc: f(t[c], v),
+        )
+    if kind == "float_cmp":
+        column = str(rng.choice(["x", "y"]))
+        value = float(np.round(rng.uniform(-50.0, 100.0), 1))
+        op, ufunc = [
+            ("<", np.less), ("<=", np.less_equal), (">", np.greater),
+            (">=", np.greater_equal),
+        ][int(rng.integers(0, 4))]
+        return (
+            f"{column} {op} {value!r}",
+            lambda t, c=column, v=value, f=ufunc: f(t[c], v),
+        )
+    if kind == "between":
+        low = float(np.round(rng.uniform(0.0, 50.0), 1))
+        high = low + float(np.round(rng.uniform(5.0, 50.0), 1))
+        negated = rng.random() < 0.3
+        keyword = "NOT BETWEEN" if negated else "BETWEEN"
+        def between(t, lo=low, hi=high, neg=negated):
+            inside = (t["x"] >= lo) & (t["x"] <= hi)
+            return ~inside if neg else inside
+        return f"x {keyword} {low!r} AND {high!r}", between
+    if kind == "in_list":
+        values = sorted(
+            int(v) for v in rng.choice(20, size=int(rng.integers(1, 5)),
+                                       replace=False)
+        )
+        negated = rng.random() < 0.4
+        keyword = "NOT IN" if negated else "IN"
+        text = f"a {keyword} ({', '.join(str(v) for v in values)})"
+        def in_list(t, vs=tuple(values), neg=negated):
+            inside = np.isin(t["a"], vs)
+            return ~inside if neg else inside
+        return text, in_list
+    return "x < y", lambda t: t["x"] < t["y"]
+
+
+def _make_sql_case(rng: np.random.Generator, catalog: Dict[str, Table]):
+    """One random SQL query plus its NumPy-interpreted expected output."""
+    t = {name: catalog["t"].column(name).data
+         for name in ("k", "a", "x", "y", "u")}
+    s = {name: catalog["s"].column(name).data for name in ("j", "z")}
+    shape = rng.choice(
+        ["filter_star", "project", "global_agg", "group_by", "order_limit",
+         "join", "in_subquery", "exists", "scalar_subquery"],
+        p=[0.14, 0.14, 0.1, 0.14, 0.12, 0.12, 0.08, 0.08, 0.08],
+    )
+
+    if shape == "filter_star":
+        text, mask_fn = _sql_predicate(rng)
+        sql = f"SELECT * FROM t WHERE {text}"
+        return sql, (list(t), _apply_mask(t, mask_fn(t)))
+
+    if shape == "project":
+        text, mask_fn = _sql_predicate(rng)
+        sql = f"SELECT u, x * y AS v FROM t WHERE {text}"
+        rows = _apply_mask(t, mask_fn(t))
+        expected = {"u": rows["u"], "v": rows["x"] * rows["y"]}
+        if rng.random() < 0.4:
+            limit = int(rng.integers(1, 20))
+            sql += f" LIMIT {limit}"
+            expected = {k: v[:limit] for k, v in expected.items()}
+        return sql, (["u", "v"], expected)
+
+    if shape == "global_agg":
+        text, mask_fn = _sql_predicate(rng)
+        sql = (
+            "SELECT SUM(x) AS total, COUNT(*) AS n FROM t "
+            f"WHERE {text}"
+        )
+        rows = _apply_mask(t, mask_fn(t))
+        expected = {
+            "total": np.asarray([rows["x"].sum(dtype=np.float64)]),
+            "n": np.asarray([len(rows["x"])], dtype=np.int64),
+        }
+        return sql, (["total", "n"], expected)
+
+    if shape == "group_by":
+        text, mask_fn = _sql_predicate(rng)
+        sql = (
+            "SELECT k, SUM(a) AS total, COUNT(*) AS n FROM t "
+            f"WHERE {text} GROUP BY k ORDER BY k"
+        )
+        rows = _apply_mask(t, mask_fn(t))
+        unique, totals = _group_reduce(rows["k"], rows["a"], "sum")
+        _unique, counts = _group_reduce(rows["k"], rows["a"], "count")
+        expected = {"k": unique, "total": totals, "n": counts}
+        return sql, (["k", "total", "n"], expected)
+
+    if shape == "order_limit":
+        descending = bool(rng.random() < 0.5)
+        direction = "DESC" if descending else "ASC"
+        limit = int(rng.integers(1, 25))
+        sql = f"SELECT * FROM t ORDER BY u {direction} LIMIT {limit}"
+        order = np.argsort(t["u"], kind="stable")
+        if descending:
+            order = order[::-1]
+        order = order[:limit]
+        expected = {name: data[order] for name, data in t.items()}
+        return sql, (list(t), expected)
+
+    if shape == "join":
+        text, mask_fn = _sql_predicate(rng)
+        sql = f"SELECT u, z FROM t JOIN s ON a = j WHERE {text}"
+        rows = _apply_mask(t, mask_fn(t))
+        left_ids: List[int] = []
+        right_ids: List[int] = []
+        for i, key in enumerate(rows["a"]):
+            for j, other in enumerate(s["j"]):
+                if key == other:
+                    left_ids.append(i)
+                    right_ids.append(j)
+        expected = {"u": rows["u"][left_ids], "z": s["z"][right_ids]}
+        return sql, (["u", "z"], expected)
+
+    if shape == "in_subquery":
+        cut = float(np.round(rng.uniform(0.0, 10.0), 1))
+        negated = rng.random() < 0.4
+        keyword = "NOT IN" if negated else "IN"
+        sql = (
+            f"SELECT u, a FROM t WHERE a {keyword} "
+            f"(SELECT j FROM s WHERE z > {cut!r})"
+        )
+        member = np.isin(t["a"], s["j"][s["z"] > cut])
+        mask = ~member if negated else member
+        expected = {"u": t["u"][mask], "a": t["a"][mask]}
+        return sql, (["u", "a"], expected)
+
+    if shape == "exists":
+        cut = float(np.round(rng.uniform(0.0, 10.0), 1))
+        negated = rng.random() < 0.4
+        keyword = "NOT EXISTS" if negated else "EXISTS"
+        sql = (
+            f"SELECT u FROM t WHERE {keyword} "
+            f"(SELECT j FROM s WHERE j = a AND z > {cut!r})"
+        )
+        member = np.isin(t["a"], s["j"][s["z"] > cut])
+        mask = ~member if negated else member
+        return sql, (["u"], {"u": t["u"][mask]})
+
+    # scalar_subquery: compare against an uncorrelated aggregate of s.z
+    sql = "SELECT u, x FROM t WHERE x > (SELECT AVG(z) FROM s)"
+    mask = t["x"] > s["z"].mean(dtype=np.float64)
+    return sql, (["u", "x"], {"u": t["u"][mask], "x": t["x"][mask]})
+
+
+def _sql_fuzz_backends():
+    framework = default_framework()
+    return (
+        ("handwritten", framework.create("handwritten")),
+        ("compiled[auto]", CompiledBackend(Device(GTX_1080TI), fusion="auto")),
+        ("compiled[off]", CompiledBackend(Device(GTX_1080TI), fusion="off")),
+    )
+
+
+@pytest.mark.parametrize("seed", range(SQL_FUZZ_CASES))
+def test_sql_round_trip_fuzz(seed):
+    """Random SQL text must parse, bind, and match the NumPy oracle."""
+    rng = np.random.default_rng(10_000 + seed)
+    catalog = _make_catalog(rng)
+    sql, (names, expected) = _make_sql_case(rng, catalog)
+    plan = sql_to_plan(sql, catalog)
+    for backend_name, backend in _sql_fuzz_backends():
+        executor = QueryExecutor(backend, catalog)
+        result = executor.execute(plan)
+        context = (
+            f"\nseed={seed} backend={backend_name}\nsql: {sql}\n"
+            f"plan:\n{explain(plan)}"
+        )
+        assert result.table.column_names == names, context
+        for name in names:
+            actual = np.asarray(
+                result.table.column(name).data, dtype=np.float64
+            )
+            want = np.asarray(expected[name], dtype=np.float64)
+            assert np.array_equal(actual, want), (
+                f"{context}\ncolumn={name}\nactual={actual}\nexpected={want}"
+            )

@@ -1,0 +1,271 @@
+"""Edge cases for semi/anti joins and the sort-merge join.
+
+Covers the degenerate shapes the TPC-H differential suite never hits:
+empty build sides, all-rows-match, duplicate and heavily skewed keys —
+each checked against a NumPy oracle on every join algorithm the backend
+supports — plus the interaction with OOM handling: join plans are not
+chunk-eligible, so they must fail typed (and recover on retry) instead
+of entering the chunked-recovery path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import default_framework
+from repro.errors import DeviceMemoryError
+from repro.gpu.profiler import KERNEL
+from repro.query import QueryExecutor, scan
+from repro.query.chunked import chunkable_table
+from repro.relational import Column, Table
+
+
+def _tables(left_keys, right_keys):
+    left = Table("l", [
+        Column.from_values("k", np.asarray(left_keys, dtype=np.int32)),
+        Column.from_values(
+            "v", np.arange(len(left_keys), dtype=np.int32)
+        ),
+    ])
+    right = Table("r", [
+        Column.from_values("j", np.asarray(right_keys, dtype=np.int32)),
+        Column.from_values(
+            "w", np.arange(len(right_keys), dtype=np.int32)
+        ),
+    ])
+    return {"l": left, "r": right}
+
+
+def _executor(catalog, backend_name="thrust", **kwargs):
+    backend = default_framework().create(backend_name)
+    return QueryExecutor(backend, catalog, **kwargs)
+
+
+def _semi_plan(anti=False, algorithm="auto"):
+    builder = scan("l")
+    if anti:
+        return builder.anti_join(
+            scan("r"), left_on="k", right_on="j", algorithm=algorithm
+        ).build()
+    return builder.semi_join(
+        scan("r"), left_on="k", right_on="j", algorithm=algorithm
+    ).build()
+
+
+def _join_plan(algorithm="auto"):
+    return scan("l").join(
+        scan("r"), left_on="k", right_on="j", algorithm=algorithm
+    ).build()
+
+
+def _semi_oracle(left_keys, right_keys, anti):
+    """Surviving left row ids, in probe order (== ascending row id)."""
+    mask = np.isin(
+        np.asarray(left_keys), np.asarray(right_keys), invert=anti
+    )
+    return np.flatnonzero(mask)
+
+
+def _inner_oracle(left_keys, right_keys):
+    """(left ids, right ids) in left-major nested-loop order."""
+    left_ids, right_ids = [], []
+    for i, key in enumerate(left_keys):
+        for j, other in enumerate(right_keys):
+            if key == other:
+                left_ids.append(i)
+                right_ids.append(j)
+    return np.asarray(left_ids), np.asarray(right_ids)
+
+
+#: backend -> join algorithms it supports explicitly.
+ALGORITHMS = {
+    "thrust": ("auto", "nested_loop", "merge"),
+    "handwritten": ("auto", "nested_loop", "merge", "hash"),
+}
+
+BACKEND_ALGORITHM = [
+    (backend, algorithm)
+    for backend, algorithms in ALGORITHMS.items()
+    for algorithm in algorithms
+]
+
+
+class TestSemiAntiEdgeCases:
+    @pytest.mark.parametrize("backend_name,algorithm", BACKEND_ALGORITHM)
+    @pytest.mark.parametrize("anti", [False, True], ids=["semi", "anti"])
+    @pytest.mark.parametrize(
+        "left_keys,right_keys",
+        [
+            pytest.param([3, 1, 2, 2, 5], [], id="empty_build_side"),
+            pytest.param([], [1, 2, 3], id="empty_probe_side"),
+            pytest.param([4, 4, 4, 4], [4], id="all_rows_match"),
+            pytest.param([3, 1, 2, 2, 5], [2, 2, 2, 3], id="duplicate_build"),
+            pytest.param(
+                [7] * 90 + list(range(10)), [7] * 50 + [3], id="skewed"
+            ),
+            pytest.param([1, 2, 3], [4, 5, 6], id="disjoint"),
+        ],
+    )
+    def test_matches_numpy_oracle(
+        self, backend_name, algorithm, anti, left_keys, right_keys
+    ):
+        catalog = _tables(left_keys, right_keys)
+        executor = _executor(catalog, backend_name)
+        table = executor.execute(_semi_plan(anti, algorithm)).table
+        ids = _semi_oracle(left_keys, right_keys, anti)
+        assert table.num_rows == len(ids)
+        assert np.array_equal(
+            table.column("k").data,
+            np.asarray(left_keys, dtype=np.int32)[ids],
+        )
+        # Payload columns ride along untouched, in probe order.
+        assert np.array_equal(table.column("v").data, ids)
+
+    @pytest.mark.parametrize("backend_name", sorted(ALGORITHMS))
+    def test_semi_plus_anti_partition_the_probe_side(self, backend_name):
+        left = [5, 1, 5, 9, 2, 2, 8]
+        right = [2, 5, 5]
+        executor = _executor(_tables(left, right), backend_name)
+        semi = executor.execute(_semi_plan(False)).table
+        anti = executor.execute(_semi_plan(True)).table
+        assert semi.num_rows + anti.num_rows == len(left)
+        combined = np.concatenate(
+            [semi.column("v").data, anti.column("v").data]
+        )
+        assert np.array_equal(np.sort(combined), np.arange(len(left)))
+
+    def test_duplicate_build_rows_do_not_duplicate_probe_rows(self):
+        """Each probe row appears at most once, however many matches the
+        build side holds — the defining semi-join property."""
+        executor = _executor(_tables([2, 2, 3], [2] * 1000))
+        table = executor.execute(_semi_plan(False)).table
+        assert table.num_rows == 2
+        assert np.array_equal(table.column("v").data, [0, 1])
+
+
+class TestSortMergeEdgeCases:
+    @pytest.mark.parametrize(
+        "left_keys,right_keys",
+        [
+            pytest.param([3, 1, 2], [], id="empty_build_side"),
+            pytest.param([], [1, 2], id="empty_probe_side"),
+            pytest.param([4, 4, 4], [4, 4], id="all_rows_match"),
+            pytest.param([9, 1, 5, 5, 2], [5, 5, 9, 9, 7], id="duplicates"),
+            pytest.param(
+                [6] * 40 + [1, 2, 3], [6] * 25 + [3], id="skewed"
+            ),
+        ],
+    )
+    def test_merge_matches_nested_loop_order(self, left_keys, right_keys):
+        """Merge join's output rows are bit-identical to the nested-loop
+        reference — same multiplicities, same left-major order — even on
+        unsorted, duplicate-heavy inputs."""
+        catalog = _tables(left_keys, right_keys)
+        executor = _executor(catalog)
+        merge = executor.execute(_join_plan("merge")).table
+        reference = executor.execute(_join_plan("nested_loop")).table
+        left_ids, right_ids = _inner_oracle(left_keys, right_keys)
+        assert merge.num_rows == len(left_ids)
+        for name in merge.column_names:
+            assert np.array_equal(
+                merge.column(name).data, reference.column(name).data
+            ), name
+        assert np.array_equal(merge.column("v").data, left_ids)
+        assert np.array_equal(merge.column("w").data, right_ids)
+
+    def test_all_rows_match_is_the_cross_product(self):
+        executor = _executor(_tables([1] * 7, [1] * 13))
+        table = executor.execute(_join_plan("merge")).table
+        assert table.num_rows == 7 * 13
+
+    def test_merge_algorithm_actually_runs_merge_kernels(self):
+        executor = _executor(_tables([3, 1, 2, 2], [2, 3]))
+        executor.execute(_join_plan("merge"))
+        kernels = [
+            event.name
+            for event in executor.backend.device.profiler.iter_kind(KERNEL)
+        ]
+        assert any("merge" in name for name in kernels)
+        assert not any("nlj" in name for name in kernels)
+
+
+class TestJoinOomBehaviour:
+    """Joins are not chunk-eligible: OOM must fail typed, not mis-recover."""
+
+    def _skewed_catalog(self):
+        rng = np.random.default_rng(3)
+        left = rng.integers(0, 50, 5_000)
+        right = np.concatenate([np.full(200, 7), np.arange(40)])
+        return _tables(left, right)
+
+    def test_semi_join_plans_are_not_chunk_eligible(self):
+        assert chunkable_table(_semi_plan(False)) is None
+        assert chunkable_table(_semi_plan(True)) is None
+        assert chunkable_table(_join_plan("merge")) is None
+
+    def test_scan_chunks_falls_back_to_whole_table_semi_join(self):
+        """With chunking enabled the ineligible plan silently takes the
+        ordinary path: identical rows, no recovery chunk count."""
+        catalog = self._skewed_catalog()
+        serial = _executor(catalog).execute(_semi_plan(False))
+        chunked = _executor(catalog, scan_chunks=4).execute(_semi_plan(False))
+        assert chunked.report.oom_recovery_chunks is None
+        for name in serial.table.column_names:
+            assert np.array_equal(
+                chunked.table.column(name).data,
+                serial.table.column(name).data,
+            )
+
+    @pytest.mark.parametrize("anti", [False, True], ids=["semi", "anti"])
+    def test_oom_during_semi_join_raises_typed(self, anti):
+        catalog = self._skewed_catalog()
+        executor = _executor(catalog)
+        executor.backend.device.inject_faults(oom_at_alloc=2)
+        with pytest.raises(DeviceMemoryError) as excinfo:
+            executor.execute(_semi_plan(anti))
+        assert excinfo.value.injected
+        assert excinfo.value.requested > 0
+
+    def test_cleared_fault_allows_clean_retry(self):
+        """After the typed failure the device is reusable: clearing the
+        fault and re-running produces the oracle rows."""
+        catalog = self._skewed_catalog()
+        executor = _executor(catalog)
+        executor.backend.device.inject_faults(oom_at_alloc=2)
+        with pytest.raises(DeviceMemoryError):
+            executor.execute(_semi_plan(False))
+        executor.backend.device.clear_faults()
+        executor.backend.device.reset()
+        table = executor.execute(_semi_plan(False)).table
+        left = catalog["l"].column("k").data
+        right = catalog["r"].column("j").data
+        ids = _semi_oracle(left, right, anti=False)
+        assert np.array_equal(table.column("v").data, ids)
+
+    def test_chunk_eligible_plan_still_recovers_next_to_joins(self):
+        """The recovery boundary: a group-by over the same table enters
+        the chunked OOM-recovery path where the join could not."""
+        from repro.core.predicate import col_lt
+
+        catalog = self._skewed_catalog()
+        plan = (
+            scan("l")
+            .filter(col_lt("k", 40.0))
+            .group_by(["k"], [("n", "count", None)])
+            .build()
+        )
+        executor = _executor(catalog)
+        executor.backend.device.inject_faults(
+            oom_at_bytes=catalog["l"].nbytes // 2
+        )
+        result = executor.execute(plan)
+        assert result.report.oom_recovery_chunks is not None
+        keys = catalog["l"].column("k").data
+        survivors = keys[keys < 40]
+        expected_groups = np.unique(survivors)
+        assert np.array_equal(
+            result.table.column("k").data, expected_groups
+        )
+        counts = np.bincount(survivors, minlength=50)[expected_groups]
+        assert np.array_equal(result.table.column("n").data, counts)

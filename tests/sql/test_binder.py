@@ -1,0 +1,157 @@
+"""Binder tests: lowering shapes, alias scoping, and the negative matrix.
+
+Semantic errors must surface as typed :class:`SqlError` values — the CLI
+and serving layer rely on catching exactly that type — and carry enough
+message text to act on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import QueryExecutor, explain
+from repro.query.plan import Filter, GroupBy, Join, Limit, OrderBy, Project, TopK
+from repro.sql import SqlError, bind, parse, sql_to_plan
+from repro.tpch import TpchGenerator
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return TpchGenerator(scale_factor=0.002, seed=11).generate()
+
+
+class TestBinderShapes:
+    def test_filter_project_executes(self, catalog, framework):
+        plan = sql_to_plan(
+            "SELECT n_name, n_nationkey FROM nation WHERE n_regionkey = 2",
+            catalog,
+        )
+        executor = QueryExecutor(framework.create("cpu-reference"), catalog)
+        table = executor.execute(plan).table
+        assert table.column_names == ["n_name", "n_nationkey"]
+        regionkey = catalog["nation"].column("n_regionkey").data
+        assert table.num_rows == int((regionkey == 2).sum())
+
+    def test_order_limit_fuses_to_top_k(self, catalog):
+        plan = sql_to_plan(
+            "SELECT o_orderkey, o_totalprice FROM orders "
+            "ORDER BY o_totalprice DESC LIMIT 3",
+            catalog,
+        )
+        assert isinstance(plan, TopK)
+        assert plan.n == 3
+        assert plan.descending
+
+    def test_raw_lowering_keeps_order_by_and_limit(self, catalog):
+        plan = bind(
+            parse(
+                "SELECT o_orderkey, o_totalprice FROM orders "
+                "ORDER BY o_totalprice DESC LIMIT 3"
+            ),
+            catalog,
+            optimize_plan=False,
+        )
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.child, OrderBy)
+
+    def test_self_join_with_aliases_binds(self, catalog, framework):
+        plan = sql_to_plan(
+            "SELECT n1.n_name, n2.n_name AS other FROM nation n1 "
+            "JOIN nation n2 ON n1.n_regionkey = n2.n_regionkey "
+            "WHERE n1.n_nationkey = 0",
+            catalog,
+        )
+        executor = QueryExecutor(framework.create("cpu-reference"), catalog)
+        table = executor.execute(plan).table
+        assert table.column_names == ["n_name", "other"]
+        regionkey = catalog["nation"].column("n_regionkey").data
+        nation_zero_region = regionkey[0]
+        assert table.num_rows == int((regionkey == nation_zero_region).sum())
+
+    def test_group_by_column_not_in_select_is_resolved(self, catalog):
+        plan = sql_to_plan(
+            "SELECT n_regionkey, COUNT(*) AS n FROM nation "
+            "GROUP BY n_regionkey",
+            catalog,
+        )
+        text = explain(plan)
+        assert "GroupBy" in text
+
+    def test_string_equality_becomes_dictionary_codes(self, catalog):
+        plan = sql_to_plan(
+            "SELECT n_nationkey FROM nation WHERE n_name = 'FRANCE'",
+            catalog,
+        )
+        code = catalog["nation"].column("n_name").code_for("FRANCE")
+        assert str(float(code)) in explain(plan)
+
+    def test_like_with_no_matches_is_always_false(self, catalog, framework):
+        plan = sql_to_plan(
+            "SELECT n_nationkey FROM nation WHERE n_name LIKE 'ZZZZ%'",
+            catalog,
+        )
+        executor = QueryExecutor(framework.create("cpu-reference"), catalog)
+        assert executor.execute(plan).table.num_rows == 0
+
+
+#: (sql, fragment the SqlError message must contain)
+NEGATIVE_CASES = (
+    ("SELECT * FROM nosuch", "unknown table"),
+    ("SELECT bogus FROM nation", "unknown column"),
+    ("SELECT n_name FROM nation WHERE n1.n_name = 'FRANCE'",
+     "unknown column"),
+    ("SELECT n_name FROM nation n1 JOIN nation n2 "
+     "ON n1.n_regionkey = n2.n_regionkey", "ambiguous"),
+    ("SELECT * FROM nation JOIN nation ON n_nationkey = n_nationkey",
+     "duplicate column"),
+    ("SELECT * FROM nation JOIN region ON r_regionkey = r_name",
+     "earlier table"),
+    ("SELECT n_nationkey + 1 FROM nation", "AS alias"),
+    ("SELECT n_regionkey, n_name, COUNT(*) AS n FROM nation "
+     "GROUP BY n_regionkey", "neither aggregated nor"),
+    ("SELECT n_name FROM nation ORDER BY n_regionkey", "not an output"),
+    ("SELECT COUNT(*) AS n FROM nation GROUP BY n",
+     "aggregated select item"),
+    ("SELECT * FROM nation GROUP BY n_regionkey",
+     "cannot be combined with aggregation"),
+    ("SELECT DISTINCT n_name FROM nation",
+     "only supported inside IN subqueries"),
+    ("SELECT c_custkey FROM customer WHERE c_custkey < 10 OR EXISTS "
+     "(SELECT o_orderkey FROM orders WHERE o_custkey = c_custkey)",
+     "top-level AND conjunct"),
+    ("SELECT c_custkey FROM customer WHERE EXISTS "
+     "(SELECT o_orderkey FROM orders WHERE o_orderkey < 5)",
+     "correlated equality"),
+    ("SELECT n_name FROM nation WHERE n_nationkey IN "
+     "(SELECT r_regionkey, r_name FROM region)", "exactly one column"),
+    ("SELECT n_nationkey + 'x' AS v FROM nation", "string literals"),
+    ("SELECT n_name FROM nation WHERE n_nationkey LIKE 'a%'",
+     "dictionary-encoded"),
+    ("SELECT n_name FROM nation WHERE n_name < 'B'", "= and <>"),
+    ("SELECT n_name FROM nation WHERE n_name IN ('ALGERIA', 3)",
+     "mix strings and numbers"),
+    ("SELECT n_regionkey, COUNT(*) AS n FROM nation "
+     "GROUP BY n_regionkey HAVING n_name > 1", "HAVING comparison"),
+)
+
+
+class TestBinderNegative:
+    @pytest.mark.parametrize("sql,fragment", NEGATIVE_CASES)
+    def test_semantic_error_raises_sql_error(self, sql, fragment, catalog):
+        with pytest.raises(SqlError) as excinfo:
+            sql_to_plan(sql, catalog)
+        assert fragment.lower() in str(excinfo.value).lower(), (
+            str(excinfo.value)
+        )
+
+    def test_unknown_column_error_is_positioned(self, catalog):
+        with pytest.raises(SqlError) as excinfo:
+            sql_to_plan("SELECT n_name,\n       bogus FROM nation", catalog)
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 8
+
+    def test_unknown_table_error_names_the_catalog(self, catalog):
+        with pytest.raises(SqlError) as excinfo:
+            sql_to_plan("SELECT * FROM linitem", catalog)
+        assert "lineitem" in str(excinfo.value)

@@ -1,0 +1,145 @@
+"""SQL tokenizer and parser unit tests, including the negative matrix.
+
+Every malformed input must surface as a typed :class:`SqlError` carrying
+1-based position info — never a bare Python traceback from deeper in the
+stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sql import SqlError, parse, tokenize
+from repro.sql.ast import (
+    CaseExpr,
+    Comparison,
+    ExistsPred,
+    FuncCall,
+    InSelectPred,
+    LikePred,
+    SelectStmt,
+)
+
+
+class TestTokenizer:
+    def test_kinds_and_positions(self):
+        tokens = tokenize("SELECT x\nFROM t")
+        assert [t.kind for t in tokens] == [
+            "ident", "ident", "ident", "ident", "end"
+        ]
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[2].line, tokens[2].column) == (2, 1)
+
+    def test_strings_comments_numbers(self):
+        tokens = tokenize("-- a comment\n'hi there', 3.25 <= .5")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [
+            ("string", "hi there"),
+            ("op", ","),
+            ("number", "3.25"),
+            ("op", "<="),
+            ("number", ".5"),
+        ]
+
+    def test_multichar_operators_win(self):
+        values = [t.value for t in tokenize("<> != >= <")[:-1]]
+        assert values == ["<>", "!=", ">=", "<"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError) as excinfo:
+            tokenize("SELECT 'oops")
+        assert excinfo.value.column == 8
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError) as excinfo:
+            tokenize("SELECT @ FROM t")
+        assert "@" in str(excinfo.value)
+
+
+class TestParserShapes:
+    def test_simple_select(self):
+        stmt = parse("SELECT a, b AS total FROM t WHERE a < 3 LIMIT 5")
+        assert isinstance(stmt, SelectStmt)
+        assert [item.alias for item in stmt.items] == [None, "total"]
+        assert stmt.limit == 5
+        assert isinstance(stmt.where, Comparison)
+
+    def test_join_on_chain(self):
+        stmt = parse(
+            "SELECT * FROM t JOIN s ON a = j AND k = j ORDER BY u DESC"
+        )
+        assert stmt.star
+        assert len(stmt.joins) == 1
+        assert len(stmt.joins[0].conditions) == 2
+        assert stmt.order_by.descending
+
+    def test_aggregates_and_case(self):
+        stmt = parse(
+            "SELECT k, SUM(CASE WHEN a > 1 THEN x ELSE 0 END) AS s, "
+            "COUNT(*) AS n FROM t GROUP BY k HAVING SUM(x) > 2"
+        )
+        assert stmt.group_by == ("k",)
+        assert isinstance(stmt.items[1].expr, FuncCall)
+        assert isinstance(stmt.items[1].expr.arg, CaseExpr)
+        assert stmt.items[2].expr.star
+        assert stmt.having is not None
+
+    def test_subquery_predicates(self):
+        stmt = parse(
+            "SELECT u FROM t WHERE a IN (SELECT j FROM s) "
+            "AND EXISTS (SELECT j FROM s WHERE j = a) "
+            "AND x LIKE 'PROMO%'"
+        )
+        kinds = {type(p) for p in stmt.where.parts}
+        assert kinds == {InSelectPred, ExistsPred, LikePred}
+
+    def test_keywords_are_case_insensitive(self):
+        lower = parse("select u from t order by u asc")
+        upper = parse("SELECT u FROM t ORDER BY u ASC")
+        assert lower.order_by.name == upper.order_by.name
+
+    def test_minor_keywords_usable_as_names(self):
+        stmt = parse("SELECT value FROM t ORDER BY value")
+        assert stmt.items[0].expr.name == "value"
+
+
+#: Malformed inputs and a fragment the error message must contain.
+NEGATIVE_CASES = (
+    ("", "SELECT"),
+    ("SELECT", "expected"),
+    ("SELECT * FROM", "table"),
+    ("SELECT * WHERE x = 1", "FROM"),
+    ("SELECT * FROM t WHERE", "expected"),
+    ("SELECT * FROM t WHERE x >", "expected"),
+    ("SELECT * FROM t LIMIT x", "LIMIT"),
+    ("SELECT * FROM t ORDER BY", "expected"),
+    ("SELECT * FROM t GROUP BY", "expected"),
+    ("SELECT * FROM t JOIN s", "ON"),
+    ("SELECT * FROM t JOIN s ON a", "="),
+    ("SELECT COUNT(* FROM t", ")"),
+    ("SELECT * FROM t WHERE x BETWEEN 1", "AND"),
+    ("SELECT a b c FROM t", "expected"),
+    ("SELECT * FROM t extra junk", "trailing"),
+    ("SELECT 'oops FROM t", "unterminated"),
+)
+
+
+class TestParserNegative:
+    @pytest.mark.parametrize("sql,fragment", NEGATIVE_CASES)
+    def test_malformed_input_raises_positioned_sql_error(self, sql, fragment):
+        with pytest.raises(SqlError) as excinfo:
+            parse(sql)
+        error = excinfo.value
+        assert fragment.lower() in str(error).lower(), str(error)
+        assert error.line >= 1
+        assert error.column >= 1
+        assert f"line {error.line}" in str(error)
+
+    def test_sql_error_is_a_repro_error(self):
+        assert issubclass(SqlError, ReproError)
+
+    def test_position_points_into_later_lines(self):
+        with pytest.raises(SqlError) as excinfo:
+            parse("SELECT u\nFROM t\nWHERE x ><")
+        assert excinfo.value.line == 3

@@ -107,6 +107,64 @@ class TestServe:
             main(["serve", "--queries", "Q99", "--scale-factor", "0.002"])
 
 
+class TestSql:
+    def test_parser_accepts_sql_flag(self):
+        args = build_parser().parse_args(
+            ["tpch", "--sql", "SELECT * FROM nation"]
+        )
+        assert args.sql == "SELECT * FROM nation"
+        args = build_parser().parse_args(["serve", "--sql", "SELECT 1"])
+        assert args.sql == "SELECT 1"
+
+    def test_tpch_ad_hoc_sql(self, capsys):
+        assert main([
+            "tpch", "--scale-factor", "0.002",
+            "--sql",
+            "SELECT n_regionkey, COUNT(*) AS n FROM nation "
+            "GROUP BY n_regionkey ORDER BY n_regionkey",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rows" in out
+        handwritten = [
+            line for line in out.splitlines() if "handwritten" in line
+        ]
+        assert handwritten and handwritten[0].split()[-1] == "5"
+
+    def test_tpch_sql_error_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "tpch", "--scale-factor", "0.002",
+                "--sql", "SELECT bogus FROM nation",
+            ])
+        message = str(excinfo.value)
+        assert "SQL error" in message
+        assert "bogus" in message
+        assert "line 1" in message
+
+    def test_tpch_sql_parse_error_is_positioned(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tpch", "--sql", "SELECT FROM nation"])
+        assert "SQL error" in str(excinfo.value)
+
+    def test_serve_ad_hoc_sql(self, capsys):
+        assert main([
+            "serve", "--requests", "4", "--arrival-rate", "500",
+            "--scale-factor", "0.002", "--queries", "Q6",
+            "--sql", "SELECT n_name FROM nation WHERE n_regionkey = 1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ADHOC" in out
+        assert "completed" in out
+
+    def test_serve_sql_error_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve", "--scale-factor", "0.002",
+                "--sql", "SELECT * FROM nosuch",
+            ])
+        assert "SQL error" in str(excinfo.value)
+
+
 class TestDistributed:
     def test_parser_defaults(self):
         for command in ("tpch", "serve"):

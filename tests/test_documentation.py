@@ -122,10 +122,19 @@ class TestCiWorkflow:
     def test_smoke_lanes_write_outside_the_checkout(self, ci_text):
         # Every benchmark smoke redirects through REPRO_BENCH_OUT; no
         # lane uploads smoke JSON from the checkout's benchmarks/out.
-        for lane in ("serve", "scaleout", "fused"):
+        for lane in ("serve", "scaleout", "fused", "tpch"):
             assert f'REPRO_BENCH_OUT="$RUNNER_TEMP/{lane}"' in ci_text
             assert f"runner.temp }}}}/{lane}/fig_" in ci_text
         assert "benchmarks/out/fig_" not in ci_text
+
+    def test_sql_fast_lane(self, ci_text):
+        assert "tests/sql" in ci_text
+        assert "tests/tpch/test_sql_queries.py" in ci_text
+        assert "tests/tpch/test_query_coverage.py" in ci_text
+        assert "bench_fig_tpch_suite.py" in ci_text
+        assert "tpch-smoke-metrics" in ci_text
+        # The suite floors are gated inside the lane itself.
+        assert "--require tpch" in ci_text
 
     def test_floor_gate_runs_after_the_smoke_lanes(self, ci_text):
         assert "benchmarks/check_floors.py" in ci_text

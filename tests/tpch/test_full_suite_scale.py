@@ -79,7 +79,12 @@ class TestFullSuiteAtScale:
 
 
 def _measure_column(names) -> str:
-    for candidate in ("revenue", "order_count", "sum_disc_price"):
+    candidates = (
+        "revenue", "order_count", "sum_disc_price", "value",
+        "high_line_count", "promo_revenue", "supplier_cnt", "sum_qty",
+        "mkt_share", "sum_profit", "totacctbal",
+    )
+    for candidate in candidates:
         if candidate in names:
             return candidate
     raise AssertionError(f"no measure column among {names}")

@@ -82,7 +82,19 @@ class TestQ10:
 
 class TestQueryRegistry:
     def test_all_queries_registered(self):
-        assert set(ALL_QUERIES) == {"Q1", "Q3", "Q4", "Q5", "Q6", "Q10"}
+        assert set(ALL_QUERIES) == {
+            "Q1", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10",
+            "Q11", "Q12", "Q14", "Q16", "Q18", "Q19", "Q22",
+        }
+
+    def test_sql_queries_are_a_subset(self):
+        from repro.tpch import SQL_QUERIES
+
+        assert set(SQL_QUERIES) == {
+            "Q7", "Q8", "Q9", "Q11", "Q12", "Q14", "Q16", "Q18", "Q19",
+            "Q22",
+        }
+        assert set(SQL_QUERIES) <= set(ALL_QUERIES)
 
     def test_every_module_exposes_the_contract(self):
         for name, module in ALL_QUERIES.items():

@@ -1,0 +1,76 @@
+"""Meta-test: every TPC-H query module must have differential coverage.
+
+New query modules land with an oracle-differential test or this file
+fails — coverage cannot silently lag behind
+``src/repro/tpch/queries/``.  The scan is textual on purpose: it checks
+that the *test tree* references each query module and its ``reference``
+oracle, independent of how the suite happens to parametrize.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import repro.tpch.queries as queries_pkg
+from repro.tpch import ALL_QUERIES, SQL_QUERIES
+
+TESTS_DIR = pathlib.Path(__file__).resolve().parent.parent
+QUERIES_DIR = pathlib.Path(queries_pkg.__file__).resolve().parent
+
+
+def _query_modules():
+    """Module stems (``q1``, ``q7``, ...) found on disk."""
+    return sorted(
+        path.stem
+        for path in QUERIES_DIR.glob("q*.py")
+        if re.fullmatch(r"q\d+", path.stem)
+    )
+
+
+def _test_sources():
+    return {
+        path: path.read_text()
+        for path in TESTS_DIR.rglob("test_*.py")
+        if path.name != pathlib.Path(__file__).name
+    }
+
+
+class TestQueryCoverage:
+    def test_every_module_on_disk_is_registered(self):
+        stems = _query_modules()
+        registered = {name.lower() for name in ALL_QUERIES}
+        assert {stem for stem in stems} == registered
+
+    def test_every_query_has_a_differential_test(self):
+        """Each registered query must appear in some test file together
+        with its oracle (``<module>.reference`` or a suite-level
+        ``reference(...)`` sweep such as ``SQL_QUERIES``)."""
+        sources = _test_sources()
+        combined = "\n".join(sources.values())
+        missing = []
+        for name, module in ALL_QUERIES.items():
+            stem = module.__name__.rsplit(".", 1)[-1]
+            directly_tested = re.search(
+                rf"\b{stem}\.reference\b", combined
+            ) or re.search(rf"\b{stem}\.plan\b", combined)
+            swept = name in SQL_QUERIES and "SQL_QUERIES" in combined
+            if not (directly_tested or swept):
+                missing.append(name)
+        assert not missing, (
+            f"queries without an oracle-differential test: {missing}"
+        )
+
+    def test_sql_query_sweep_executes_every_sql_query(self):
+        """The SQL differential suite parametrizes over the full
+        ``SQL_QUERIES`` registry, not a hand-kept list."""
+        source = (TESTS_DIR / "tpch" / "test_sql_queries.py").read_text()
+        assert "QUERY_NAMES = tuple(sorted(SQL_QUERIES))" in source
+        assert 'parametrize("name", QUERY_NAMES)' in source
+
+    def test_every_module_ships_an_oracle(self):
+        for name, module in ALL_QUERIES.items():
+            assert callable(getattr(module, "reference", None)), name
+            assert callable(getattr(module, "plan", None)), name
+            doc = module.__doc__ or ""
+            assert doc.strip(), f"{name} lacks a module docstring"

@@ -21,7 +21,14 @@ and enforces the floors:
   every query matches its NumPy oracle, warm runtime stays under the
   per-query ceiling recorded in the artifact, and the compiled backend
   never falls behind the eager baseline.  Not required by default —
-  pass it explicitly via ``--require ...,tpch`` in lanes that upload it.
+  pass it explicitly via ``--require ...,tpch`` in lanes that upload it;
+* **tiered** — the compressed-storage smoke (``fig_tiered_smoke.json``):
+  every cell of the pressure grid matches the in-memory oracle, the
+  effective-bandwidth gain from compression clears its floor, tiered
+  runtime stays under the no-cliff ceiling relative to the raw chunked
+  baseline, the lightest pressure level shows an outright win, and the
+  deepest level actually spilled.  Opt-in like ``tpch`` — pass
+  ``--require ...,tiered`` in the storage lane.
 
 Usage::
 
@@ -141,12 +148,73 @@ def check_tpch(payload: Dict) -> List[str]:
     return failures
 
 
+#: Fallbacks when a tiered artifact predates the embedded fields.
+TIERED_DEFAULT_GAIN_FLOOR = 1.5
+TIERED_DEFAULT_RELATIVE_CEILING = 1.75
+TIERED_DEFAULT_LIGHT_FLOOR = 1.05
+
+
+def check_tiered(payload: Dict) -> List[str]:
+    failures = []
+    cells = payload.get("cells", [])
+    if not cells:
+        return ["tiered: artifact has no cells"]
+    gain_floor = float(payload.get("floor", TIERED_DEFAULT_GAIN_FLOOR))
+    ceiling = float(
+        payload.get("relative_ceiling", TIERED_DEFAULT_RELATIVE_CEILING)
+    )
+    light_floor = float(
+        payload.get("light_pressure_floor", TIERED_DEFAULT_LIGHT_FLOOR)
+    )
+    for cell in cells:
+        key = f"{cell['query']}@{cell['multiple']}x"
+        if not cell.get("oracle_match", False):
+            failures.append(f"tiered: {key} diverged from the oracle")
+        gain = float(cell["gain"])
+        if gain < gain_floor:
+            failures.append(
+                f"tiered: {key} effective-bandwidth gain {gain:.2f}x is "
+                f"below the {gain_floor:.1f}x floor"
+            )
+        if int(cell.get("promotes", 0)) <= 0:
+            failures.append(
+                f"tiered: {key} never promoted a chunk (store unused)"
+            )
+        relative = float(cell["tiered_ms"]) / float(cell["baseline_ms"])
+        if relative > ceiling:
+            failures.append(
+                f"tiered: {key} runs {relative:.2f}x the raw baseline, "
+                f"over the {ceiling:.2f}x no-cliff ceiling"
+            )
+    lightest = min(int(c["multiple"]) for c in cells)
+    best = max(
+        float(c["speedup"]) for c in cells
+        if int(c["multiple"]) == lightest
+    )
+    if best < light_floor:
+        failures.append(
+            f"tiered: best light-pressure ({lightest}x) speedup "
+            f"{best:.2f}x is below the {light_floor:.2f}x floor"
+        )
+    deepest = max(int(c["multiple"]) for c in cells)
+    if not any(
+        int(c.get("spills", 0)) > 0 for c in cells
+        if int(c["multiple"]) == deepest
+    ):
+        failures.append(
+            f"tiered: no spills at the deepest ({deepest}x) pressure "
+            "level — the smoke never exercised the spill path"
+        )
+    return failures
+
+
 #: Known artifact file names -> (short name, checker).
 CHECKS = {
     "fig_fused_smoke.json": ("fused", check_fused),
     "fig_scaleout_smoke.json": ("scaleout", check_scaleout),
     "fig_serve_smoke.json": ("serve", check_serve),
     "fig_tpch_suite_smoke.json": ("tpch", check_tpch),
+    "fig_tiered_smoke.json": ("tiered", check_tiered),
 }
 
 

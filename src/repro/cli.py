@@ -148,6 +148,34 @@ def _make_group(args: argparse.Namespace):
     )
 
 
+def _make_store(args: argparse.Namespace, device: Device, catalog):
+    """A tiered compressed store over the catalog when --tiered is set."""
+    if not getattr(args, "tiered", False):
+        return None
+    from repro.storage import TieredColumnStore
+
+    store = TieredColumnStore(
+        device, device_budget=getattr(args, "store_budget", None)
+    )
+    for name, table in sorted(catalog.items()):
+        for column_name in table.column_names:
+            store.ingest_column(
+                name, column_name, table.column(column_name).data
+            )
+    return store
+
+
+def _store_summary(store) -> str:
+    """One summary line of a run's tiered-store statistics."""
+    stats = store.snapshot_stats()
+    return (
+        f"store: ratio {stats.compression_ratio:.2f}x | "
+        f"{stats.promotes} promotes, {stats.spills} spills, "
+        f"{stats.nvme_reads + stats.nvme_writes} NVMe ops | "
+        f"bandwidth gain {stats.effective_bandwidth_gain:.2f}x"
+    )
+
+
 def _tpch_backends(args: argparse.Namespace) -> tuple:
     """Backend list for the tpch command: ``--backend a,b`` or defaults."""
     raw = getattr(args, "backend", None)
@@ -239,6 +267,8 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
         else:
             plan = module.plan()
     if args.devices > 1:
+        if args.tiered:
+            raise SystemExit("--tiered runs on a single device (--devices 1)")
         return _tpch_distributed(args, catalog, plan)
     backends = _tpch_backends(args)
     framework = default_framework()
@@ -249,10 +279,12 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
     trace_device = None
     for name in backends:
         device = _make_device(args)
+        store = _make_store(args, device, catalog)
         executor = QueryExecutor(
             framework.create(name, device),
             catalog,
             scan_chunks=args.chunks,
+            store=store,
         )
         cold = executor.execute(plan)
         warm = executor.execute(plan)
@@ -266,6 +298,9 @@ def _cmd_tpch(args: argparse.Namespace) -> int:
             f"{warm.report.summary.kernel_count:8d}  "
             f"{warm.table.num_rows:6d}{note}"
         )
+        if store is not None:
+            print(f"{'':>16}  {_store_summary(store)}")
+            store.close()
         if args.pool:
             print(f"{'':>16}  {device.pool.stats()}")
     if args.trace is not None:
@@ -395,9 +430,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"devices={args.devices})"
     )
     if args.devices > 1:
+        if args.tiered:
+            raise SystemExit("--tiered runs on a single device (--devices 1)")
         return _serve_group(args, catalog, workload, config)
     device = _make_device(args)
     backend = default_framework().create(args.backend, device)
+    config.store = _make_store(args, device, catalog)
     with QueryServer(backend, catalog, config) as server:
         report = server.run(workload)
     print()
@@ -412,12 +450,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         )
     )
+    if config.store is not None:
+        print(f"storage            {_store_summary(config.store)}")
     if args.json is not None:
         import json
 
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(metrics_report(report.metrics, report.records),
-                      handle, indent=1)
+            json.dump(
+                metrics_report(
+                    report.metrics, report.records, storage=report.storage
+                ),
+                handle, indent=1,
+            )
             handle.write("\n")
         print(f"wrote metrics to {args.json}")
     if args.trace is not None:
@@ -428,7 +472,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"wrote {len(device.profiler.events)} events to {args.trace} "
             f"(open at chrome://tracing or ui.perfetto.dev)"
         )
+    if config.store is not None:
+        config.store.close()
     return 0
+
+
+def _add_store_flags(command: argparse.ArgumentParser) -> None:
+    """Register the tiered-storage flags shared by tpch and serve."""
+    command.add_argument(
+        "--tiered",
+        action="store_true",
+        help="scan through a compressed tiered column store "
+        "(device/host/NVMe) instead of raw host uploads",
+    )
+    command.add_argument(
+        "--store-budget",
+        type=parse_mem_size,
+        default=None,
+        metavar="SIZE",
+        help="device-tier cap on the store's resident compressed bytes "
+        "(e.g. 256K); exceeding it spills cold chunks down-tier",
+    )
 
 
 def _add_group_flags(command: argparse.ArgumentParser) -> None:
@@ -547,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="thrust",
         help="which backend's timeline --trace captures",
     )
+    _add_store_flags(tpch)
     _add_group_flags(tpch)
     tpch.set_defaults(handler=_cmd_tpch)
 
@@ -645,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Chrome-trace JSON with per-request spans",
     )
+    _add_store_flags(serve)
     _add_group_flags(serve)
     serve.set_defaults(handler=_cmd_serve)
     return parser

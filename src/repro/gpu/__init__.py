@@ -72,6 +72,7 @@ from repro.gpu.topology import (
 )
 from repro.gpu.transfer import (
     NVLINK2,
+    NVME_SSD,
     PCIE3_X16,
     PCIE4_X16,
     SHARED_MEMORY_LINK,
@@ -126,6 +127,7 @@ __all__ = [
     "engine_stats",
     "LinkSpec",
     "NVLINK2",
+    "NVME_SSD",
     "PCIE3_X16",
     "PCIE4_X16",
     "SHARED_MEMORY_LINK",

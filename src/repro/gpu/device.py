@@ -39,7 +39,13 @@ from repro.gpu.stream import (
     StreamStats,
     engine_stats,
 )
-from repro.gpu.transfer import PCIE3_X16, PCIE4_X16, SHARED_MEMORY_LINK, LinkSpec
+from repro.gpu.transfer import (
+    NVME_SSD,
+    PCIE3_X16,
+    PCIE4_X16,
+    SHARED_MEMORY_LINK,
+    LinkSpec,
+)
 
 
 @dataclass(frozen=True)
@@ -400,6 +406,31 @@ class Device:
         self.profiler.record(
             prof.TRANSFER_D2H, label, start, duration,
             nbytes=nbytes, stream=stream_id, engine=ENGINE_D2H,
+        )
+        return duration
+
+    def host_io(
+        self,
+        nbytes: int,
+        label: str = "nvme",
+        link: Optional[LinkSpec] = None,
+    ) -> float:
+        """Charge a host <-> storage I/O (the tiered store's NVMe leg).
+
+        Unlike :meth:`transfer_to_device`/:meth:`transfer_to_host`, this
+        models a blocking host-side read/write against a storage link: it
+        occupies no copy engine (so it cannot overlap stream work, like
+        an O_DIRECT syscall), is priced on ``link`` rather than the PCIe
+        link, and is *not* subject to injected transfer faults — the
+        fault plan targets the host/device interconnect.
+        """
+        if link is None:
+            link = NVME_SSD
+        duration = link.transfer_time(nbytes)
+        start = self._host_block(duration, drain_engines=False)
+        self.profiler.record(
+            prof.HOST_IO, label, start, duration,
+            nbytes=nbytes, link=link.name,
         )
         return duration
 

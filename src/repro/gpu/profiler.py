@@ -28,10 +28,14 @@ FREE = "free"
 #: Spans carry no device time of their own — the kernels/transfers they
 #: cover are recorded separately — so summaries skip them.
 SPAN = "span"
+#: Host <-> storage (simulated NVMe) I/O leg of the tiered column store.
+#: Host-blocking like an O_DIRECT read/write: it occupies no device
+#: engine, so it never overlaps with stream work.
+HOST_IO = "host_io"
 
 _ALL_KINDS = (
     KERNEL, TRANSFER_H2D, TRANSFER_D2H, TRANSFER_D2D,
-    COMPILE, ALLOC, FREE, SPAN,
+    COMPILE, ALLOC, FREE, SPAN, HOST_IO,
 )
 
 
@@ -74,6 +78,11 @@ class ProfileSummary:
     #: Bytes moved in peer (device-to-device) copy legs recorded on this
     #: device; zero outside multi-device runs.
     bytes_d2d: int = 0
+    #: Host time spent on simulated NVMe I/O (tiered-store demotions and
+    #: promotions through the third tier); zero without a tiered store.
+    io_time: float = 0.0
+    #: Bytes moved over the simulated NVMe link.
+    bytes_io: int = 0
 
     def fraction(self, kind: str) -> float:
         """Fraction of total event time spent in ``kind`` (0 if no time)."""
@@ -142,6 +151,7 @@ class Profiler:
         bytes_h2d = 0
         bytes_d2h = 0
         bytes_d2d = 0
+        bytes_io = 0
         pool_hits = 0
         pool_misses = 0
         for event in events:
@@ -155,6 +165,8 @@ class Profiler:
                 bytes_d2h += int(event.payload.get("nbytes", 0))
             elif event.kind == TRANSFER_D2D:
                 bytes_d2d += int(event.payload.get("nbytes", 0))
+            elif event.kind == HOST_IO:
+                bytes_io += int(event.payload.get("nbytes", 0))
             elif event.kind == ALLOC:
                 pool = event.payload.get("pool")
                 if pool == "hit":
@@ -182,6 +194,8 @@ class Profiler:
             pool_hits=pool_hits,
             pool_misses=pool_misses,
             bytes_d2d=bytes_d2d,
+            io_time=time_by_kind.get(HOST_IO, 0.0),
+            bytes_io=bytes_io,
         )
 
     def kernel_histogram(self, since: int = 0) -> Dict[str, int]:
@@ -235,6 +249,11 @@ _REQUEST_TRACK = 6
 #: Conditional like the request track: single-device traces are unchanged.
 _PEER_TRACK = 7
 
+#: Track for simulated NVMe I/O (tiered-store third tier).  Conditional
+#: like the request/peer tracks: traces without a tiered store keep
+#: their historical byte-exact format.
+_HOST_IO_TRACK = 8
+
 #: Fallback tracks for events recorded without engine payloads (traces
 #: produced before the stream subsystem, or hand-built events).
 _TRACE_TRACKS = {
@@ -246,6 +265,7 @@ _TRACE_TRACKS = {
     ALLOC: _ALLOCATOR_TRACK,
     FREE: _ALLOCATOR_TRACK,
     SPAN: _REQUEST_TRACK,
+    HOST_IO: _HOST_IO_TRACK,
 }
 
 #: Human-readable row names emitted as Chrome-trace thread metadata.
@@ -309,6 +329,8 @@ def track_metadata(
         track_names[_REQUEST_TRACK] = "requests"
     if any(event.kind == TRANSFER_D2D for event in events):
         track_names[_PEER_TRACK] = "peer copies (D2D)"
+    if any(event.kind == HOST_IO for event in events):
+        track_names[_HOST_IO_TRACK] = "host I/O (NVMe)"
     metadata: List[Dict[str, Any]] = []
     if process_name is not None:
         metadata.append({
@@ -346,6 +368,8 @@ def chrome_trace_json(events: Sequence[Event], indent: int = 1) -> str:
         track_names[_REQUEST_TRACK] = "requests"
     if any(event.kind == TRANSFER_D2D for event in events):
         track_names[_PEER_TRACK] = "peer copies (D2D)"
+    if any(event.kind == HOST_IO for event in events):
+        track_names[_HOST_IO_TRACK] = "host I/O (NVMe)"
     metadata: List[Dict[str, Any]] = [
         {
             "name": "thread_name",
@@ -379,6 +403,7 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
     bytes_h2d = 0
     bytes_d2h = 0
     bytes_d2d = 0
+    bytes_io = 0
     pool_hits = 0
     pool_misses = 0
     for s in summaries:
@@ -388,6 +413,7 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
         bytes_h2d += s.bytes_h2d
         bytes_d2h += s.bytes_d2h
         bytes_d2d += s.bytes_d2d
+        bytes_io += s.bytes_io
         pool_hits += s.pool_hits
         pool_misses += s.pool_misses
     total = sum(time_by_kind.values())
@@ -411,4 +437,6 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
         pool_hits=pool_hits,
         pool_misses=pool_misses,
         bytes_d2d=bytes_d2d,
+        io_time=time_by_kind.get(HOST_IO, 0.0),
+        bytes_io=bytes_io,
     )

@@ -47,3 +47,10 @@ PCIE4_X16 = LinkSpec(name="pcie4-x16", bandwidth=24.0e9, latency=8.0e-6)
 
 #: Integrated GPU sharing host DRAM: no PCIe hop, only a mapping cost.
 SHARED_MEMORY_LINK = LinkSpec(name="shared-memory", bandwidth=60.0e9, latency=2.0e-6)
+
+#: Simulated datacentre NVMe SSD (host <-> storage leg of the tiered
+#: column store): ~2.8 GB/s sustained sequential throughput and a fixed
+#: submission+completion latency of ~80 us per I/O.  Deliberately an
+#: order of magnitude slower than the PCIe host link so demotions to the
+#: third tier are visibly more expensive than host spills.
+NVME_SSD = LinkSpec(name="nvme-ssd", bandwidth=2.8e9, latency=80.0e-6)

@@ -39,6 +39,20 @@ catalog slice, and therefore the exact operator sequence are identical to
 the un-chunked path, which is what makes the serial-equivalence tests
 bit-exact; keyed group-by plans therefore only take the chunked path when
 more than one chunk is requested.
+
+One *opt-in* extension widens eligibility for the OOM-recovery path
+(``probe_joins=True``; never on by default, so configured scan-chunking
+keeps its narrow contract): a keyed group-by over a join whose one side
+is a plain (Filter/Project)* scan chain.  The other side (the *build*
+side) is executed once and materialised to a host table; each chunk then
+joins a row slice of the probe table against a re-scan of that build
+table.  Group partials recombine exactly like the ordinary keyed path.
+This is what lets Q3-class join+aggregate queries complete when even a
+single side's working set exceeds device memory.
+
+When the executor carries a tiered column store, each chunk's
+sub-executor receives a :class:`~repro.storage.tiered.StoreSlice` view so
+scans promote only the covering compressed chunks of its row range.
 """
 
 from __future__ import annotations
@@ -52,6 +66,7 @@ from repro.query.plan import (
     Aggregate,
     Filter,
     GroupBy,
+    Join,
     Limit,
     OrderBy,
     PlanNode,
@@ -90,12 +105,17 @@ def _peel_wrappers(plan: PlanNode) -> Tuple[PlanNode, List[PlanNode]]:
     return node, wrappers
 
 
-def chunkable_table(plan: PlanNode, allow_avg: bool = False) -> Optional[str]:
+def chunkable_table(
+    plan: PlanNode, allow_avg: bool = False, probe_joins: bool = False
+) -> Optional[str]:
     """Name of the scanned table if ``plan`` is chunk-eligible, else None.
 
     ``allow_avg`` admits ``avg`` aggregates in *global* aggregations
     (valid only when a single chunk makes the combine step the identity);
-    keyed group-bys may always carry ``avg``.
+    keyed group-bys may always carry ``avg``.  ``probe_joins`` (opt-in,
+    used by OOM recovery) additionally admits a keyed group-by over a
+    join with one plain scan-chain side — the probe table's name is
+    returned.
     """
     node, wrappers = _peel_wrappers(plan)
     if wrappers and not (isinstance(node, GroupBy) and node.keys):
@@ -114,6 +134,78 @@ def chunkable_table(plan: PlanNode, allow_avg: bool = False) -> Optional[str]:
         node = node.child
     if isinstance(node, Scan):
         return node.table
+    if probe_joins:
+        parts = _probe_join_parts(plan)
+        if parts is not None:
+            return parts.probe_table
+    return None
+
+
+class _ProbeJoinParts:
+    """Decomposition of a chunkable join+group-by plan (probe mode)."""
+
+    def __init__(
+        self,
+        inner: GroupBy,
+        mid: List[PlanNode],
+        join: Join,
+        probe_side: str,
+        probe_table: str,
+    ) -> None:
+        self.inner = inner
+        self.mid = mid  # Filter/Project chain between group-by and join
+        self.join = join
+        self.probe_side = probe_side  # "left" | "right"
+        self.probe_table = probe_table
+
+    @property
+    def build_plan(self) -> PlanNode:
+        return self.join.right if self.probe_side == "left" else self.join.left
+
+    @property
+    def build_key(self) -> str:
+        return (
+            self.join.right_on if self.probe_side == "left"
+            else self.join.left_on
+        )
+
+
+def _scan_chain_table(node: PlanNode) -> Optional[str]:
+    """Table name when ``node`` is a (Filter/Project)* chain over a Scan."""
+    while isinstance(node, (Filter, Project)):
+        node = node.child
+    return node.table if isinstance(node, Scan) else None
+
+
+def _probe_join_parts(plan: PlanNode) -> Optional[_ProbeJoinParts]:
+    """Decompose ``plan`` for probe-side join chunking, or return None.
+
+    Eligible shape: wrappers* over a keyed GroupBy with combinable (or
+    ``avg``) aggregates, over a (Filter/Project)* chain, over a Join
+    with at least one (Filter/Project)*Scan side.  When both sides
+    qualify the *right* side is probed (the conventional large fact-table
+    position); the other side becomes the build input, executed once.
+    """
+    node, _wrappers = _peel_wrappers(plan)
+    if not (isinstance(node, GroupBy) and node.keys):
+        return None
+    for aggregate in node.aggregates:
+        if aggregate.kind not in COMBINABLE_AGGREGATES | {"avg"}:
+            return None
+    inner = node
+    mid: List[PlanNode] = []
+    node = node.child
+    while isinstance(node, (Filter, Project)):
+        mid.append(node)
+        node = node.child
+    if not isinstance(node, Join):
+        return None
+    right_table = _scan_chain_table(node.right)
+    if right_table is not None:
+        return _ProbeJoinParts(inner, mid, node, "right", right_table)
+    left_table = _scan_chain_table(node.left)
+    if left_table is not None:
+        return _ProbeJoinParts(inner, mid, node, "left", left_table)
     return None
 
 
@@ -169,18 +261,66 @@ def _chunk_plan(inner: PlanNode) -> PlanNode:
     return replace(inner, aggregates=inner.aggregates + (helper,))
 
 
+#: Catalog name of the once-executed build side in probe-join chunking.
+#: Leading underscores keep it clear of user/TPC-H table names.
+PROBE_BUILD_TABLE = "__probe_build"
+
+
+def _slice_store(store, table_name: str, lo: int, hi: int):
+    """Store view clamping ``table_name`` fetches to ``[lo, hi)``."""
+    if store is None:
+        return None
+    from repro.storage.tiered import StoreSlice
+
+    return StoreSlice(store, table_name, lo, hi)
+
+
+def _probe_sub_plan(probe: _ProbeJoinParts, build_name: str) -> PlanNode:
+    """The per-chunk plan: the join's build side swapped for a scan of
+    the materialised build table, avg helper injected as usual."""
+    if probe.probe_side == "right":
+        join: PlanNode = replace(probe.join, left=Scan(build_name))
+    else:
+        join = replace(probe.join, right=Scan(build_name))
+    node = join
+    for mid_node in reversed(probe.mid):
+        node = replace(mid_node, child=node)
+    return replace(_chunk_plan(probe.inner), child=node)
+
+
+def _build_needed(
+    executor: "QueryExecutor", probe: _ProbeJoinParts
+) -> Optional[List[str]]:
+    """Columns the build side must materialise (None = all).
+
+    With no nodes between the group-by and the join, only the join key
+    plus the group-by's requirements that come from the build side are
+    needed; an intervening Filter/Project makes the analysis non-local,
+    so everything is kept.
+    """
+    if probe.mid:
+        return None
+    available = set(executor._output_columns(probe.build_plan))
+    needed = set(probe.inner.required_columns()) & available
+    needed.add(probe.build_key)
+    return sorted(needed)
+
+
 def try_execute_chunked(
     executor: "QueryExecutor",
     plan: PlanNode,
     result_name: str,
     chunks: Optional[int] = None,
+    probe_joins: bool = False,
 ) -> Optional["ExecutionResult"]:
     """Run ``plan`` chunk-by-chunk on rotating streams, or return None.
 
     Returns None when the plan shape is not eligible (the caller then
     falls back to whole-table execution).  ``chunks`` overrides the
     executor's configured ``scan_chunks`` — the OOM-recovery path uses it
-    to size chunks from the device's free bytes.  The cost report covers
+    to size chunks from the device's free bytes, and passes
+    ``probe_joins=True`` to admit the join+group-by shape (build side
+    executed once, probe side sliced per chunk).  The cost report covers
     the whole pipelined execution: its ``simulated_seconds`` is the
     makespan across all engines, which is where the overlap win shows up.
     """
@@ -188,17 +328,21 @@ def try_execute_chunked(
 
     requested = chunks if chunks is not None else (executor.scan_chunks or 1)
     table_name = chunkable_table(plan, allow_avg=requested == 1)
+    probe: Optional[_ProbeJoinParts] = None
+    if table_name is None and probe_joins:
+        probe = _probe_join_parts(plan)
+        if probe is not None:
+            table_name = probe.probe_table
     if table_name is None or table_name not in executor.catalog:
         return None
     inner, wrappers = _peel_wrappers(plan)
     keyed = isinstance(inner, GroupBy) and bool(inner.keys)
-    if keyed and requested == 1:
+    if (keyed or probe is not None) and requested == 1:
         # scan_chunks=1 promises the exact un-chunked operator sequence;
-        # the keyed path re-sorts on the host, so it needs >= 2 chunks.
+        # these paths recombine on the host, so they need >= 2 chunks.
         return None
     table = executor.catalog[table_name]
     bounds = chunk_bounds(table.num_rows, requested)
-    sub_plan = _chunk_plan(inner) if keyed else plan
 
     device = executor.backend.device
     cursor = device.profiler.mark()
@@ -209,12 +353,37 @@ def try_execute_chunked(
         device.create_stream(f"scan-chunk-{i}") for i in range(num_streams)
     ]
 
+    build_table: Optional[Table] = None
+    if probe is not None:
+        # Execute the build side ONCE on the full catalog and land it on
+        # the host; each chunk re-scans it (an honest per-chunk re-upload
+        # of the — post-filter, usually small — build columns).
+        build_exec = QueryExecutor(
+            executor.backend,
+            executor.catalog,
+            join_strategy=executor.join_strategy,
+            store=executor.store,
+        )
+        build_relation = build_exec._execute_root(
+            probe.build_plan, needed=_build_needed(executor, probe)
+        )
+        build_table = build_exec._materialise(build_relation, PROBE_BUILD_TABLE)
+        build_relation = None  # release the build's device handles
+        sub_plan: PlanNode = _probe_sub_plan(probe, PROBE_BUILD_TABLE)
+    else:
+        sub_plan = _chunk_plan(inner) if keyed else plan
+
     chunk_tables: List[Table] = []
     for i, (lo, hi) in enumerate(bounds):
         catalog = dict(executor.catalog)
         catalog[table_name] = slice_table(table, lo, hi)
+        if build_table is not None:
+            catalog[PROBE_BUILD_TABLE] = build_table
         sub = QueryExecutor(
-            executor.backend, catalog, join_strategy=executor.join_strategy
+            executor.backend,
+            catalog,
+            join_strategy=executor.join_strategy,
+            store=_slice_store(executor.store, table_name, lo, hi),
         )
         with device.stream_scope(streams[i % num_streams]):
             relation = sub._execute_root(sub_plan, needed=None)

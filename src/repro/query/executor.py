@@ -129,6 +129,13 @@ class QueryExecutor:
     :mod:`repro.query.chunked`): eligible plans run chunk-by-chunk on
     ``scan_streams`` rotating asynchronous streams so transfer and compute
     overlap; ineligible plans silently fall back to whole-table execution.
+
+    ``store`` is an optional compressed tiered column store (duck-typed:
+    anything with ``manages(table, column)`` and ``fetch(table, column,
+    backend, lo, hi)``, e.g. :class:`repro.storage.TieredColumnStore`).
+    Scans of store-managed columns fetch compressed chunks through the
+    tier hierarchy and decompress on device instead of uploading raw host
+    bytes.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class QueryExecutor:
         join_strategy: Optional[str] = None,
         scan_chunks: Optional[int] = None,
         scan_streams: int = 2,
+        store=None,
     ) -> None:
         if join_strategy is not None and join_strategy not in JOIN_ALGORITHMS:
             raise PlanError(
@@ -153,6 +161,7 @@ class QueryExecutor:
         self.join_strategy = join_strategy
         self.scan_chunks = scan_chunks
         self.scan_streams = scan_streams
+        self.store = store
 
     # -- public API --------------------------------------------------------------
 
@@ -217,6 +226,12 @@ class QueryExecutor:
             # Freed blocks parked in the pool's freelists are reusable
             # capacity even though the manager still counts them as used.
             free += device.pool.cached_bytes
+        if self.store is not None:
+            tier_bytes = getattr(self.store, "tier_bytes", None)
+            if tier_bytes is not None:
+                # Store chunks resident on the device spill down-tier
+                # under pressure, so they are reclaimable capacity too.
+                free += tier_bytes().get("device", 0)
         chunks = math.ceil(4 * max(table_bytes, 1) / max(free, 1))
         return max(2, min(chunks, max(num_rows, 2)))
 
@@ -230,18 +245,19 @@ class QueryExecutor:
         chunk count (doubling) while chunks themselves still OOM."""
         from repro.query.chunked import chunkable_table, try_execute_chunked
 
-        table_name = chunkable_table(plan)
+        table_name = chunkable_table(plan, probe_joins=True)
         if table_name is None or table_name not in self.catalog:
             raise oom
         gc.collect()  # release the failed attempt's intermediates
         table = self.catalog[table_name]
+        table_bytes = table.nbytes
         max_chunks = max(table.num_rows, 2)
-        chunks = self._recovery_chunks(table.nbytes, table.num_rows)
+        chunks = self._recovery_chunks(table_bytes, table.num_rows)
         while True:
             retry_oom: Optional[DeviceMemoryError] = None
             try:
                 result = try_execute_chunked(
-                    self, plan, result_name, chunks=chunks
+                    self, plan, result_name, chunks=chunks, probe_joins=True
                 )
             except DeviceMemoryError as exc:
                 retry_oom = exc.with_traceback(None)
@@ -415,13 +431,10 @@ class QueryExecutor:
             known = ", ".join(sorted(self.catalog))
             raise PlanError(f"unknown table {plan.table!r}; catalog has: {known}")
         names = list(needed) if needed is not None else table.column_names
-        columns: Dict[str, Handle] = {}
+        columns = self._upload_scan_columns(plan.table, names, table)
         meta: Dict[str, ColumnMeta] = {}
         for name in names:
             column = table.column(name)
-            columns[name] = self._upload_column(
-                plan.table, name, column.data
-            )
             max_value = int(column.data.max()) if len(column.data) else 0
             meta[name] = ColumnMeta(
                 ctype=column.ctype,
@@ -430,11 +443,39 @@ class QueryExecutor:
             )
         return _Relation(columns=columns, meta=meta, num_rows=table.num_rows)
 
+    def _upload_scan_columns(
+        self, table_name: str, names: Sequence[str], table: Table
+    ) -> Dict[str, Handle]:
+        """Device handles for all of a scan's columns.
+
+        Store-managed columns are fetched through one batched store call
+        — the covering chunks promote in a single transfer and decode in
+        a single launch — so a multi-column scan pays the link latency
+        and launch overhead once, not per column.
+        """
+        handles: Dict[str, Handle] = {}
+        if self.store is not None:
+            managed = [n for n in names if self.store.manages(table_name, n)]
+            if len(managed) > 1:
+                handles = self.store.fetch_many(
+                    table_name, managed, self.backend
+                )
+        for name in names:
+            if name not in handles:
+                handles[name] = self._upload_column(
+                    table_name, name, table.column(name).data
+                )
+        return handles
+
     def _upload_column(
         self, table_name: str, column_name: str, data: np.ndarray
     ) -> Handle:
         """Scan upload hook (GpuSession overrides it with a resident-column
-        cache)."""
+        cache).  Store-managed columns take the compressed tier path —
+        promote compressed chunks, decompress on device — instead of a
+        raw host upload."""
+        if self.store is not None and self.store.manages(table_name, column_name):
+            return self.store.fetch(table_name, column_name, self.backend)
         return self.backend.upload(
             data, label=f"{table_name}.{column_name}"
         )

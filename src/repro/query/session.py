@@ -44,19 +44,64 @@ class _CachingExecutor(QueryExecutor):
         catalog: Dict[str, Table],
         cache: "OrderedDict[Tuple[str, str], Handle]",
         join_strategy: Optional[str] = None,
+        store=None,
     ) -> None:
-        super().__init__(backend, catalog, join_strategy=join_strategy)
+        super().__init__(
+            backend, catalog, join_strategy=join_strategy, store=store
+        )
         self._cache = cache
         self._active: Set[Tuple[str, str]] = set()
+
+    def _upload_scan_columns(self, table_name, names, table):
+        handles: Dict[str, Handle] = {}
+        missing = []
+        for name in names:
+            key = (table_name, name)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._active.add(key)
+                handles[name] = cached
+            else:
+                missing.append(name)
+        if self.store is not None:
+            managed = [
+                n for n in missing if self.store.manages(table_name, n)
+            ]
+            if len(managed) > 1:
+                # Batched tier path for the cache misses: one promote
+                # transfer + one decode launch for the scan's column set.
+                fetched = self.store.fetch_many(
+                    table_name, managed, self.backend
+                )
+                for name, handle in fetched.items():
+                    self._cache[(table_name, name)] = handle
+                    self._active.add((table_name, name))
+                handles.update(fetched)
+                missing = [n for n in missing if n not in fetched]
+        for name in missing:
+            handles[name] = self._upload_column(
+                table_name, name, table.column(name).data
+            )
+        return handles
 
     def _upload_column(self, table_name: str, column_name: str,
                        data: np.ndarray) -> Handle:
         key = (table_name, column_name)
         handle = self._cache.get(key)
         if handle is None:
-            handle = self.backend.upload(
-                data, label=f"{table_name}.{column_name}"
-            )
+            if self.store is not None and self.store.manages(
+                table_name, column_name
+            ):
+                # Compressed tier path: promote + decode instead of a
+                # raw upload; the decoded handle is cached like any other.
+                handle = self.store.fetch(
+                    table_name, column_name, self.backend
+                )
+            else:
+                handle = self.backend.upload(
+                    data, label=f"{table_name}.{column_name}"
+                )
             self._cache[key] = handle
         else:
             self._cache.move_to_end(key)  # most recently used last
@@ -79,19 +124,30 @@ class GpuSession:
         backend: OperatorBackend,
         catalog: Dict[str, Table],
         join_strategy: Optional[str] = None,
+        store=None,
     ) -> None:
         self.backend = backend
         self.catalog = dict(catalog)
+        self.store = store
         self._cache: "OrderedDict[Tuple[str, str], Handle]" = OrderedDict()
         self._executor = _CachingExecutor(
-            backend, self.catalog, self._cache, join_strategy=join_strategy
+            backend, self.catalog, self._cache,
+            join_strategy=join_strategy, store=store,
         )
         self._closed = False
         #: Re-entrancy depth of :meth:`execute` — positive while a query
         #: is in flight, so eviction paths know which pins are live.
         self._depth = 0
-        #: Columns evicted by memory pressure over the session's lifetime.
+        #: Plain cached columns dropped by memory pressure (their next
+        #: touch re-uploads raw bytes over PCIe), with exact bytes.
         self.pressure_evictions = 0
+        self.pressure_evicted_bytes = 0
+        #: Store-managed columns dropped by memory pressure (their data
+        #: survives compressed in the tiered store; the next touch
+        #: re-promotes + decodes instead of re-uploading).  Previously
+        #: these were miscounted as evictions.
+        self.pressure_spills = 0
+        self.pressure_spilled_bytes = 0
         backend.device.memory.register_pressure_callback(
             self._relieve_pressure
         )
@@ -173,7 +229,14 @@ class GpuSession:
     def _relieve_pressure(self, needed: int) -> int:
         """Memory-pressure callback: evict LRU columns until ``needed``
         bytes are freed (or nothing evictable remains); returns the bytes
-        released.  Columns the in-flight query holds are pinned."""
+        released.  Columns the in-flight query holds are pinned.
+
+        Each dropped column is classified: store-managed columns count as
+        *spills* (the data stays compressed in the tiered store — only
+        device residency is lost), everything else as *evictions* (the
+        next touch pays a full raw re-upload).  Byte counters record the
+        exact device bytes each class released.
+        """
         freed = 0
         for key in list(self._cache):
             if freed >= needed:
@@ -181,9 +244,15 @@ class GpuSession:
             if key in self._executor._active:
                 continue
             handle = self._cache.pop(key)
-            freed += _handle_nbytes(handle)
+            nbytes = _handle_nbytes(handle)
+            freed += nbytes
             _free_handle(handle)
-            self.pressure_evictions += 1
+            if self.store is not None and self.store.manages(*key):
+                self.pressure_spills += 1
+                self.pressure_spilled_bytes += nbytes
+            else:
+                self.pressure_evictions += 1
+                self.pressure_evicted_bytes += nbytes
         return freed
 
     def close(self) -> None:

@@ -11,7 +11,7 @@ sorted values) so seeded runs produce bit-identical metric files.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.serve.request import RequestRecord
 
@@ -154,13 +154,23 @@ def compute_metrics(
 
 
 def metrics_report(
-    metrics: ServeMetrics, records: Sequence[RequestRecord]
+    metrics: ServeMetrics,
+    records: Sequence[RequestRecord],
+    storage: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Full JSON artifact: aggregate metrics plus per-request rows."""
-    return {
+    """Full JSON artifact: aggregate metrics plus per-request rows.
+
+    ``storage`` (a tiered-store stats dict, see
+    :meth:`repro.storage.StoreStats.as_dict`) is included when the run
+    served from a compressed tiered store.
+    """
+    report = {
         "metrics": metrics.to_json(),
         "requests": [r.to_json() for r in records],
     }
+    if storage is not None:
+        report["storage"] = storage
+    return report
 
 
 def format_metrics(metrics: ServeMetrics) -> List[str]:

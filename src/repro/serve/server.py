@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.backend import OperatorBackend
 from repro.gpu import profiler as prof
@@ -97,6 +97,11 @@ class ServerConfig:
     #: Admission budget in bytes; None = 80% of device memory.
     admission_budget_bytes: Optional[int] = None
     tenant_weights: Optional[Dict[str, float]] = None
+    #: Optional compressed tiered column store
+    #: (:class:`repro.storage.TieredColumnStore`); tenant sessions scan
+    #: store-managed columns through the compressed tier path, and the
+    #: report carries the store's tier/spill statistics.
+    store: Optional[Any] = None
 
 
 @dataclass
@@ -109,6 +114,8 @@ class ServeReport:
     stream_dispatches: List[int] = field(default_factory=list)
     #: Simulated busy seconds per pool stream.
     stream_busy: List[float] = field(default_factory=list)
+    #: Tiered-store statistics snapshot (None without a configured store).
+    storage: Optional[Dict[str, Any]] = None
 
 
 class QueryServer:
@@ -146,7 +153,9 @@ class QueryServer:
         """The tenant's session (created on first use)."""
         session = self._sessions.get(tenant)
         if session is None:
-            session = GpuSession(self.backend, self.catalog)
+            session = GpuSession(
+                self.backend, self.catalog, store=self.config.store
+            )
             self._sessions[tenant] = session
         return session
 
@@ -257,11 +266,15 @@ class QueryServer:
             result_cache_misses=self.result_cache.misses,
             result_cache_invalidations=self.result_cache.invalidations,
         )
+        storage: Optional[Dict[str, Any]] = None
+        if self.config.store is not None:
+            storage = self.config.store.snapshot_stats().as_dict()
         return ServeReport(
             records=records,
             metrics=metrics,
             stream_dispatches=list(self.pool.dispatch_counts),
             stream_busy=list(self.pool.busy_seconds),
+            storage=storage,
         )
 
     # -- dispatch path ------------------------------------------------------

@@ -84,6 +84,39 @@ def _tpch(num_queries=16, warm_ms=0.5, ceiling_ms=1.0, ratio=0.8,
     }
 
 
+def _tiered_cell(query, multiple, speedup=1.5, gain=2.5, spills=0,
+                 promotes=12, oracle_match=True):
+    baseline_ms = 2.0
+    return {
+        "query": query,
+        "multiple": multiple,
+        "baseline_ms": baseline_ms,
+        "tiered_ms": baseline_ms / speedup,
+        "speedup": speedup,
+        "gain": gain,
+        "spills": spills,
+        "promotes": promotes,
+        "oracle_match": oracle_match,
+    }
+
+
+def _tiered(cells=None):
+    if cells is None:
+        cells = [
+            _tiered_cell("Q1", 2, speedup=1.1),
+            _tiered_cell("Q1", 8, speedup=0.9, spills=4),
+            _tiered_cell("Q6", 2, speedup=1.8),
+            _tiered_cell("Q6", 8, speedup=0.8, spills=9),
+        ]
+    return {
+        "floor": 1.5,
+        "relative_ceiling": 1.75,
+        "light_pressure_floor": 1.05,
+        "scale_factor": 0.01,
+        "cells": cells,
+    }
+
+
 @pytest.fixture
 def artifacts(tmp_path):
     def write(fused=None, scaleout=None, serve=None):
@@ -162,6 +195,78 @@ class TestTpchSuiteFloor:
         path = self._write(tmp_path, _tpch(num_queries=6))
         assert check_floors.main(["--require", "tpch", str(path)]) == 1
         assert "only 6 queries" in capsys.readouterr().err
+
+
+class TestTieredFloor:
+    """The compressed-storage smoke artifact gates the pressure grid."""
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "fig_tiered_smoke.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_healthy_grid_passes(self, tmp_path):
+        path = self._write(tmp_path, _tiered())
+        assert check_floors.main(["--require", "tiered", str(path)]) == 0
+
+    def test_tiered_is_not_required_by_default(self, artifacts):
+        assert check_floors.main([str(artifacts())]) == 0
+
+    def test_oracle_divergence_fails(self, tmp_path, capsys):
+        payload = _tiered()
+        payload["cells"][2]["oracle_match"] = False
+        path = self._write(tmp_path, payload)
+        assert check_floors.main(["--require", "tiered", str(path)]) == 1
+        assert "Q6@2x diverged from the oracle" in capsys.readouterr().err
+
+    def test_gain_below_floor_fails(self, tmp_path, capsys):
+        payload = _tiered()
+        payload["cells"][0]["gain"] = 1.2
+        path = self._write(tmp_path, payload)
+        assert check_floors.main(["--require", "tiered", str(path)]) == 1
+        assert "gain 1.20x is below the 1.5x floor" in (
+            capsys.readouterr().err
+        )
+
+    def test_cell_without_promotes_fails(self, tmp_path, capsys):
+        payload = _tiered()
+        payload["cells"][1]["promotes"] = 0
+        path = self._write(tmp_path, payload)
+        assert check_floors.main(["--require", "tiered", str(path)]) == 1
+        assert "never promoted a chunk" in capsys.readouterr().err
+
+    def test_runtime_cliff_fails(self, tmp_path, capsys):
+        payload = _tiered()
+        payload["cells"][1]["tiered_ms"] = (
+            payload["cells"][1]["baseline_ms"] * 2.4
+        )
+        path = self._write(tmp_path, payload)
+        assert check_floors.main(["--require", "tiered", str(path)]) == 1
+        assert "over the 1.75x no-cliff ceiling" in capsys.readouterr().err
+
+    def test_no_light_pressure_win_fails(self, tmp_path, capsys):
+        cells = [
+            _tiered_cell("Q1", 2, speedup=1.02),
+            _tiered_cell("Q6", 2, speedup=0.98),
+            _tiered_cell("Q6", 8, speedup=0.9, spills=3),
+        ]
+        path = self._write(tmp_path, _tiered(cells))
+        assert check_floors.main(["--require", "tiered", str(path)]) == 1
+        assert "below the 1.05x floor" in capsys.readouterr().err
+
+    def test_no_spills_at_deepest_pressure_fails(self, tmp_path, capsys):
+        cells = [
+            _tiered_cell("Q6", 2, speedup=1.8),
+            _tiered_cell("Q6", 8, speedup=0.9, spills=0),
+        ]
+        path = self._write(tmp_path, _tiered(cells))
+        assert check_floors.main(["--require", "tiered", str(path)]) == 1
+        assert "never exercised the spill path" in capsys.readouterr().err
+
+    def test_empty_grid_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _tiered([]))
+        assert check_floors.main(["--require", "tiered", str(path)]) == 1
+        assert "artifact has no cells" in capsys.readouterr().err
 
 
 class TestInjectedRegressions:

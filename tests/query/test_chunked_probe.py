@@ -1,0 +1,125 @@
+"""Probe-side join chunking: eligibility, equivalence, and hygiene.
+
+OOM recovery (and only OOM recovery — the mode is opt-in via
+``probe_joins=True``) may chunk a keyed group-by over a join by
+executing the build side once, materialising it to the host, and
+streaming the probe table in row chunks against a ``__probe_build``
+scan.  These tests pin the eligibility rules, the bit-level equivalence
+of the recombined result against the whole-table oracle, and that the
+temporary build table never leaks into the caller's catalog.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HandwrittenBackend
+from repro.gpu import GTX_1080TI, Device
+from repro.query import QueryExecutor, chunkable_table
+from repro.query.chunked import PROBE_BUILD_TABLE, try_execute_chunked
+from repro.tpch import TpchGenerator
+from repro.tpch.queries import q3
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return TpchGenerator(scale_factor=0.004, seed=55).generate()
+
+
+@pytest.fixture(scope="module")
+def q3_plan(catalog):
+    return q3.plan(catalog)
+
+
+def _executor(catalog):
+    return QueryExecutor(HandwrittenBackend(Device(GTX_1080TI)), catalog)
+
+
+class TestEligibility:
+    def test_probe_mode_is_opt_in(self, q3_plan):
+        """The default path must keep rejecting joins — existing callers
+        (distributed planner, explain) rely on that."""
+        assert chunkable_table(q3_plan) is None
+
+    def test_probe_mode_identifies_the_probe_table(self, q3_plan):
+        assert chunkable_table(q3_plan, probe_joins=True) == "lineitem"
+
+    def test_non_join_plans_are_unaffected_by_the_flag(self, catalog):
+        from repro.tpch.queries import q1
+
+        plan = q1.plan()
+        assert (
+            chunkable_table(plan, probe_joins=True)
+            == chunkable_table(plan)
+            == "lineitem"
+        )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("chunks", [2, 4, 7])
+    def test_q3_chunked_matches_whole_table(self, catalog, q3_plan, chunks):
+        oracle = _executor(catalog).execute(q3_plan).table
+
+        executor = _executor(catalog)
+        result = try_execute_chunked(
+            executor, q3_plan, "result", chunks=chunks, probe_joins=True
+        )
+        assert result is not None
+        table = result.table
+        assert table.column_names == oracle.column_names
+        assert table.num_rows == oracle.num_rows
+        for column in oracle.column_names:
+            want = oracle.column(column).data
+            got = table.column(column).data
+            if np.issubdtype(want.dtype, np.floating):
+                assert np.allclose(got, want, rtol=1e-12), (chunks, column)
+            else:
+                assert np.array_equal(got, want), (chunks, column)
+
+    def test_single_chunk_requests_fall_through(self, catalog, q3_plan):
+        """chunks=1 returns None: the whole-table path handles it."""
+        executor = _executor(catalog)
+        assert (
+            try_execute_chunked(
+                executor, q3_plan, "result", chunks=1, probe_joins=True
+            )
+            is None
+        )
+
+    def test_without_flag_joins_still_return_none(self, catalog, q3_plan):
+        executor = _executor(catalog)
+        assert (
+            try_execute_chunked(executor, q3_plan, "result", chunks=4)
+            is None
+        )
+
+
+class TestHygiene:
+    def test_build_table_does_not_leak_into_catalog(self, catalog, q3_plan):
+        executor = _executor(catalog)
+        try_execute_chunked(
+            executor, q3_plan, "result", chunks=3, probe_joins=True
+        )
+        assert PROBE_BUILD_TABLE not in executor.catalog
+        assert PROBE_BUILD_TABLE not in catalog
+
+    def test_oom_recovery_uses_probe_chunking_end_to_end(self, catalog):
+        """A join + group-by on a device too small for the whole probe
+        table must recover via probe chunking and stay correct."""
+        from dataclasses import replace as dc_replace
+
+        oracle = _executor(catalog).execute(q3.plan(catalog)).table
+
+        small = Device(dc_replace(GTX_1080TI, memory_bytes=600_000))
+        executor = QueryExecutor(HandwrittenBackend(small), catalog)
+        result = executor.execute(q3.plan(catalog))
+        assert result.report.oom_recovery_chunks is not None
+        assert result.table.num_rows == oracle.num_rows
+        for column in oracle.column_names:
+            want = oracle.column(column).data
+            got = result.table.column(column).data
+            if np.issubdtype(want.dtype, np.floating):
+                assert np.allclose(got, want, rtol=1e-12), column
+            else:
+                assert np.array_equal(got, want), column

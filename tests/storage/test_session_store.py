@@ -1,0 +1,127 @@
+"""Session + tiered store: classified pressure counters and reuse.
+
+The latent bug this PR fixes: :class:`GpuSession` used to count every
+pressure-dropped resident as an "eviction" even when the column lived in
+the tiered store — where dropping device residency is a *spill* (the
+data stays compressed down-tier; the next touch pays a compressed
+promote, not a raw re-upload).  These tests pin the classification and
+its exact byte accounting, plus cache/store interplay on the fetch path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import HandwrittenBackend, col_lt
+from repro.core.expr import col
+from repro.gpu import GTX_1080TI, Device
+from repro.query import GpuSession, scan
+from repro.relational.table import Table
+from repro.storage import TieredColumnStore
+
+
+@pytest.fixture
+def device():
+    return Device(replace(GTX_1080TI, memory_bytes=2_000_000))
+
+
+@pytest.fixture
+def catalog():
+    rng = np.random.default_rng(5)
+    return {
+        "plain": Table.from_arrays(
+            "plain", {"x": rng.random(40_000)}
+        ),
+        "managed": Table.from_arrays(
+            "managed",
+            {"y": rng.integers(0, 4, 40_000).astype(np.int64)},
+        ),
+    }
+
+
+@pytest.fixture
+def session(device, catalog):
+    store = TieredColumnStore(device, chunk_rows=8192, price_encode=False)
+    store.ingest_table(catalog["managed"])
+    session = GpuSession(HandwrittenBackend(device), catalog, store=store)
+    yield session
+    session.close()
+    store.close()
+
+
+def _sum_plan(table, column):
+    return scan(table).aggregate([("s", "sum", col(column))]).build()
+
+
+class TestPressureClassification:
+    def test_spills_and_evictions_count_separately(
+        self, device, catalog, session
+    ):
+        session.execute(_sum_plan("plain", "x"))
+        session.execute(_sum_plan("managed", "y"))
+        resident = dict(session._cache)
+        assert set(resident) == {("plain", "x"), ("managed", "y")}
+        nbytes = {
+            key: handle.nbytes for key, handle in resident.items()
+        }
+
+        # No query in flight: both residents are cold, so a too-big
+        # allocation walks the whole cache.
+        big = device.allocate(1_900_000, "pressure")
+        device.free(big)
+
+        assert session.pressure_evictions == 1
+        assert session.pressure_evicted_bytes == nbytes[("plain", "x")]
+        assert session.pressure_spills == 1
+        assert session.pressure_spilled_bytes == nbytes[("managed", "y")]
+
+    def test_spilled_column_refetches_from_store_not_host(
+        self, device, catalog, session
+    ):
+        session.execute(_sum_plan("managed", "y"))
+        big = device.allocate(1_900_000, "pressure")
+        device.free(big)
+        assert session.pressure_spills == 1
+        promotes_before = session.store.stats.promotes
+
+        result = session.execute(_sum_plan("managed", "y"))
+        assert result.table.column("s").data[0] == pytest.approx(
+            catalog["managed"].column("y").data.sum()
+        )
+        # The re-touch went through the store's compressed path.
+        assert session.store.stats.promotes > promotes_before
+
+    def test_counters_start_at_zero_and_stay_zero_without_pressure(
+        self, session
+    ):
+        session.execute(_sum_plan("plain", "x"))
+        assert session.pressure_evictions == 0
+        assert session.pressure_evicted_bytes == 0
+        assert session.pressure_spills == 0
+        assert session.pressure_spilled_bytes == 0
+
+
+class TestStoreCacheInterplay:
+    def test_managed_columns_cache_like_any_other(self, session):
+        plan = scan("managed").filter(col_lt("y", 3)).build()
+        session.execute(plan)
+        fetches_before = session.store.stats.fetches
+        session.execute(plan)
+        # Second run served from the session cache: no new store fetch.
+        assert session.store.stats.fetches == fetches_before
+
+    def test_results_match_with_and_without_store(self, device, catalog):
+        plan = _sum_plan("managed", "y")
+        with GpuSession(HandwrittenBackend(device), catalog) as plain:
+            expected = plain.execute(plan).table.column("s").data[0]
+        store = TieredColumnStore(device, chunk_rows=8192)
+        store.ingest_table(catalog["managed"])
+        with GpuSession(
+            HandwrittenBackend(device), catalog, store=store
+        ) as tiered:
+            got = tiered.execute(plan).table.column("s").data[0]
+        store.close()
+        assert got == expected

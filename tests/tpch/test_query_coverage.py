@@ -68,6 +68,16 @@ class TestQueryCoverage:
         assert "QUERY_NAMES = tuple(sorted(SQL_QUERIES))" in source
         assert 'parametrize("name", QUERY_NAMES)' in source
 
+    def test_tiered_sweep_executes_every_query(self):
+        """The tiered-storage differential suite parametrizes over the
+        full ``ALL_QUERIES`` registry — a new query cannot land without
+        spill-path (compressed tiered store) coverage."""
+        source = (
+            TESTS_DIR / "storage" / "test_tiered_differential.py"
+        ).read_text()
+        assert "QUERY_NAMES = tuple(sorted(ALL_QUERIES))" in source
+        assert 'parametrize("name", QUERY_NAMES)' in source
+
     def test_every_module_ships_an_oracle(self):
         for name, module in ALL_QUERIES.items():
             assert callable(getattr(module, "reference", None)), name

@@ -28,7 +28,15 @@ and enforces the floors:
   runtime stays under the no-cliff ceiling relative to the raw chunked
   baseline, the lightest pressure level shows an outright win, and the
   deepest level actually spilled.  Opt-in like ``tpch`` — pass
-  ``--require ...,tiered`` in the storage lane.
+  ``--require ...,tiered`` in the storage lane;
+* **cluster** — the multi-node smoke (``fig_cluster_smoke.json``):
+  under a mid-run node kill every request still completes (zero failed,
+  zero lost-and-unreported), at least one failover fired, completed
+  results stay bit-identical to the single-device oracle, the failure
+  p99 stays under the ceiling relative to the healthy run, and
+  saturated 1 -> N scale-out clears its throughput floor with the
+  elastic run actually scaling up.  Opt-in like ``tpch`` — pass
+  ``--require ...,cluster`` in the cluster lane.
 
 Usage::
 
@@ -208,6 +216,78 @@ def check_tiered(payload: Dict) -> List[str]:
     return failures
 
 
+#: Fallbacks when a cluster artifact predates the embedded floors.
+CLUSTER_DEFAULT_RATIO_CEILING = 2.0
+CLUSTER_DEFAULT_SCALEOUT_FLOOR = 1.5
+
+
+def check_cluster(payload: Dict) -> List[str]:
+    failures = []
+    floors = payload.get("floors", {})
+    ratio_ceiling = float(
+        floors.get("p99_ratio_ceiling", CLUSTER_DEFAULT_RATIO_CEILING)
+    )
+    scaleout_floor = float(
+        floors.get("scaleout_floor", CLUSTER_DEFAULT_SCALEOUT_FLOOR)
+    )
+    failover = payload.get("failover", {})
+    if not failover:
+        failures.append("cluster: artifact has no failover block")
+    else:
+        completed = int(failover.get("completed", 0))
+        total = int(failover.get("total", 0))
+        if completed != total:
+            failures.append(
+                f"cluster: only {completed}/{total} requests completed "
+                "under node kill"
+            )
+        if int(failover.get("failed", 0)):
+            failures.append(
+                f"cluster: {failover['failed']} requests exhausted "
+                "failover retries"
+            )
+        if int(failover.get("unreported", 0)):
+            failures.append(
+                f"cluster: {failover['unreported']} requests lost and "
+                "unreported after node kill"
+            )
+        if int(failover.get("failovers", 0)) < 1:
+            failures.append(
+                "cluster: the node kill never caused a failover "
+                "(scenario unexercised)"
+            )
+        if not failover.get("oracle_matches", False):
+            failures.append(
+                "cluster: completed results diverged from the "
+                "single-device oracle"
+            )
+        ratio = float(failover.get("ratio", 0.0))
+        if ratio > ratio_ceiling:
+            failures.append(
+                f"cluster: failure p99 is {ratio:.2f}x the healthy p99, "
+                f"over the {ratio_ceiling:.1f}x ceiling"
+            )
+    elastic = payload.get("elastic", {})
+    if not elastic:
+        failures.append("cluster: artifact has no elastic block")
+    else:
+        speedup = float(elastic.get("speedup", 0.0))
+        nodes = int(elastic.get("nodes", 0))
+        if speedup < scaleout_floor:
+            failures.append(
+                f"cluster: saturated scale-out {speedup:.2f}x at "
+                f"{nodes} nodes is below the {scaleout_floor:.1f}x floor"
+            )
+        if not any(
+            event == "scale_up"
+            for event in elastic.get("scale_events", [])
+        ):
+            failures.append(
+                "cluster: the elastic run never scaled up"
+            )
+    return failures
+
+
 #: Known artifact file names -> (short name, checker).
 CHECKS = {
     "fig_fused_smoke.json": ("fused", check_fused),
@@ -215,6 +295,7 @@ CHECKS = {
     "fig_serve_smoke.json": ("serve", check_serve),
     "fig_tpch_suite_smoke.json": ("tpch", check_tpch),
     "fig_tiered_smoke.json": ("tiered", check_tiered),
+    "fig_cluster_smoke.json": ("cluster", check_cluster),
 }
 
 

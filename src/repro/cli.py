@@ -8,6 +8,9 @@ Commands:
 * ``tpch`` — run one TPC-H query on every backend and compare;
 * ``serve`` — replay a multi-tenant query stream through the serving
   layer and report throughput / latency percentiles / cache hit rates.
+  ``--nodes N`` serves on a replicated multi-node cluster instead
+  (``--replicas`` copies per shard, ``--kill-node-at`` arms a mid-run
+  node death to demonstrate failover).
 """
 
 from __future__ import annotations
@@ -377,6 +380,73 @@ def _serve_group(args: argparse.Namespace, catalog, workload, config) -> int:
     return 0
 
 
+def _serve_cluster(args: argparse.Namespace, catalog, workload) -> int:
+    """Serve the workload on a replicated multi-node cluster."""
+    from repro.cluster import Cluster, ClusterConfig, ClusterServer
+    from repro.serve import format_metrics, metrics_report
+
+    config = ClusterConfig(
+        policy=args.policy,
+        num_streams=args.streams,
+        plan_cache=args.cache in ("both", "plan"),
+        result_cache=args.cache in ("both", "result"),
+    )
+    cluster = Cluster(
+        args.nodes, catalog, args.backend,
+        devices_per_node=args.devices, replication=args.replicas,
+    )
+    if args.kill_node_at is not None:
+        cluster.fail_node_at(0, args.kill_node_at)
+        print(
+            f"armed node 0 death at t={args.kill_node_at * 1e3:.3f} ms "
+            "(queries fail over to surviving replicas)"
+        )
+    with ClusterServer(cluster, config) as server:
+        report = server.run(workload)
+    print()
+    for line in format_metrics(report.metrics):
+        print(line)
+    print(
+        "node placement     "
+        + " | ".join(
+            f"node{i}: {count} reqs"
+            for i, count in enumerate(report.node_requests)
+        )
+    )
+    if report.dead_nodes:
+        print(
+            f"failover           dead nodes {report.dead_nodes}, "
+            f"{report.failovers} failovers, "
+            f"{len(report.unreported)} unreported"
+        )
+    if report.fetch_bytes:
+        print(
+            f"network            {report.fetch_bytes} shard bytes fetched "
+            f"in {report.fetch_seconds * 1e3:.3f} ms"
+        )
+    if args.json is not None:
+        import json
+
+        payload = metrics_report(report.metrics, report.records)
+        payload["cluster"] = {
+            "nodes": args.nodes,
+            "replicas": args.replicas,
+            "node_requests": report.node_requests,
+            "active_nodes": report.active_nodes,
+            "dead_nodes": report.dead_nodes,
+            "failovers": report.failovers,
+            "unreported": report.unreported,
+            "fetch_s": report.fetch_seconds,
+            "fetch_bytes": report.fetch_bytes,
+            "timeline": report.timeline,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote metrics to {args.json}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         ClosedLoopWorkload,
@@ -429,6 +499,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"cache={args.cache}, backend={args.backend}, "
         f"devices={args.devices})"
     )
+    if args.nodes > 0:
+        if args.tiered:
+            raise SystemExit("--tiered runs on a single device (--nodes 0)")
+        if args.kill_node_at is not None and args.nodes < 2:
+            raise SystemExit(
+                "--kill-node-at needs surviving replicas (--nodes >= 2)"
+            )
+        return _serve_cluster(args, catalog, workload)
+    if args.kill_node_at is not None:
+        raise SystemExit("--kill-node-at requires cluster mode (--nodes)")
     if args.devices > 1:
         if args.tiered:
             raise SystemExit("--tiered runs on a single device (--devices 1)")
@@ -709,6 +789,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write a Chrome-trace JSON with per-request spans",
+    )
+    serve.add_argument(
+        "--nodes",
+        type=int,
+        default=0,
+        help="multi-node cluster serving: node count (0 = the single-"
+        "device or device-group path); each node is a device group "
+        "joined to its peers over the NETWORK link tier",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="cluster mode: shard copies per table (clamped to --nodes); "
+        "2+ survives any single node death without data loss",
+    )
+    serve.add_argument(
+        "--kill-node-at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cluster mode: arm a node-0 death at this simulated time; "
+        "queued and in-flight queries fail over to surviving replicas",
     )
     _add_store_flags(serve)
     _add_group_flags(serve)

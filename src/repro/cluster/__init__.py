@@ -1,0 +1,33 @@
+"""repro.cluster — multi-node serving: replication, failover, elasticity.
+
+The topology level above :mod:`repro.distributed`: N device-group nodes
+joined by a NETWORK-tier fabric (:class:`~repro.gpu.topology.NetworkFabric`),
+replicated shard placement (:class:`ClusterShardCatalog`), and a
+cluster-wide coordinator (:class:`ClusterServer`) doing tenant routing,
+load-aware replica selection, mid-query failover on node death, and
+queue-depth/SLO driven elastic scaling — the ROADMAP's "millions of
+users" story made measurable on the simulated clock.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterNode
+from repro.cluster.placement import (
+    DEFAULT_SPEC,
+    ClusterShardCatalog,
+    ShardPlacement,
+)
+from repro.cluster.server import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterServer,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "ClusterShardCatalog",
+    "ShardPlacement",
+    "DEFAULT_SPEC",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterServer",
+]

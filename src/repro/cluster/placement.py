@@ -1,0 +1,158 @@
+"""Replicated shard placement across cluster nodes.
+
+The cluster-level analogue of :class:`repro.distributed.partition.ShardCatalog`:
+every base table is split into shards (reusing the hash/range/round-robin
+partitioners), and each shard is placed on a *primary* node plus ``K - 1``
+replicas with chained placement — shard ``s``'s copies live on nodes
+``(s % N, (s + 1) % N, ...)``, so losing any single node leaves every
+shard with at least one surviving holder whenever ``replication >= 2``.
+
+Placement is a pure function of (catalog, node count, replication, specs):
+the same inputs produce the same shard sizes and copy sets on every run,
+which the cluster determinism tests pin down.  Replication is priced, not
+copied — nodes share the host tables, and holding or fetching a shard
+only matters when the coordinator moves its bytes over the NETWORK link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.distributed.partition import PartitionSpec, partition_indices
+from repro.errors import ClusterError
+from repro.relational.table import Table
+
+#: Default placement: round-robin rows — perfectly balanced shard sizes,
+#: which is what a serving-layer fetch cost model wants by default.
+DEFAULT_SPEC = PartitionSpec(kind="round_robin")
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """One shard of one table: size and the nodes holding a copy."""
+
+    table: str
+    shard: int
+    nbytes: int
+    rows: int
+    #: Holding nodes; ``copies[0]`` is the primary.
+    copies: Tuple[int, ...]
+
+    @property
+    def primary(self) -> int:
+        return self.copies[0]
+
+
+def _shard_nbytes(table: Table, rows: int) -> int:
+    """Physical bytes of a ``rows``-row shard (exact for fixed-width
+    columns: per-row bytes scale linearly with the row count)."""
+    if table.num_rows == 0:
+        return 0
+    total = 0
+    for column in table:
+        total += (column.nbytes // len(column)) * rows
+    return total
+
+
+class ClusterShardCatalog:
+    """Shard placement map for a cluster of ``num_nodes`` nodes.
+
+    Every table in the catalog is sharded into ``num_nodes`` shards by
+    default (override per table via ``specs``; override the shard count
+    via ``num_shards``) and each shard is replicated onto ``replication``
+    consecutive nodes starting at its primary.
+    """
+
+    def __init__(
+        self,
+        catalog: Dict[str, Table],
+        num_nodes: int,
+        replication: int = 2,
+        specs: Optional[Dict[str, PartitionSpec]] = None,
+        num_shards: Optional[int] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ClusterError(f"node count must be >= 1: {num_nodes}")
+        if replication < 1:
+            raise ClusterError(f"replication must be >= 1: {replication}")
+        self.num_nodes = num_nodes
+        #: Effective copies per shard (clamped: N nodes hold at most N).
+        self.replication = min(replication, num_nodes)
+        self.num_shards = num_shards if num_shards is not None else num_nodes
+        if self.num_shards < 1:
+            raise ClusterError(f"shard count must be >= 1: {self.num_shards}")
+        self.specs: Dict[str, PartitionSpec] = dict(specs or {})
+        self._placements: Dict[str, List[ShardPlacement]] = {}
+        for name in sorted(catalog):
+            table = catalog[name]
+            spec = self.specs.get(name, DEFAULT_SPEC)
+            indices = partition_indices(table, spec, self.num_shards)
+            placements = []
+            for shard, rows in enumerate(len(ix) for ix in indices):
+                primary = shard % num_nodes
+                copies = tuple(
+                    (primary + r) % num_nodes
+                    for r in range(self.replication)
+                )
+                placements.append(ShardPlacement(
+                    table=name,
+                    shard=shard,
+                    nbytes=_shard_nbytes(table, rows),
+                    rows=rows,
+                    copies=copies,
+                ))
+            self._placements[name] = placements
+
+    @property
+    def tables(self) -> List[str]:
+        return list(self._placements)
+
+    def shards_for(self, table: str) -> List[ShardPlacement]:
+        """All shard placements of one table (shard order)."""
+        try:
+            return list(self._placements[table])
+        except KeyError:
+            raise ClusterError(f"table {table!r} has no placement")
+
+    def holders(self, table: str, shard: int) -> Tuple[int, ...]:
+        """Nodes holding a copy of the shard (primary first)."""
+        placements = self.shards_for(table)
+        if not 0 <= shard < len(placements):
+            raise ClusterError(
+                f"shard {shard} out of range for {table!r} "
+                f"({len(placements)} shards)"
+            )
+        return placements[shard].copies
+
+    def hosted_by(self, node: int) -> List[ShardPlacement]:
+        """Every shard placement with a copy on ``node``."""
+        return [
+            p for placements in self._placements.values()
+            for p in placements if node in p.copies
+        ]
+
+    def node_bytes(self, node: int) -> int:
+        """Total shard bytes hosted on ``node`` (placement footprint)."""
+        return sum(p.nbytes for p in self.hosted_by(node))
+
+    def missing_for(
+        self,
+        node: int,
+        tables: Iterable[str],
+        cached: Iterable[Tuple[str, int]] = (),
+    ) -> List[ShardPlacement]:
+        """Shards of ``tables`` that ``node`` neither hosts nor has cached
+        — the set a query routed there would fetch over the network."""
+        cache = set(cached)
+        missing = []
+        for table in sorted(set(tables)):
+            if table not in self._placements:
+                continue
+            for placement in self._placements[table]:
+                if node in placement.copies:
+                    continue
+                if (table, placement.shard) in cache:
+                    continue
+                missing.append(placement)
+        return missing

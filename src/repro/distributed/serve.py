@@ -77,47 +77,96 @@ class GroupServer:
             )
             for device in group
         ]
+        #: Device indices still in rotation (replicas not yet removed).
+        self._active: List[int] = list(range(len(group)))
+        #: Tenant -> device index, persistent across runs so closed-loop
+        #: tenants keep their warm caches between workloads.
+        self._assignment: Dict[str, int] = {}
+        #: Round-robin cursor over the active replicas.
+        self._next_slot = 0
+
+    @property
+    def active_replicas(self) -> Tuple[int, ...]:
+        """Device indices currently serving (in group order)."""
+        return tuple(self._active)
+
+    def _assign(self, tenant: str) -> int:
+        """Pin a new tenant to the next active replica round-robin."""
+        device = self._active[self._next_slot % len(self._active)]
+        self._assignment[tenant] = device
+        self._next_slot += 1
+        return device
+
+    def remove_replica(self, index: int) -> None:
+        """Take one replica out of rotation and rebalance its tenants.
+
+        Tenant pins used to be static for the server's lifetime, so a
+        removed replica's tenants kept routing into a closed server.
+        Now the orphaned tenants are re-pinned round-robin across the
+        survivors (in first-appearance order, deterministically) and all
+        future routing only considers active replicas.
+        """
+        if index not in self._active:
+            raise ValueError(f"replica {index} is not active")
+        if len(self._active) == 1:
+            raise ValueError("cannot remove the last active replica")
+        self._active.remove(index)
+        self.servers[index].close()
+        orphans = [
+            tenant for tenant, device in self._assignment.items()
+            if device == index
+        ]
+        for tenant in orphans:
+            self._assign(tenant)
 
     def run(self, workload) -> GroupServeReport:
         """Partition the workload by tenant and serve each slice."""
         requests = list(workload.arrivals())
-        assignment: Dict[str, int] = {}
         for request in requests:
-            if request.tenant not in assignment:
-                assignment[request.tenant] = len(assignment) % len(self.group)
-        slices: List[List[QueryRequest]] = [[] for _ in self.group]
+            if request.tenant not in self._assignment:
+                self._assign(request.tenant)
+        slices: Dict[int, List[QueryRequest]] = {
+            device: [] for device in self._active
+        }
         for request in requests:
-            slices[assignment[request.tenant]].append(request)
+            slices[self._assignment[request.tenant]].append(request)
 
         reports: List[ServeReport] = []
         records: List[RequestRecord] = []
-        for server, owned in zip(self.servers, slices):
-            report = server.run(_TenantSlice(owned, workload))
+        for device in self._active:
+            report = self.servers[device].run(
+                _TenantSlice(slices[device], workload)
+            )
             reports.append(report)
             records.extend(report.records)
         records.sort(key=lambda record: record.seq)
+        active_servers = [self.servers[device] for device in self._active]
         metrics = compute_metrics(
             records,
-            plan_cache_hits=sum(s.plan_cache.hits for s in self.servers),
-            plan_cache_misses=sum(s.plan_cache.misses for s in self.servers),
-            result_cache_hits=sum(s.result_cache.hits for s in self.servers),
+            plan_cache_hits=sum(s.plan_cache.hits for s in active_servers),
+            plan_cache_misses=sum(
+                s.plan_cache.misses for s in active_servers
+            ),
+            result_cache_hits=sum(
+                s.result_cache.hits for s in active_servers
+            ),
             result_cache_misses=sum(
-                s.result_cache.misses for s in self.servers
+                s.result_cache.misses for s in active_servers
             ),
             result_cache_invalidations=sum(
-                s.result_cache.invalidations for s in self.servers
+                s.result_cache.invalidations for s in active_servers
             ),
         )
         return GroupServeReport(
             records=records,
             metrics=metrics,
             per_device=tuple(reports),
-            assignment=assignment,
+            assignment=dict(self._assignment),
         )
 
     def close(self) -> None:
-        for server in self.servers:
-            server.close()
+        for device in self._active:
+            self.servers[device].close()
 
     def __enter__(self) -> "GroupServer":
         return self

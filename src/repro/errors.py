@@ -107,3 +107,28 @@ class ExpressionError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised for misconfigured benchmark sweeps."""
+
+
+class ClusterError(ReproError):
+    """Base class for multi-node cluster failures."""
+
+
+class NodeFailure(ClusterError):
+    """Raised when a cluster node dies (or a device on it faults) while a
+    query is running on it.
+
+    ``kind`` distinguishes a whole-node crash (``"node"`` — the node's
+    planned ``fail_at`` passed while the query was in flight) from a
+    device-scoped fault surfacing at node scope (``"device"`` — an
+    injected OOM/DMA fault escaped the executor's recovery).  The
+    coordinator catches this and retries the query on a surviving
+    replica with deterministic backoff on the virtual clock.
+    """
+
+    def __init__(self, node: int, time: float, kind: str = "node") -> None:
+        self.node = node
+        self.time = time
+        self.kind = kind
+        super().__init__(
+            f"node {node} failed at t={time * 1e3:.3f}ms ({kind} failure)"
+        )

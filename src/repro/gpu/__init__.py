@@ -69,8 +69,10 @@ from repro.gpu.topology import (
     DeviceGroup,
     InterconnectSpec,
     LinkChannel,
+    NetworkFabric,
 )
 from repro.gpu.transfer import (
+    DATACENTER_NET,
     NVLINK2,
     NVME_SSD,
     PCIE3_X16,
@@ -126,6 +128,7 @@ __all__ = [
     "StreamStats",
     "engine_stats",
     "LinkSpec",
+    "DATACENTER_NET",
     "NVLINK2",
     "NVME_SSD",
     "PCIE3_X16",
@@ -134,6 +137,7 @@ __all__ = [
     "DeviceGroup",
     "InterconnectSpec",
     "LinkChannel",
+    "NetworkFabric",
     "INTERCONNECTS",
     "NVLINK_P2P",
     "PCIE_HOST_BRIDGE",

@@ -32,10 +32,15 @@ SPAN = "span"
 #: Host-blocking like an O_DIRECT read/write: it occupies no device
 #: engine, so it never overlaps with stream work.
 HOST_IO = "host_io"
+#: Node-to-node message over the cluster's NETWORK link tier (shard
+#: fetches, cross-node exchange legs).  Recorded on both endpoint nodes'
+#: lead devices (``role`` payload says send vs recv) and host-blocking
+#: like a synchronous RPC: the coordinator waits for the bytes.
+NET = "net"
 
 _ALL_KINDS = (
     KERNEL, TRANSFER_H2D, TRANSFER_D2H, TRANSFER_D2D,
-    COMPILE, ALLOC, FREE, SPAN, HOST_IO,
+    COMPILE, ALLOC, FREE, SPAN, HOST_IO, NET,
 )
 
 
@@ -83,6 +88,11 @@ class ProfileSummary:
     io_time: float = 0.0
     #: Bytes moved over the simulated NVMe link.
     bytes_io: int = 0
+    #: Host time spent on cluster network messages (NET events recorded
+    #: on this device); zero outside multi-node runs.
+    net_time: float = 0.0
+    #: Bytes moved over the cluster NETWORK link in events recorded here.
+    bytes_net: int = 0
 
     def fraction(self, kind: str) -> float:
         """Fraction of total event time spent in ``kind`` (0 if no time)."""
@@ -152,6 +162,7 @@ class Profiler:
         bytes_d2h = 0
         bytes_d2d = 0
         bytes_io = 0
+        bytes_net = 0
         pool_hits = 0
         pool_misses = 0
         for event in events:
@@ -167,6 +178,8 @@ class Profiler:
                 bytes_d2d += int(event.payload.get("nbytes", 0))
             elif event.kind == HOST_IO:
                 bytes_io += int(event.payload.get("nbytes", 0))
+            elif event.kind == NET:
+                bytes_net += int(event.payload.get("nbytes", 0))
             elif event.kind == ALLOC:
                 pool = event.payload.get("pool")
                 if pool == "hit":
@@ -196,6 +209,8 @@ class Profiler:
             bytes_d2d=bytes_d2d,
             io_time=time_by_kind.get(HOST_IO, 0.0),
             bytes_io=bytes_io,
+            net_time=time_by_kind.get(NET, 0.0),
+            bytes_net=bytes_net,
         )
 
     def kernel_histogram(self, since: int = 0) -> Dict[str, int]:
@@ -254,6 +269,11 @@ _PEER_TRACK = 7
 #: their historical byte-exact format.
 _HOST_IO_TRACK = 8
 
+#: Track for cluster network messages (NETWORK link tier between nodes).
+#: Conditional like the request/peer/NVMe tracks: single-node traces keep
+#: their historical byte-exact format.
+_NET_TRACK = 9
+
 #: Fallback tracks for events recorded without engine payloads (traces
 #: produced before the stream subsystem, or hand-built events).
 _TRACE_TRACKS = {
@@ -266,6 +286,7 @@ _TRACE_TRACKS = {
     FREE: _ALLOCATOR_TRACK,
     SPAN: _REQUEST_TRACK,
     HOST_IO: _HOST_IO_TRACK,
+    NET: _NET_TRACK,
 }
 
 #: Human-readable row names emitted as Chrome-trace thread metadata.
@@ -331,6 +352,8 @@ def track_metadata(
         track_names[_PEER_TRACK] = "peer copies (D2D)"
     if any(event.kind == HOST_IO for event in events):
         track_names[_HOST_IO_TRACK] = "host I/O (NVMe)"
+    if any(event.kind == NET for event in events):
+        track_names[_NET_TRACK] = "network (cluster)"
     metadata: List[Dict[str, Any]] = []
     if process_name is not None:
         metadata.append({
@@ -370,6 +393,8 @@ def chrome_trace_json(events: Sequence[Event], indent: int = 1) -> str:
         track_names[_PEER_TRACK] = "peer copies (D2D)"
     if any(event.kind == HOST_IO for event in events):
         track_names[_HOST_IO_TRACK] = "host I/O (NVMe)"
+    if any(event.kind == NET for event in events):
+        track_names[_NET_TRACK] = "network (cluster)"
     metadata: List[Dict[str, Any]] = [
         {
             "name": "thread_name",
@@ -404,6 +429,7 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
     bytes_d2h = 0
     bytes_d2d = 0
     bytes_io = 0
+    bytes_net = 0
     pool_hits = 0
     pool_misses = 0
     for s in summaries:
@@ -414,6 +440,7 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
         bytes_d2h += s.bytes_d2h
         bytes_d2d += s.bytes_d2d
         bytes_io += s.bytes_io
+        bytes_net += s.bytes_net
         pool_hits += s.pool_hits
         pool_misses += s.pool_misses
     total = sum(time_by_kind.values())
@@ -439,4 +466,6 @@ def merge_summaries(summaries: List[ProfileSummary]) -> Optional[ProfileSummary]
         bytes_d2d=bytes_d2d,
         io_time=time_by_kind.get(HOST_IO, 0.0),
         bytes_io=bytes_io,
+        net_time=time_by_kind.get(NET, 0.0),
+        bytes_net=bytes_net,
     )

@@ -39,7 +39,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from repro.gpu import profiler as prof
 from repro.gpu.device import GTX_1080TI, Device, DeviceSpec
 from repro.gpu.stream import ENGINE_D2H, ENGINE_H2D
-from repro.gpu.transfer import NVLINK2, PCIE3_X16, LinkSpec
+from repro.gpu.transfer import DATACENTER_NET, NVLINK2, PCIE3_X16, LinkSpec
 
 
 @dataclass(frozen=True)
@@ -345,4 +345,137 @@ class DeviceGroup:
         names = ", ".join(device.spec.name for device in self.devices)
         return (
             f"DeviceGroup([{names}], interconnect={self.interconnect.name!r})"
+        )
+
+
+class NetworkFabric:
+    """Network-class interconnect one level above :class:`DeviceGroup`.
+
+    Joins N device groups ("nodes") the way a :class:`DeviceGroup` joins
+    N devices: every ordered node pair gets a contended channel, and every
+    node additionally owns a send NIC and a receive NIC timeline — a node
+    fanning shards out to three peers serializes on its own NIC even
+    though the three node-pair channels are distinct.  Messages are priced
+    on the NETWORK link tier (:data:`~repro.gpu.transfer.DATACENTER_NET`
+    by default), the most expensive hop in the hierarchy above NVLink,
+    PCIe, and NVMe.
+
+    A message is host-blocking like a synchronous RPC: it occupies no GPU
+    engine on either side, but both endpoints' lead devices observe the
+    completion (clock + submission floor advance to the message end), and
+    a NET profiler event lands on both leads (``role`` says send vs recv).
+    Channel and NIC timelines are :class:`LinkChannel` instances keyed to
+    the lead devices, so node resets clear stale occupancy through the
+    same epoch check the intra-group channels use.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[DeviceGroup],
+        link: LinkSpec = DATACENTER_NET,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a network fabric needs at least one node")
+        if len(set(id(n) for n in nodes)) != len(nodes):
+            raise ValueError("a node cannot appear twice in a fabric")
+        self.nodes: List[DeviceGroup] = list(nodes)
+        self.link = link
+        self._channels: Dict[Tuple[int, int], LinkChannel] = {}
+        self._nics: Dict[Tuple[int, str], LinkChannel] = {}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, index: int) -> DeviceGroup:
+        return self.nodes[index]
+
+    def _index(self, node: int) -> int:
+        index = int(node)
+        if not 0 <= index < len(self.nodes):
+            raise IndexError(
+                f"node index {index} out of range for fabric of "
+                f"{len(self.nodes)}"
+            )
+        return index
+
+    def lead(self, node: int) -> Device:
+        """The node's lead device — the clock NET messages are charged to."""
+        return self.nodes[self._index(node)][0]
+
+    def channel(self, src: int, dst: int) -> LinkChannel:
+        """The (lazily created) channel for the ordered pair src → dst."""
+        s, d = self._index(src), self._index(dst)
+        if s == d:
+            raise ValueError(f"no network channel from a node to itself: {s}")
+        key = (s, d)
+        if key not in self._channels:
+            self._channels[key] = LinkChannel(
+                self.nodes[s][0], self.nodes[d][0], name=f"node{s}->node{d}"
+            )
+        return self._channels[key]
+
+    def _nic(self, node: int, direction: str) -> LinkChannel:
+        """The node's send ("out") or receive ("in") NIC timeline."""
+        n = self._index(node)
+        key = (n, direction)
+        if key not in self._nics:
+            lead = self.nodes[n][0]
+            self._nics[key] = LinkChannel(
+                lead, lead, name=f"node{n}-nic-{direction}"
+            )
+        return self._nics[key]
+
+    def transfer(
+        self, src: int, dst: int, nbytes: int, label: str = "net"
+    ) -> float:
+        """Price one message of ``nbytes`` from node ``src`` to ``dst``.
+
+        Returns the occupied span in simulated seconds.  The message
+        starts no earlier than either lead's submission floor, the send
+        NIC, the receive NIC, or the pair channel; all three timelines
+        hold the span, and both leads' clocks advance to its end.
+        """
+        if nbytes < 0:
+            raise ValueError(f"transfer size cannot be negative: {nbytes}")
+        s, d = self._index(src), self._index(dst)
+        src_lead, dst_lead = self.nodes[s][0], self.nodes[d][0]
+        channel = self.channel(s, d)
+        channel._check_epoch()
+        nic_out = self._nic(s, "out")
+        nic_in = self._nic(d, "in")
+        nic_out._check_epoch()
+        nic_in._check_epoch()
+        duration = self.link.transfer_time(nbytes)
+        earliest = max(
+            src_lead._barrier,
+            src_lead.clock.now,
+            dst_lead._barrier,
+            dst_lead.clock.now,
+            nic_out.busy_until,
+            nic_in.busy_until,
+        )
+        start, end = channel.schedule(earliest, duration)
+        nic_out.schedule(start, duration)
+        nic_in.schedule(start, duration)
+        src_lead.profiler.record(
+            prof.NET, label, start, duration,
+            nbytes=nbytes, peer=d, role="send", channel=channel.name,
+        )
+        dst_lead.profiler.record(
+            prof.NET, label, start, duration,
+            nbytes=nbytes, peer=s, role="recv", channel=channel.name,
+        )
+        for dev in (src_lead, dst_lead):
+            dev._raise_submit_floor(end)
+            dev.clock.advance_to(end)
+        return end - start
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Modelled seconds for one uncontended message of ``nbytes``
+        (cost-model building block — no state is touched)."""
+        return self.link.transfer_time(nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkFabric({len(self.nodes)} nodes, link={self.link.name!r})"
         )

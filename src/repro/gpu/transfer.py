@@ -54,3 +54,12 @@ SHARED_MEMORY_LINK = LinkSpec(name="shared-memory", bandwidth=60.0e9, latency=2.
 #: order of magnitude slower than the PCIe host link so demotions to the
 #: third tier are visibly more expensive than host spills.
 NVME_SSD = LinkSpec(name="nvme-ssd", bandwidth=2.8e9, latency=80.0e-6)
+
+#: Simulated datacentre network between cluster nodes (the NETWORK link
+#: tier above NVLink/PCIe/NVMe): ~25 GbE effective goodput after TCP and
+#: serialization overheads, plus a fixed ~50 us request/response latency
+#: (kernel network stack + switch hops).  The most expensive tier in the
+#: hierarchy: an order of magnitude slower than host PCIe and with ~5x
+#: the setup latency of an NVMe I/O, so shard fetches that cross node
+#: boundaries dominate everything else a query does.
+DATACENTER_NET = LinkSpec(name="datacenter-net", bandwidth=2.5e9, latency=50.0e-6)

@@ -22,13 +22,20 @@ from repro.serve.cache import (
     scanned_tables,
 )
 from repro.serve.metrics import (
+    LatencyStats,
     ServeMetrics,
     compute_metrics,
     format_metrics,
     metrics_report,
     percentile,
 )
-from repro.serve.request import COMPLETED, SHED, QueryRequest, RequestRecord
+from repro.serve.request import (
+    COMPLETED,
+    FAILED,
+    SHED,
+    QueryRequest,
+    RequestRecord,
+)
 from repro.serve.scheduler import (
     POLICIES,
     FifoPolicy,
@@ -54,12 +61,14 @@ __all__ = [
     "plan_fingerprint",
     "result_key",
     "scanned_tables",
+    "LatencyStats",
     "ServeMetrics",
     "compute_metrics",
     "format_metrics",
     "metrics_report",
     "percentile",
     "COMPLETED",
+    "FAILED",
     "SHED",
     "QueryRequest",
     "RequestRecord",

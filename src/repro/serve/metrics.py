@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.serve.request import RequestRecord
+from repro.serve.request import FAILED, SHED, RequestRecord
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
@@ -25,6 +25,65 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     ordered = sorted(values)
     rank = max(1, -(-len(ordered) * fraction // 1))  # ceil without floats-only
     return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Nearest-rank latency digest plus SLO attainment over one window.
+
+    The shared fold both :class:`~repro.serve.server.QueryServer` and the
+    cluster coordinator report latency through, so single-node and
+    cluster metrics carry identical fields.  ``slo_seconds`` of zero
+    means no SLO was configured (attainment reads 1.0).
+    """
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max: float
+    slo_seconds: float = 0.0
+    #: Requests whose latency was within the SLO target.
+    slo_met: int = 0
+
+    @classmethod
+    def from_latencies(
+        cls, values: Sequence[float], slo_seconds: float = 0.0
+    ) -> "LatencyStats":
+        """Fold a latency sample into the digest (deterministic)."""
+        if slo_seconds < 0.0:
+            raise ValueError(f"SLO target cannot be negative: {slo_seconds}")
+        return cls(
+            count=len(values),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+            p99=percentile(values, 0.99),
+            mean=sum(values) / len(values) if values else 0.0,
+            max=max(values) if values else 0.0,
+            slo_seconds=slo_seconds,
+            slo_met=(
+                sum(1 for v in values if v <= slo_seconds)
+                if slo_seconds > 0.0 else 0
+            ),
+        )
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of the sample within the SLO (1.0 without an SLO)."""
+        if self.slo_seconds <= 0.0 or self.count == 0:
+            return 1.0
+        return self.slo_met / self.count
+
+    def to_json(self) -> Dict[str, Any]:
+        """The artifact's ``latency_s`` block (historical field order)."""
+        return {
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "mean": self.mean,
+            "max": self.max,
+        }
 
 
 @dataclass
@@ -56,6 +115,12 @@ class ServeMetrics:
     device_breakdown: Dict[str, float] = field(default_factory=dict)
     #: Per-tenant completed counts and mean latency.
     tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Requests that exhausted failover retries (cluster runs only; a
+    #: single-node server never fails a request, it sheds or completes).
+    failed: int = 0
+    #: Full latency digest (the same numbers as the scalar fields above,
+    #: via the shared :class:`LatencyStats` fold) plus SLO attainment.
+    latency: Optional[LatencyStats] = None
 
     @property
     def plan_cache_hit_rate(self) -> float:
@@ -68,19 +133,24 @@ class ServeMetrics:
         return self.result_cache_hits / total if total else 0.0
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        report = {
             "total_requests": self.total_requests,
             "completed": self.completed,
             "shed": self.shed,
+            "failed": self.failed,
             "makespan_s": self.makespan,
             "throughput_qps": self.throughput,
-            "latency_s": {
-                "p50": self.p50_latency,
-                "p95": self.p95_latency,
-                "p99": self.p99_latency,
-                "mean": self.mean_latency,
-                "max": self.max_latency,
-            },
+            "latency_s": (
+                self.latency.to_json()
+                if self.latency is not None
+                else {
+                    "p50": self.p50_latency,
+                    "p95": self.p95_latency,
+                    "p99": self.p99_latency,
+                    "mean": self.mean_latency,
+                    "max": self.max_latency,
+                }
+            ),
             "mean_queue_wait_s": self.mean_queue_wait,
             "mean_service_s": self.mean_service,
             "plan_cache": {
@@ -97,6 +167,13 @@ class ServeMetrics:
             "device_breakdown_s": dict(sorted(self.device_breakdown.items())),
             "tenants": {k: self.tenants[k] for k in sorted(self.tenants)},
         }
+        if self.latency is not None and self.latency.slo_seconds > 0.0:
+            report["slo"] = {
+                "target_s": self.latency.slo_seconds,
+                "met": self.latency.slo_met,
+                "attainment": self.latency.slo_attainment,
+            }
+        return report
 
 
 def compute_metrics(
@@ -106,10 +183,12 @@ def compute_metrics(
     result_cache_hits: int = 0,
     result_cache_misses: int = 0,
     result_cache_invalidations: int = 0,
+    slo_seconds: float = 0.0,
 ) -> ServeMetrics:
     """Fold a run's request records into a :class:`ServeMetrics`."""
     done = [r for r in records if r.completed]
     latencies = [r.latency for r in done]
+    digest = LatencyStats.from_latencies(latencies, slo_seconds=slo_seconds)
     makespan = 0.0
     if done:
         makespan = max(r.finished for r in done) - min(r.arrival for r in done)
@@ -129,14 +208,14 @@ def compute_metrics(
     return ServeMetrics(
         total_requests=len(records),
         completed=len(done),
-        shed=sum(1 for r in records if not r.completed),
+        shed=sum(1 for r in records if r.status == SHED),
         makespan=makespan,
         throughput=len(done) / makespan if makespan > 0.0 else 0.0,
-        p50_latency=percentile(latencies, 0.50),
-        p95_latency=percentile(latencies, 0.95),
-        p99_latency=percentile(latencies, 0.99),
-        mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
-        max_latency=max(latencies) if latencies else 0.0,
+        p50_latency=digest.p50,
+        p95_latency=digest.p95,
+        p99_latency=digest.p99,
+        mean_latency=digest.mean,
+        max_latency=digest.max,
         mean_queue_wait=(
             sum(r.queue_wait for r in done) / len(done) if done else 0.0
         ),
@@ -150,6 +229,8 @@ def compute_metrics(
         result_cache_invalidations=result_cache_invalidations,
         device_breakdown=breakdown,
         tenants=tenants,
+        failed=sum(1 for r in records if r.status == FAILED),
+        latency=digest,
     )
 
 
@@ -175,9 +256,11 @@ def metrics_report(
 
 def format_metrics(metrics: ServeMetrics) -> List[str]:
     """Human-readable lines for the CLI."""
+    outcome = f"{metrics.completed} completed, {metrics.shed} shed"
+    if metrics.failed:
+        outcome += f", {metrics.failed} failed"
     lines = [
-        f"requests      {metrics.total_requests} "
-        f"({metrics.completed} completed, {metrics.shed} shed)",
+        f"requests      {metrics.total_requests} ({outcome})",
         f"makespan      {metrics.makespan * 1e3:.3f} ms",
         f"throughput    {metrics.throughput:.1f} q/s",
         f"latency       p50 {metrics.p50_latency * 1e3:.3f} ms | "

@@ -18,6 +18,11 @@ from repro.relational.table import Table
 #: Request outcomes.
 COMPLETED = "completed"
 SHED = "shed"
+#: Cluster-only outcome: every replica holding the request's shards died
+#: (or retries were exhausted).  Failed requests still get a record —
+#: the zero-lost-queries invariant counts exactly one final record per
+#: issued seq, whatever the outcome.
+FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -61,6 +66,16 @@ class RequestRecord:
     device_breakdown: Dict[str, float] = field(default_factory=dict)
     #: Result table, kept only when the server runs with keep_results=True.
     table: Optional[Table] = None
+    #: Cluster node the request finally ran on (-1: single-node serving).
+    node: int = -1
+    #: Dispatch attempts beyond the first (failovers after node deaths).
+    attempts: int = 0
+    #: True when the request completed on a different node than the one
+    #: it was first routed to (a mid-query node death forced a retry).
+    failed_over: bool = False
+    #: Network time/bytes spent fetching remote shards for this request.
+    fetch_seconds: float = 0.0
+    fetch_bytes: int = 0
 
     @property
     def completed(self) -> bool:
@@ -88,8 +103,13 @@ class RequestRecord:
         return self.finished - self.dispatched
 
     def to_json(self) -> Dict[str, Any]:
-        """A JSON-friendly flat dict (used by metrics artifacts)."""
-        return {
+        """A JSON-friendly flat dict (used by metrics artifacts).
+
+        Cluster-only fields (node, failover, shard-fetch accounting) are
+        emitted only when set, so single-node artifacts keep their
+        historical byte-exact format.
+        """
+        row = {
             "seq": self.seq,
             "tenant": self.tenant,
             "name": self.name,
@@ -107,3 +127,13 @@ class RequestRecord:
             "result_cache_hit": self.result_cache_hit,
             "result_rows": self.result_rows,
         }
+        if self.node >= 0:
+            row["node"] = self.node
+        if self.attempts:
+            row["attempts"] = self.attempts
+        if self.failed_over:
+            row["failed_over"] = True
+        if self.fetch_bytes or self.fetch_seconds:
+            row["fetch_s"] = self.fetch_seconds
+            row["fetch_bytes"] = self.fetch_bytes
+        return row

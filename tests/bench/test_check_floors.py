@@ -117,6 +117,35 @@ def _tiered(cells=None):
     }
 
 
+def _cluster(completed=96, total=96, failed=0, unreported=0, failovers=1,
+             oracle_matches=True, ratio=1.2, speedup=2.2,
+             scale_events=("scale_up", "scale_up")):
+    return {
+        "failover": {
+            "healthy_p99_s": 0.005,
+            "failure_p99_s": 0.005 * ratio,
+            "ratio": ratio,
+            "total": total,
+            "completed": completed,
+            "failed": failed,
+            "unreported": unreported,
+            "failovers": failovers,
+            "oracle_matches": oracle_matches,
+            "killed_node": 1,
+            "kill_time_s": 0.003,
+        },
+        "elastic": {
+            "throughput_1": 4000.0,
+            "throughput_n": 4000.0 * speedup,
+            "nodes": 4,
+            "speedup": speedup,
+            "elastic_throughput": 7000.0,
+            "scale_events": list(scale_events),
+        },
+        "floors": {"p99_ratio_ceiling": 2.0, "scaleout_floor": 1.5},
+    }
+
+
 @pytest.fixture
 def artifacts(tmp_path):
     def write(fused=None, scaleout=None, serve=None):
@@ -195,6 +224,67 @@ class TestTpchSuiteFloor:
         path = self._write(tmp_path, _tpch(num_queries=6))
         assert check_floors.main(["--require", "tpch", str(path)]) == 1
         assert "only 6 queries" in capsys.readouterr().err
+
+
+class TestClusterFloor:
+    """The multi-node smoke artifact gates failover + scale-out floors."""
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "fig_cluster_smoke.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_healthy_cluster_passes(self, tmp_path):
+        path = self._write(tmp_path, _cluster())
+        assert check_floors.main(["--require", "cluster", str(path)]) == 0
+
+    def test_cluster_is_not_required_by_default(self, artifacts):
+        assert check_floors.main([str(artifacts())]) == 0
+
+    def test_lost_requests_fail(self, tmp_path, capsys):
+        path = self._write(tmp_path, _cluster(completed=90, unreported=6))
+        assert check_floors.main(["--require", "cluster", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "only 90/96 requests completed" in err
+        assert "lost and unreported" in err
+
+    def test_exhausted_retries_fail(self, tmp_path, capsys):
+        path = self._write(tmp_path, _cluster(failed=3))
+        assert check_floors.main(["--require", "cluster", str(path)]) == 1
+        assert "exhausted failover retries" in capsys.readouterr().err
+
+    def test_unexercised_failover_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _cluster(failovers=0))
+        assert check_floors.main(["--require", "cluster", str(path)]) == 1
+        assert "never caused a failover" in capsys.readouterr().err
+
+    def test_oracle_divergence_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _cluster(oracle_matches=False))
+        assert check_floors.main(["--require", "cluster", str(path)]) == 1
+        assert "diverged from the single-device oracle" in \
+            capsys.readouterr().err
+
+    def test_tail_blowup_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _cluster(ratio=2.4))
+        assert check_floors.main(["--require", "cluster", str(path)]) == 1
+        assert "over the 2.0x ceiling" in capsys.readouterr().err
+
+    def test_scaleout_below_floor_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _cluster(speedup=1.1))
+        assert check_floors.main(["--require", "cluster", str(path)]) == 1
+        assert "below the 1.5x floor" in capsys.readouterr().err
+
+    def test_never_scaling_up_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _cluster(scale_events=()))
+        assert check_floors.main(["--require", "cluster", str(path)]) == 1
+        assert "never scaled up" in capsys.readouterr().err
+
+    def test_empty_blocks_fail(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"floors": {}})
+        assert check_floors.main(["--require", "cluster", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "no failover block" in err
+        assert "no elastic block" in err
 
 
 class TestTieredFloor:

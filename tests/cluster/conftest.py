@@ -1,0 +1,29 @@
+"""Shared fixtures for the cluster (multi-node) test package.
+
+Mirrors the distributed package's conftest: one immutable TPC-H catalog
+per session, everything device-shaped built fresh per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import default_framework
+from repro.tpch import TpchGenerator
+
+#: Small enough that a full serve run is fast, big enough that shards
+#: have non-trivial byte sizes for the fetch cost model.
+SCALE_FACTOR = 0.002
+CATALOG_SEED = 11
+
+
+@pytest.fixture(scope="session")
+def tpch_catalog():
+    return TpchGenerator(
+        scale_factor=SCALE_FACTOR, seed=CATALOG_SEED
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def framework():
+    return default_framework()

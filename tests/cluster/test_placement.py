@@ -1,0 +1,125 @@
+"""Replicated shard placement: determinism, chaining, missing-set math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterShardCatalog, ShardPlacement
+from repro.distributed.partition import PartitionSpec
+from repro.errors import ClusterError
+from repro.relational.table import Table
+
+
+def _tiny_catalog(rows=40):
+    return {
+        "alpha": Table.from_arrays(
+            "alpha", {"a": np.arange(rows, dtype=np.int64)}
+        ),
+        "beta": Table.from_arrays(
+            "beta", {"b": np.arange(rows * 2, dtype=np.int32)}
+        ),
+    }
+
+
+class TestPlacementShape:
+    def test_every_table_gets_one_shard_per_node_by_default(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 4, replication=2)
+        assert placement.tables == ["alpha", "beta"]
+        for table in placement.tables:
+            shards = placement.shards_for(table)
+            assert len(shards) == 4
+            assert [s.shard for s in shards] == [0, 1, 2, 3]
+
+    def test_copies_chain_from_the_primary(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 4, replication=2)
+        for shard in placement.shards_for("alpha"):
+            assert shard.primary == shard.shard % 4
+            assert shard.copies == (
+                shard.primary, (shard.primary + 1) % 4,
+            )
+
+    def test_replication_clamps_to_the_node_count(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 2, replication=5)
+        assert placement.replication == 2
+        for shard in placement.shards_for("alpha"):
+            assert len(set(shard.copies)) == 2
+
+    def test_round_robin_shards_are_balanced(self):
+        placement = ClusterShardCatalog(_tiny_catalog(rows=40), 4)
+        rows = [s.rows for s in placement.shards_for("alpha")]
+        assert sum(rows) == 40
+        assert max(rows) - min(rows) <= 1
+        nbytes = [s.nbytes for s in placement.shards_for("alpha")]
+        assert sum(nbytes) == _tiny_catalog()["alpha"].nbytes
+
+    def test_num_shards_and_spec_overrides(self):
+        placement = ClusterShardCatalog(
+            _tiny_catalog(), 2,
+            specs={"alpha": PartitionSpec(kind="hash", column="a")},
+            num_shards=6,
+        )
+        assert len(placement.shards_for("alpha")) == 6
+        assert len(placement.shards_for("beta")) == 6
+
+    def test_single_node_single_replica_hosts_everything(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 1, replication=1)
+        for table in placement.tables:
+            assert placement.missing_for(0, [table]) == []
+
+
+class TestPlacementDeterminism:
+    def test_same_inputs_give_identical_placements(self):
+        first = ClusterShardCatalog(_tiny_catalog(), 3, replication=2)
+        second = ClusterShardCatalog(_tiny_catalog(), 3, replication=2)
+        for table in first.tables:
+            assert first.shards_for(table) == second.shards_for(table)
+
+
+class TestMissingSet:
+    def test_hosted_shards_are_never_missing(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 4, replication=2)
+        for node in range(4):
+            for missing in placement.missing_for(node, ["alpha", "beta"]):
+                assert node not in missing.copies
+
+    def test_cached_shards_drop_out_of_the_missing_set(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 4, replication=1)
+        before = placement.missing_for(0, ["alpha"])
+        assert before, "node 0 should miss some alpha shards"
+        cached = {(p.table, p.shard) for p in before}
+        assert placement.missing_for(0, ["alpha"], cached) == []
+
+    def test_unknown_tables_are_ignored(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 2)
+        assert placement.missing_for(0, ["no-such-table"]) == []
+
+    def test_node_bytes_counts_every_hosted_copy(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 2, replication=2)
+        total = sum(t.nbytes for t in _tiny_catalog().values())
+        # Replication 2 on 2 nodes: every node hosts every shard.
+        assert placement.node_bytes(0) == total
+        assert placement.node_bytes(1) == total
+
+
+class TestPlacementErrors:
+    def test_bad_shapes_are_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterShardCatalog(_tiny_catalog(), 0)
+        with pytest.raises(ClusterError):
+            ClusterShardCatalog(_tiny_catalog(), 2, replication=0)
+        with pytest.raises(ClusterError):
+            ClusterShardCatalog(_tiny_catalog(), 2, num_shards=0)
+
+    def test_unknown_table_and_shard_lookups_raise(self):
+        placement = ClusterShardCatalog(_tiny_catalog(), 2)
+        with pytest.raises(ClusterError):
+            placement.shards_for("nope")
+        with pytest.raises(ClusterError):
+            placement.holders("alpha", 99)
+
+    def test_placement_is_a_frozen_value(self):
+        shard = ClusterShardCatalog(_tiny_catalog(), 2).shards_for("alpha")[0]
+        assert isinstance(shard, ShardPlacement)
+        with pytest.raises(AttributeError):
+            shard.nbytes = 0

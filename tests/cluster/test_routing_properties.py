@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) on cluster replica selection.
+
+Three invariants of the router, across random fleet shapes, seeds, and
+failure times:
+
+* a request is **never** routed to a dead node — every completed record
+  ran on a survivor, whatever the kill schedule;
+* a seeded run is **deterministic** — same fleet + same workload seed
+  gives identical routing, latencies, and outcomes;
+* **placement constraints win** — a tenant restricted via
+  ``allowed_nodes`` only ever runs inside its allowed set.
+
+The catalog is a tiny synthetic table (not TPC-H) so each hypothesis
+example serves a full workload in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterConfig, ClusterServer
+from repro.core import default_framework
+from repro.query import scan
+from repro.relational.table import Table
+from repro.serve import COMPLETED, FAILED, OpenLoopWorkload, QuerySpec
+
+FRAMEWORK = default_framework()
+
+CATALOG = {
+    "alpha": Table.from_arrays(
+        "alpha", {"a": np.arange(96, dtype=np.int64)}
+    ),
+    "beta": Table.from_arrays(
+        "beta", {"b": np.arange(48, dtype=np.int64)}
+    ),
+}
+
+SPECS = [
+    QuerySpec("SA", scan("alpha").build()),
+    QuerySpec("SB", scan("beta").build()),
+]
+
+
+def _workload(seed, num_requests=10, rate=4000.0):
+    return OpenLoopWorkload(
+        SPECS, rate=rate, num_requests=num_requests,
+        tenants=("t0", "t1", "t2"), seed=seed,
+    )
+
+
+def _run(num_nodes, replication, seed, *, kill=None, **config_kwargs):
+    cluster = Cluster(
+        num_nodes, CATALOG, "handwritten", replication=replication,
+        framework=FRAMEWORK,
+    )
+    if kill is not None:
+        cluster.fail_node_at(*kill)
+    with ClusterServer(cluster, ClusterConfig(**config_kwargs)) as server:
+        return server.run(_workload(seed))
+
+
+fleet = st.integers(min_value=2, max_value=4)
+seeds = st.integers(min_value=0, max_value=50)
+policies = st.sampled_from(["fifo", "sjf", "fair"])
+
+
+class TestNeverRoutesToDeadNodes:
+    @given(
+        num_nodes=fleet,
+        seed=seeds,
+        policy=policies,
+        killed=st.integers(min_value=0, max_value=3),
+        when=st.floats(min_value=0.0, max_value=5e-3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_completions_only_on_survivors(
+        self, num_nodes, seed, policy, killed, when
+    ):
+        killed = killed % num_nodes
+        report = _run(
+            num_nodes, 2, seed, kill=(killed, when), policy=policy,
+        )
+        # Every issued request ends in exactly one final record.
+        assert report.unreported == []
+        for record in report.records:
+            if record.status == COMPLETED:
+                # Nothing completes on the dead node past its death.
+                if record.node == killed:
+                    assert record.finished <= when
+            else:
+                assert record.status == FAILED
+
+    @given(num_nodes=fleet, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_replication_two_survives_any_single_kill(
+        self, num_nodes, seed
+    ):
+        report = _run(num_nodes, 2, seed, kill=(0, 0.0))
+        # With K=2 copies a single death leaves every shard a holder:
+        # nothing may fail, and node 0 serves nothing at all.
+        assert report.metrics.failed == 0
+        assert report.metrics.completed == len(report.records)
+        assert all(r.node != 0 for r in report.records)
+
+
+class TestDeterminism:
+    @given(num_nodes=fleet, seed=seeds, policy=policies)
+    @settings(max_examples=20, deadline=None)
+    def test_fixed_seed_fixed_routing(self, num_nodes, seed, policy):
+        first = _run(num_nodes, 2, seed, policy=policy)
+        second = _run(num_nodes, 2, seed, policy=policy)
+        fold = lambda rep: [
+            (r.seq, r.node, r.status, r.latency, r.attempts)
+            for r in rep.records
+        ]
+        assert fold(first) == fold(second)
+
+
+class TestPlacementConstraints:
+    @given(
+        num_nodes=fleet,
+        seed=seeds,
+        pin=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_allowed_nodes_always_win(self, num_nodes, seed, pin):
+        pin = pin % num_nodes
+        report = _run(
+            num_nodes, num_nodes, seed,
+            allowed_nodes={"t0": (pin,)},
+        )
+        t0 = [r for r in report.records if r.tenant == "t0"]
+        assert all(r.node == pin for r in t0 if r.status == COMPLETED)
+        assert report.metrics.completed == len(report.records)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.distributed import GroupServer
 from repro.gpu import DeviceGroup
 from repro.serve.workload import (
@@ -101,3 +103,43 @@ class TestMergedReport:
         assert len(report.per_device) == 1
         assert len(report.records) == 8
         assert set(report.assignment.values()) == {0}
+
+
+class TestReplicaRemoval:
+    """Regression: tenant pins used to be static for the server's
+    lifetime, so a removed replica's tenants kept routing into a closed
+    server.  ``remove_replica`` must re-pin the orphans onto survivors."""
+
+    def test_orphaned_tenants_re_pin_to_surviving_replicas(
+        self, framework, tpch_catalog
+    ):
+        with _group_server(framework, tpch_catalog, 2) as server:
+            first = server.run(_workload())
+            assert first.assignment == {"t0": 0, "t1": 1, "t2": 0, "t3": 1}
+            server.remove_replica(1)
+            assert server.active_replicas == (0,)
+            second = server.run(_workload(seed=9))
+        # Every tenant — including t1/t3, orphaned by the removal — now
+        # routes to the survivor, and the full workload still completes.
+        assert set(second.assignment.values()) == {0}
+        assert len(second.records) == 24
+        assert all(r.status == "completed" for r in second.records)
+        assert len(second.per_device) == 1
+
+    def test_new_tenants_skip_removed_replicas(
+        self, framework, tpch_catalog
+    ):
+        with _group_server(framework, tpch_catalog, 3) as server:
+            server.remove_replica(1)
+            report = server.run(_workload())
+        assert set(report.assignment.values()) <= {0, 2}
+        # Round-robin still spreads the four tenants over both survivors.
+        assert set(report.assignment.values()) == {0, 2}
+
+    def test_remove_guards(self, framework, tpch_catalog):
+        with _group_server(framework, tpch_catalog, 2) as server:
+            server.remove_replica(0)
+            with pytest.raises(ValueError):
+                server.remove_replica(0)
+            with pytest.raises(ValueError):
+                server.remove_replica(1)

@@ -207,3 +207,63 @@ class TestDistributed:
         assert "devices=2" in out
         assert "device placement" in out
         assert "gpu0:" in out and "gpu1:" in out
+
+
+class TestServeCluster:
+    def test_cluster_mode_reports_node_placement(self, capsys):
+        assert main([
+            "serve", "--requests", "8", "--arrival-rate", "500",
+            "--scale-factor", "0.002", "--nodes", "2",
+            "--queries", "Q6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "node placement" in out
+        assert "node0:" in out and "node1:" in out
+        assert "8 completed" in out
+
+    def test_kill_node_at_fails_over_and_writes_json(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "cluster.json"
+        assert main([
+            "serve", "--requests", "20", "--arrival-rate", "4000",
+            "--scale-factor", "0.002", "--nodes", "3", "--replicas", "2",
+            "--policy", "sjf", "--kill-node-at", "0.002",
+            "--json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "armed node 0 death" in out
+        assert "dead nodes [0]" in out
+        import json
+
+        payload = json.loads(path.read_text())
+        cluster = payload["cluster"]
+        assert cluster["nodes"] == 3
+        assert cluster["replicas"] == 2
+        assert cluster["dead_nodes"] == [0]
+        assert cluster["unreported"] == []
+        assert sum(cluster["node_requests"]) >= 20
+        assert payload["metrics"]["completed"] == 20
+        assert payload["metrics"]["failed"] == 0
+        assert any(
+            e["event"] == "node_killed" for e in cluster["timeline"]
+        )
+
+    def test_kill_node_requires_cluster_mode(self):
+        with pytest.raises(SystemExit):
+            main([
+                "serve", "--requests", "4", "--scale-factor", "0.002",
+                "--kill-node-at", "0.001",
+            ])
+        with pytest.raises(SystemExit):
+            main([
+                "serve", "--requests", "4", "--scale-factor", "0.002",
+                "--nodes", "1", "--kill-node-at", "0.001",
+            ])
+
+    def test_cluster_rejects_tiered(self):
+        with pytest.raises(SystemExit):
+            main([
+                "serve", "--requests", "4", "--scale-factor", "0.002",
+                "--nodes", "2", "--tiered",
+            ])

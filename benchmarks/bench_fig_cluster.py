@@ -25,9 +25,9 @@ both scenarios that writes ``benchmarks/out/fig_cluster_smoke.json``
 for ``check_floors.py --require cluster``.
 """
 
-import json
 
 from _util import out_dir
+from common import write_smoke_json
 from repro.bench import write_report
 from repro.cluster import Cluster, ClusterConfig, ClusterServer
 from repro.core import default_framework
@@ -288,10 +288,7 @@ def _smoke() -> int:
             "scaleout_floor": SCALEOUT_FLOOR,
         },
     }
-    path = out_dir() / "fig_cluster_smoke.json"
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
+    path = write_smoke_json("fig_cluster_smoke.json", payload)
     print(
         f"cluster smoke: {failure.metrics.completed} completed under "
         f"node kill ({failure.failovers} failovers, p99 ratio "
@@ -301,12 +298,6 @@ def _smoke() -> int:
 
 
 if __name__ == "__main__":
-    import argparse
+    from common import smoke_main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="run the small CI smoke configuration")
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run under pytest for the full sweep, or pass --smoke")
-    raise SystemExit(_smoke())
+    smoke_main(lambda args: _smoke(), doc=__doc__)

@@ -24,11 +24,11 @@ kernel/e2e speedups for both queries saved to ``fig_fused_smoke.json``
 under the report directory (the benchmark-floor gate parses it).
 """
 
-import json
 
 import numpy as np
 
 from _util import SCALE_FACTORS, out_dir, run_once
+from common import write_smoke_json
 from repro.bench import write_report
 from repro.core import CompiledBackend, default_framework
 from repro.gpu import GTX_1080TI, Device
@@ -212,10 +212,7 @@ def _smoke() -> int:
                 / fused.report.simulated_seconds
             ),
         }
-    path = out_dir() / "fig_fused_smoke.json"
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
+    path = write_smoke_json("fig_fused_smoke.json", payload)
     summary = ", ".join(
         f"{name} {row['kernel_speedup']:.2f}x"
         for name, row in payload["queries"].items()
@@ -228,12 +225,6 @@ def _smoke() -> int:
 
 
 if __name__ == "__main__":
-    import argparse
+    from common import smoke_main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="run the tiny CI smoke configuration")
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run under pytest for the full sweep, or pass --smoke")
-    raise SystemExit(_smoke())
+    smoke_main(lambda args: _smoke(), doc=__doc__)

@@ -22,11 +22,11 @@ differentially checked against the serial executor, metrics saved to
 ``fig_scaleout_smoke.json`` under the report directory.
 """
 
-import json
 
 import numpy as np
 
 from _util import out_dir, run_once
+from common import write_smoke_json
 from repro.bench import write_report
 from repro.core import default_framework
 from repro.distributed import (
@@ -227,10 +227,7 @@ def _smoke(devices: int) -> int:
             "merge_mode": multi.report.merge_mode,
             "exchange_bytes": multi.report.exchange_bytes,
         }
-    path = out_dir() / "fig_scaleout_smoke.json"
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
+    path = write_smoke_json("fig_scaleout_smoke.json", payload)
     summary = ", ".join(
         f"{name} {row['speedup']:.2f}x" for name, row in payload.items()
     )
@@ -239,13 +236,12 @@ def _smoke(devices: int) -> int:
 
 
 if __name__ == "__main__":
-    import argparse
+    from common import smoke_main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="run the tiny CI smoke configuration")
-    parser.add_argument("--devices", type=int, default=2)
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run under pytest for the full sweep, or pass --smoke")
-    raise SystemExit(_smoke(args.devices))
+    smoke_main(
+        lambda args: _smoke(args.devices),
+        doc=__doc__,
+        add_args=lambda parser: parser.add_argument(
+            "--devices", type=int, default=2
+        ),
+    )

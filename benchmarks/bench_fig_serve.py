@@ -20,9 +20,9 @@ Run directly with ``--smoke`` for the CI fast lane: a tiny closed-loop
 run that writes its metrics JSON to ``benchmarks/out/fig_serve_smoke.json``.
 """
 
-import json
 
 from _util import out_dir
+from common import write_smoke_json
 from repro.bench import write_report
 from repro.core import default_framework
 from repro.gpu import GTX_1080TI, Device
@@ -212,10 +212,9 @@ def _smoke(clients: int, requests: int) -> int:
     metrics = report.metrics
     expected = clients * requests
     assert metrics.completed == expected, (metrics.completed, expected)
-    path = out_dir() / "fig_serve_smoke.json"
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(metrics_report(metrics, report.records), handle, indent=1)
-        handle.write("\n")
+    path = write_smoke_json(
+        "fig_serve_smoke.json", metrics_report(metrics, report.records)
+    )
     print(
         f"serve smoke: {metrics.completed} requests, "
         f"{metrics.throughput:.0f} req/s, "
@@ -225,14 +224,13 @@ def _smoke(clients: int, requests: int) -> int:
 
 
 if __name__ == "__main__":
-    import argparse
+    from common import smoke_main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="run the tiny CI smoke configuration")
-    parser.add_argument("--clients", type=int, default=2)
-    parser.add_argument("--requests", type=int, default=8)
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run under pytest for the full sweep, or pass --smoke")
-    raise SystemExit(_smoke(args.clients, args.requests))
+    smoke_main(
+        lambda args: _smoke(args.clients, args.requests),
+        doc=__doc__,
+        add_args=lambda parser: [
+            parser.add_argument("--clients", type=int, default=2),
+            parser.add_argument("--requests", type=int, default=8),
+        ],
+    )

@@ -29,12 +29,12 @@ Run directly with ``--smoke`` for the CI fast lane: a Q1/Q6 mini-grid
 saved to ``fig_tiered_smoke.json`` under the report directory.
 """
 
-import json
 from dataclasses import replace
 
 import numpy as np
 
 from _util import out_dir, run_once
+from common import write_smoke_json
 from repro.bench import write_report
 from repro.core import HandwrittenBackend
 from repro.gpu import GTX_1080TI, Device
@@ -235,10 +235,7 @@ def _smoke() -> int:
         "scale_factor": SCALE_FACTOR,
         "cells": cells,
     }
-    path = out_dir() / "fig_tiered_smoke.json"
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
+    path = write_smoke_json("fig_tiered_smoke.json", payload)
     summary = ", ".join(
         f"{c['query']}@{c['multiple']}x {c['speedup']:.2f}x/"
         f"gain {c['gain']:.2f}x"
@@ -249,12 +246,6 @@ def _smoke() -> int:
 
 
 if __name__ == "__main__":
-    import argparse
+    from common import smoke_main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="run the tiny CI smoke configuration")
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run under pytest for the full sweep, or pass --smoke")
-    raise SystemExit(_smoke())
+    smoke_main(lambda args: _smoke(), doc=__doc__)

@@ -25,11 +25,11 @@ CI fast lane: per-query warm runtimes and oracle verdicts saved to
 """
 
 import inspect
-import json
 
 import numpy as np
 
 from _util import out_dir, run_once
+from common import write_smoke_json
 from repro.bench import write_report
 from repro.core import CompiledBackend, default_framework
 from repro.gpu import GTX_1080TI, Device
@@ -191,10 +191,7 @@ def _smoke() -> int:
             ),
             "ceiling_ms": CEILING_MS[name],
         }
-    path = out_dir() / "fig_tpch_suite_smoke.json"
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
+    path = write_smoke_json("fig_tpch_suite_smoke.json", payload)
     worst = max(
         payload["queries"].items(),
         key=lambda kv: kv[1]["warm_ms"] / kv[1]["ceiling_ms"],
@@ -211,12 +208,6 @@ def _smoke() -> int:
 
 
 if __name__ == "__main__":
-    import argparse
+    from common import smoke_main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="run the tiny CI smoke configuration")
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run under pytest for the full sweep, or pass --smoke")
-    raise SystemExit(_smoke())
+    smoke_main(lambda args: _smoke(), doc=__doc__)

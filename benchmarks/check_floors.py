@@ -36,7 +36,21 @@ and enforces the floors:
   p99 stays under the ceiling relative to the healthy run, and
   saturated 1 -> N scale-out clears its throughput floor with the
   elastic run actually scaling up.  Opt-in like ``tpch`` — pass
-  ``--require ...,cluster`` in the cluster lane.
+  ``--require ...,cluster`` in the cluster lane;
+* **hetero** — the CPU+GPU co-execution smoke
+  (``fig_hetero_smoke.json``): both placement crossovers (build size,
+  selectivity) actually flip between devices, every TPC-H query is
+  oracle-identical *and* bit-identical across pure-CPU / pure-GPU /
+  auto placement, auto never pays more than its regression floor over
+  the best pure placement, the best mixed placement beats both pures by
+  the hybrid floor, and the pressure-shed run completes every request
+  with a nonzero number on the host.  Opt-in like ``tpch`` — pass
+  ``--require ...,hetero`` in the hetero lane.
+
+Every failing floor is reported — the gate collects failures across all
+artifacts and prints each one with the offending file, the metric, and
+the measured value against its floor, so one CI run shows the full
+damage instead of stopping at the first regression.
 
 Usage::
 
@@ -288,6 +302,96 @@ def check_cluster(payload: Dict) -> List[str]:
     return failures
 
 
+#: Fallbacks when a hetero artifact predates the embedded floors.
+HETERO_DEFAULT_HYBRID_FLOOR = 1.15
+HETERO_DEFAULT_AUTO_FLOOR = 0.8
+HETERO_MIN_QUERIES = 16
+
+
+def check_hetero(payload: Dict) -> List[str]:
+    failures = []
+    floors = payload.get("floors", {})
+    hybrid_floor = float(
+        floors.get("hybrid_floor", HETERO_DEFAULT_HYBRID_FLOOR)
+    )
+    auto_floor = float(
+        floors.get("auto_regression_floor", HETERO_DEFAULT_AUTO_FLOOR)
+    )
+    crossover = payload.get("crossover", {})
+    for axis in ("size", "selectivity"):
+        block = crossover.get(axis, {})
+        if not block.get("flipped", False):
+            failures.append(
+                f"hetero: the {axis} crossover never flipped "
+                f"(devices: {block.get('devices', [])})"
+            )
+    if not crossover.get("size", {}).get("endpoints_identical", True):
+        failures.append(
+            "hetero: size-crossover endpoint results diverged across "
+            "placement modes"
+        )
+    queries = payload.get("queries", {})
+    if len(queries) < HETERO_MIN_QUERIES:
+        failures.append(
+            f"hetero: only {len(queries)} queries in the artifact "
+            f"(expected >= {HETERO_MIN_QUERIES})"
+        )
+    for name, row in sorted(queries.items()):
+        if not row.get("oracle_match", False):
+            failures.append(f"hetero: {name} diverged from the oracle")
+        if not row.get("cross_mode_match", False):
+            failures.append(
+                f"hetero: {name} results differ across placement modes"
+            )
+        vs_best = min(float(row["vs_cpu"]), float(row["vs_gpu"]))
+        if vs_best < auto_floor:
+            failures.append(
+                f"hetero: {name} auto placement runs at {vs_best:.2f}x "
+                f"the best pure placement, below the {auto_floor:.2f}x "
+                "floor"
+            )
+    hybrid = payload.get("hybrid", {})
+    if not hybrid:
+        failures.append("hetero: artifact has no hybrid block")
+    else:
+        margin = min(
+            float(hybrid.get("vs_cpu", 0.0)),
+            float(hybrid.get("vs_gpu", 0.0)),
+        )
+        if margin < hybrid_floor:
+            failures.append(
+                f"hetero: best hybrid win ({hybrid.get('query')}) is "
+                f"{margin:.2f}x over the pure placements, below the "
+                f"{hybrid_floor:.2f}x floor"
+            )
+    shed = payload.get("shed", {})
+    if not shed:
+        failures.append("hetero: artifact has no shed block")
+    else:
+        completed = int(shed.get("completed", 0))
+        total = int(shed.get("total", 0))
+        if completed != total or total == 0:
+            failures.append(
+                f"hetero: only {completed}/{total} requests completed "
+                "under pressure"
+            )
+        if int(shed.get("shed", 0)):
+            failures.append(
+                f"hetero: {shed['shed']} requests shed despite the CPU "
+                "fallback"
+            )
+        if int(shed.get("shed_to_cpu", 0)) < 1:
+            failures.append(
+                "hetero: the pressure run never shed a request to the "
+                "CPU (scenario unexercised)"
+            )
+        if not shed.get("oracle_matches", False):
+            failures.append(
+                "hetero: shed-to-cpu results diverged from the oracle"
+            )
+    return failures
+
+
 #: Known artifact file names -> (short name, checker).
 CHECKS = {
     "fig_fused_smoke.json": ("fused", check_fused),
@@ -296,6 +400,7 @@ CHECKS = {
     "fig_tpch_suite_smoke.json": ("tpch", check_tpch),
     "fig_tiered_smoke.json": ("tiered", check_tiered),
     "fig_cluster_smoke.json": ("cluster", check_cluster),
+    "fig_hetero_smoke.json": ("hetero", check_hetero),
 }
 
 
@@ -357,7 +462,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             failures.append(f"{short}: cannot parse {path}: {exc}")
             continue
-        result = check(payload)
+        # Tag each failure with the offending artifact so a multi-lane
+        # run pinpoints every file in one pass.
+        result = [f"{failure}  [{path.name}]" for failure in check(payload)]
         failures.extend(result)
         status = "FAIL" if result else "ok"
         print(f"[{status:>4}] {short:<9} {path}")

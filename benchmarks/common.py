@@ -1,0 +1,75 @@
+"""Shared CLI and artifact plumbing for the ``bench_fig_*`` smoke lanes.
+
+Every figure script with a CI fast lane used to carry the same three
+blocks of boilerplate: an ``argparse`` tail that accepts ``--smoke`` and
+refuses anything else, the canonical smoke-artifact write
+(``json.dump(..., indent=1)`` plus a trailing newline — the byte format
+``check_floors.py`` and the CI artifact diffs rely on), and the
+``SystemExit`` plumbing.  This module is that boilerplate, once.
+
+Usage, at the bottom of a figure script::
+
+    if __name__ == "__main__":
+        from common import smoke_main
+        smoke_main(lambda args: _smoke(), doc=__doc__)
+
+Scripts with extra knobs pass an ``add_args`` hook::
+
+    smoke_main(
+        lambda args: _smoke(args.clients, args.requests),
+        doc=__doc__,
+        add_args=lambda parser: [
+            parser.add_argument("--clients", type=int, default=2),
+            parser.add_argument("--requests", type=int, default=8),
+        ],
+    )
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from _util import out_dir
+
+#: The refusal printed when a figure script is run without ``--smoke``:
+#: the full sweeps only make sense under pytest(-benchmark).
+NOT_SMOKE_ERROR = "run under pytest for the full sweep, or pass --smoke"
+
+
+def write_smoke_json(filename: str, payload: Dict[str, Any]) -> Path:
+    """Write ``payload`` as a smoke artifact; returns the path.
+
+    One canonical byte format — ``indent=1`` plus a trailing newline —
+    so artifacts diff cleanly across lanes and ``check_floors.py`` can
+    parse any of them.
+    """
+    path = out_dir() / filename
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def smoke_main(
+    smoke: Callable[[argparse.Namespace], Optional[int]],
+    doc: Optional[str] = None,
+    add_args: Optional[Callable[[argparse.ArgumentParser], Any]] = None,
+    help_text: str = "run the tiny CI smoke configuration",
+) -> None:
+    """The standard figure-script entry point.
+
+    Parses ``--smoke`` (plus whatever ``add_args`` registers on the
+    parser), refuses a smoke-less invocation with :data:`NOT_SMOKE_ERROR`,
+    runs ``smoke(args)``, and exits with its return code.
+    """
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument("--smoke", action="store_true", help=help_text)
+    if add_args is not None:
+        add_args(parser)
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error(NOT_SMOKE_ERROR)
+    raise SystemExit(smoke(args))

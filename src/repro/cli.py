@@ -492,6 +492,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_streams=args.streams,
         plan_cache=args.cache in ("both", "plan"),
         result_cache=args.cache in ("both", "result"),
+        admission_budget_bytes=args.admission_budget,
+        shed_to_cpu=args.shed_to_cpu,
     )
     print(
         f"Serving {workload.num_requests} requests "
@@ -502,6 +504,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.nodes > 0:
         if args.tiered:
             raise SystemExit("--tiered runs on a single device (--nodes 0)")
+        if args.shed_to_cpu:
+            raise SystemExit(
+                "--shed-to-cpu runs on a single device (--nodes 0)"
+            )
         if args.kill_node_at is not None and args.nodes < 2:
             raise SystemExit(
                 "--kill-node-at needs surviving replicas (--nodes >= 2)"
@@ -512,6 +518,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.devices > 1:
         if args.tiered:
             raise SystemExit("--tiered runs on a single device (--devices 1)")
+        if args.shed_to_cpu:
+            raise SystemExit(
+                "--shed-to-cpu runs on a single device (--devices 1)"
+            )
         return _serve_group(args, catalog, workload, config)
     device = _make_device(args)
     backend = default_framework().create(args.backend, device)
@@ -777,6 +787,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SIZE",
         help="override device memory capacity (e.g. 512K, 64M, 2G)",
+    )
+    serve.add_argument(
+        "--admission-budget",
+        type=parse_mem_size,
+        default=None,
+        metavar="SIZE",
+        help="admission-control working-set budget (e.g. 3M; default: "
+        "80%% of device memory)",
+    )
+    serve.add_argument(
+        "--shed-to-cpu",
+        action="store_true",
+        help="under device-memory pressure, run requests host-only "
+        "(bit-identical, slower) instead of queueing or shedding them",
     )
     serve.add_argument(
         "--json",

@@ -26,6 +26,25 @@ from repro.gpu.device import Device
 BackendFactory = Callable[[Device], OperatorBackend]
 
 
+def _cpu_simd_factory(device: Device) -> OperatorBackend:
+    """Build the host SIMD backend (lazy import: repro.cpu depends on
+    repro.core, so a module-level import here would be a cycle).
+
+    The framework hands every factory a fresh simulated *GPU* when the
+    caller does not supply a device; pricing host kernels on a GPU
+    roofline with paid PCIe legs would be nonsense, so anything that is
+    not already a :class:`~repro.cpu.host.HostDevice` is replaced by
+    one.  Pass a ``HostDevice`` explicitly to choose the host spec.
+    """
+    from repro.cpu.host import HostDevice
+
+    from repro.cpu.backend import CpuSimdBackend
+
+    if not isinstance(device, HostDevice):
+        device = HostDevice()
+    return CpuSimdBackend(device)
+
+
 class GpuOperatorFramework:
     """Registry and factory for operator backends."""
 
@@ -45,6 +64,10 @@ class GpuOperatorFramework:
             # should have offered (opt-in; defaults preserve the paper's
             # negative result).
             self.register("cudf", CudfLikeBackend)
+            # The host as a first-class device (ROADMAP item 3): the
+            # tuned kernels priced on a SIMD/DRAM roofline with free
+            # transfers.  See repro.cpu and repro.hetero.
+            self.register("cpu-simd", _cpu_simd_factory)
             for name, factory in HASH_EXTENSION_BACKENDS.items():
                 self.register(name, factory)
 

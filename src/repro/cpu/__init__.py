@@ -1,0 +1,41 @@
+"""Host CPU as a first-class execution device.
+
+`repro.cpu` models the host the way `repro.gpu` models the device: a
+roofline-priced :class:`~repro.cpu.host.HostDevice` (cores x SIMD lanes
+for compute, STREAM-class DRAM bandwidth for memory, fork/join dispatch
+latency for launches) with **zero-cost transfers**, plus the
+`cpu-simd` operator backend that runs the tuned handwritten kernels on
+it.  The heterogeneous placement optimizer (`repro.hetero`) prices
+pipeline segments on both rooflines and picks sides.
+"""
+
+from repro.cpu.backend import CpuSimdBackend, CpuSimdRuntime
+from repro.cpu.host import (
+    AVX2,
+    AVX512,
+    HOST_SIMD_PROFILE,
+    MOBILE_4C_SSE,
+    SCALAR,
+    SIMD_TIERS,
+    SSE4,
+    XEON_16C_AVX2,
+    HostDevice,
+    HostSpec,
+    SimdTier,
+)
+
+__all__ = [
+    "AVX2",
+    "AVX512",
+    "CpuSimdBackend",
+    "CpuSimdRuntime",
+    "HOST_SIMD_PROFILE",
+    "HostDevice",
+    "HostSpec",
+    "MOBILE_4C_SSE",
+    "SCALAR",
+    "SIMD_TIERS",
+    "SSE4",
+    "SimdTier",
+    "XEON_16C_AVX2",
+]

@@ -1,0 +1,41 @@
+"""`cpu-simd` backend: handwritten-kernel semantics priced on the host.
+
+The operator *semantics* of the tuned handwritten backend are exactly
+the NumPy-oracle semantics (that is what makes every backend
+differentially testable), so the host backend inherits them wholesale
+and changes only the *pricing*: kernels run at
+:data:`~repro.cpu.host.HOST_SIMD_PROFILE` efficiency against a
+:class:`~repro.cpu.host.HostDevice` roofline, and uploads/downloads cost
+nothing because host memory is where the data already lives.  Bit
+identity with the oracle is therefore inherited, not re-proved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.handwritten_backend import HandwrittenBackend, HandwrittenRuntime
+from repro.cpu.host import HOST_SIMD_PROFILE, HostDevice
+from repro.gpu.device import Device
+
+
+class CpuSimdRuntime(HandwrittenRuntime):
+    """Runtime for vectorised host kernels (HOST_SIMD_PROFILE)."""
+
+    library_name = "cpu-simd"
+
+    def __init__(self, device: Device) -> None:
+        # Skip HandwrittenRuntime.__init__ (it pins TUNED_PROFILE) and
+        # bind the host efficiency profile directly.
+        super(HandwrittenRuntime, self).__init__(device, HOST_SIMD_PROFILE)
+
+
+class CpuSimdBackend(HandwrittenBackend):
+    """Host SIMD operators: same kernels, host roofline, no PCIe."""
+
+    name = "cpu-simd"
+
+    runtime_class = CpuSimdRuntime
+
+    def __init__(self, device: Optional[Device] = None) -> None:
+        super().__init__(device if device is not None else HostDevice())

@@ -1,0 +1,45 @@
+"""Heterogeneous CPU+GPU co-execution.
+
+The last ROADMAP item: backend choice per pipeline *segment*, not per
+process.  :mod:`repro.hetero.placement` prices every pipeline of a
+lowered program on both the GPU and the host roofline — including the
+PCIe legs a boundary crossing induces — and assigns each side;
+:mod:`repro.hetero.executor` runs the mixed plan with explicit staging
+transfers, bit-identical to the NumPy oracle under any assignment.
+"""
+
+from repro.hetero.executor import (
+    HeteroReport,
+    HeterogeneousExecutor,
+    hetero_chrome_trace,
+)
+from repro.hetero.placement import (
+    CPU,
+    GPU,
+    PLACEMENT_MODES,
+    Placement,
+    PlacementDecision,
+    PlacementModel,
+    SegmentEstimate,
+    StagingTransfer,
+    estimate_program,
+    place_pipelines,
+    place_segments,
+)
+
+__all__ = [
+    "CPU",
+    "GPU",
+    "HeteroReport",
+    "HeterogeneousExecutor",
+    "PLACEMENT_MODES",
+    "Placement",
+    "PlacementDecision",
+    "PlacementModel",
+    "SegmentEstimate",
+    "StagingTransfer",
+    "estimate_program",
+    "hetero_chrome_trace",
+    "place_pipelines",
+    "place_segments",
+]

@@ -1,0 +1,603 @@
+"""Cost-based CPU/GPU placement of pipeline segments.
+
+Shanbhag et al. measure that the CPU/GPU winner for a database operator
+is decided by three terms, not by peak arithmetic:
+
+* **bandwidth** — a tuned GPU kernel streams DRAM ~7x faster than a SIMD
+  host loop, so multi-pass work over big inputs wants the GPU;
+* **launch latency** — both sides pay microseconds per kernel/parallel
+  region, so tiny inputs are a wash on compute;
+* **transfers** — the GPU pays PCIe to receive inputs and to return
+  results; the host pays nothing.  Small builds, low-selectivity scans
+  and post-merge tails "lose on transfer alone".
+
+This module prices each pipeline of a lowered
+:class:`~repro.query.pipeline.PipelineProgram` on both sides with
+exactly those terms and assigns it greedily.  The unit of placement is
+the *pipeline* (a segment between materialisation boundaries): stages
+inside a pipeline share their input columns, so splitting one mid-way
+would re-stage the whole working set across PCIe — the boundary is
+where placement is cheap, because only the materialised result crosses.
+
+Two executions are priced per segment, matching what the executor
+actually runs (:mod:`repro.hetero.executor`):
+
+* **eager** — the per-operator kernel chain (selection + gathers, hash
+  build + probe + gathers, one hash pass per aggregate).  This is the
+  only host execution, and the GPU execution for non-fusable segments.
+* **fused** — one DRAM pass over the scan columns (the compiled
+  backend's whole-pipeline kernel).  GPU-only: fusion decisions stay
+  GPU-side, and the host has no JIT.
+
+Greedy-in-pid-order is exact for this cost shape: the IR guarantees
+every producer pid is smaller than its consumer's, and a pipeline's
+transfer terms depend only on *already fixed* producer assignments, so
+each local argmin is globally consistent (no later decision can change
+an earlier pipeline's cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.expr import ColRef
+from repro.cpu.host import HOST_SIMD_PROFILE, XEON_16C_AVX2
+from repro.gpu.device import GTX_1080TI
+from repro.gpu.kernel import TUNED_PROFILE
+from repro.gpu.transfer import PCIE3_X16, LinkSpec
+from repro.query.optimizer import FILTER_SELECTIVITY
+from repro.query.pipeline import (
+    BuildSink,
+    FilterStage,
+    GroupBySink,
+    LimitStage,
+    Pipeline,
+    PipelineProgram,
+    PipelineSource,
+    ProbeStage,
+    ProjectStage,
+    SemiProbeStage,
+    SortSink,
+    TableSource,
+    TopKSink,
+)
+
+#: The two placement targets.
+CPU = "cpu"
+GPU = "gpu"
+
+#: Valid ``mode`` arguments: cost-chosen, or forced pure placements.
+PLACEMENT_MODES = ("auto", CPU, GPU)
+
+#: A link that prices every crossing at zero — what
+#: :meth:`PlacementModel.without_transfer_terms` swaps in.  With it, the
+#: GPU dominates on every segment (its bandwidth and launch terms are
+#: both at least as good), which the property suite asserts.  The
+#: bandwidth must be *exactly* infinite: any finite value leaves an
+#: epsilon on the GPU's result-download leg that flips launch-cost
+#: ties to the CPU.
+FREE_LINK = LinkSpec(name="free", bandwidth=float("inf"), latency=0.0)
+
+#: Fallback bytes/row-value when a column's width is unknown (derived
+#: expressions materialise as float64).
+_DEFAULT_ITEMSIZE = 8.0
+
+#: Rows sampled (a fixed prefix, so estimation stays deterministic) to
+#: estimate a base-table filter's selectivity.  The System R 1/3 guess
+#: is wildly wrong in both directions on TPC-H — Q1 keeps ~98%, Q19
+#: keeps ~0.2% — and placement is exactly where that error bites: an
+#: optimistic guess sends a scan-dominated filter to the GPU and pays
+#: upload for nothing.
+_SAMPLE_ROWS = 1024
+
+# Per-element traffic constants for the eager kernel chain, mirroring
+# the handwritten backend's `_charge` calls (repro/core/handwritten_backend.py):
+#: gather: index read (8) + 4x uncoalesced source reads + write.
+_GATHER_BYTES = 48.0
+#: hash aggregate: key+value reads plus amortised slot traffic, ~2
+#: passes, plus the expression compute feeding it.
+_AGG_BYTES = 40.0
+#: hash join build+probe per key: hashes, slot reads, id writes.
+_JOIN_BYTES = 24.0
+#: derived expression: operand reads + result write.
+_EXPR_BYTES = 24.0
+
+
+@dataclass(frozen=True)
+class SegmentEstimate:
+    """Cost-model view of one pipeline: bytes, launches, dependencies.
+
+    ``deps`` lists ``(producer_pid, nbytes)`` pairs — the materialised
+    result each consumed pipeline stages across in one batched transfer
+    if the two sides differ.  ``scan_bytes``/``scan_columns`` describe
+    the base-table working set a GPU placement must upload (one
+    latency-paying transfer per column, as the executor's scans do);
+    ``output_bytes`` is the result a GPU placement downloads when
+    ``final``.  ``eager_*`` price the per-operator chain (the host
+    execution, and the GPU's non-fused one); ``fused_*`` price the
+    compiled backend's single-pass kernel and apply only when
+    ``fusable``.
+    """
+
+    pid: int
+    rows: int
+    scan_bytes: float
+    scan_columns: int
+    eager_bytes: float
+    eager_launches: int
+    fused_bytes: float
+    fused_launches: int
+    fusable: bool
+    output_rows: int
+    output_bytes: float
+    deps: Tuple[Tuple[int, float], ...] = ()
+    final: bool = False
+
+
+@dataclass(frozen=True)
+class PlacementModel:
+    """The terms that decide a segment's side.
+
+    Bandwidths are *effective* (roofline peak x efficiency profile), so
+    they line up with what the simulated devices actually charge.
+    """
+
+    gpu_bandwidth: float
+    cpu_bandwidth: float
+    gpu_launch_seconds: float
+    cpu_dispatch_seconds: float
+    link: LinkSpec = PCIE3_X16
+
+    @classmethod
+    def default(cls) -> "PlacementModel":
+        """The shipped GTX 1080 Ti vs 16-core AVX2 Xeon pairing."""
+        return cls(
+            gpu_bandwidth=GTX_1080TI.dram_bandwidth
+            * TUNED_PROFILE.memory_efficiency,
+            cpu_bandwidth=XEON_16C_AVX2.dram_bandwidth
+            * HOST_SIMD_PROFILE.memory_efficiency,
+            gpu_launch_seconds=GTX_1080TI.kernel_launch_latency,
+            cpu_dispatch_seconds=XEON_16C_AVX2.dispatch_latency,
+            link=PCIE3_X16,
+        )
+
+    def without_transfer_terms(self) -> "PlacementModel":
+        """The same model with every crossing priced at zero.
+
+        The ablation knob for the property suite: with no transfer
+        terms, and the shipped invariant ``gpu_bandwidth >=
+        cpu_bandwidth`` / ``gpu_launch <= cpu_dispatch``, pure-GPU is
+        the cost minimum everywhere.
+        """
+        return replace(self, link=FREE_LINK)
+
+    def bandwidth(self, device: str) -> float:
+        """Effective DRAM bytes/second on ``device``."""
+        return self.gpu_bandwidth if device == GPU else self.cpu_bandwidth
+
+    def launch_seconds(self, device: str) -> float:
+        """Per-kernel (GPU) or per-parallel-region (CPU) fixed cost."""
+        return (
+            self.gpu_launch_seconds
+            if device == GPU
+            else self.cpu_dispatch_seconds
+        )
+
+    def compute_seconds(self, device: str, segment: SegmentEstimate) -> float:
+        """Kernel-side seconds for ``segment`` on ``device``.
+
+        The host always runs the eager chain.  The GPU runs fusable
+        segments through the compiled backend, whose own ``decide()``
+        picks fused or eager per pipeline — so the GPU price is the
+        better of the two (which also keeps the model's dominance
+        property: with transfers zeroed, the GPU term is never above
+        the host term).
+        """
+        launch = self.launch_seconds(device)
+        bandwidth = self.bandwidth(device)
+        eager = (
+            segment.eager_launches * launch + segment.eager_bytes / bandwidth
+        )
+        if device == GPU and segment.fusable:
+            fused = (
+                segment.fused_launches * launch
+                + segment.fused_bytes / bandwidth
+            )
+            return min(fused, eager)
+        return eager
+
+    def transfer_seconds(
+        self,
+        device: str,
+        segment: SegmentEstimate,
+        assignments: Dict[int, str],
+    ) -> float:
+        """Boundary-crossing seconds ``segment`` pays on ``device``.
+
+        Three legs, all zero for a CPU placement with CPU producers:
+
+        * base-table upload when the GPU scans host-resident data (one
+          latency-paying transfer per scanned column);
+        * one *batched* staging transfer per dependency whose producer
+          sits on the other device (either direction crosses the link
+          once);
+        * result download when a GPU segment feeds the final result.
+        """
+        total = 0.0
+        if device == GPU and segment.scan_bytes > 0:
+            total += (
+                segment.scan_columns * self.link.latency
+                + segment.scan_bytes / self.link.bandwidth
+            )
+        for producer_pid, nbytes in segment.deps:
+            if assignments[producer_pid] != device:
+                total += self.link.transfer_time(int(nbytes))
+        if device == GPU and segment.final:
+            total += self.link.transfer_time(int(segment.output_bytes))
+        return total
+
+    def segment_seconds(
+        self,
+        device: str,
+        segment: SegmentEstimate,
+        assignments: Dict[int, str],
+    ) -> float:
+        """Total modelled seconds: compute plus induced transfers."""
+        return self.compute_seconds(device, segment) + self.transfer_seconds(
+            device, segment, assignments
+        )
+
+
+@dataclass(frozen=True)
+class StagingTransfer:
+    """One materialised result crossing the host/device boundary."""
+
+    producer_pid: int
+    consumer_pid: int
+    nbytes: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where one pipeline runs, and what both options would have cost."""
+
+    pid: int
+    device: str
+    cpu_seconds: float
+    gpu_seconds: float
+    staging: Tuple[StagingTransfer, ...] = ()
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A full program assignment."""
+
+    decisions: Tuple[PlacementDecision, ...]
+    mode: str
+
+    def device_for(self, pid: int) -> str:
+        """The device pipeline ``pid`` was assigned to."""
+        for decision in self.decisions:
+            if decision.pid == pid:
+                return decision.device
+        raise KeyError(f"no placement decision for pipeline {pid}")
+
+    @property
+    def devices(self) -> Tuple[str, ...]:
+        """Assigned devices in pipeline (pid) order."""
+        return tuple(d.device for d in self.decisions)
+
+    @property
+    def is_hybrid(self) -> bool:
+        """Whether the plan uses both sides."""
+        return len(set(self.devices)) > 1
+
+    @property
+    def estimated_seconds(self) -> float:
+        """Modelled total for the chosen assignment (sequential sum)."""
+        return sum(
+            d.cpu_seconds if d.device == CPU else d.gpu_seconds
+            for d in self.decisions
+        )
+
+    @property
+    def staged_bytes(self) -> float:
+        """Total bytes the assignment moves across the boundary."""
+        return sum(t.nbytes for d in self.decisions for t in d.staging)
+
+
+def _column_itemsizes(table, names) -> float:
+    """Sum of per-row bytes for ``names`` in ``table`` (8 if unknown)."""
+    total = 0.0
+    for name in names:
+        try:
+            total += table.column(name).data.dtype.itemsize
+        except Exception:
+            total += _DEFAULT_ITEMSIZE
+    return total
+
+
+def _sampled_selectivity(table, predicate, default: float) -> float:
+    """Surviving fraction of ``predicate``, from a fixed-prefix sample.
+
+    Evaluates the predicate's NumPy reference on the first
+    ``_SAMPLE_ROWS`` rows of the base table — the same encoded arrays
+    the device kernels compare, so dictionary codes need no special
+    casing.  Falls back to ``default`` when the predicate touches
+    columns the table does not have (derived columns, post-join
+    filters) or the table is unknown.
+    """
+    if table is None:
+        return default
+    try:
+        columns = {
+            name: table.column(name).data[:_SAMPLE_ROWS]
+            for name in predicate.columns()
+        }
+        mask = predicate.evaluate(columns)
+        if mask.size == 0:
+            return default
+        return min(1.0, max(float(mask.mean()), 1.0 / mask.size))
+    except Exception:
+        return default
+
+
+def _estimate_pipeline(
+    pipeline: Pipeline,
+    catalog: Dict[str, object],
+    produced: Dict[int, SegmentEstimate],
+    selectivity: Optional[float],
+) -> SegmentEstimate:
+    """Price one pipeline: rows in, per-stage traffic, sink output.
+
+    ``selectivity`` is the surviving fraction assumed per filter (and
+    per semi-join): ``None`` (the default) samples each base-table
+    filter's predicate and falls back to the System R guess where
+    sampling cannot apply; an explicit float is used verbatim (the
+    placement-crossover benchmark sweeps it).
+    """
+    default_selectivity = (
+        FILTER_SELECTIVITY if selectivity is None else selectivity
+    )
+    deps = []
+    if isinstance(pipeline.source, TableSource):
+        table = catalog.get(pipeline.source.table)
+        rows = int(getattr(table, "num_rows", 0)) if table is not None else 0
+        names = (
+            list(pipeline.source.columns)
+            if pipeline.source.columns is not None
+            else (list(table.column_names) if table is not None else [])
+        )
+        row_bytes = (
+            _column_itemsizes(table, names)
+            if table is not None
+            else _DEFAULT_ITEMSIZE * max(len(names), 1)
+        )
+        scan_bytes = rows * row_bytes
+        scan_columns = max(len(names), 1)
+        base_table = table
+    else:
+        assert isinstance(pipeline.source, PipelineSource)
+        producer = produced[pipeline.source.pid]
+        rows = producer.output_rows
+        row_bytes = (
+            producer.output_bytes / producer.output_rows
+            if producer.output_rows
+            else _DEFAULT_ITEMSIZE
+        )
+        scan_bytes = 0.0
+        scan_columns = 0
+        base_table = None
+        deps.append((producer.pid, producer.output_bytes))
+
+    launches = 0
+    eager_bytes = 0.0
+    for stage in pipeline.stages:
+        if isinstance(stage, FilterStage):
+            kept = len(stage.keep) if stage.keep is not None else 4
+            launches += 1 + kept
+            predicate_columns = stage.plan.predicate.columns()
+            if base_table is not None:
+                predicate_bytes = _column_itemsizes(
+                    base_table, predicate_columns
+                )
+            else:
+                predicate_bytes = _DEFAULT_ITEMSIZE * max(
+                    len(predicate_columns), 1
+                )
+            fraction = (
+                _sampled_selectivity(
+                    base_table, stage.plan.predicate, default_selectivity
+                )
+                if selectivity is None
+                else default_selectivity
+            )
+            survivors = max(1, int(rows * fraction))
+            # Selection reads the predicate columns over all rows, then
+            # one gather per kept column rewrites the survivors (index
+            # read + uncoalesced source reads + write, so gather traffic
+            # scales with the column widths too).
+            eager_bytes += rows * predicate_bytes
+            if stage.keep is not None and base_table is not None:
+                gather_bytes = 8.0 * kept + 5.0 * _column_itemsizes(
+                    base_table, stage.keep
+                )
+            else:
+                gather_bytes = kept * _GATHER_BYTES
+            eager_bytes += survivors * gather_bytes
+            rows = survivors
+        elif isinstance(stage, ProjectStage):
+            derived = sum(
+                0 if isinstance(expr, ColRef) else 1
+                for _name, expr in stage.plan.outputs
+            )
+            launches += derived
+            eager_bytes += derived * rows * _EXPR_BYTES
+        elif isinstance(stage, (ProbeStage, SemiProbeStage)):
+            build = produced[stage.build_pid]
+            deps.append((build.pid, build.output_bytes))
+            kept = len(stage.keep) if stage.keep is not None else 4
+            launches += 2 + kept
+            survivors = (
+                max(1, int(rows * default_selectivity))
+                if isinstance(stage, SemiProbeStage)
+                else rows
+            )
+            # Hash build over the build side, probe over this side, one
+            # gather per surviving output column.
+            eager_bytes += build.output_rows * _JOIN_BYTES
+            eager_bytes += rows * _JOIN_BYTES
+            eager_bytes += kept * survivors * _GATHER_BYTES
+            rows = survivors
+            base_table = None  # rows no longer align with the base scan
+        elif isinstance(stage, LimitStage):
+            rows = min(rows, stage.plan.n)
+
+    output_rows = rows
+    output_bytes = rows * row_bytes
+    sink = pipeline.sink
+    if isinstance(sink, BuildSink):
+        # The consumer's probe stage prices the hash build itself; the
+        # build pipeline just materialises its columns.
+        pass
+    elif isinstance(sink, GroupBySink):
+        aggregates = max(len(sink.plan.aggregates), 1)
+        if sink.plan.keys:
+            launches += 2 * aggregates + 1
+            groups = max(1, math.isqrt(max(rows, 1)))
+        else:
+            launches += aggregates
+            groups = 1
+        eager_bytes += aggregates * rows * _AGG_BYTES
+        output_rows = groups
+        output_bytes = (
+            groups * (len(sink.plan.keys) + aggregates) * _DEFAULT_ITEMSIZE
+        )
+    elif isinstance(sink, SortSink):
+        digit_passes = 8  # radix digits on a 64-bit key
+        launches += 2
+        eager_bytes += digit_passes * rows * 3.0 * _DEFAULT_ITEMSIZE
+        eager_bytes += 2.0 * rows * row_bytes  # payload gathers
+    elif isinstance(sink, TopKSink):
+        digit_passes = 8
+        launches += 3
+        eager_bytes += digit_passes * rows * 3.0 * _DEFAULT_ITEMSIZE
+        output_rows = min(rows, sink.plan.n)
+        output_bytes = output_rows * row_bytes
+
+    # The fused execution: one launch, one DRAM pass over the scanned
+    # columns, plus the (small) aggregation state.  Only meaningful for
+    # fusable pipelines — the executor falls back to eager otherwise.
+    fused_bytes = scan_bytes + output_bytes
+    fused_launches = 1
+
+    return SegmentEstimate(
+        pid=pipeline.pid,
+        rows=rows,
+        scan_bytes=scan_bytes,
+        scan_columns=scan_columns,
+        eager_bytes=eager_bytes,
+        eager_launches=max(launches, 1),
+        fused_bytes=fused_bytes,
+        fused_launches=fused_launches,
+        fusable=pipeline.fusable,
+        output_rows=max(output_rows, 1),
+        output_bytes=max(output_bytes, float(_DEFAULT_ITEMSIZE)),
+        deps=tuple(deps),
+    )
+
+
+def estimate_program(
+    program: PipelineProgram,
+    catalog: Dict[str, object],
+    selectivity: Optional[float] = None,
+) -> Tuple[SegmentEstimate, ...]:
+    """Cost-model estimates for every pipeline, in pid order.
+
+    ``selectivity=None`` samples base-table filters (deterministic
+    fixed-prefix sample); an explicit float forces that fraction on
+    every filter and semi-join.
+    """
+    produced: Dict[int, SegmentEstimate] = {}
+    estimates = []
+    for pipeline in program.pipelines:
+        estimate = _estimate_pipeline(pipeline, catalog, produced, selectivity)
+        estimate = replace(estimate, final=pipeline.pid == program.result_pid)
+        produced[pipeline.pid] = estimate
+        estimates.append(estimate)
+    return tuple(estimates)
+
+
+def place_segments(
+    segments: Sequence[SegmentEstimate],
+    model: PlacementModel,
+    mode: str = "auto",
+) -> Placement:
+    """Assign each segment to CPU or GPU.
+
+    ``mode="auto"`` picks the cheaper side per segment (GPU on ties, so
+    zero-work segments satisfy the no-transfer-terms dominance
+    property); ``"cpu"``/``"gpu"`` force a pure placement through the
+    same path, still pricing both sides and recording the staging a
+    forced choice induces (none, for pure plans).  Deterministic by
+    construction: pure arithmetic over the inputs.
+    """
+    if mode not in PLACEMENT_MODES:
+        raise ValueError(
+            f"unknown placement mode {mode!r}; expected one of {PLACEMENT_MODES}"
+        )
+    assignments: Dict[int, str] = {}
+    decisions = []
+    for segment in segments:
+        for producer_pid, _nbytes in segment.deps:
+            if producer_pid not in assignments:
+                raise ValueError(
+                    f"segment {segment.pid} consumes pipeline {producer_pid} "
+                    "which has no placement yet (segments must arrive in "
+                    "dependency (pid) order)"
+                )
+        cpu_seconds = model.segment_seconds(CPU, segment, assignments)
+        gpu_seconds = model.segment_seconds(GPU, segment, assignments)
+        if mode == "auto":
+            device = GPU if gpu_seconds <= cpu_seconds else CPU
+        else:
+            device = mode
+        assignments[segment.pid] = device
+        staging = tuple(
+            StagingTransfer(
+                producer_pid=producer_pid,
+                consumer_pid=segment.pid,
+                nbytes=nbytes,
+                seconds=model.link.transfer_time(int(nbytes)),
+            )
+            for producer_pid, nbytes in segment.deps
+            if assignments[producer_pid] != device
+        )
+        decisions.append(
+            PlacementDecision(
+                pid=segment.pid,
+                device=device,
+                cpu_seconds=cpu_seconds,
+                gpu_seconds=gpu_seconds,
+                staging=staging,
+            )
+        )
+    return Placement(decisions=tuple(decisions), mode=mode)
+
+
+def place_pipelines(
+    program: PipelineProgram,
+    catalog: Dict[str, object],
+    model: Optional[PlacementModel] = None,
+    mode: str = "auto",
+    selectivity: Optional[float] = None,
+) -> Placement:
+    """Estimate and place a lowered program in one call."""
+    if model is None:
+        model = PlacementModel.default()
+    return place_segments(
+        estimate_program(program, catalog, selectivity=selectivity), model, mode
+    )

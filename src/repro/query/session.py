@@ -135,6 +135,8 @@ class GpuSession:
             join_strategy=join_strategy, store=store,
         )
         self._closed = False
+        #: Lazily-built heterogeneous executor (see :meth:`execute_hybrid`).
+        self._hetero = None
         #: Re-entrancy depth of :meth:`execute` — positive while a query
         #: is in flight, so eviction paths know which pins are live.
         self._depth = 0
@@ -172,6 +174,38 @@ class GpuSession:
         self._depth += 1
         try:
             return self._executor.execute(plan, result_name)
+        finally:
+            self._depth -= 1
+            self._executor._active = saved if self._depth > 0 else set()
+
+    def execute_hybrid(
+        self,
+        plan: PlanNode,
+        result_name: str = "result",
+        mode: str = "auto",
+    ) -> ExecutionResult:
+        """Execute a plan under CPU/GPU placement (see :mod:`repro.hetero`).
+
+        The session's caching executor serves as the *GPU side* of the
+        heterogeneous executor, so GPU-placed pipelines still hit the
+        resident-column cache (and pin what they touch, exactly like
+        :meth:`execute`); CPU-placed pipelines run on the host device
+        with free transfers.  ``mode`` is ``"auto"`` (cost-chosen),
+        ``"cpu"``, or ``"gpu"`` — the serving layer's pressure shed
+        forces ``"cpu"`` to keep a query off the device entirely.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self._hetero is None:
+            # Lazy import: repro.hetero composes executors from this
+            # module, so a top-level import would be a cycle.
+            from repro.hetero import HeterogeneousExecutor
+
+            self._hetero = HeterogeneousExecutor(gpu_executor=self._executor)
+        saved = set(self._executor._active)
+        self._depth += 1
+        try:
+            return self._hetero.execute(plan, result_name, mode=mode)
         finally:
             self._depth -= 1
             self._executor._active = saved if self._depth > 0 else set()

@@ -11,6 +11,7 @@ against device memory, plan and result caches, and SLO-style metrics
 
 from repro.serve.admission import (
     AdmissionController,
+    SHED_TO_CPU,
     WORKING_SET_FACTOR,
     estimate_working_set,
 )
@@ -54,6 +55,7 @@ from repro.serve.workload import (
 
 __all__ = [
     "AdmissionController",
+    "SHED_TO_CPU",
     "WORKING_SET_FACTOR",
     "estimate_working_set",
     "PlanCache",

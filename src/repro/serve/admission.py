@@ -11,6 +11,14 @@ budget minus what in-flight requests are already estimated to hold:
 * larger than the whole budget → **shed** (reject immediately: queueing
   can never make it fit).
 
+With ``shed_to_cpu`` enabled (the heterogeneous serving mode), both
+pressure outcomes become **shed-to-cpu** instead: the request is
+dispatched immediately under forced CPU-only placement
+(:meth:`repro.query.session.GpuSession.execute_hybrid` with
+``mode="cpu"``), which touches no device memory at all — so it neither
+queues behind in-flight memory nor gets rejected, it just runs on the
+slower host roofline and still returns the bit-identical result.
+
 Working-set estimation is deliberately static (host metadata only): the
 admission decision must be cheap relative to the queries it is guarding,
 exactly like the memory-based admission throttles in production GPU
@@ -31,6 +39,7 @@ WORKING_SET_FACTOR = 1.5
 ADMIT = "admit"
 WAIT = "wait"
 SHED = "shed"
+SHED_TO_CPU = "shed_to_cpu"
 
 
 def estimate_working_set(
@@ -59,24 +68,37 @@ def estimate_working_set(
 
 
 class AdmissionController:
-    """Budget-based admit/wait/shed decisions with counters."""
+    """Budget-based admit/wait/shed decisions with counters.
 
-    def __init__(self, budget_bytes: int) -> None:
+    ``shed_to_cpu=True`` turns both pressure outcomes (wait, shed) into
+    :data:`SHED_TO_CPU`, counted separately from ``shed`` — those
+    requests still complete, on the host.
+    """
+
+    def __init__(self, budget_bytes: int, shed_to_cpu: bool = False) -> None:
         if budget_bytes < 1:
             raise ValueError(
                 f"admission budget must be positive: {budget_bytes}"
             )
         self.budget_bytes = int(budget_bytes)
+        self.cpu_fallback = bool(shed_to_cpu)
         self.admitted = 0
         self.waited = 0
         self.shed = 0
+        self.shed_to_cpu = 0
 
     def decide(self, estimated_bytes: int, inflight_bytes: int) -> str:
         """One admission decision (counts it); see the module docstring."""
         if estimated_bytes > self.budget_bytes:
+            if self.cpu_fallback:
+                self.shed_to_cpu += 1
+                return SHED_TO_CPU
             self.shed += 1
             return SHED
         if inflight_bytes + estimated_bytes > self.budget_bytes:
+            if self.cpu_fallback:
+                self.shed_to_cpu += 1
+                return SHED_TO_CPU
             self.waited += 1
             return WAIT
         self.admitted += 1

@@ -118,6 +118,10 @@ class ServeMetrics:
     #: Requests that exhausted failover retries (cluster runs only; a
     #: single-node server never fails a request, it sheds or completes).
     failed: int = 0
+    #: Completed requests that device-memory pressure pushed to CPU-only
+    #: placement.  Counted separately from ``shed`` — these requests
+    #: *finished* and are included in every latency/SLO statistic.
+    shed_to_cpu: int = 0
     #: Full latency digest (the same numbers as the scalar fields above,
     #: via the shared :class:`LatencyStats` fold) plus SLO attainment.
     latency: Optional[LatencyStats] = None
@@ -173,6 +177,10 @@ class ServeMetrics:
                 "met": self.latency.slo_met,
                 "attainment": self.latency.slo_attainment,
             }
+        # Conditional, like the cluster-only fields: artifacts from runs
+        # without the CPU fallback keep their historical byte format.
+        if self.shed_to_cpu:
+            report["shed_to_cpu"] = self.shed_to_cpu
         return report
 
 
@@ -230,6 +238,7 @@ def compute_metrics(
         device_breakdown=breakdown,
         tenants=tenants,
         failed=sum(1 for r in records if r.status == FAILED),
+        shed_to_cpu=sum(1 for r in records if r.shed_to_cpu),
         latency=digest,
     )
 
@@ -257,6 +266,8 @@ def metrics_report(
 def format_metrics(metrics: ServeMetrics) -> List[str]:
     """Human-readable lines for the CLI."""
     outcome = f"{metrics.completed} completed, {metrics.shed} shed"
+    if metrics.shed_to_cpu:
+        outcome += f", {metrics.shed_to_cpu} shed-to-cpu"
     if metrics.failed:
         outcome += f", {metrics.failed} failed"
     lines = [

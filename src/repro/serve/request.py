@@ -76,6 +76,9 @@ class RequestRecord:
     #: Network time/bytes spent fetching remote shards for this request.
     fetch_seconds: float = 0.0
     fetch_bytes: int = 0
+    #: True when device-memory pressure shed this request to CPU-only
+    #: placement: it completed, on the host, touching no device memory.
+    shed_to_cpu: bool = False
 
     @property
     def completed(self) -> bool:
@@ -136,4 +139,6 @@ class RequestRecord:
         if self.fetch_bytes or self.fetch_seconds:
             row["fetch_s"] = self.fetch_seconds
             row["fetch_bytes"] = self.fetch_bytes
+        if self.shed_to_cpu:
+            row["shed_to_cpu"] = True
         return row

@@ -38,6 +38,7 @@ from repro.relational.table import Table
 from repro.serve.admission import (
     ADMIT,
     SHED as SHED_DECISION,
+    SHED_TO_CPU,
     WAIT,
     AdmissionController,
     estimate_working_set,
@@ -96,6 +97,10 @@ class ServerConfig:
     keep_results: bool = False
     #: Admission budget in bytes; None = 80% of device memory.
     admission_budget_bytes: Optional[int] = None
+    #: Under device-memory pressure, dispatch the request on CPU-only
+    #: placement (no device memory at all) instead of waiting/shedding.
+    #: The result is bit-identical — only slower (host roofline).
+    shed_to_cpu: bool = False
     tenant_weights: Optional[Dict[str, float]] = None
     #: Optional compressed tiered column store
     #: (:class:`repro.storage.TieredColumnStore`); tenant sessions scan
@@ -140,7 +145,9 @@ class QueryServer:
             budget = int(
                 self.device.memory.effective_capacity * DEFAULT_BUDGET_FRACTION
             )
-        self.admission = AdmissionController(budget)
+        self.admission = AdmissionController(
+            budget, shed_to_cpu=self.config.shed_to_cpu
+        )
         self.plan_cache = PlanCache()
         self.result_cache = ResultCache()
         self._sessions: Dict[str, GpuSession] = {}
@@ -246,6 +253,13 @@ class QueryServer:
                     arrival=request.arrival, dispatched=start,
                     finished=start, estimated_bytes=estimated,
                 )
+            elif decision == SHED_TO_CPU:
+                # Pressure fallback: the request runs host-only, so it
+                # holds no device bytes — it never joins the in-flight
+                # set the admission controller is budgeting.
+                record = self._dispatch(
+                    request, start, estimated, cpu_only=True
+                )
             else:
                 assert decision == ADMIT
                 record = self._dispatch(request, start, estimated)
@@ -280,13 +294,23 @@ class QueryServer:
     # -- dispatch path ------------------------------------------------------
 
     def _dispatch(
-        self, request: QueryRequest, start: float, estimated: int
+        self,
+        request: QueryRequest,
+        start: float,
+        estimated: int,
+        cpu_only: bool = False,
     ) -> RequestRecord:
-        """Serve one admitted request starting at simulated ``start``."""
+        """Serve one admitted request starting at simulated ``start``.
+
+        ``cpu_only`` is the pressure-shed path: the plan runs through
+        the tenant session's heterogeneous executor under forced CPU
+        placement — same result tables (bit-identical oracle), host
+        service time, zero device memory, no pool stream.
+        """
         record = RequestRecord(
             seq=request.seq, tenant=request.tenant, name=request.name,
             status=COMPLETED, arrival=request.arrival, dispatched=start,
-            estimated_bytes=estimated,
+            estimated_bytes=estimated, shed_to_cpu=cpu_only,
         )
         fingerprint = plan_fingerprint(request.plan)
         tables = scanned_tables(request.plan)
@@ -307,6 +331,26 @@ class QueryServer:
 
         plan, planning = self._plan(request.plan, fingerprint, record)
         record.planning_seconds = planning
+
+        if cpu_only:
+            session = self.session(request.tenant)
+            result = session.execute_hybrid(
+                plan, result_name=request.name, mode="cpu"
+            )
+            # Host execution: service time is the hetero report's
+            # simulated total (all host seconds in "cpu" mode), and the
+            # breakdown comes from the host device's event slice.
+            record.finished = start + planning + result.report.simulated_seconds
+            record.result_rows = result.table.num_rows
+            record.device_breakdown = dict(
+                result.report.summary.time_by_kind
+            )
+            if self.config.result_cache:
+                self.result_cache.put(key, result.table)
+            if self.config.keep_results:
+                record.table = result.table
+            self._finish(record, request, stream=None)
+            return record
 
         stream = self.pool.acquire()
         record.stream_id = stream.stream_id

@@ -146,6 +146,70 @@ def _cluster(completed=96, total=96, failed=0, unreported=0, failovers=1,
     }
 
 
+def _hetero_query(vs_cpu=1.5, vs_gpu=1.2, placement="CGGG",
+                  oracle_match=True, cross_mode_match=True):
+    auto_us = 500.0
+    return {
+        "placement": placement,
+        "hybrid": len(set(placement)) > 1,
+        "auto_us": auto_us,
+        "cpu_us": auto_us * vs_cpu,
+        "gpu_us": auto_us * vs_gpu,
+        "vs_cpu": vs_cpu,
+        "vs_gpu": vs_gpu,
+        "oracle_match": oracle_match,
+        "cross_mode_match": cross_mode_match,
+    }
+
+
+def _hetero(num_queries=16, size_devices=("cpu", "cpu", "gpu"),
+            selectivity_devices=("cpu", "gpu"), endpoints_identical=True,
+            vs_cpu=7.0, vs_gpu=1.2, shed=0, shed_to_cpu=5, completed=12,
+            total=12, shed_oracle=True, queries=None):
+    def flipped(devices):
+        return "cpu" in devices and "gpu" in devices and (
+            list(devices) == sorted(devices, key=list(devices).index)
+        )
+
+    if queries is None:
+        queries = {
+            f"Q{i}": _hetero_query() for i in range(1, num_queries + 1)
+        }
+        queries["Q8"] = _hetero_query(vs_cpu=vs_cpu, vs_gpu=vs_gpu)
+    return {
+        "scale_factor": 0.02,
+        "floors": {"hybrid_floor": 1.15, "auto_regression_floor": 0.8},
+        "crossover": {
+            "size": {
+                "axis": [256, 4096, 65536],
+                "devices": list(size_devices),
+                "flipped": flipped(size_devices),
+                "endpoints_identical": endpoints_identical,
+            },
+            "selectivity": {
+                "axis": [0.05, 0.95],
+                "devices": list(selectivity_devices),
+                "flipped": flipped(selectivity_devices),
+            },
+        },
+        "queries": queries,
+        "hybrid": {
+            "query": "Q8",
+            "placement": "CCCCCCCGGG",
+            "vs_cpu": vs_cpu,
+            "vs_gpu": vs_gpu,
+        },
+        "shed": {
+            "total": total,
+            "completed": completed,
+            "shed": shed,
+            "shed_to_cpu": shed_to_cpu,
+            "oracle_matches": shed_oracle,
+            "p99_latency_s": 0.004,
+        },
+    }
+
+
 @pytest.fixture
 def artifacts(tmp_path):
     def write(fused=None, scaleout=None, serve=None):
@@ -357,6 +421,141 @@ class TestTieredFloor:
         path = self._write(tmp_path, _tiered([]))
         assert check_floors.main(["--require", "tiered", str(path)]) == 1
         assert "artifact has no cells" in capsys.readouterr().err
+
+
+class TestHeteroFloor:
+    """The CPU+GPU co-execution smoke gates crossovers + hybrid wins."""
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "fig_hetero_smoke.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_healthy_hetero_passes(self, tmp_path):
+        path = self._write(tmp_path, _hetero())
+        assert check_floors.main(["--require", "hetero", str(path)]) == 0
+
+    def test_hetero_is_not_required_by_default(self, artifacts):
+        assert check_floors.main([str(artifacts())]) == 0
+
+    def test_unflipped_size_crossover_fails(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, _hetero(size_devices=("gpu", "gpu", "gpu"))
+        )
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "size crossover never flipped" in capsys.readouterr().err
+
+    def test_unflipped_selectivity_crossover_fails(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, _hetero(selectivity_devices=("cpu", "cpu"))
+        )
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "selectivity crossover never flipped" in (
+            capsys.readouterr().err
+        )
+
+    def test_endpoint_divergence_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _hetero(endpoints_identical=False))
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "endpoint results diverged" in capsys.readouterr().err
+
+    def test_oracle_divergence_fails(self, tmp_path, capsys):
+        payload = _hetero()
+        payload["queries"]["Q5"]["oracle_match"] = False
+        path = self._write(tmp_path, payload)
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "Q5 diverged from the oracle" in capsys.readouterr().err
+
+    def test_cross_mode_divergence_fails(self, tmp_path, capsys):
+        payload = _hetero()
+        payload["queries"]["Q7"]["cross_mode_match"] = False
+        path = self._write(tmp_path, payload)
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "Q7 results differ across placement modes" in (
+            capsys.readouterr().err
+        )
+
+    def test_auto_regression_fails(self, tmp_path, capsys):
+        payload = _hetero()
+        payload["queries"]["Q3"].update(vs_cpu=0.6, vs_gpu=1.4)
+        path = self._write(tmp_path, payload)
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "Q3 auto placement runs at 0.60x" in capsys.readouterr().err
+
+    def test_hybrid_below_floor_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _hetero(vs_cpu=3.0, vs_gpu=1.05))
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "below the 1.15x floor" in capsys.readouterr().err
+
+    def test_shrunken_suite_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _hetero(num_queries=9))
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "only 9 queries" in capsys.readouterr().err
+
+    def test_incomplete_pressure_run_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _hetero(completed=10, shed=2))
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "only 10/12 requests completed under pressure" in err
+        assert "2 requests shed despite the CPU fallback" in err
+
+    def test_unexercised_cpu_shed_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _hetero(shed_to_cpu=0))
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "never shed a request to the CPU" in capsys.readouterr().err
+
+    def test_shed_oracle_divergence_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path, _hetero(shed_oracle=False))
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        assert "shed-to-cpu results diverged" in capsys.readouterr().err
+
+    def test_empty_blocks_fail(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, {"floors": {}, "crossover": {}, "queries": {}}
+        )
+        assert check_floors.main(["--require", "hetero", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "no hybrid block" in err
+        assert "no shed block" in err
+
+
+class TestMultiFailureReport:
+    """One pass reports *every* failing floor, tagged with its file."""
+
+    def test_failures_across_artifacts_all_reported(self, artifacts, capsys):
+        root = artifacts(
+            fused=_fused(q1=1.5, q6=1.4),
+            scaleout=_scaleout(q6=1.05),
+            serve=_serve(completed=14, total=16, shed=2),
+        )
+        assert check_floors.main([str(root)]) == 1
+        err = capsys.readouterr().err
+        # Every failing floor from every artifact, in one run.
+        assert "Q1 kernel speedup 1.50x" in err
+        assert "Q6 kernel speedup 1.40x" in err
+        assert "Q6 speedup 1.05x" in err
+        assert "14/16 requests completed" in err
+        assert "2 requests shed" in err
+        # ... each carrying the offending artifact's file name.
+        assert "Q1 kernel speedup 1.50x is below the 2.0x floor  " \
+            "[fig_fused_smoke.json]" in err
+        assert "[fig_scaleout_smoke.json]" in err
+        assert "[fig_serve_smoke.json]" in err
+
+    def test_multiple_failures_within_one_artifact_all_reported(
+        self, tmp_path, capsys
+    ):
+        payload = _hetero(size_devices=("gpu", "gpu", "gpu"))
+        payload["queries"]["Q5"]["oracle_match"] = False
+        payload["shed"]["shed_to_cpu"] = 0
+        (tmp_path / "fig_hetero_smoke.json").write_text(json.dumps(payload))
+        assert check_floors.main(
+            ["--require", "hetero", str(tmp_path)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "size crossover never flipped" in err
+        assert "Q5 diverged from the oracle" in err
+        assert "never shed a request to the CPU" in err
 
 
 class TestInjectedRegressions:

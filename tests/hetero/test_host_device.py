@@ -1,0 +1,190 @@
+"""The host CPU device model: free transfers, roofline pricing, traces.
+
+:class:`~repro.cpu.host.HostDevice` must behave as "the host as a
+device": kernels priced on the host spec's SIMD/DRAM roofline through
+the exact machinery the simulated GPUs use, both transfer directions
+free no-ops (host memory is where the data already lives), the
+``cpu-simd`` backend registered in the default framework, and the
+combined Chrome trace growing a ``cpu`` process row.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import default_framework
+from repro.cpu import CpuSimdBackend, HostDevice
+from repro.cpu.host import (
+    AVX2,
+    HOST_SIMD_PROFILE,
+    MOBILE_4C_SSE,
+    SIMD_TIERS,
+    XEON_16C_AVX2,
+    HostSpec,
+    SimdTier,
+)
+from repro.gpu import GTX_1080TI, Device
+from repro.gpu.kernel import KernelCost, kernel_duration
+from repro.hetero import HeterogeneousExecutor, hetero_chrome_trace
+from repro.query import QueryExecutor
+from repro.query.plan import Filter, Scan
+from repro.core.predicate import col_lt
+from repro.relational.table import Table
+
+
+def _catalog(rows=512, seed=3):
+    rng = np.random.default_rng(seed)
+    return {
+        "t": Table.from_arrays(
+            "t", {"k": rng.integers(0, 8, rows), "v": rng.random(rows)}
+        )
+    }
+
+
+class TestHostSpec:
+    def test_peak_flops_is_cores_times_lanes_fma(self):
+        assert XEON_16C_AVX2.peak_flops == 16 * 8 * 2.4e9 * 2.0
+
+    def test_device_spec_maps_cores_to_sms_and_lanes_to_cores(self):
+        spec = XEON_16C_AVX2.to_device_spec()
+        assert spec.sm_count == XEON_16C_AVX2.cores
+        assert spec.cores_per_sm == AVX2.lanes
+        assert spec.dram_bandwidth == XEON_16C_AVX2.dram_bandwidth
+        assert spec.kernel_launch_latency == (
+            XEON_16C_AVX2.dispatch_latency
+        )
+
+    def test_simd_ladder_is_monotone(self):
+        assert (
+            SIMD_TIERS["avx512"].lanes
+            > SIMD_TIERS["avx2"].lanes
+            > SIMD_TIERS["sse4"].lanes
+            > SIMD_TIERS["scalar"].lanes
+        )
+
+    def test_invalid_specs_are_rejected(self):
+        with pytest.raises(ValueError):
+            SimdTier(name="zero", lanes=0)
+        with pytest.raises(ValueError):
+            HostSpec(
+                name="bad", cores=0, core_clock_hz=2e9, simd=AVX2,
+                dram_bandwidth=8e10, memory_bytes=1 << 30,
+                dispatch_latency=6e-6, pass_tail_latency=2e-6,
+            )
+
+    def test_dispatch_latency_at_or_above_gpu_launch(self):
+        """The crossover must come from bandwidth/transfer terms, not a
+        launch-latency artifact (see the placement dominance property)."""
+        for spec in (XEON_16C_AVX2, MOBILE_4C_SSE):
+            assert spec.dispatch_latency >= (
+                GTX_1080TI.kernel_launch_latency
+            )
+
+
+class TestHostDevice:
+    def test_transfers_are_free_and_unrecorded(self):
+        device = HostDevice()
+        assert device.transfer_to_device(1 << 20, "h2d") == 0.0
+        assert device.transfer_to_host(1 << 20, "d2h") == 0.0
+        assert device.clock.now == 0.0
+        assert not device.profiler.events
+
+    def test_transfer_faults_do_not_apply(self):
+        device = HostDevice()
+        device.inject_faults(transfer_fault_at=0)
+        # A plain Device would raise on the next transfer; the host has
+        # no interconnect to fault.
+        assert device.transfer_to_device(1024) == 0.0
+
+    def test_kernels_price_on_the_host_roofline(self):
+        device = HostDevice()
+        cost = KernelCost(
+            name="scan", elements=1 << 20, bytes_read_per_element=8
+        )
+        duration = device.launch(cost, HOST_SIMD_PROFILE)
+        assert duration == pytest.approx(
+            kernel_duration(
+                cost, XEON_16C_AVX2.to_device_spec(), HOST_SIMD_PROFILE
+            )
+        )
+        # Memory-bound: the dominant term is bytes over derated STREAM
+        # bandwidth (80 GB/s * 0.80), far above the GPU's 445 GB/s rate.
+        gpu = Device(GTX_1080TI)
+        assert duration > gpu.launch(cost, HOST_SIMD_PROFILE)
+
+    def test_narrower_host_is_slower(self):
+        cost = KernelCost(
+            name="scan", elements=1 << 20, bytes_read_per_element=8
+        )
+        wide = HostDevice().launch(cost, HOST_SIMD_PROFILE)
+        narrow = HostDevice(MOBILE_4C_SSE).launch(cost, HOST_SIMD_PROFILE)
+        assert narrow > wide
+
+
+class TestCpuSimdBackend:
+    def test_registered_in_the_default_framework(self):
+        assert "cpu-simd" in default_framework().backend_names
+        backend = default_framework().create("cpu-simd")
+        assert isinstance(backend, CpuSimdBackend)
+        assert isinstance(backend.device, HostDevice)
+
+    def test_framework_replaces_a_gpu_device_with_the_host(self):
+        """Pricing host kernels on a GPU roofline with paid PCIe legs
+        would be nonsense; the factory swaps in a HostDevice."""
+        backend = default_framework().create("cpu-simd", Device(GTX_1080TI))
+        assert isinstance(backend.device, HostDevice)
+
+    def test_results_match_the_handwritten_backend_bit_for_bit(self):
+        catalog = _catalog()
+        plan = Filter(Scan("t"), col_lt("v", 0.25))
+        host = QueryExecutor(
+            default_framework().create("cpu-simd"), catalog
+        ).execute(plan)
+        gpu = QueryExecutor(
+            default_framework().create("handwritten", Device(GTX_1080TI)),
+            catalog,
+        ).execute(plan)
+        assert host.table.column_names == gpu.table.column_names
+        for column in host.table.column_names:
+            assert (
+                host.table.column(column).data.tobytes()
+                == gpu.table.column(column).data.tobytes()
+            )
+
+    def test_host_run_records_kernels_but_no_transfers(self):
+        catalog = _catalog()
+        backend = default_framework().create("cpu-simd")
+        result = QueryExecutor(backend, catalog).execute(
+            Filter(Scan("t"), col_lt("v", 0.25))
+        )
+        kinds = {event.kind for event in backend.device.profiler.events}
+        assert any("kernel" in kind for kind in kinds)
+        assert not any("transfer" in kind for kind in kinds)
+        assert result.report.simulated_seconds > 0.0
+
+
+class TestHeteroChromeTrace:
+    def test_trace_has_gpu_and_cpu_process_rows(self):
+        catalog = _catalog()
+        executor = HeterogeneousExecutor(
+            default_framework().create("compiled"), catalog
+        )
+        executor.execute(Filter(Scan("t"), col_lt("v", 0.25)), mode="cpu")
+        trace = json.loads(
+            hetero_chrome_trace(
+                executor.gpu.backend.device, executor.cpu.backend.device
+            )
+        )
+        names = {
+            entry["args"]["name"]
+            for entry in trace["traceEvents"]
+            if entry.get("name") == "process_name"
+        }
+        assert any(name.startswith("gpu (") for name in names)
+        assert f"cpu ({XEON_16C_AVX2.name})" in names
+        # GPU rows render under pid 0, host rows under pid 1.
+        pids = {entry["pid"] for entry in trace["traceEvents"]}
+        assert pids == {0, 1}

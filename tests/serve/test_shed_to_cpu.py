@@ -1,0 +1,270 @@
+"""Pressure-shed-to-CPU: shed requests finish, correctly, and are counted.
+
+Acceptance bar for the heterogeneous serving mode:
+
+* under a device budget smaller than every request's working set, a
+  server **without** the CPU fallback sheds (rejects) requests, while
+  the same workload **with** ``shed_to_cpu=True`` completes every one
+  with results bit-identical to the NumPy oracle;
+* ``shed_to_cpu`` is counted separately from ``shed`` at every layer
+  (admission controller, metrics, JSON artifacts, CLI lines) and the
+  historical artifact format is untouched when the fallback is off;
+* CPU-executed requests are full citizens of the latency/SLO statistics
+  — they completed, so they appear in every digest the SLO math reads.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.core import default_framework
+from repro.serve import QueryServer, QuerySpec, ServerConfig, repeated_workload
+from repro.serve.admission import (
+    ADMIT,
+    SHED,
+    SHED_TO_CPU,
+    WAIT,
+    AdmissionController,
+)
+from repro.serve.metrics import compute_metrics, format_metrics
+from repro.tpch import ALL_QUERIES, TpchGenerator
+
+SCALE_FACTOR = 0.02
+SEED = 5
+#: ~3 MB: below the lineitem working set of every query used here, so
+#: each request individually overflows the budget (pure pressure).
+BUDGET_BYTES = 3_000_000
+QUERIES = ("Q1", "Q6", "Q12")
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return TpchGenerator(scale_factor=SCALE_FACTOR, seed=SEED).generate()
+
+
+def _call(func, catalog):
+    if "catalog" in inspect.signature(func).parameters:
+        return func(catalog)
+    return func()
+
+
+def _plan(name, catalog):
+    return _call(ALL_QUERIES[name].plan, catalog)
+
+
+def _reference(name, catalog):
+    module = ALL_QUERIES[name]
+    expected = _call(module.reference, catalog)
+    limit = getattr(module.DEFAULT_PARAMS, "limit", None)
+    if limit is not None:
+        expected = {key: data[:limit] for key, data in expected.items()}
+    return expected
+
+
+def _assert_oracle(table, expected, context):
+    rows = len(next(iter(expected.values()))) if expected else 0
+    assert table.num_rows == rows, context
+    for column, want in expected.items():
+        got = table.column(column).data
+        if np.issubdtype(np.asarray(want).dtype, np.floating):
+            assert np.allclose(got, want, rtol=1e-9), (context, column)
+        else:
+            assert np.array_equal(got, want), (context, column)
+
+
+def _run(catalog, shed_to_cpu):
+    backend = default_framework().create("compiled")
+    workload = repeated_workload(
+        [QuerySpec(name=name, plan=_plan(name, catalog)) for name in QUERIES],
+        rate=2000.0,
+        repeats=4,
+        tenants=("tenant-a", "tenant-b"),
+        seed=3,
+    )
+    config = ServerConfig(
+        num_streams=2,
+        admission_budget_bytes=BUDGET_BYTES,
+        shed_to_cpu=shed_to_cpu,
+        keep_results=True,
+        result_cache=False,
+    )
+    with QueryServer(backend, catalog, config) as server:
+        report = server.run(workload)
+    return server, report
+
+
+@pytest.fixture(scope="module")
+def baseline(catalog):
+    """The pressure run without the fallback: requests are rejected."""
+    return _run(catalog, shed_to_cpu=False)
+
+
+@pytest.fixture(scope="module")
+def fallback(catalog):
+    """The same workload with ``shed_to_cpu=True``."""
+    return _run(catalog, shed_to_cpu=True)
+
+
+class TestCompletionUnderPressure:
+    def test_without_fallback_the_pressure_sheds_requests(self, baseline):
+        _server, report = baseline
+        metrics = report.metrics
+        assert metrics.shed > 0
+        assert metrics.completed < metrics.total_requests
+        assert metrics.shed_to_cpu == 0
+
+    def test_with_fallback_every_request_completes(self, fallback):
+        _server, report = fallback
+        metrics = report.metrics
+        assert metrics.completed == metrics.total_requests
+        assert metrics.shed == 0
+        assert metrics.shed_to_cpu > 0
+
+    def test_cpu_results_are_oracle_identical(self, fallback, catalog):
+        _server, report = fallback
+        shed = [r for r in report.records if r.shed_to_cpu]
+        assert shed, "the pressure scenario never exercised the fallback"
+        for record in shed:
+            expected = _reference(record.name, catalog)
+            _assert_oracle(record.table, expected, (record.name, record.seq))
+
+    def test_cpu_requests_touch_no_device(self, fallback):
+        """The fallback's whole point: host-only requests hold no device
+        memory and run on no pool stream."""
+        server, report = fallback
+        for record in report.records:
+            if record.shed_to_cpu:
+                assert record.stream_id == -1, record.seq
+                assert record.device_breakdown, record.seq
+        kinds = {event.kind for event in server.device.profiler.events}
+        assert not any("kernel" in kind for kind in kinds)
+        assert not any("transfer" in kind for kind in kinds)
+        assert all(count == 0 for count in report.stream_dispatches)
+
+    def test_fallback_runs_are_deterministic(self, catalog, fallback):
+        _server, first = fallback
+        _server2, second = _run(catalog, shed_to_cpu=True)
+        assert [
+            (r.seq, r.latency, r.shed_to_cpu) for r in first.records
+        ] == [(r.seq, r.latency, r.shed_to_cpu) for r in second.records]
+
+
+class TestSeparateAccounting:
+    def test_admission_counters_split_the_outcomes(self, baseline, fallback):
+        off_server, off_report = baseline
+        on_server, on_report = fallback
+        assert off_server.admission.shed == off_report.metrics.shed > 0
+        assert off_server.admission.shed_to_cpu == 0
+        assert on_server.admission.shed == 0
+        assert (
+            on_server.admission.shed_to_cpu
+            == on_report.metrics.shed_to_cpu
+            == sum(1 for r in on_report.records if r.shed_to_cpu)
+        )
+
+    def test_shed_to_cpu_requests_are_completed_not_shed(self, fallback):
+        _server, report = fallback
+        for record in report.records:
+            if record.shed_to_cpu:
+                assert record.completed, record.seq
+
+
+class TestSloIncludesCpuRequests:
+    def test_digest_counts_every_completed_request(self, fallback):
+        _server, report = fallback
+        metrics = compute_metrics(report.records, slo_seconds=1e6)
+        assert metrics.latency is not None
+        assert metrics.latency.count == metrics.completed
+        assert metrics.latency.count == len(report.records)
+        # A generous target is met by all of them — including the CPU
+        # ones; a digest that skipped them could not reach the count.
+        assert metrics.latency.slo_met == metrics.latency.count
+        assert metrics.latency.slo_attainment == 1.0
+
+    def test_cpu_latencies_flow_into_the_percentiles(self, fallback):
+        _server, report = fallback
+        metrics = compute_metrics(report.records, slo_seconds=1e6)
+        cpu_latencies = [r.latency for r in report.records if r.shed_to_cpu]
+        assert all(latency > 0.0 for latency in cpu_latencies)
+        assert metrics.max_latency >= max(cpu_latencies)
+
+    def test_tight_slo_is_missed_by_slow_cpu_requests(self, fallback):
+        _server, report = fallback
+        floor = min(r.latency for r in report.records) / 2.0
+        metrics = compute_metrics(report.records, slo_seconds=floor)
+        assert metrics.latency.slo_met < metrics.latency.count
+        assert metrics.latency.slo_attainment < 1.0
+
+
+class TestArtifactFormat:
+    def test_record_json_field_is_conditional(self, baseline, fallback):
+        _off, off_report = baseline
+        _on, on_report = fallback
+        for record in off_report.records:
+            assert "shed_to_cpu" not in record.to_json(), record.seq
+        for record in on_report.records:
+            row = record.to_json()
+            if record.shed_to_cpu:
+                assert row["shed_to_cpu"] is True
+            else:
+                assert "shed_to_cpu" not in row
+
+    def test_metrics_json_field_is_conditional(self, baseline, fallback):
+        _off, off_report = baseline
+        _on, on_report = fallback
+        assert "shed_to_cpu" not in off_report.metrics.to_json()
+        on_json = on_report.metrics.to_json()
+        assert on_json["shed_to_cpu"] == on_report.metrics.shed_to_cpu
+
+    def test_slo_block_appears_only_with_a_target(self, fallback):
+        _server, report = fallback
+        without = compute_metrics(report.records)
+        assert "slo" not in without.to_json()
+        with_slo = compute_metrics(report.records, slo_seconds=1e6).to_json()
+        assert with_slo["slo"]["met"] == len(report.records)
+        assert with_slo["slo"]["attainment"] == 1.0
+        assert with_slo["slo"]["target_s"] == 1e6
+
+    def test_cli_lines_mention_the_fallback(self, baseline, fallback):
+        _off, off_report = baseline
+        _on, on_report = fallback
+        assert "shed-to-cpu" not in format_metrics(off_report.metrics)[0]
+        header = format_metrics(on_report.metrics)[0]
+        assert f"{on_report.metrics.shed_to_cpu} shed-to-cpu" in header
+
+
+class TestAdmissionController:
+    def test_over_budget_becomes_shed_to_cpu(self):
+        controller = AdmissionController(1000, shed_to_cpu=True)
+        assert controller.decide(2000, 0) == SHED_TO_CPU
+        assert controller.shed_to_cpu == 1
+        assert controller.shed == 0
+
+    def test_inflight_pressure_becomes_shed_to_cpu(self):
+        """Both pressure outcomes (would-shed *and* would-wait) take the
+        fallback: nothing queues behind device memory."""
+        controller = AdmissionController(1000, shed_to_cpu=True)
+        assert controller.decide(600, 700) == SHED_TO_CPU
+        assert controller.shed_to_cpu == 1
+        assert controller.waited == 0
+
+    def test_fitting_requests_still_admit(self):
+        controller = AdmissionController(1000, shed_to_cpu=True)
+        assert controller.decide(600, 100) == ADMIT
+        assert controller.admitted == 1
+        assert controller.shed_to_cpu == 0
+
+    def test_without_fallback_the_legacy_outcomes_hold(self):
+        controller = AdmissionController(1000)
+        assert controller.decide(2000, 0) == SHED
+        assert controller.decide(600, 700) == WAIT
+        assert controller.decide(600, 100) == ADMIT
+        assert (
+            controller.shed,
+            controller.waited,
+            controller.admitted,
+            controller.shed_to_cpu,
+        ) == (1, 1, 1, 0)

@@ -122,7 +122,8 @@ class TestCiWorkflow:
     def test_smoke_lanes_write_outside_the_checkout(self, ci_text):
         # Every benchmark smoke redirects through REPRO_BENCH_OUT; no
         # lane uploads smoke JSON from the checkout's benchmarks/out.
-        for lane in ("serve", "scaleout", "fused", "tpch", "cluster"):
+        for lane in ("serve", "scaleout", "fused", "tpch", "cluster",
+                     "hetero"):
             assert f'REPRO_BENCH_OUT="$RUNNER_TEMP/{lane}"' in ci_text
             assert f"runner.temp }}}}/{lane}/fig_" in ci_text
         assert "benchmarks/out/fig_" not in ci_text
@@ -143,6 +144,14 @@ class TestCiWorkflow:
         assert "cluster-smoke-metrics" in ci_text
         # The cluster floors are gated inside the lane itself.
         assert "--require cluster" in ci_text
+
+    def test_hetero_fast_lane(self, ci_text):
+        assert "tests/hetero" in ci_text
+        assert "tests/serve/test_shed_to_cpu.py" in ci_text
+        assert "bench_fig_hetero.py" in ci_text
+        assert "hetero-smoke-metrics" in ci_text
+        # The hetero floors are gated inside the lane itself.
+        assert "--require hetero" in ci_text
 
     def test_floor_gate_runs_after_the_smoke_lanes(self, ci_text):
         assert "benchmarks/check_floors.py" in ci_text

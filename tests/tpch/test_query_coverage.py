@@ -78,6 +78,16 @@ class TestQueryCoverage:
         assert "QUERY_NAMES = tuple(sorted(ALL_QUERIES))" in source
         assert 'parametrize("name", QUERY_NAMES)' in source
 
+    def test_hetero_sweep_executes_every_query(self):
+        """The heterogeneous-placement differential suite parametrizes
+        over the full ``ALL_QUERIES`` registry — a new query cannot land
+        without CPU/GPU/auto placement coverage."""
+        source = (
+            TESTS_DIR / "hetero" / "test_hetero_differential.py"
+        ).read_text()
+        assert "QUERY_NAMES = tuple(sorted(ALL_QUERIES))" in source
+        assert 'parametrize("name", QUERY_NAMES)' in source
+
     def test_every_module_ships_an_oracle(self):
         for name, module in ALL_QUERIES.items():
             assert callable(getattr(module, "reference", None)), name
